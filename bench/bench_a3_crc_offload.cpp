@@ -1,0 +1,71 @@
+// A3 — Ablation: the hardware/firmware split.
+//
+// The architecture's thesis is that per-cell, fixed-function work (CRC,
+// VC lookup) belongs in hardware while protocol-variable work stays in
+// firmware. This bench removes each assist in turn and measures what
+// the engines must then carry — in instructions per cell and in
+// delivered goodput at both line rates.
+
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+
+using namespace hni;
+
+int main() {
+  std::printf("A3: hardware-assist ablation (greedy 9180-byte AAL5 PDUs, "
+              "33 MHz engines)\n");
+
+  struct Variant {
+    const char* name;
+    bool crc_offload;
+    bool cam;
+  };
+  const Variant variants[] = {
+      {"hw CRC + CAM (design point)", true, true},
+      {"firmware CRC + CAM", false, true},
+      {"hw CRC + hash lookup", true, false},
+      {"firmware CRC + hash lookup", false, false},
+  };
+
+  for (const auto& [line_name, line] :
+       {std::pair{"STS-3c", atm::sts3c()},
+        std::pair{"STS-12c", atm::sts12c()}}) {
+    core::Table t({"variant", "rx instr/cell (mid)", "goodput Mb/s",
+                   "rx engine util", "cells dropped"});
+    for (const auto& v : variants) {
+      proc::FirmwareProfile fw;
+      fw.assists.crc_offload = v.crc_offload;
+      fw.assists.cam_lookup = v.cam;
+
+      core::P2pConfig cfg;
+      cfg.traffic.mode = net::SduSource::Mode::kGreedy;
+      cfg.traffic.sdu_bytes = 9180;
+      cfg.station.nic.firmware = fw;
+      cfg.station.nic.line = line;
+      cfg.station.nic.with_clock(33e6);
+      cfg.station.host.cpu.clock_hz = 400e6;
+      cfg.station.host.cpu.cpi = 1.0;
+      cfg.station.host.max_inflight_tx = 64;
+      cfg.warmup = sim::milliseconds(1);
+      cfg.measure = sim::milliseconds(8);
+      const auto r = core::run_p2p(cfg);
+
+      const auto instr = proc::rx_cell_instructions(
+          fw, aal::AalType::kAal5, {false, false});
+      t.add_row({v.name, core::Table::integer(instr),
+                 core::Table::num(r.goodput_bps / 1e6, 1),
+                 core::Table::percent(r.rx_engine_util),
+                 core::Table::integer(r.cells_fifo_dropped)});
+    }
+    t.print(std::string("A3 @ ") + line_name);
+  }
+
+  std::printf("\nReading: at STS-3c the engine has slack, so losing an "
+              "assist only raises utilization;\nat STS-12c the firmware-"
+              "CRC variant blows the cell budget (22 -> 70 instr/cell) "
+              "and the\ninterface collapses to the engine's rate — the "
+              "quantitative case for CRC in the datapath.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// A4 — Ablation: traffic contracts (shaping vs policing) and cell-level
+// VC interleaving.
+//
+// Two experiments on the QoS machinery:
+//
+//  (a) A VC crossing a switch that polices it to a quarter of STS-3c
+//      (GCRA drop action): unshaped greedy sending loses most cells to
+//      UPC and delivers almost nothing (every PDU takes a hit); shaping
+//      the VC at the source to the same contract makes the identical
+//      transfer lossless at the contracted rate.
+//
+//  (b) Head-of-line blocking: a small request PDU posted behind a 64 kB
+//      bulk transfer. On one shared VC ATM forbids interleaving and the
+//      request waits for the whole transfer; on its own VC the transmit
+//      scheduler interleaves cell-by-cell and the request leaves almost
+//      immediately.
+
+#include <cstdio>
+#include <functional>
+
+#include "core/report.hpp"
+#include "core/testbed.hpp"
+
+using namespace hni;
+
+void contract_experiment() {
+  core::Table t({"sender", "policer drops", "PDUs delivered", "PDUs sent",
+                 "goodput Mb/s"});
+  for (bool shaped : {false, true}) {
+    core::Testbed bed;
+    auto& a = bed.add_station({});
+    auto& b = bed.add_station({});
+    auto& sw = bed.add_switch(
+        {.ports = 2, .queue_cells = 256, .clp_threshold = 256});
+    bed.connect_to_switch(a, sw, 0);
+    bed.connect_from_switch(sw, 1, b);
+    const atm::VcId vc{0, 9};
+    sw.add_route(0, vc, 1, vc);
+    const double pcr = atm::sts3c().cells_per_second() / 4.0;
+    sw.add_policer(0, vc, pcr, sim::microseconds(1),
+                   net::Switch::PoliceAction::kDrop);
+    a.nic().open_vc(vc, aal::AalType::kAal5);
+    b.nic().open_vc(vc, aal::AalType::kAal5);
+    if (shaped) a.nic().tx().set_shaper(vc, pcr);
+
+    std::uint64_t got_bytes = 0;
+    std::size_t got = 0;
+    b.host().set_rx_handler([&](aal::Bytes s, const host::RxInfo&) {
+      ++got;
+      got_bytes += s.size();
+    });
+    std::size_t sent = 0;
+    std::function<void()> pump = [&] {
+      while (sent < 64 && a.host().send(vc, aal::AalType::kAal5,
+                                        aal::make_pattern(9180, sent))) {
+        ++sent;
+      }
+    };
+    a.host().set_tx_ready(pump);
+    pump();
+    const sim::Time window = sim::milliseconds(200);
+    bed.run_for(window);
+
+    t.add_row({shaped ? "shaped to contract (GCRA at TX)" : "unshaped greedy",
+               core::Table::integer(sw.cells_policed_dropped()),
+               core::Table::integer(got), core::Table::integer(sent),
+               core::Table::num(static_cast<double>(got_bytes) * 8.0 /
+                                    sim::to_seconds(window) / 1e6,
+                                1)});
+  }
+  t.print("A4a: a VC policed to 1/4 STS-3c (~33.8 Mb/s contract)");
+}
+
+void hol_experiment() {
+  core::Table t({"layout", "request latency", "bulk completion"});
+  for (bool own_vc : {false, true}) {
+    core::Testbed bed;
+    auto& a = bed.add_station({});
+    auto& b = bed.add_station({});
+    bed.connect(a, b);
+    const atm::VcId bulk{0, 1};
+    const atm::VcId req = own_vc ? atm::VcId{0, 2} : bulk;
+    a.nic().open_vc(bulk, aal::AalType::kAal5);
+    b.nic().open_vc(bulk, aal::AalType::kAal5);
+    a.nic().open_vc(req, aal::AalType::kAal5);
+    b.nic().open_vc(req, aal::AalType::kAal5);
+
+    sim::Time req_done = 0, bulk_done = 0;
+    b.host().set_rx_handler([&](aal::Bytes s, const host::RxInfo&) {
+      (s.size() == 100 ? req_done : bulk_done) = bed.now();
+    });
+    a.host().send(bulk, aal::AalType::kAal5, aal::make_pattern(65535, 1));
+    a.host().send(req, aal::AalType::kAal5, aal::make_pattern(100, 2));
+    bed.run_for(sim::milliseconds(50));
+
+    t.add_row({own_vc ? "request on its own VC (interleaved)"
+                      : "request behind bulk on one VC (FIFO)",
+               sim::format_time(req_done), sim::format_time(bulk_done)});
+  }
+  t.print("A4b: head-of-line blocking — 100-byte request behind a 64 kB "
+          "transfer (STS-3c)");
+}
+
+int main() {
+  std::printf("A4: traffic contracts and per-VC scheduling\n");
+  contract_experiment();
+  hol_experiment();
+  std::printf(
+      "\nReading: (a) UPC makes unshaped greedy traffic useless — nearly "
+      "every PDU is damaged by\npoliced drops — while GCRA shaping at the "
+      "interface turns the same contract into lossless\nthroughput at the "
+      "contracted rate. (b) Cell-level interleaving across VCs removes "
+      "head-of-line\nblocking entirely; within one VC ATM requires FIFO "
+      "order and the request pays the full bulk\nserialization delay.\n");
+  return 0;
+}

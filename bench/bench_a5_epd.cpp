@@ -1,0 +1,132 @@
+// A5 — Extension: frame-aware discard (EPD/PPD) at the congested switch.
+//
+// T3 showed the brutal fact: random cell loss under overload damages
+// essentially every large PDU, so frame goodput collapses long before
+// cell throughput does. Early Packet Discard attacks this where it
+// happens — the switch queue — by refusing *whole* PDUs when the queue
+// crosses a threshold (and Partial Packet Discard sheds the useless
+// remainder of any PDU that still loses a cell, forwarding its final
+// cell so frames never splice).
+//
+// Scenario: two stations offer ~1.55x an STS-3c port (Poisson 9180-byte
+// PDUs) through upstream links with realistic CDV jitter. Sweep the
+// discard policy.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/report.hpp"
+#include "core/testbed.hpp"
+#include "net/traffic.hpp"
+
+using namespace hni;
+
+struct Outcome {
+  std::size_t delivered = 0;
+  std::size_t errored = 0;
+  std::uint64_t cell_drops = 0;
+  std::uint64_t epd_pdus = 0;
+  std::uint64_t ppd_cells = 0;
+  double goodput_mbps = 0;
+};
+
+Outcome run(std::size_t queue, std::size_t epd_threshold,
+            sim::Time window) {
+  core::Testbed bed;
+  auto& a = bed.add_station({});
+  auto& b = bed.add_station({});
+  auto& c = bed.add_station({});
+  auto& sw = bed.add_switch({.ports = 3,
+                             .queue_cells = queue,
+                             .clp_threshold = queue,
+                             .epd_threshold = epd_threshold});
+  net::LossModel jitter;
+  jitter.cdv_jitter = sim::microseconds(6);
+  bed.connect_to_switch(a, sw, 0, jitter);
+  bed.connect_to_switch(b, sw, 1, jitter);
+  bed.connect_from_switch(sw, 2, c);
+  sw.add_route(0, {0, 1}, 2, {0, 1});
+  sw.add_route(1, {0, 2}, 2, {0, 2});
+  a.nic().open_vc({0, 1}, aal::AalType::kAal5);
+  b.nic().open_vc({0, 2}, aal::AalType::kAal5);
+  c.nic().open_vc({0, 1}, aal::AalType::kAal5);
+  c.nic().open_vc({0, 2}, aal::AalType::kAal5);
+
+  Outcome out;
+  std::uint64_t bytes = 0;
+  c.host().set_rx_handler([&](aal::Bytes s, const host::RxInfo&) {
+    ++out.delivered;
+    bytes += s.size();
+  });
+  auto drive = [&](core::Station& s, atm::VcId vc, std::uint64_t seed) {
+    auto src = std::make_shared<net::SduSource>(
+        bed.sim(),
+        net::SduSource::Config{.mode = net::SduSource::Mode::kPoisson,
+                               .sdu_bytes = 9180,
+                               .count = 0,
+                               .interval = sim::microseconds(700),
+                               .seed = seed},
+        [&s, vc](aal::Bytes sdu) {
+          return s.host().send(vc, aal::AalType::kAal5, std::move(sdu));
+        });
+    src->start();
+    return src;
+  };
+  auto s1 = drive(a, {0, 1}, 1);
+  auto s2 = drive(b, {0, 2}, 2);
+  bed.run_for(window);
+  (void)s1;
+  (void)s2;
+
+  out.errored = c.nic().rx().pdus_errored();
+  out.cell_drops = sw.cells_dropped_overflow();
+  out.epd_pdus = sw.pdus_epd_discarded();
+  out.ppd_cells = sw.cells_ppd_dropped();
+  out.goodput_mbps =
+      static_cast<double>(bytes) * 8.0 / sim::to_seconds(window) / 1e6;
+  return out;
+}
+
+int main() {
+  std::printf("A5: frame-aware discard under 1.55x overload of an STS-3c "
+              "port (Poisson 9180-byte PDUs,\n6 us upstream CDV jitter, "
+              "200 ms window; AAL5 goodput ceiling at this PDU size: "
+              "135.1 Mb/s)\n");
+
+  const sim::Time window = sim::milliseconds(200);
+  core::Table t({"policy", "queue", "PDUs intact", "PDUs damaged",
+                 "EPD-discarded PDUs", "PPD cells", "overflow cells",
+                 "goodput Mb/s"});
+  struct Cfg {
+    const char* name;
+    std::size_t queue;
+    std::size_t epd;
+  };
+  const Cfg cfgs[] = {
+      {"tail drop", 1024, 0},
+      {"EPD undersized (thr 896)", 1024, 896},
+      {"EPD sized (thr 512)", 1024, 512},
+      {"EPD small buffer (thr 64/128)", 128, 64},
+  };
+  for (const auto& cfg : cfgs) {
+    const Outcome o = run(cfg.queue, cfg.epd, window);
+    t.add_row({cfg.name, core::Table::integer(cfg.queue),
+               core::Table::integer(o.delivered),
+               core::Table::integer(o.errored),
+               core::Table::integer(o.epd_pdus),
+               core::Table::integer(o.ppd_cells),
+               core::Table::integer(o.cell_drops),
+               core::Table::num(o.goodput_mbps, 1)});
+  }
+  t.print("A5: discard policy under sustained overload");
+
+  std::printf(
+      "\nReading: tail drop interleaves losses across both VCs and "
+      "damages most admitted PDUs —\ngoodput collapses far below the "
+      "port's capacity. Properly sized EPD (headroom beyond the\n"
+      "threshold >= one max PDU per competing VC) sheds exactly the "
+      "excess *whole* PDUs: zero\ndamaged deliveries and goodput at the "
+      "port ceiling. Undersized headroom degrades toward\nPPD behaviour "
+      "but still beats tail drop.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// A6 — Ablation: interrupt coalescing.
+//
+// The architecture already interrupts per PDU, not per cell; coalescing
+// trades the remaining per-PDU interrupts against delivery latency by
+// batching completions inside a window. This bench sweeps the window
+// under a stream of small PDUs — the workload where interrupt rate
+// matters — and reports host CPU load, interrupts per PDU, and the
+// latency cost.
+
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+
+using namespace hni;
+
+int main() {
+  std::printf("A6: interrupt coalescing window sweep (greedy 512-byte "
+              "PDUs at STS-3c,\n~20 MIPS receive host)\n");
+
+  core::Table t({"coalesce window", "PDUs/s", "interrupts/s",
+                 "PDUs per interrupt", "rx host CPU", "latency us (mean)"});
+  for (sim::Time window :
+       {sim::Time{0}, sim::microseconds(20), sim::microseconds(100),
+        sim::microseconds(500), sim::milliseconds(2)}) {
+    core::P2pConfig cfg;
+    cfg.traffic.mode = net::SduSource::Mode::kGreedy;
+    cfg.traffic.sdu_bytes = 512;
+    cfg.station.nic.rx.interrupt_coalesce = window;
+    cfg.station.nic.with_clock(50e6);
+    cfg.warmup = sim::milliseconds(2);
+    cfg.measure = sim::milliseconds(30);
+    const auto r = core::run_p2p(cfg);
+
+    const double pdus_per_s =
+        static_cast<double>(r.sdus_received) / sim::to_seconds(cfg.measure);
+    const double ints_per_s = pdus_per_s * r.interrupts_per_pdu;
+    t.add_row({sim::format_time(window),
+               core::Table::num(pdus_per_s, 0),
+               core::Table::num(ints_per_s, 0),
+               core::Table::num(r.interrupts_per_pdu > 0
+                                    ? 1.0 / r.interrupts_per_pdu
+                                    : 0.0,
+                                1),
+               core::Table::percent(r.rx_host_cpu_util),
+               core::Table::num(r.latency_mean_us, 1)});
+  }
+  t.print("A6: coalescing window sweep");
+
+  std::printf(
+      "\nReading: at ~32k small PDUs/s the uncoalesced interrupt rate "
+      "costs a ~20 MIPS host half its\nCPU (trap entry is ~180 "
+      "instructions); widening the window collapses the interrupt\nrate "
+      "roughly linearly while adding up to the window's worth of "
+      "delivery latency — the\nfamiliar throughput/latency dial, here "
+      "with exact numbers.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// F4 — End-to-end latency breakdown per PDU size.
+//
+// One unloaded PDU per measurement; the timeline is decomposed into the
+// stages a paper-style figure stacks: host send + TX staging (send ->
+// first cell on the wire), wire serialization (first -> last cell),
+// receive-side reassembly + DMA (last cell -> host memory), and the
+// interrupt/driver hand-off (host memory -> application).
+
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/testbed.hpp"
+
+using namespace hni;
+
+struct Breakdown {
+  sim::Time send_to_first_cell = 0;
+  sim::Time wire = 0;
+  sim::Time rx_to_memory = 0;
+  sim::Time memory_to_app = 0;
+  sim::Time total = 0;
+};
+
+Breakdown measure(std::size_t sdu_bytes, atm::LineRate line) {
+  core::Testbed bed;
+  core::StationConfig sc;
+  sc.nic.line = line;
+  // Latency, not loss, is under study: provision the engines above the
+  // line rate so the FIFO never sheds cells even at STS-12c.
+  sc.nic.with_clock(50e6);
+  auto& a = bed.add_station(sc);
+  auto& b = bed.add_station(sc);
+  auto [ab, ba] = bed.connect(a, b);
+  (void)ba;
+  const atm::VcId vc{0, 7};
+  a.nic().open_vc(vc, aal::AalType::kAal5);
+  b.nic().open_vc(vc, aal::AalType::kAal5);
+
+  sim::Time first_cell = -1, last_cell = -1;
+  // Tap the wire via a second sink layered over the link delivery.
+  ab->set_sink([&](const net::WireCell& w) {
+    if (first_cell < 0) first_cell = bed.sim().now();
+    last_cell = bed.sim().now();
+    b.nic().rx().receive_wire(w);
+  });
+
+  Breakdown out;
+  sim::Time sent_at = -1;
+  bool done = false;
+  b.host().set_rx_handler([&](aal::Bytes, const host::RxInfo& info) {
+    out.send_to_first_cell = first_cell - sent_at;
+    out.wire = last_cell - first_cell;
+    out.rx_to_memory = info.delivered_time - last_cell;
+    out.memory_to_app = info.handed_up_time - info.delivered_time;
+    out.total = info.handed_up_time - sent_at;
+    done = true;
+  });
+
+  sent_at = bed.now();
+  a.host().send(vc, aal::AalType::kAal5, aal::make_pattern(sdu_bytes, 1));
+  bed.run_for(sim::milliseconds(200));
+  if (!done) std::fprintf(stderr, "F4: no delivery for %zu!\n", sdu_bytes);
+  return out;
+}
+
+int main() {
+  std::printf("F4: unloaded end-to-end latency breakdown (AAL5)\n");
+  for (const auto& [name, line] : {std::pair{"STS-3c", atm::sts3c()},
+                                   std::pair{"STS-12c", atm::sts12c()}}) {
+    core::Table t({"SDU bytes", "send->1st cell", "wire (1st->last)",
+                   "last->host mem", "mem->app", "total"});
+    for (std::size_t sdu : {40u, 512u, 1500u, 9180u, 65535u}) {
+      const Breakdown b = measure(sdu, line);
+      t.add_row({core::Table::integer(sdu),
+                 sim::format_time(b.send_to_first_cell),
+                 sim::format_time(b.wire),
+                 sim::format_time(b.rx_to_memory),
+                 sim::format_time(b.memory_to_app),
+                 sim::format_time(b.total)});
+    }
+    t.print(std::string("F4 @ ") + name);
+  }
+  std::printf("\nReading: small PDUs are dominated by fixed per-PDU costs "
+              "(syscall, staging DMA, interrupt);\nlarge PDUs by wire "
+              "serialization — with the whole-PDU staging DMA visible as "
+              "the send->first-cell\nterm growing linearly in the PDU "
+              "size.\n");
+  return 0;
+}

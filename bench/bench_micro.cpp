@@ -1,0 +1,109 @@
+// Microbenchmarks (google-benchmark): hot paths of the library itself.
+//
+// These measure the *simulator's* implementation speed — the cost of
+// running experiments — not the modeled hardware. Useful for keeping
+// the event kernel and the codec paths fast enough that the full-system
+// benches above stay cheap.
+
+#include <benchmark/benchmark.h>
+
+#include "aal/aal34.hpp"
+#include "aal/aal5.hpp"
+#include "atm/crc.hpp"
+#include "atm/hec.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hni;
+
+static void BM_Crc32_9180(benchmark::State& state) {
+  const aal::Bytes data = aal::make_pattern(9180, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(atm::crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          9180);
+}
+BENCHMARK(BM_Crc32_9180);
+
+static void BM_Crc10_Cell(benchmark::State& state) {
+  const aal::Bytes data = aal::make_pattern(48, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(atm::crc10(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          48);
+}
+BENCHMARK(BM_Crc10_Cell);
+
+static void BM_HecCompute(benchmark::State& state) {
+  std::array<std::uint8_t, 4> header{0x12, 0x34, 0x56, 0x78};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(atm::hec_compute(
+        std::span<const std::uint8_t, 4>(header.data(), 4)));
+  }
+}
+BENCHMARK(BM_HecCompute);
+
+static void BM_Aal5SegmentReassemble(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const aal::Bytes sdu = aal::make_pattern(n, 3);
+  const atm::VcId vc{0, 1};
+  for (auto _ : state) {
+    auto cells = aal::aal5_segment(sdu, vc);
+    aal::Aal5Reassembler rx;
+    for (const auto& c : cells) {
+      auto d = rx.push(c);
+      benchmark::DoNotOptimize(d);
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Aal5SegmentReassemble)->Arg(512)->Arg(9180)->Arg(65535);
+
+static void BM_Aal34SegmentReassemble(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const aal::Bytes sdu = aal::make_pattern(n, 4);
+  for (auto _ : state) {
+    aal::Aal34Segmenter seg({0, 1});
+    auto cells = seg.segment(sdu);
+    aal::Aal34Reassembler rx;
+    for (const auto& c : cells) {
+      auto d = rx.push(c);
+      benchmark::DoNotOptimize(d);
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Aal34SegmentReassemble)->Arg(512)->Arg(9180);
+
+static void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < 10000) sim.after(1, chain);
+    };
+    sim.after(1, chain);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+static void BM_CellSerializeRoundtrip(benchmark::State& state) {
+  atm::Cell cell;
+  cell.header.vc = {3, 1234};
+  cell.header.pti = atm::Pti::kUserData1;
+  for (auto _ : state) {
+    const auto wire = cell.serialize(atm::HeaderFormat::kUni);
+    benchmark::DoNotOptimize(
+        atm::Cell::deserialize(wire, atm::HeaderFormat::kUni));
+  }
+}
+BENCHMARK(BM_CellSerializeRoundtrip);
+
+BENCHMARK_MAIN();

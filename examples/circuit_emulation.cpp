@@ -1,0 +1,103 @@
+// Circuit emulation over AAL1: a 1.544 Mb/s (T1-class) constant bit
+// stream carried in AAL1 cells across a lossy link.
+//
+// AAL1 is the stream adaptation layer: no frames, a 3-bit sequence
+// count per cell, and loss *concealment* rather than retransmission.
+// This example drives the AAL1 segmenter/reassembler over the raw
+// framer+link substrate (AAL1 terminates in the PHY-adjacent datapath,
+// not in the frame-oriented NIC engines) and reports how many octets
+// arrived, how many were lost, and how precisely the gap detector
+// accounted for them.
+
+#include <cstdio>
+#include <deque>
+
+#include "aal/aal1.hpp"
+#include "atm/phy.hpp"
+#include "core/report.hpp"
+#include "net/link.hpp"
+
+using namespace hni;
+
+int main() {
+  std::printf("circuit_emulation: T1-rate (1.544 Mb/s) stream over AAL1 "
+              "on a lossy STS-3c link\n");
+
+  sim::Simulator sim;
+  const atm::VcId vc{0, 77};
+
+  net::LossModel loss;
+  loss.cell_loss_rate = 0.002;  // a poor path: 2e-3 cell loss
+  loss.mean_burst_cells = 3.0;
+  net::Link link(sim, sim::microseconds(50), loss, 123);
+
+  aal::Aal1Segmenter segmenter(vc);
+  aal::Aal1Reassembler reassembler;
+  std::deque<atm::Cell> ready;
+
+  // Source: 1.544 Mb/s = 193 octets per 1 ms tick.
+  std::uint64_t produced_octets = 0;
+  std::uint64_t tick = 0;
+  std::function<void()> produce = [&] {
+    aal::Bytes chunk = aal::make_pattern(193, tick++);
+    produced_octets += chunk.size();
+    for (auto& cell : segmenter.push(chunk)) {
+      ready.push_back(std::move(cell));
+    }
+    if (tick < 2000) sim.after(sim::milliseconds(1), produce);
+  };
+  sim.after(0, produce);
+
+  // PHY: the framer sends a ready AAL1 cell per slot when one exists.
+  atm::TxFramer framer(sim, atm::sts3c());
+  framer.set_supplier([&]() -> std::optional<atm::Cell> {
+    if (ready.empty()) return std::nullopt;
+    atm::Cell c = std::move(ready.front());
+    ready.pop_front();
+    c.meta.created = sim.now();
+    return c;
+  });
+  framer.set_sink([&](const atm::Cell& c) { link.send(c); });
+  framer.start();
+
+  // Receiver: reassemble the octet stream, concealing losses with
+  // silence (zero) fill as a real CBR endpoint would.
+  std::uint64_t received_octets = 0;
+  std::uint64_t concealed_octets = 0;
+  link.set_sink([&](const net::WireCell& w) {
+    const atm::Cell cell = atm::Cell::deserialize(
+        std::span<const std::uint8_t, atm::kCellSize>(w.bytes.data(),
+                                                      atm::kCellSize),
+        atm::HeaderFormat::kUni);
+    if (auto chunk = reassembler.push(cell)) {
+      concealed_octets += chunk->lost_before * aal::kAal1PayloadPerCell;
+      received_octets += chunk->payload.size();
+    }
+  });
+
+  sim.run_until(sim::seconds(3));
+
+  core::Table t({"quantity", "value"});
+  t.add_row({"stream octets produced", core::Table::integer(produced_octets)});
+  t.add_row({"octets delivered", core::Table::integer(received_octets)});
+  t.add_row({"cells sent", core::Table::integer(link.cells_in())});
+  t.add_row({"cells lost on link", core::Table::integer(link.cells_lost())});
+  t.add_row({"losses detected by SC gaps",
+             core::Table::integer(reassembler.cells_lost())});
+  t.add_row({"octets concealed (zero-fill)",
+             core::Table::integer(concealed_octets)});
+  t.add_row({"header (SNP) rejects",
+             core::Table::integer(reassembler.header_errors())});
+  t.print("AAL1 circuit emulation accounting");
+
+  // The SC gap detector sees every loss whose run length mod 8 != 0.
+  const double detected =
+      link.cells_lost() == 0
+          ? 1.0
+          : static_cast<double>(reassembler.cells_lost()) /
+                static_cast<double>(link.cells_lost());
+  std::printf("\nloss detection coverage: %.1f%% (gaps of exactly 8 cells "
+              "are invisible to a 3-bit\nsequence count — the standard "
+              "AAL1 limitation)\n", detected * 100.0);
+  return 0;
+}

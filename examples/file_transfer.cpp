@@ -1,0 +1,102 @@
+// Bulk file transfer: move a 10 MB "file" across the interface and
+// report goodput at several chunk (PDU) sizes — the experiment a user
+// actually cares about when deciding how to carve writes into SDUs.
+//
+// Demonstrates: greedy windowed sending against the driver's send
+// window, receive-side verification, per-size goodput and host CPU
+// load.
+
+#include <cstdio>
+#include <functional>
+
+#include "core/report.hpp"
+#include "core/testbed.hpp"
+
+using namespace hni;
+
+struct TransferResult {
+  double seconds;
+  double goodput_mbps;
+  double tx_cpu;
+  double rx_cpu;
+  std::uint64_t interrupts;
+};
+
+TransferResult transfer(std::size_t file_bytes, std::size_t chunk_bytes) {
+  core::Testbed bed;
+  auto& src = bed.add_station({.name = "fileserver"});
+  auto& dst = bed.add_station({.name = "client"});
+  bed.connect(src, dst);
+  const atm::VcId vc{0, 42};
+  src.nic().open_vc(vc, aal::AalType::kAal5);
+  dst.nic().open_vc(vc, aal::AalType::kAal5);
+
+  const std::size_t chunks =
+      (file_bytes + chunk_bytes - 1) / chunk_bytes;
+  std::size_t received = 0;
+  std::size_t bad = 0;
+  sim::Time done_at = 0;
+  dst.host().set_rx_handler([&](aal::Bytes sdu, const host::RxInfo&) {
+    if (!aal::verify_pattern(sdu)) ++bad;
+    if (++received == chunks) done_at = bed.now();
+  });
+
+  std::size_t sent = 0;
+  std::function<void()> pump = [&] {
+    while (sent < chunks) {
+      const std::size_t len =
+          std::min(chunk_bytes, file_bytes - sent * chunk_bytes);
+      if (!src.host().send(vc, aal::AalType::kAal5,
+                           aal::make_pattern(len, sent))) {
+        return;  // window full; resumes on tx-ready
+      }
+      ++sent;
+    }
+  };
+  src.host().set_tx_ready(pump);
+  pump();
+
+  bed.run_for(sim::seconds(5));
+  TransferResult r{};
+  if (received != chunks || bad != 0) {
+    std::fprintf(stderr, "transfer failed: %zu/%zu chunks, %zu bad\n",
+                 received, chunks, bad);
+    return r;
+  }
+  r.seconds = sim::to_seconds(done_at);
+  r.goodput_mbps =
+      static_cast<double>(file_bytes) * 8.0 / r.seconds / 1e6;
+  r.tx_cpu = src.host().cpu_utilization();
+  r.rx_cpu = dst.host().cpu_utilization();
+  r.interrupts = dst.host().interrupts_taken();
+  return r;
+}
+
+int main() {
+  const std::size_t kFile = 10u << 20;  // 10 MiB
+  std::printf("file_transfer: moving a 10 MiB file over AAL5 at STS-3c\n");
+
+  core::Table t({"chunk bytes", "chunks", "time ms", "goodput Mb/s",
+                 "tx host CPU", "rx host CPU", "rx interrupts"});
+  for (std::size_t chunk : {1500u, 4096u, 9180u, 32768u, 65535u}) {
+    const TransferResult r = transfer(kFile, chunk);
+    t.add_row({core::Table::integer(chunk),
+               core::Table::integer((kFile + chunk - 1) / chunk),
+               core::Table::num(r.seconds * 1e3, 1),
+               core::Table::num(r.goodput_mbps, 1),
+               core::Table::percent(r.tx_cpu),
+               core::Table::percent(r.rx_cpu),
+               core::Table::integer(r.interrupts)});
+  }
+  t.print("10 MiB transfer vs chunk size");
+  std::printf(
+      "\nLarger chunks amortize the per-PDU syscall/descriptor/interrupt "
+      "costs up to the knee\n(~9 kB), where the wire becomes the limit. "
+      "Past ~32 kB goodput dips again: the transmit\nengine stages each "
+      "whole PDU over the bus before cutting cells, and once that staging "
+      "time\nexceeds what the 64-cell TX FIFO can cover, the wire idles "
+      "between PDUs — the pipelining\nlimit of whole-PDU staging "
+      "(per-cell cut-through DMA trades this against per-burst bus\n"
+      "overhead; see bench F2).\n");
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Reliable transfer over a lossy ATM WAN: a small go-back-N ARQ built
+// entirely on the public host API.
+//
+// ATM gives frames, not reliability: under cell loss, whole AAL5 PDUs
+// vanish (the CRC rejects damaged reassemblies). This example layers a
+// classic sliding-window protocol on top — sequence-numbered DATA PDUs
+// one way, cumulative ACKs the other, retransmission on timeout — and
+// measures how goodput degrades with the cell-loss rate. It is the
+// "protocol flexibility" demonstration: nothing in the interface had to
+// change to host a new protocol.
+
+#include <cstdio>
+#include <functional>
+
+#include "core/report.hpp"
+#include "core/testbed.hpp"
+
+using namespace hni;
+
+namespace {
+
+constexpr atm::VcId kData{0, 80};
+constexpr atm::VcId kAck{0, 81};
+constexpr std::size_t kChunk = 4096;
+
+// Tiny framing: [seq(4) | payload...] for DATA, [cum_ack(4)] for ACK.
+aal::Bytes frame_data(std::uint32_t seq, const aal::Bytes& payload) {
+  aal::Bytes out;
+  out.reserve(4 + payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(seq >> (8 * i)));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::uint32_t read_u32(const aal::Bytes& b) {
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+struct Result {
+  double goodput_mbps = 0;
+  std::size_t retransmissions = 0;
+  double time_ms = 0;
+};
+
+Result run(double cell_loss_rate, std::size_t total_chunks) {
+  core::Testbed bed;
+  auto& tx = bed.add_station({.name = "sender"});
+  auto& rx = bed.add_station({.name = "receiver"});
+  net::LossModel loss;
+  loss.cell_loss_rate = cell_loss_rate;
+  loss.mean_burst_cells = cell_loss_rate > 0 ? 4.0 : 0.0;
+  bed.connect(tx, rx, loss, sim::microseconds(500));  // ~100 km
+  for (auto* s : {&tx, &rx}) {
+    s->nic().open_vc(kData, aal::AalType::kAal5);
+    s->nic().open_vc(kAck, aal::AalType::kAal5);
+  }
+
+  // --- sender: go-back-N, window 16, 10 ms retransmission timer -------
+  const std::uint32_t kWindow = 16;
+  const sim::Time kRto = sim::milliseconds(10);
+  std::uint32_t base = 0;      // oldest unacked
+  std::uint32_t next_seq = 0;  // next never-sent
+  std::size_t retransmissions = 0;
+  sim::Time done_at = 0;
+  sim::EventHandle timer;
+
+  std::function<void()> pump;
+  std::function<void()> arm_timer;
+  std::function<void()> on_timeout = [&] {
+    if (base >= total_chunks) return;
+    // Go back: resend everything outstanding.
+    retransmissions += next_seq - base;
+    next_seq = base;
+    pump();
+  };
+  arm_timer = [&] {
+    bed.sim().cancel(timer);
+    timer = bed.sim().after(kRto, [&] { on_timeout(); });
+  };
+  pump = [&] {
+    while (next_seq < base + kWindow && next_seq < total_chunks) {
+      const aal::Bytes payload = aal::make_pattern(kChunk, next_seq);
+      if (!tx.host().send(kData, aal::AalType::kAal5,
+                          frame_data(next_seq, payload))) {
+        break;  // driver window full; tx-ready resumes us
+      }
+      ++next_seq;
+    }
+    if (base < total_chunks) arm_timer();
+  };
+  tx.host().set_tx_ready(pump);
+  tx.host().set_vc_handler(kAck, [&](aal::Bytes ack, const host::RxInfo&) {
+    if (ack.size() != 4) return;
+    const std::uint32_t cum = read_u32(ack);
+    if (cum > base) {
+      base = cum;
+      if (base >= total_chunks) {
+        done_at = bed.now();
+        bed.sim().cancel(timer);
+        return;
+      }
+      arm_timer();
+      pump();
+    }
+  });
+
+  // --- receiver: in-order delivery, cumulative ACK per DATA PDU -------
+  std::uint32_t expected = 0;
+  std::size_t delivered_bytes = 0;
+  rx.host().set_vc_handler(kData, [&](aal::Bytes sdu,
+                                      const host::RxInfo&) {
+    if (sdu.size() < 4) return;
+    const std::uint32_t seq = read_u32(sdu);
+    if (seq == expected) {
+      aal::Bytes payload(sdu.begin() + 4, sdu.end());
+      if (!aal::verify_pattern(payload)) {
+        std::fprintf(stderr, "corrupted delivery!\n");
+      }
+      delivered_bytes += payload.size();
+      ++expected;
+    }
+    aal::Bytes ack(4);
+    for (int i = 0; i < 4; ++i) {
+      ack[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(expected >> (8 * i));
+    }
+    rx.host().send(kAck, aal::AalType::kAal5, ack);
+  });
+
+  pump();
+  bed.run_for(sim::seconds(10));
+
+  Result r;
+  if (done_at == 0) done_at = bed.now();
+  r.time_ms = sim::to_seconds(done_at) * 1e3;
+  r.goodput_mbps =
+      static_cast<double>(delivered_bytes) * 8.0 / (r.time_ms / 1e3) / 1e6;
+  r.retransmissions = retransmissions;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("reliable_transfer: 2 MB over go-back-N ARQ (window 16, "
+              "4 kB chunks, 10 ms RTO)\non a 100 km STS-3c path with "
+              "bursty cell loss\n");
+  const std::size_t chunks = (2u << 20) / kChunk;
+  core::Table t({"cell loss rate", "time ms", "goodput Mb/s",
+                 "retransmitted PDUs"});
+  for (double p : {0.0, 1e-5, 1e-4, 1e-3, 1e-2}) {
+    const Result r = run(p, chunks);
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0e", p);
+    t.add_row({p == 0.0 ? "0" : label, core::Table::num(r.time_ms, 1),
+               core::Table::num(r.goodput_mbps, 1),
+               core::Table::integer(r.retransmissions)});
+  }
+  t.print("ARQ goodput vs cell loss");
+  std::printf(
+      "\nEvery lost cell costs a whole PDU (AAL5 CRC) and go-back-N "
+      "resends the window tail,\nso goodput falls steeply once the "
+      "per-PDU loss probability (~86 cells x rate) is\nnon-negligible — "
+      "the classic argument for selective repeat or FEC at higher "
+      "rates.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Video over ATM: a CBR camera feed shares a switch output port with a
+// bursty data VC.
+//
+// A 25 fps stream (one 36 kB frame every 40 ms, carried as AAL5 PDUs)
+// crosses an ATM switch whose output port also carries on/off bulk
+// data. The example reports per-frame delivery latency and jitter with
+// and without the competing traffic — the multiplexing-delay story that
+// motivated small fixed-size cells in the first place.
+
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/testbed.hpp"
+#include "net/traffic.hpp"
+
+using namespace hni;
+
+struct StreamStats {
+  sim::RunningStat latency_ms;
+  sim::RunningStat jitter_ms;  // |latency_i - latency_{i-1}|
+  std::size_t frames = 0;
+  std::size_t damaged = 0;
+};
+
+StreamStats run(bool with_cross_traffic) {
+  core::Testbed bed;
+  auto& camera = bed.add_station({.name = "camera"});
+  auto& bulk = bed.add_station({.name = "bulk"});
+  auto& viewer = bed.add_station({.name = "viewer"});
+  auto& sw = bed.add_switch(
+      {.ports = 3, .queue_cells = 512, .clp_threshold = 512});
+  bed.connect_to_switch(camera, sw, 0);
+  bed.connect_to_switch(bulk, sw, 1);
+  bed.connect_from_switch(sw, 2, viewer);
+
+  const atm::VcId video{0, 10};
+  const atm::VcId data{0, 20};
+  sw.add_route(0, video, 2, video);
+  sw.add_route(1, data, 2, data);
+  camera.nic().open_vc(video, aal::AalType::kAal5);
+  bulk.nic().open_vc(data, aal::AalType::kAal5);
+  viewer.nic().open_vc(video, aal::AalType::kAal5);
+  viewer.nic().open_vc(data, aal::AalType::kAal5);
+
+  StreamStats stats;
+  double last_latency = -1.0;
+  viewer.host().set_rx_handler(
+      [&](aal::Bytes sdu, const host::RxInfo& info) {
+        if (info.vc != video) return;
+        ++stats.frames;
+        if (!aal::verify_pattern(sdu)) ++stats.damaged;
+        const double lat_ms =
+            sim::to_seconds(info.handed_up_time - info.first_cell_time) *
+            1e3;
+        stats.latency_ms.add(lat_ms);
+        if (last_latency >= 0) {
+          stats.jitter_ms.add(std::abs(lat_ms - last_latency));
+        }
+        last_latency = lat_ms;
+      });
+
+  // 25 fps, ~7.2 Mb/s video: one 36 kB frame every 40 ms.
+  net::SduSource camera_src(
+      bed.sim(),
+      {.mode = net::SduSource::Mode::kCbr,
+       .sdu_bytes = 36000,
+       .count = 100,
+       .interval = sim::milliseconds(40),
+       .seed = 11},
+      [&](aal::Bytes sdu) {
+        return camera.host().send(video, aal::AalType::kAal5,
+                                  std::move(sdu));
+      });
+  camera_src.start();
+
+  std::optional<net::SduSource> bulk_src;
+  if (with_cross_traffic) {
+    bulk_src.emplace(
+        bed.sim(),
+        net::SduSource::Config{.mode = net::SduSource::Mode::kOnOff,
+                               .sdu_bytes = 9180,
+                               .count = 0,
+                               .interval = sim::microseconds(600),
+                               .mean_on = sim::milliseconds(15),
+                               .mean_off = sim::milliseconds(10),
+                               .seed = 22},
+        [&](aal::Bytes sdu) {
+          return bulk.host().send(data, aal::AalType::kAal5,
+                                  std::move(sdu));
+        });
+    bulk_src->start();
+  }
+
+  bed.run_for(sim::seconds(5));
+  return stats;
+}
+
+int main() {
+  std::printf("video_stream: 25 fps / 7.2 Mb/s CBR video through a "
+              "switch, with and without bursty\ncross-traffic on the "
+              "same output port (STS-3c everywhere)\n");
+
+  core::Table t({"cross-traffic", "frames", "damaged", "latency ms (mean)",
+                 "latency ms (max)", "jitter ms (mean)",
+                 "jitter ms (max)"});
+  for (bool cross : {false, true}) {
+    const StreamStats s = run(cross);
+    t.add_row({cross ? "on/off bulk data" : "none",
+               core::Table::integer(s.frames),
+               core::Table::integer(s.damaged),
+               core::Table::num(s.latency_ms.mean(), 2),
+               core::Table::num(s.latency_ms.max(), 2),
+               core::Table::num(s.jitter_ms.mean(), 3),
+               core::Table::num(s.jitter_ms.max(), 3)});
+  }
+  t.print("per-frame delivery latency and jitter");
+  std::printf("\nThe video VC keeps its frames intact either way (the "
+              "switch queue is provisioned), but\ncross-traffic queueing "
+              "shows up directly as added latency and jitter.\n");
+  return 0;
+}

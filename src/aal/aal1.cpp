@@ -1,0 +1,97 @@
+#include "aal/aal1.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace hni::aal {
+namespace {
+
+// CRC-3 with generator x^3 + x + 1 (0b1011) over the 4-bit CSI+SC value.
+std::uint8_t crc3(std::uint8_t nibble) {
+  std::uint8_t reg = static_cast<std::uint8_t>((nibble & 0x0F) << 3);
+  for (int bit = 6; bit >= 3; --bit) {
+    if (reg & (1u << (bit))) {
+      reg = static_cast<std::uint8_t>(reg ^ (0b1011u << (bit - 3)));
+    }
+  }
+  return static_cast<std::uint8_t>(reg & 0x07);
+}
+
+}  // namespace
+
+std::uint8_t aal1_snp(std::uint8_t csi_sc) {
+  const std::uint8_t c = crc3(csi_sc);
+  const std::uint8_t upper7 =
+      static_cast<std::uint8_t>(((csi_sc & 0x0F) << 3) | c);
+  const bool parity_odd = (std::popcount(upper7) & 1) != 0;
+  // Even parity: P makes the total number of ones even.
+  return static_cast<std::uint8_t>((c << 1) | (parity_odd ? 1 : 0));
+}
+
+std::uint8_t aal1_encode_header(bool csi, std::uint8_t sc) {
+  const std::uint8_t csi_sc =
+      static_cast<std::uint8_t>(((csi ? 1 : 0) << 3) | (sc & 0x07));
+  return static_cast<std::uint8_t>((csi_sc << 4) | aal1_snp(csi_sc));
+}
+
+Aal1Header aal1_decode_header(std::uint8_t octet) {
+  Aal1Header h;
+  const std::uint8_t csi_sc = static_cast<std::uint8_t>(octet >> 4);
+  h.csi = (csi_sc & 0x08) != 0;
+  h.sc = static_cast<std::uint8_t>(csi_sc & 0x07);
+  h.snp_ok = aal1_snp(csi_sc) == (octet & 0x0F);
+  return h;
+}
+
+std::vector<atm::Cell> Aal1Segmenter::push(const Bytes& stream) {
+  residue_.insert(residue_.end(), stream.begin(), stream.end());
+  std::vector<atm::Cell> cells;
+  while (residue_.size() >= kAal1PayloadPerCell) {
+    cells.push_back(make_cell());
+  }
+  return cells;
+}
+
+std::optional<atm::Cell> Aal1Segmenter::flush(std::uint8_t fill) {
+  if (residue_.empty()) return std::nullopt;
+  residue_.resize(kAal1PayloadPerCell, fill);
+  return make_cell();
+}
+
+atm::Cell Aal1Segmenter::make_cell() {
+  atm::Cell cell;
+  cell.header.vc = vc_;
+  cell.header.pti = atm::Pti::kUserData0;
+  cell.payload[0] = aal1_encode_header(false, next_sc_);
+  next_sc_ = static_cast<std::uint8_t>((next_sc_ + 1) & 0x07);
+  std::copy_n(residue_.begin(), kAal1PayloadPerCell,
+              cell.payload.begin() + 1);
+  residue_.erase(residue_.begin(),
+                 residue_.begin() + kAal1PayloadPerCell);
+  return cell;
+}
+
+std::optional<Aal1Reassembler::Chunk> Aal1Reassembler::push(
+    const atm::Cell& cell) {
+  const Aal1Header h = aal1_decode_header(cell.payload[0]);
+  if (!h.snp_ok) {
+    ++header_errors_;
+    return std::nullopt;
+  }
+  Chunk chunk;
+  chunk.csi = h.csi;
+  chunk.created = cell.meta.created;
+  if (have_state_) {
+    chunk.lost_before =
+        static_cast<std::uint8_t>((h.sc - expected_sc_) & 0x07);
+    lost_ += chunk.lost_before;
+  }
+  have_state_ = true;
+  expected_sc_ = static_cast<std::uint8_t>((h.sc + 1) & 0x07);
+  std::copy_n(cell.payload.begin() + 1, kAal1PayloadPerCell,
+              chunk.payload.begin());
+  ++delivered_;
+  return chunk;
+}
+
+}  // namespace hni::aal

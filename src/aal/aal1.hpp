@@ -1,0 +1,99 @@
+// AAL1 — constant-bit-rate circuit emulation (ITU-T I.363.1).
+//
+// SAR-PDU: a 1-octet header followed by 47 payload octets.
+//
+//   [ CSI(1b) SC(3b) CRC3(3b) P(1b) | payload(47) ]
+//
+//   SC    — 3-bit sequence count, increments modulo 8 per cell.
+//   CSI   — convergence-sublayer indication (carried, not interpreted
+//           here; used e.g. for SRTS timestamps).
+//   CRC3  — generator x^3 + x + 1 over the CSI+SC nibble.
+//   P     — even parity over the preceding seven bits.
+//
+// AAL1 carries an octet *stream*, not framed SDUs: the transmitter
+// slices its input into 47-octet cells; the receiver emits chunks and
+// flags sequence gaps (lost cells) so the application can conceal them.
+// The SNP (CRC3 + parity) lets the receiver distinguish a corrupted
+// header from a genuine discontinuity.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "aal/types.hpp"
+#include "atm/cell.hpp"
+
+namespace hni::aal {
+
+inline constexpr std::size_t kAal1PayloadPerCell = 47;
+
+/// Computes the 4-bit SNP (CRC-3 then even parity) for a CSI+SC nibble.
+std::uint8_t aal1_snp(std::uint8_t csi_sc);
+
+/// Builds the AAL1 SAR header octet.
+std::uint8_t aal1_encode_header(bool csi, std::uint8_t sc);
+
+/// Decoded AAL1 header.
+struct Aal1Header {
+  bool csi = false;
+  std::uint8_t sc = 0;
+  bool snp_ok = false;
+};
+
+Aal1Header aal1_decode_header(std::uint8_t octet);
+
+/// Transmit side: slices a byte stream into AAL1 cells.
+class Aal1Segmenter {
+ public:
+  explicit Aal1Segmenter(atm::VcId vc) : vc_(vc) {}
+
+  /// Appends stream octets; returns any cells completed by this input.
+  /// Octets short of a full 47-octet payload stay buffered.
+  std::vector<atm::Cell> push(const Bytes& stream);
+
+  /// Pads the residue with `fill` and emits a final cell (if any).
+  std::optional<atm::Cell> flush(std::uint8_t fill = 0);
+
+  std::size_t buffered() const { return residue_.size(); }
+
+ private:
+  atm::Cell make_cell();
+
+  atm::VcId vc_;
+  Bytes residue_;
+  std::uint8_t next_sc_ = 0;
+};
+
+/// Receive side: validates headers, tracks the sequence count, reports
+/// payload chunks and detected gaps.
+class Aal1Reassembler {
+ public:
+  struct Chunk {
+    std::array<std::uint8_t, kAal1PayloadPerCell> payload{};
+    bool csi = false;
+    /// Cells inferred lost immediately before this one (0..6; a gap of
+    /// exactly 8 is invisible to a 3-bit count).
+    std::uint8_t lost_before = 0;
+    sim::Time created = 0;
+  };
+
+  /// Consumes a cell; returns nothing when the header SNP is invalid
+  /// (the cell is dropped as corrupted).
+  std::optional<Chunk> push(const atm::Cell& cell);
+
+  std::uint64_t chunks_delivered() const { return delivered_; }
+  std::uint64_t cells_lost() const { return lost_; }
+  std::uint64_t header_errors() const { return header_errors_; }
+
+ private:
+  bool have_state_ = false;
+  std::uint8_t expected_sc_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t header_errors_ = 0;
+};
+
+}  // namespace hni::aal

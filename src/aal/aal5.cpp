@@ -1,0 +1,118 @@
+#include "aal/aal5.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "atm/crc.hpp"
+
+namespace hni::aal {
+
+Bytes aal5_build_cpcs_pdu(const Bytes& sdu, std::uint8_t uu,
+                          std::uint8_t cpi) {
+  if (sdu.empty()) throw std::length_error("AAL5: empty SDU");
+  if (sdu.size() > kAal5MaxSdu) throw std::length_error("AAL5: SDU > 65535");
+
+  const std::size_t total = aal5_cell_count(sdu.size()) * atm::kPayloadSize;
+  Bytes pdu(total, 0);
+  std::copy(sdu.begin(), sdu.end(), pdu.begin());
+  // Trailer occupies the final 8 octets.
+  std::uint8_t* t = pdu.data() + total - kAal5TrailerSize;
+  t[0] = uu;
+  t[1] = cpi;
+  t[2] = static_cast<std::uint8_t>(sdu.size() >> 8);
+  t[3] = static_cast<std::uint8_t>(sdu.size() & 0xFF);
+  const std::uint32_t crc = atm::crc32(
+      std::span<const std::uint8_t>(pdu.data(), total - 4));
+  t[4] = static_cast<std::uint8_t>(crc >> 24);
+  t[5] = static_cast<std::uint8_t>(crc >> 16);
+  t[6] = static_cast<std::uint8_t>(crc >> 8);
+  t[7] = static_cast<std::uint8_t>(crc & 0xFF);
+  return pdu;
+}
+
+std::vector<atm::Cell> aal5_segment(const Bytes& sdu, atm::VcId vc,
+                                    std::uint8_t uu, std::uint8_t cpi,
+                                    bool clp) {
+  const Bytes pdu = aal5_build_cpcs_pdu(sdu, uu, cpi);
+  const std::size_t n_cells = pdu.size() / atm::kPayloadSize;
+  std::vector<atm::Cell> cells(n_cells);
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    atm::Cell& cell = cells[i];
+    cell.header.vc = vc;
+    cell.header.clp = clp;
+    cell.header.pti =
+        (i + 1 == n_cells) ? atm::Pti::kUserData1 : atm::Pti::kUserData0;
+    std::copy_n(pdu.begin() + static_cast<std::ptrdiff_t>(
+                                  i * atm::kPayloadSize),
+                atm::kPayloadSize, cell.payload.begin());
+  }
+  return cells;
+}
+
+std::optional<Aal5Reassembler::Delivery> Aal5Reassembler::push(
+    const atm::Cell& cell) {
+  if (!atm::pti_is_user_data(cell.header.pti)) return std::nullopt;  // OAM
+  if (buffer_.empty()) first_cell_time_ = cell.meta.created;
+  buffer_.insert(buffer_.end(), cell.payload.begin(), cell.payload.end());
+  ++cells_in_pdu_;
+
+  if (!atm::pti_auu(cell.header.pti)) {
+    // Mid-PDU cell. Enforce the size bound early so a lost final cell
+    // cannot buffer unboundedly.
+    const std::size_t limit =
+        aal5_cell_count(config_.max_sdu) * atm::kPayloadSize;
+    if (buffer_.size() > limit) {
+      return finish(ReassemblyError::kOversize, cells_in_pdu_);
+    }
+    return std::nullopt;
+  }
+
+  // Final cell: validate trailer.
+  const std::size_t total = buffer_.size();
+  const std::uint8_t* t = buffer_.data() + total - kAal5TrailerSize;
+  const std::size_t length = static_cast<std::size_t>(t[2]) << 8 | t[3];
+  const std::uint32_t wire_crc = (static_cast<std::uint32_t>(t[4]) << 24) |
+                                 (static_cast<std::uint32_t>(t[5]) << 16) |
+                                 (static_cast<std::uint32_t>(t[6]) << 8) |
+                                 static_cast<std::uint32_t>(t[7]);
+  const std::uint32_t crc =
+      atm::crc32(std::span<const std::uint8_t>(buffer_.data(), total - 4));
+  if (crc != wire_crc) return finish(ReassemblyError::kCrc, cells_in_pdu_);
+  if (length == 0 || length > config_.max_sdu ||
+      length + kAal5TrailerSize > total ||
+      total - (length + kAal5TrailerSize) >= atm::kPayloadSize) {
+    return finish(ReassemblyError::kLength, cells_in_pdu_);
+  }
+
+  Delivery d;
+  d.uu = t[0];
+  d.cpi = t[1];
+  d.error = ReassemblyError::kNone;
+  d.cells = cells_in_pdu_;
+  d.first_cell_time = first_cell_time_;
+  buffer_.resize(length);
+  d.sdu = std::move(buffer_);
+  buffer_.clear();
+  cells_in_pdu_ = 0;
+  ++pdus_ok_;
+  return d;
+}
+
+Aal5Reassembler::Delivery Aal5Reassembler::finish(ReassemblyError error,
+                                                  std::size_t cells) {
+  Delivery d;
+  d.error = error;
+  d.cells = cells;
+  d.first_cell_time = first_cell_time_;
+  buffer_.clear();
+  cells_in_pdu_ = 0;
+  ++pdus_errored_;
+  return d;
+}
+
+void Aal5Reassembler::reset() {
+  buffer_.clear();
+  cells_in_pdu_ = 0;
+}
+
+}  // namespace hni::aal

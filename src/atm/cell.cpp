@@ -1,0 +1,69 @@
+#include "atm/cell.hpp"
+
+#include <stdexcept>
+
+#include "atm/hec.hpp"
+
+namespace hni::atm {
+
+std::string VcId::to_string() const {
+  return std::to_string(vpi) + "/" + std::to_string(vci);
+}
+
+void encode_header(const CellHeader& header, HeaderFormat fmt,
+                   std::span<std::uint8_t, 4> out) {
+  const auto pti = static_cast<std::uint8_t>(header.pti);
+  if (fmt == HeaderFormat::kUni) {
+    if (header.gfc > 0x0F) throw std::out_of_range("GFC exceeds 4 bits");
+    if (header.vc.vpi > 0xFF) throw std::out_of_range("UNI VPI exceeds 8 bits");
+    out[0] = static_cast<std::uint8_t>((header.gfc << 4) |
+                                       (header.vc.vpi >> 4));
+  } else {
+    if (header.vc.vpi > 0x0FFF) {
+      throw std::out_of_range("NNI VPI exceeds 12 bits");
+    }
+    out[0] = static_cast<std::uint8_t>(header.vc.vpi >> 4);
+  }
+  out[1] = static_cast<std::uint8_t>(((header.vc.vpi & 0x0F) << 4) |
+                                     (header.vc.vci >> 12));
+  out[2] = static_cast<std::uint8_t>((header.vc.vci >> 4) & 0xFF);
+  out[3] = static_cast<std::uint8_t>(((header.vc.vci & 0x0F) << 4) |
+                                     (pti << 1) | (header.clp ? 1 : 0));
+}
+
+CellHeader decode_header(std::span<const std::uint8_t, 4> in,
+                         HeaderFormat fmt) {
+  CellHeader h;
+  if (fmt == HeaderFormat::kUni) {
+    h.gfc = static_cast<std::uint8_t>(in[0] >> 4);
+    h.vc.vpi = static_cast<std::uint16_t>(((in[0] & 0x0F) << 4) |
+                                          (in[1] >> 4));
+  } else {
+    h.gfc = 0;
+    h.vc.vpi = static_cast<std::uint16_t>((in[0] << 4) | (in[1] >> 4));
+  }
+  h.vc.vci = static_cast<std::uint16_t>(((in[1] & 0x0F) << 12) |
+                                        (in[2] << 4) | (in[3] >> 4));
+  h.pti = static_cast<Pti>((in[3] >> 1) & 0x07);
+  h.clp = (in[3] & 0x01) != 0;
+  return h;
+}
+
+std::array<std::uint8_t, kCellSize> Cell::serialize(HeaderFormat fmt) const {
+  std::array<std::uint8_t, kCellSize> wire{};
+  encode_header(header, fmt, std::span<std::uint8_t, 4>(wire.data(), 4));
+  wire[4] = hec_compute(std::span<const std::uint8_t, 4>(wire.data(), 4));
+  std::copy(payload.begin(), payload.end(), wire.begin() + kHeaderSize);
+  return wire;
+}
+
+Cell Cell::deserialize(std::span<const std::uint8_t, kCellSize> wire,
+                       HeaderFormat fmt) {
+  Cell cell;
+  cell.header =
+      decode_header(std::span<const std::uint8_t, 4>(wire.data(), 4), fmt);
+  std::copy(wire.begin() + kHeaderSize, wire.end(), cell.payload.begin());
+  return cell;
+}
+
+}  // namespace hni::atm

@@ -1,0 +1,116 @@
+// ATM cell representation and header codec (ITU-T I.361).
+//
+// A cell is 53 octets: a 5-octet header followed by a 48-octet payload.
+// Two header formats exist; this library implements both:
+//
+//   UNI:  GFC(4) VPI(8)  VCI(16) PTI(3) CLP(1) HEC(8)
+//   NNI:         VPI(12) VCI(16) PTI(3) CLP(1) HEC(8)
+//
+// The HEC octet is computed over the first four header octets by the
+// hec module; encode() writes it, decode() verifies/corrects it there.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace hni::atm {
+
+inline constexpr std::size_t kCellSize = 53;
+inline constexpr std::size_t kHeaderSize = 5;
+inline constexpr std::size_t kPayloadSize = 48;
+inline constexpr std::int64_t kCellBits = 8 * static_cast<std::int64_t>(kCellSize);
+
+/// Virtual connection identifier: VPI + VCI pair.
+struct VcId {
+  std::uint16_t vpi = 0;  // 8 bits at UNI, 12 at NNI
+  std::uint16_t vci = 0;  // 16 bits
+
+  friend bool operator==(const VcId&, const VcId&) = default;
+  friend auto operator<=>(const VcId&, const VcId&) = default;
+  std::string to_string() const;
+};
+
+/// Payload Type Indicator values (I.361). Bit 2 = AUU ("end of AAL5
+/// frame" when set on user data), bit 1 = congestion experienced,
+/// bit 3 distinguishes OAM from user cells.
+enum class Pti : std::uint8_t {
+  kUserData0 = 0b000,      // user data, no congestion, AUU=0
+  kUserData1 = 0b001,      // user data, no congestion, AUU=1 (AAL5 end)
+  kUserDataCong0 = 0b010,  // user data, congestion, AUU=0
+  kUserDataCong1 = 0b011,  // user data, congestion, AUU=1
+  kOamSegment = 0b100,
+  kOamEndToEnd = 0b101,
+  kResourceMgmt = 0b110,
+  kReserved = 0b111,
+};
+
+/// True for the four user-data PTI codepoints.
+constexpr bool pti_is_user_data(Pti pti) {
+  return (static_cast<std::uint8_t>(pti) & 0b100) == 0;
+}
+
+/// True when the AUU bit is set on a user-data cell (marks the final
+/// cell of an AAL5 CPCS-PDU).
+constexpr bool pti_auu(Pti pti) {
+  return pti_is_user_data(pti) && (static_cast<std::uint8_t>(pti) & 0b001);
+}
+
+/// Header format selector.
+enum class HeaderFormat : std::uint8_t { kUni, kNni };
+
+/// Decoded cell header fields.
+struct CellHeader {
+  std::uint8_t gfc = 0;  // UNI only, 4 bits
+  VcId vc;
+  Pti pti = Pti::kUserData0;
+  bool clp = false;  // cell loss priority (1 = discard-eligible)
+
+  friend bool operator==(const CellHeader&, const CellHeader&) = default;
+};
+
+/// Serializes the header fields into the first 4 octets of `out`
+/// (HEC, octet 5, is appended by the caller via atm::hec_compute).
+/// Throws std::out_of_range if a field exceeds its width for `fmt`.
+void encode_header(const CellHeader& header, HeaderFormat fmt,
+                   std::span<std::uint8_t, 4> out);
+
+/// Parses the first 4 octets of a received header.
+CellHeader decode_header(std::span<const std::uint8_t, 4> in,
+                         HeaderFormat fmt);
+
+/// A full ATM cell. `meta` carries simulation-only bookkeeping (never
+/// serialized, never counted against wire bits).
+struct Cell {
+  CellHeader header;
+  std::array<std::uint8_t, kPayloadSize> payload{};
+
+  /// Simulation-side metadata.
+  struct Meta {
+    sim::Time created = 0;     // when the sender emitted the cell
+    std::uint64_t seq = 0;     // global emission sequence, for tracing
+  } meta;
+
+  /// Serializes to 53 wire octets, computing and appending the HEC.
+  std::array<std::uint8_t, kCellSize> serialize(HeaderFormat fmt) const;
+
+  /// Deserializes 53 wire octets. Does not verify the HEC (that is the
+  /// receiver PHY's job; see atm::HecReceiver).
+  static Cell deserialize(std::span<const std::uint8_t, kCellSize> wire,
+                          HeaderFormat fmt);
+};
+
+}  // namespace hni::atm
+
+template <>
+struct std::hash<hni::atm::VcId> {
+  std::size_t operator()(const hni::atm::VcId& vc) const noexcept {
+    return std::hash<std::uint32_t>{}(
+        (static_cast<std::uint32_t>(vc.vpi) << 16) | vc.vci);
+  }
+};

@@ -1,0 +1,75 @@
+#include "atm/crc.hpp"
+
+#include <array>
+
+namespace hni::atm {
+namespace {
+
+// --- CRC-10 ---------------------------------------------------------
+
+constexpr std::uint16_t kCrc10Poly = 0x633;  // x^10+x^9+x^5+x^4+x+1
+
+constexpr std::array<std::uint16_t, 256> make_crc10_table() {
+  std::array<std::uint16_t, 256> table{};
+  for (int i = 0; i < 256; ++i) {
+    // Process one input byte with the 10-bit register aligned so that
+    // the register's bit 9 is the polynomial's highest remainder bit.
+    std::uint16_t crc = static_cast<std::uint16_t>(i << 2);  // byte at top
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x200) ? static_cast<std::uint16_t>(((crc << 1) ^
+                                                        kCrc10Poly) &
+                                                       0x3FF)
+                          : static_cast<std::uint16_t>((crc << 1) & 0x3FF);
+    }
+    table[static_cast<std::size_t>(i)] = crc;
+  }
+  return table;
+}
+
+constexpr auto kCrc10Table = make_crc10_table();
+
+// --- CRC-32 (reflected 0x04C11DB7 => 0xEDB88320) ----------------------
+
+constexpr std::uint32_t kCrc32PolyReflected = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kCrc32PolyReflected : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kCrc32Table = make_crc32_table();
+
+}  // namespace
+
+std::uint16_t crc10(std::span<const std::uint8_t> data) {
+  std::uint16_t crc = 0;
+  for (std::uint8_t b : data) {
+    const auto idx =
+        static_cast<std::size_t>(((crc >> 2) ^ b) & 0xFF);
+    crc = static_cast<std::uint16_t>(((crc << 8) ^ kCrc10Table[idx]) & 0x3FF);
+  }
+  return crc;
+}
+
+void Crc32::update(std::span<const std::uint8_t> data) {
+  std::uint32_t crc = state_;
+  for (std::uint8_t b : data) {
+    crc = (crc >> 8) ^ kCrc32Table[(crc ^ b) & 0xFFu];
+  }
+  state_ = crc;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace hni::atm

@@ -1,0 +1,43 @@
+// Payload CRCs used by the ATM adaptation layers.
+//
+// CRC-10 — AAL3/4 SAR-PDU trailer check, generator
+//          x^10 + x^9 + x^5 + x^4 + x + 1 (0x633), MSB-first, init 0.
+//          The 10-bit FCS covers the SAR-PDU with the FCS field zeroed.
+// CRC-32 — AAL5 CPCS trailer check, the IEEE 802.3 polynomial
+//          0x04C11DB7, bit-reflected, init 0xFFFFFFFF, final XOR
+//          0xFFFFFFFF (identical to Ethernet/zlib).
+//
+// In the real interface these run in dedicated hardware alongside the
+// datapath; the simulation computes them for correctness of the AAL
+// state machines and charges time for them only when a scenario chooses
+// firmware (non-offloaded) CRC — see proc/firmware.hpp and bench A3.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hni::atm {
+
+/// One-shot CRC-10 over `data` (FCS field must be zeroed by caller).
+std::uint16_t crc10(std::span<const std::uint8_t> data);
+
+/// Incremental CRC-32 (IEEE 802.3 / AAL5).
+class Crc32 {
+ public:
+  /// Absorbs more payload octets.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Final CRC value (may be called repeatedly; update() may continue).
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 over `data`.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace hni::atm

@@ -1,0 +1,72 @@
+// Generic Cell Rate Algorithm (ITU-T I.371 / ATM Forum UNI 3.x).
+//
+// The GCRA(T, tau) is the conformance definition for ATM traffic
+// contracts: a cell arriving at time t conforms iff t >= TAT - tau,
+// where TAT is the theoretical arrival time maintained by the
+// virtual-scheduling algorithm (TAT advances by the increment T = 1/PCR
+// per conforming cell and never falls behind real time).
+//
+// The same object serves both roles it plays in a network:
+//   * shaping  (transmit side): eligible_at() tells the scheduler when
+//     the next cell may leave so the stream conforms by construction;
+//   * policing (UPC at a switch ingress): police() accepts/rejects an
+//     arriving cell against the contract.
+
+#pragma once
+
+#include <algorithm>
+
+#include "sim/time.hpp"
+
+namespace hni::atm {
+
+class Gcra {
+ public:
+  /// `increment` = T = one cell interval at the contracted rate;
+  /// `limit` = tau, the cell-delay-variation tolerance.
+  Gcra(sim::Time increment, sim::Time limit)
+      : increment_(increment), limit_(limit) {}
+
+  /// Builds a GCRA for a peak cell rate in cells/second.
+  static Gcra for_pcr(double cells_per_second, sim::Time cdvt) {
+    return Gcra(static_cast<sim::Time>(
+                    static_cast<double>(sim::kSecond) / cells_per_second +
+                    0.5),
+                cdvt);
+  }
+
+  /// Would a cell at `arrival` conform? (No state update.)
+  bool conforms(sim::Time arrival) const {
+    return arrival >= tat_ - limit_;
+  }
+
+  /// Earliest instant a cell may pass conformingly.
+  sim::Time eligible_at() const { return tat_ - limit_; }
+
+  /// Polices a cell at `arrival`: updates state and returns true iff
+  /// conforming. Non-conforming cells leave the state untouched (the
+  /// standard UPC behaviour — violators do not earn credit).
+  bool police(sim::Time arrival) {
+    if (!conforms(arrival)) return false;
+    tat_ = std::max(tat_, arrival) + increment_;
+    return true;
+  }
+
+  /// Records an emission the caller has already scheduled at `departure`
+  /// (shaping side; the caller guarantees departure >= eligible_at()).
+  void commit(sim::Time departure) {
+    tat_ = std::max(tat_, departure) + increment_;
+  }
+
+  sim::Time increment() const { return increment_; }
+  sim::Time limit() const { return limit_; }
+  sim::Time tat() const { return tat_; }
+  void reset() { tat_ = 0; }
+
+ private:
+  sim::Time increment_;
+  sim::Time limit_;
+  sim::Time tat_ = 0;
+};
+
+}  // namespace hni::atm

@@ -1,0 +1,130 @@
+#include "atm/hec.hpp"
+
+#include <array>
+
+namespace hni::atm {
+namespace {
+
+// CRC-8, generator x^8 + x^2 + x + 1 (0x07), MSB-first, init 0, no
+// reflection — the I.432 HEC polynomial.
+constexpr std::uint8_t kPoly = 0x07;
+
+constexpr std::array<std::uint8_t, 256> make_crc8_table() {
+  std::array<std::uint8_t, 256> table{};
+  for (int i = 0; i < 256; ++i) {
+    std::uint8_t crc = static_cast<std::uint8_t>(i);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x80) ? static_cast<std::uint8_t>((crc << 1) ^ kPoly)
+                         : static_cast<std::uint8_t>(crc << 1);
+    }
+    table[static_cast<std::size_t>(i)] = crc;
+  }
+  return table;
+}
+
+constexpr auto kCrc8Table = make_crc8_table();
+
+constexpr std::uint8_t crc8(std::span<const std::uint8_t> data) {
+  std::uint8_t crc = 0;
+  for (std::uint8_t b : data) {
+    crc = kCrc8Table[static_cast<std::size_t>(crc ^ b)];
+  }
+  return crc;
+}
+
+// Maps a nonzero syndrome to the erroneous bit position in the 40-bit
+// codeword (bit 0 = MSB of header octet 0, bits 32..39 = HEC octet), or
+// -1 for syndromes that do not correspond to a single-bit error.
+struct SyndromeTable {
+  std::array<std::int8_t, 256> bit_for_syndrome{};
+
+  constexpr SyndromeTable() {
+    for (auto& e : bit_for_syndrome) e = -1;
+    // Errors within the 32 header bits: syndrome = crc8(error pattern).
+    for (int b = 0; b < 32; ++b) {
+      std::uint8_t buf[4] = {0, 0, 0, 0};
+      buf[b / 8] = static_cast<std::uint8_t>(0x80u >> (b % 8));
+      const std::uint8_t s = crc8(std::span<const std::uint8_t>(buf, 4));
+      bit_for_syndrome[s] = static_cast<std::int8_t>(b);
+    }
+    // Errors within the HEC octet itself: syndrome = the flipped bit.
+    for (int b = 32; b < 40; ++b) {
+      const std::uint8_t s = static_cast<std::uint8_t>(0x80u >> (b - 32));
+      bit_for_syndrome[s] = static_cast<std::int8_t>(b);
+    }
+  }
+};
+
+constexpr SyndromeTable kSyndromes{};
+
+}  // namespace
+
+std::uint8_t hec_compute(std::span<const std::uint8_t, 4> header4) {
+  return static_cast<std::uint8_t>(crc8(header4) ^ kHecCosetPattern);
+}
+
+bool hec_check(std::span<const std::uint8_t, 4> header4, std::uint8_t hec) {
+  return hec_compute(header4) == hec;
+}
+
+HecVerdict HecReceiver::push(std::span<std::uint8_t, 4> header4,
+                             std::uint8_t hec) {
+  const std::uint8_t syndrome = static_cast<std::uint8_t>(
+      crc8(header4) ^ (hec ^ kHecCosetPattern));
+  if (syndrome == 0) {
+    correction_mode_ = true;
+    return HecVerdict::kValid;
+  }
+  if (!correction_mode_) {
+    // Detection mode: all errored headers are discarded; the next valid
+    // header restores correction mode.
+    return HecVerdict::kDiscard;
+  }
+  const std::int8_t bit =
+      kSyndromes.bit_for_syndrome[static_cast<std::size_t>(syndrome)];
+  correction_mode_ = false;
+  if (bit < 0) return HecVerdict::kDiscard;  // multi-bit: uncorrectable
+  if (bit < 32) {
+    header4[static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<std::uint8_t>(0x80u >> (bit % 8));
+  }
+  // Bits 32..39 are errors in the HEC octet; header4 is already correct.
+  return HecVerdict::kCorrected;
+}
+
+CellDelineation::State CellDelineation::push(bool hec_valid) {
+  switch (state_) {
+    case State::kHunt:
+      if (hec_valid) {
+        state_ = State::kPresync;
+        run_ = 1;
+      }
+      break;
+    case State::kPresync:
+      if (!hec_valid) {
+        state_ = State::kHunt;
+        run_ = 0;
+      } else if (++run_ >= kHecDelta) {
+        state_ = State::kSync;
+        run_ = 0;
+      }
+      break;
+    case State::kSync:
+      if (hec_valid) {
+        run_ = 0;
+      } else if (++run_ >= kHecAlpha) {
+        state_ = State::kHunt;
+        run_ = 0;
+        ++sync_losses_;
+      }
+      break;
+  }
+  return state_;
+}
+
+void CellDelineation::reset() {
+  state_ = State::kHunt;
+  run_ = 0;
+}
+
+}  // namespace hni::atm

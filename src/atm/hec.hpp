@@ -1,0 +1,79 @@
+// Header Error Control (ITU-T I.432).
+//
+// The HEC is a CRC-8 over the first four header octets, generator
+// x^8 + x^2 + x + 1 (0x07), with the pattern 0x55 added (XORed) to the
+// remainder before transmission. The receiver operates a two-mode
+// algorithm: in *correction mode* a single-bit error is corrected and
+// the receiver drops to *detection mode*; in detection mode any error
+// discards the cell. An error-free header returns the receiver to
+// correction mode.
+//
+// Cell delineation (HUNT / PRESYNC / SYNC) per I.432 is also provided:
+// ALPHA(7) consecutive invalid HECs in SYNC drop to HUNT; DELTA(6)
+// consecutive valid HECs in PRESYNC confirm SYNC.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace hni::atm {
+
+inline constexpr std::uint8_t kHecCosetPattern = 0x55;
+inline constexpr int kHecAlpha = 7;  // consecutive bad HECs: SYNC -> HUNT
+inline constexpr int kHecDelta = 6;  // consecutive good HECs: PRESYNC -> SYNC
+
+/// CRC-8 (poly 0x07) over `header4`, coset 0x55 applied — the wire HEC.
+std::uint8_t hec_compute(std::span<const std::uint8_t, 4> header4);
+
+/// True if `hec` is the correct HEC for `header4`.
+bool hec_check(std::span<const std::uint8_t, 4> header4, std::uint8_t hec);
+
+/// Outcome of pushing one header through the receiver.
+enum class HecVerdict : std::uint8_t {
+  kValid,      // no error
+  kCorrected,  // single-bit error corrected (header4 updated in place)
+  kDiscard,    // uncorrectable (or in detection mode): discard the cell
+};
+
+/// Per-link HEC receiver implementing the I.432 correction/detection
+/// two-mode algorithm. Stateless across cells except for the mode bit.
+class HecReceiver {
+ public:
+  /// Verifies `header4`+`hec`; may correct a single-bit error in
+  /// `header4` (the 40-bit codeword includes the HEC octet; an error in
+  /// the HEC octet itself is also correctable and leaves header4
+  /// untouched).
+  HecVerdict push(std::span<std::uint8_t, 4> header4, std::uint8_t hec);
+
+  bool in_correction_mode() const { return correction_mode_; }
+  void reset() { correction_mode_ = true; }
+
+ private:
+  bool correction_mode_ = true;
+};
+
+/// I.432 cell delineation state machine, driven by per-candidate-header
+/// HEC validity.
+class CellDelineation {
+ public:
+  enum class State : std::uint8_t { kHunt, kPresync, kSync };
+
+  /// Feed the validity of the HEC at the current candidate alignment.
+  /// Returns the state after the transition.
+  State push(bool hec_valid);
+
+  State state() const { return state_; }
+  void reset();
+
+  /// Counts of state entries, for instrumentation.
+  std::uint64_t sync_losses() const { return sync_losses_; }
+
+ private:
+  State state_ = State::kHunt;
+  int run_ = 0;
+  std::uint64_t sync_losses_ = 0;
+};
+
+}  // namespace hni::atm

@@ -1,0 +1,53 @@
+#include "atm/oam.hpp"
+
+#include "atm/crc.hpp"
+
+namespace hni::atm {
+
+Cell OamCell::to_cell(VcId vc) const {
+  Cell cell;
+  cell.header.vc = vc;
+  cell.header.pti = end_to_end ? Pti::kOamEndToEnd : Pti::kOamSegment;
+  cell.payload[0] = static_cast<std::uint8_t>(function);
+  for (int i = 0; i < 8; ++i) {
+    cell.payload[static_cast<std::size_t>(1 + i)] =
+        static_cast<std::uint8_t>(tag >> (8 * i));
+  }
+  // CRC-10 over the payload with the CRC field zeroed, stored in the
+  // low 10 bits of the final two octets (I.610 style).
+  cell.payload[46] = 0;
+  cell.payload[47] = 0;
+  const std::uint16_t crc = crc10(std::span<const std::uint8_t>(
+      cell.payload.data(), cell.payload.size()));
+  cell.payload[46] = static_cast<std::uint8_t>((crc >> 8) & 0x03);
+  cell.payload[47] = static_cast<std::uint8_t>(crc & 0xFF);
+  return cell;
+}
+
+std::optional<OamCell> OamCell::parse(const Cell& cell) {
+  if (cell.header.pti != Pti::kOamSegment &&
+      cell.header.pti != Pti::kOamEndToEnd) {
+    return std::nullopt;
+  }
+  auto scratch = cell.payload;
+  const std::uint16_t wire_crc =
+      static_cast<std::uint16_t>(((scratch[46] & 0x03) << 8) | scratch[47]);
+  scratch[46] = 0;
+  scratch[47] = 0;
+  if (crc10(std::span<const std::uint8_t>(scratch.data(),
+                                          scratch.size())) != wire_crc) {
+    return std::nullopt;
+  }
+  OamCell oam;
+  oam.function = static_cast<OamFunction>(cell.payload[0]);
+  oam.tag = 0;
+  for (int i = 0; i < 8; ++i) {
+    oam.tag |= static_cast<std::uint64_t>(
+                   cell.payload[static_cast<std::size_t>(1 + i)])
+               << (8 * i);
+  }
+  oam.end_to_end = cell.header.pti == Pti::kOamEndToEnd;
+  return oam;
+}
+
+}  // namespace hni::atm

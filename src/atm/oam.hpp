@@ -1,0 +1,44 @@
+// OAM (Operation And Maintenance) cells — simplified I.610.
+//
+// Fault-management cells travel on the same VC as user data,
+// distinguished by the PTI codepoints (segment / end-to-end OAM). This
+// library implements the loopback function — the standard "ping" of an
+// ATM connection — plus alarm indication (AIS/RDI) codepoints, with the
+// I.610 payload CRC-10 protecting the OAM payload.
+//
+// Simplified payload layout (documented deviation from I.610, which
+// packs OAM type/function into one octet plus a 45-octet
+// function-specific field):
+//
+//   [ function(1) | tag(8, LE) | zero pad ... | CRC-10 in last 2 octets ]
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "atm/cell.hpp"
+
+namespace hni::atm {
+
+enum class OamFunction : std::uint8_t {
+  kLoopbackRequest = 0x01,
+  kLoopbackResponse = 0x02,
+  kAis = 0x03,  // alarm indication signal (downstream "path dead")
+  kRdi = 0x04,  // remote defect indication (upstream echo of AIS)
+};
+
+struct OamCell {
+  OamFunction function = OamFunction::kLoopbackRequest;
+  std::uint64_t tag = 0;  // correlation tag (loopback) / defect location
+  bool end_to_end = true;
+
+  /// Builds a full ATM cell carrying this OAM payload (CRC-10 stamped).
+  Cell to_cell(VcId vc) const;
+
+  /// Parses an OAM cell; nullopt when the PTI is not an OAM codepoint
+  /// or the payload CRC-10 fails.
+  static std::optional<OamCell> parse(const Cell& cell);
+};
+
+}  // namespace hni::atm

@@ -1,0 +1,57 @@
+#include "atm/phy.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hni::atm {
+
+LineRate sts3c() { return LineRate{"STS-3c", 155.52e6, 149.760e6}; }
+
+LineRate sts12c() { return LineRate{"STS-12c", 622.08e6, 599.040e6}; }
+
+LineRate raw_rate(double bps, std::string name) {
+  return LineRate{std::move(name), bps, bps};
+}
+
+TxFramer::TxFramer(sim::Simulator& sim, LineRate rate)
+    : sim_(sim), rate_(std::move(rate)) {
+  if (rate_.payload_bps <= 0.0) {
+    throw std::invalid_argument("TxFramer: payload rate must be positive");
+  }
+  slot_ = rate_.cell_slot();
+}
+
+void TxFramer::set_clock_ppm(double ppm) {
+  const double nominal = static_cast<double>(rate_.cell_slot());
+  slot_ = static_cast<sim::Time>(nominal * (1.0 + ppm * 1e-6) + 0.5);
+}
+
+void TxFramer::start() {
+  if (running_) return;
+  if (!supplier_ || !sink_) {
+    throw std::logic_error("TxFramer: supplier and sink must be set");
+  }
+  running_ = true;
+  sim_.after(0, [this] { on_slot(); });
+}
+
+void TxFramer::on_slot() {
+  if (!running_) return;
+  if (std::optional<Cell> cell = supplier_()) {
+    cells_sent_.add();
+    // The cell is fully serialized one slot later.
+    sim_.after(slot_, [this, c = *std::move(cell)] { sink_(c); });
+  } else {
+    idle_slots_.add();
+  }
+  sim_.after(slot_, [this] { on_slot(); });
+}
+
+double TxFramer::utilization() const {
+  const std::uint64_t total = cells_sent_.value() + idle_slots_.value();
+  return total == 0 ? 0.0
+                    : static_cast<double>(cells_sent_.value()) /
+                          static_cast<double>(total);
+}
+
+}  // namespace hni::atm

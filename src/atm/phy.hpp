@@ -1,0 +1,104 @@
+// Physical-layer model: SONET-carried ATM cell pacing.
+//
+// The paper's interface targets SONET STS-3c (155.52 Mb/s line rate) and
+// STS-12c (622.08 Mb/s). SONET section/line/path overhead leaves a
+// synchronous payload envelope of 149.760 Mb/s (STS-3c) resp.
+// 599.040 Mb/s (STS-12c) for cells; back-to-back cells therefore occupy
+// a fixed slot of 53*8 / payload_rate: 2.831 us at STS-3c, 707.7 ns at
+// STS-12c. Only the slot time and payload rate enter the paper's
+// analysis, so the model is exactly that: a slot clock. Unused slots
+// carry idle cells, which receivers drop.
+//
+// TxFramer pulls cells from a supplier at each slot boundary; RxFramer
+// delivers cells after one slot of serialization delay and runs the HEC
+// receiver (optionally injecting header bit errors upstream — that is
+// the link model's job, see net/link.hpp).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "atm/cell.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace hni::atm {
+
+/// A physical line description.
+struct LineRate {
+  std::string name;
+  double line_bps = 0.0;     // gross line rate (reporting only)
+  double payload_bps = 0.0;  // cell payload capacity actually paced on
+
+  /// Duration of one 53-octet cell slot at the payload rate.
+  sim::Time cell_slot() const {
+    return sim::serialization_time(kCellBits, payload_bps);
+  }
+
+  /// Cells per second of payload capacity.
+  double cells_per_second() const {
+    return payload_bps / static_cast<double>(kCellBits);
+  }
+};
+
+/// SONET STS-3c: 155.52 Mb/s line, 149.760 Mb/s payload (~353,208 cells/s).
+LineRate sts3c();
+
+/// SONET STS-12c: 622.08 Mb/s line, 599.040 Mb/s payload (~1,412,830 cells/s).
+LineRate sts12c();
+
+/// A custom rate with negligible framing overhead (for sweeps).
+LineRate raw_rate(double bps, std::string name = "raw");
+
+/// Transmit framer: a free-running slot clock. At each slot boundary it
+/// asks `supplier` for a cell; if none is ready the slot carries an idle
+/// cell (counted, not delivered). Produced cells are handed to `sink`
+/// after one slot of serialization.
+class TxFramer {
+ public:
+  using Supplier = std::function<std::optional<Cell>()>;
+  using Sink = std::function<void(const Cell&)>;
+
+  TxFramer(sim::Simulator& sim, LineRate rate);
+
+  /// Installs the cell source. Must be set before start().
+  void set_supplier(Supplier supplier) { supplier_ = std::move(supplier); }
+  /// Installs the downstream consumer (typically a net::Link).
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Models oscillator inaccuracy: the slot clock runs `ppm` parts per
+  /// million fast (+) or slow (-). Real SONET clocks are +-20..50 ppm;
+  /// without this, independent framers stay phase-locked forever and
+  /// contention experiments see unrealistically clean drop patterns.
+  /// Call before start().
+  void set_clock_ppm(double ppm);
+
+  /// Starts the slot clock at the current simulation time.
+  void start();
+  /// Stops the slot clock after the in-flight slot.
+  void stop() { running_ = false; }
+
+  const LineRate& rate() const { return rate_; }
+  std::uint64_t cells_sent() const { return cells_sent_.value(); }
+  std::uint64_t idle_slots() const { return idle_slots_.value(); }
+
+  /// Fraction of elapsed slots that carried a live cell.
+  double utilization() const;
+
+ private:
+  void on_slot();
+
+  sim::Simulator& sim_;
+  LineRate rate_;
+  sim::Time slot_;  // effective slot (nominal +- ppm)
+  Supplier supplier_;
+  Sink sink_;
+  bool running_ = false;
+  sim::Counter cells_sent_;
+  sim::Counter idle_slots_;
+};
+
+}  // namespace hni::atm

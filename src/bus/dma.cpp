@@ -1,0 +1,65 @@
+#include "bus/dma.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace hni::bus {
+
+void DmaEngine::copy_window(const SgList& sg, std::size_t offset,
+                            std::span<std::uint8_t> linear, bool to_host) {
+  std::size_t skip = offset;
+  std::size_t pos = 0;
+  for (const auto& b : sg) {
+    if (pos == linear.size()) break;
+    if (skip >= b.len) {
+      skip -= b.len;
+      continue;
+    }
+    const std::size_t avail = b.len - skip;
+    const std::size_t take =
+        std::min<std::size_t>(avail, linear.size() - pos);
+    if (to_host) {
+      memory_.write(b.addr + skip, linear.subspan(pos, take));
+    } else {
+      memory_.read(b.addr + skip, linear.subspan(pos, take));
+    }
+    pos += take;
+    skip = 0;
+  }
+  if (pos != linear.size()) {
+    throw std::out_of_range("DmaEngine: window exceeds scatter list");
+  }
+}
+
+void DmaEngine::read(const SgList& sg, std::size_t offset, std::size_t len,
+                     ReadDone done) {
+  ++reads_;
+  bytes_read_ += len;
+  bus_.transfer(len, Direction::kRead,
+                [this, sg, offset, len, done = std::move(done)] {
+                  aal::Bytes data(len);
+                  copy_window(sg, offset,
+                              std::span<std::uint8_t>(data.data(), len),
+                              /*to_host=*/false);
+                  done(std::move(data));
+                });
+}
+
+void DmaEngine::write(const SgList& sg, std::size_t offset, aal::Bytes data,
+                      Done done) {
+  ++writes_;
+  const std::size_t len = data.size();
+  bytes_written_ += len;
+  bus_.transfer(len, Direction::kWrite,
+                [this, sg, offset, data = std::move(data),
+                 done = std::move(done)]() mutable {
+                  copy_window(sg, offset,
+                              std::span<std::uint8_t>(data.data(),
+                                                      data.size()),
+                              /*to_host=*/true);
+                  done();
+                });
+}
+
+}  // namespace hni::bus

@@ -1,0 +1,59 @@
+// DMA engine: moves bytes between host memory and the board across the
+// shared bus.
+//
+// One engine serves one direction of the interface (the paper gives the
+// TX and RX sides independent DMA machinery). Requests address host
+// memory through scatter/gather lists, so a CS-PDU that spans host pages
+// still crosses the bus as maximal bursts. Completion callbacks fire at
+// the simulated end of the final burst; the data copy happens at
+// completion time, which is faithful for reads (the driver does not
+// recycle a posted buffer before completion) and conservative for
+// writes.
+
+#pragma once
+
+#include <functional>
+
+#include "aal/types.hpp"
+#include "bus/host_memory.hpp"
+#include "bus/turbochannel.hpp"
+
+namespace hni::bus {
+
+class DmaEngine {
+ public:
+  using Done = std::function<void()>;
+  using ReadDone = std::function<void(aal::Bytes)>;
+
+  DmaEngine(Bus& bus, HostMemory& memory) : bus_(bus), memory_(memory) {}
+
+  /// Reads `len` bytes starting `offset` bytes into `sg` from host
+  /// memory (TX direction). Throws std::out_of_range if the window
+  /// exceeds the list.
+  void read(const SgList& sg, std::size_t offset, std::size_t len,
+            ReadDone done);
+
+  /// Writes `data` starting `offset` bytes into `sg` (RX direction).
+  void write(const SgList& sg, std::size_t offset, aal::Bytes data,
+             Done done);
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  /// Copies between host memory and a linear buffer through an S/G
+  /// window. `to_host` selects the direction.
+  void copy_window(const SgList& sg, std::size_t offset,
+                   std::span<std::uint8_t> linear, bool to_host);
+
+  Bus& bus_;
+  HostMemory& memory_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace hni::bus

@@ -1,0 +1,107 @@
+#include "bus/host_memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+namespace hni::bus {
+
+std::size_t sg_length(const SgList& sg) {
+  std::size_t n = 0;
+  for (const auto& b : sg) n += b.len;
+  return n;
+}
+
+HostMemory::HostMemory(std::size_t bytes, std::size_t page_bytes)
+    : store_(bytes), page_bytes_(page_bytes) {
+  if (page_bytes == 0 || bytes < page_bytes) {
+    throw std::invalid_argument("HostMemory: need at least one page");
+  }
+  const std::size_t pages = bytes / page_bytes;
+  free_.reserve(pages);
+  // LIFO order: lowest addresses allocated first (stable for tests).
+  for (std::size_t i = pages; i-- > 0;) {
+    free_.push_back(static_cast<std::uint64_t>(i) * page_bytes);
+  }
+}
+
+BufferDescriptor HostMemory::alloc_page() {
+  if (free_.empty()) throw std::bad_alloc();
+  const std::uint64_t addr = free_.back();
+  free_.pop_back();
+  ++used_;
+  return BufferDescriptor{addr, static_cast<std::uint32_t>(page_bytes_)};
+}
+
+SgList HostMemory::alloc(std::size_t bytes) {
+  if (bytes == 0) throw std::invalid_argument("HostMemory::alloc(0)");
+  SgList sg;
+  std::size_t remaining = bytes;
+  while (remaining > 0) {
+    BufferDescriptor page = alloc_page();
+    page.len = static_cast<std::uint32_t>(
+        std::min<std::size_t>(remaining, page_bytes_));
+    sg.push_back(page);
+    remaining -= page.len;
+  }
+  return sg;
+}
+
+std::size_t HostMemory::page_index(std::uint64_t addr) const {
+  if (addr % page_bytes_ != 0 || addr + page_bytes_ > store_.size()) {
+    throw std::invalid_argument("HostMemory: bad page address");
+  }
+  return static_cast<std::size_t>(addr / page_bytes_);
+}
+
+void HostMemory::free(const BufferDescriptor& buffer) {
+  (void)page_index(buffer.addr);  // validate
+  free_.push_back(buffer.addr);
+  --used_;
+}
+
+void HostMemory::free(const SgList& sg) {
+  for (const auto& b : sg) free(b);
+}
+
+void HostMemory::write(std::uint64_t addr,
+                       std::span<const std::uint8_t> data) {
+  if (addr + data.size() > store_.size()) {
+    throw std::out_of_range("HostMemory::write beyond end of memory");
+  }
+  std::memcpy(store_.data() + addr, data.data(), data.size());
+}
+
+void HostMemory::read(std::uint64_t addr, std::span<std::uint8_t> out) const {
+  if (addr + out.size() > store_.size()) {
+    throw std::out_of_range("HostMemory::read beyond end of memory");
+  }
+  std::memcpy(out.data(), store_.data() + addr, out.size());
+}
+
+SgList HostMemory::stage(const aal::Bytes& data) {
+  SgList sg = alloc(data.size());
+  std::size_t off = 0;
+  for (const auto& b : sg) {
+    write(b.addr, std::span<const std::uint8_t>(data.data() + off, b.len));
+    off += b.len;
+  }
+  return sg;
+}
+
+aal::Bytes HostMemory::gather(const SgList& sg, std::size_t bytes) const {
+  aal::Bytes out(bytes);
+  std::size_t off = 0;
+  for (const auto& b : sg) {
+    if (off >= bytes) break;
+    const std::size_t take = std::min<std::size_t>(b.len, bytes - off);
+    read(b.addr, std::span<std::uint8_t>(out.data() + off, take));
+    off += take;
+  }
+  if (off != bytes) {
+    throw std::length_error("HostMemory::gather: list shorter than bytes");
+  }
+  return out;
+}
+
+}  // namespace hni::bus

@@ -1,0 +1,75 @@
+// Host memory model: real byte storage plus a page-pool allocator.
+//
+// The interface's contract with the host is descriptor-based: the driver
+// pins buffers in host memory and hands the board their physical
+// addresses; DMA moves bytes directly between those buffers and the
+// board, so each byte crosses the bus exactly once. To let tests verify
+// end-to-end byte integrity (not just timing), HostMemory stores actual
+// bytes; addresses are simulated physical addresses into that store.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "aal/types.hpp"
+
+namespace hni::bus {
+
+/// A contiguous region of (simulated) physical memory.
+struct BufferDescriptor {
+  std::uint64_t addr = 0;
+  std::uint32_t len = 0;
+};
+
+/// Scatter/gather list describing one SDU in host memory.
+using SgList = std::vector<BufferDescriptor>;
+
+/// Total byte count of a scatter/gather list.
+std::size_t sg_length(const SgList& sg);
+
+/// Byte-addressable host memory with a fixed-size page allocator.
+class HostMemory {
+ public:
+  /// `bytes` of storage carved into pages of `page_bytes`.
+  HostMemory(std::size_t bytes, std::size_t page_bytes = 4096);
+
+  std::size_t page_bytes() const { return page_bytes_; }
+  std::size_t pages_total() const { return free_.size() + used_; }
+  std::size_t pages_free() const { return free_.size(); }
+
+  /// Allocates one page; throws std::bad_alloc when exhausted.
+  BufferDescriptor alloc_page();
+
+  /// Allocates pages to cover `bytes`, returning a scatter list whose
+  /// total length is exactly `bytes` (last page trimmed).
+  SgList alloc(std::size_t bytes);
+
+  /// Returns a page (or trimmed page) to the pool. The descriptor must
+  /// originate from this allocator.
+  void free(const BufferDescriptor& buffer);
+  void free(const SgList& sg);
+
+  /// Raw access used by DMA models and the host API.
+  void write(std::uint64_t addr, std::span<const std::uint8_t> data);
+  void read(std::uint64_t addr, std::span<std::uint8_t> out) const;
+
+  /// Copies an SDU into freshly allocated pages (TX convenience).
+  SgList stage(const aal::Bytes& data);
+
+  /// Gathers a scatter list back into a contiguous buffer (RX
+  /// convenience); `bytes` may be less than the list's capacity.
+  aal::Bytes gather(const SgList& sg, std::size_t bytes) const;
+
+ private:
+  std::size_t page_index(std::uint64_t addr) const;
+
+  std::vector<std::uint8_t> store_;
+  std::size_t page_bytes_;
+  std::vector<std::uint64_t> free_;  // free page base addresses (LIFO)
+  std::size_t used_ = 0;
+};
+
+}  // namespace hni::bus

@@ -1,0 +1,110 @@
+// Host I/O bus model (TURBOchannel-class).
+//
+// The paper's host is a DECstation 5000/200 whose TURBOchannel is a
+// 32-bit synchronous bus clocked at 25 MHz — 100 MB/s of raw word
+// bandwidth. DMA moves blocks ("bursts") of words; each transaction
+// additionally pays a fixed overhead (arbitration, address cycle,
+// turnaround), and reads pay a memory-access latency. Effective
+// bandwidth therefore rises with burst length — the knee of that curve
+// is one of the quantities the paper's analysis turns on (bench F2).
+//
+// The bus is a shared, non-preemptive FIFO server: requests from all
+// clients (TX DMA, RX DMA, host programmed I/O) serialize in arrival
+// order. Utilization and per-request queueing delay are first-class
+// outputs.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace hni::bus {
+
+struct BusConfig {
+  double clock_hz = 25e6;        // TURBOchannel: 25 MHz
+  std::size_t word_bytes = 4;    // 32-bit data path
+  std::size_t max_burst_words = 64;   // longest single transaction
+  std::uint32_t overhead_cycles = 5;  // arbitration + address + turnaround
+  std::uint32_t read_latency_cycles = 4;  // DRAM access before first word
+
+  sim::Time cycle() const { return sim::cycle_time(clock_hz); }
+  double peak_bytes_per_second() const {
+    return clock_hz * static_cast<double>(word_bytes);
+  }
+};
+
+/// Direction of a transfer relative to host memory.
+enum class Direction : std::uint8_t {
+  kRead,   // host memory -> device (TX path)
+  kWrite,  // device -> host memory (RX path)
+};
+
+/// The shared bus. Clients submit transfers; the bus arbitrates at
+/// burst granularity, round-robin across outstanding transfers (so a
+/// short DMA is not head-of-line blocked behind a long one — how real
+/// multi-master buses behave). Completions fire at the end of each
+/// transfer's final burst.
+class Bus {
+ public:
+  using Done = std::function<void()>;
+
+  Bus(sim::Simulator& sim, BusConfig config);
+
+  /// Submits a transfer of `bytes` (split into bursts internally).
+  /// `done` fires when the final burst completes.
+  void transfer(std::size_t bytes, Direction dir, Done done);
+
+  /// Unloaded duration of a transfer of `bytes` (all bursts, overheads
+  /// included) — the analytical quantity benches report.
+  sim::Time transfer_time(std::size_t bytes, Direction dir) const;
+
+  /// Duration of a single burst of `words` data words.
+  sim::Time burst_time(std::size_t words, Direction dir) const;
+
+  /// Programmed I/O: every word is its own transaction (no bursts).
+  /// This is what a host CPU pays when it moves cells itself — the
+  /// software-SAR baseline's handicap.
+  sim::Time pio_time(std::size_t bytes, Direction dir) const;
+  void pio_transfer(std::size_t bytes, Direction dir, Done done);
+
+  const BusConfig& config() const { return config_; }
+
+  /// Fraction of elapsed time the bus was moving a transaction,
+  /// measured from construction to `now`.
+  double utilization(sim::Time now) const;
+
+  std::uint64_t transfers() const { return transfers_.value(); }
+  std::uint64_t bytes_moved() const { return bytes_.value(); }
+  const sim::RunningStat& queueing_delay_us() const { return queueing_us_; }
+
+ private:
+  struct Pending {
+    std::size_t words_left = 0;
+    std::size_t words_per_burst = 0;
+    Direction dir = Direction::kWrite;
+    Done done;
+    sim::Time submitted = 0;
+    bool started = false;
+  };
+
+  void submit(std::size_t bytes, Direction dir,
+              std::size_t words_per_burst, Done done);
+  void serve_next();
+
+  sim::Simulator& sim_;
+  BusConfig config_;
+  std::deque<Pending> queue_;
+  bool serving_ = false;
+  sim::Time busy_accum_ = 0;  // total time spent transferring
+  sim::Time born_;
+  sim::Counter transfers_;
+  sim::Counter bytes_;
+  sim::RunningStat queueing_us_;
+};
+
+}  // namespace hni::bus

@@ -1,0 +1,73 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hni::core {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row width != header width");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string Table::integer(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+std::string Table::percent(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::to_string(const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    width[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+
+  std::string out;
+  out += "\n== " + title + " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out += "| ";
+      out += row[i];
+      out.append(width[i] - row[i].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  emit_row(headers_);
+  std::string rule;
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    rule += "|";
+    rule.append(width[i] + 2, '-');
+  }
+  rule += "|\n";
+  out += rule;
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void Table::print(const std::string& title) const {
+  std::fputs(to_string(title).c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace hni::core

@@ -1,0 +1,35 @@
+// Text-table reporting for benches and examples.
+//
+// Every bench regenerates a paper-style table or figure series; this
+// formatter keeps their output consistent and aligned.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hni::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `digits` significant decimals.
+  static std::string num(double value, int digits = 2);
+  static std::string integer(std::uint64_t value);
+  static std::string percent(double fraction, int digits = 1);
+
+  /// Renders with a title and column alignment to stdout.
+  void print(const std::string& title) const;
+  std::string to_string(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hni::core

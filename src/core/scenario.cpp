@@ -1,0 +1,92 @@
+#include "core/scenario.hpp"
+
+namespace hni::core {
+
+P2pResult run_p2p(const P2pConfig& config) {
+  Testbed bed;
+  StationConfig sc = config.station;
+  sc.name = "tx-station";
+  Station& a = bed.add_station(sc);
+  sc.name = "rx-station";
+  Station& b = bed.add_station(sc);
+  bed.connect(a, b, config.loss, config.propagation);
+
+  a.nic().open_vc(config.vc, config.aal);
+  b.nic().open_vc(config.vc, config.aal);
+
+  // Receiver: verify every SDU, track latency inside the window.
+  std::uint64_t received = 0;
+  std::uint64_t received_bytes = 0;
+  std::uint64_t pattern_failures = 0;
+  sim::RunningStat latency_us;
+  bool measuring = false;
+
+  b.host().set_rx_handler(
+      [&](aal::Bytes sdu, const host::RxInfo& info) {
+        if (!aal::verify_pattern(sdu)) ++pattern_failures;
+        if (!measuring) return;
+        ++received;
+        received_bytes += sdu.size();
+        latency_us.add(
+            sim::to_microseconds(info.handed_up_time - info.first_cell_time));
+      });
+
+  // Source.
+  net::SduSource source(
+      bed.sim(), config.traffic,
+      [&](aal::Bytes sdu) {
+        return a.host().send(config.vc, config.aal, std::move(sdu));
+      });
+  a.host().set_tx_ready([&source] { source.notify_ready(); });
+  source.start();
+
+  // Warm up, then snapshot counters and measure.
+  std::uint64_t sent0 = 0;
+  std::uint64_t errs0 = 0;
+  std::uint64_t drops0 = 0;
+  std::uint64_t offered_bytes0 = 0;
+  bed.sim().after(config.warmup, [&] {
+    measuring = true;
+    sent0 = a.host().sdus_sent();
+    errs0 = b.nic().rx().pdus_errored();
+    drops0 = b.nic().rx().cells_fifo_dropped();
+    offered_bytes0 = source.bytes_offered();
+  });
+  bed.run_for(config.warmup + config.measure);
+
+  const double window_s = sim::to_seconds(config.measure);
+  P2pResult r;
+  r.goodput_bps = static_cast<double>(received_bytes) * 8.0 / window_s;
+  r.offered_bps =
+      static_cast<double>(source.bytes_offered() - offered_bytes0) * 8.0 /
+      window_s;
+  r.sdus_sent = a.host().sdus_sent() - sent0;
+  r.sdus_received = received;
+  r.sdus_errored = b.nic().rx().pdus_errored() - errs0;
+  r.cells_fifo_dropped = b.nic().rx().cells_fifo_dropped() - drops0;
+  r.pattern_failures = pattern_failures;
+
+  const sim::Time now = bed.now();
+  r.tx_engine_util = a.nic().tx().engine().utilization(now);
+  r.rx_engine_util = b.nic().rx().engine().utilization(now);
+  r.tx_host_cpu_util = a.host().cpu().utilization(now);
+  r.rx_host_cpu_util = b.host().cpu().utilization(now);
+  r.rx_bus_util = b.bus().utilization(now);
+  r.tx_line_util = a.nic().tx().framer().utilization();
+
+  r.rx_fifo_mean = b.nic().rx().fifo().mean_depth();
+  r.rx_fifo_max = b.nic().rx().fifo().max_depth();
+
+  r.latency_mean_us = latency_us.mean();
+  r.latency_max_us = latency_us.max();
+
+  const auto& ints = b.nic().rx().interrupts();
+  r.interrupts_per_pdu =
+      ints.events() == 0
+          ? 0.0
+          : static_cast<double>(ints.interrupts()) /
+                static_cast<double>(ints.events());
+  return r;
+}
+
+}  // namespace hni::core

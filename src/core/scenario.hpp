@@ -1,0 +1,62 @@
+// Canonical measured scenarios.
+//
+// run_p2p() is the workhorse the benches and examples share: two
+// stations, a duplex connection (optionally lossy), one VC, a traffic
+// source on one host and a verifying sink on the other, with a warm-up
+// window excluded from measurement. Results carry every quantity the
+// experiment suite reports: goodput, utilizations, FIFO behaviour,
+// latency, loss accounting and byte-integrity verdicts.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/testbed.hpp"
+#include "net/traffic.hpp"
+
+namespace hni::core {
+
+struct P2pConfig {
+  StationConfig station{};  // template applied to both ends
+  aal::AalType aal = aal::AalType::kAal5;
+  atm::VcId vc{0, 100};
+  net::SduSource::Config traffic{};
+  net::LossModel loss{};
+  sim::Time propagation = sim::microseconds(5);
+  sim::Time warmup = sim::milliseconds(2);
+  sim::Time measure = sim::milliseconds(20);
+};
+
+struct P2pResult {
+  // Measured over the post-warmup window.
+  double goodput_bps = 0.0;     // receiver-verified SDU payload bits/s
+  double offered_bps = 0.0;     // source SDU payload bits/s
+  std::uint64_t sdus_sent = 0;
+  std::uint64_t sdus_received = 0;
+  std::uint64_t sdus_errored = 0;   // reassembly failures at the receiver
+  std::uint64_t cells_fifo_dropped = 0;
+  std::uint64_t pattern_failures = 0;
+
+  double tx_engine_util = 0.0;
+  double rx_engine_util = 0.0;
+  double tx_host_cpu_util = 0.0;
+  double rx_host_cpu_util = 0.0;
+  double rx_bus_util = 0.0;
+  double tx_line_util = 0.0;
+
+  double rx_fifo_mean = 0.0;
+  double rx_fifo_max = 0.0;
+
+  double latency_mean_us = 0.0;  // first cell emitted -> host memory
+  double latency_max_us = 0.0;
+
+  double interrupts_per_pdu = 0.0;  // receiver side
+
+  bool data_ok() const { return pattern_failures == 0; }
+};
+
+/// Runs the scenario to completion of warmup+measure and reports.
+P2pResult run_p2p(const P2pConfig& config);
+
+}  // namespace hni::core

@@ -1,0 +1,12 @@
+#include "core/station.hpp"
+
+namespace hni::core {
+
+Station::Station(sim::Simulator& sim, StationConfig config)
+    : config_(std::move(config)),
+      bus_(sim, config_.bus),
+      memory_(config_.host_memory_bytes, config_.host_page_bytes),
+      nic_(sim, bus_, memory_, config_.nic),
+      host_(sim, memory_, nic_, config_.host) {}
+
+}  // namespace hni::core

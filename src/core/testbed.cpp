@@ -1,0 +1,60 @@
+#include "core/testbed.hpp"
+
+namespace hni::core {
+
+Station& Testbed::add_station(StationConfig config) {
+  if (!config.nic.tx.clock_ppm) {
+    // Give every station a realistic, deterministic oscillator offset
+    // so independent framers do not stay phase-locked forever.
+    config.nic.tx.clock_ppm = ppm_rng_.normal(0.0, 20.0);
+  }
+  stations_.push_back(std::make_unique<Station>(sim_, std::move(config)));
+  return *stations_.back();
+}
+
+net::Link& Testbed::add_link(sim::Time propagation, net::LossModel loss,
+                             std::uint64_t seed) {
+  links_.push_back(
+      std::make_unique<net::Link>(sim_, propagation, loss, seed));
+  links_.back()->set_tracer(&tracer_,
+                            "link" + std::to_string(links_.size() - 1));
+  return *links_.back();
+}
+
+std::pair<net::Link*, net::Link*> Testbed::connect(Station& a, Station& b,
+                                                   net::LossModel loss,
+                                                   sim::Time propagation) {
+  net::Link& ab = add_link(propagation, loss, next_seed());
+  net::Link& ba = add_link(propagation, loss, next_seed());
+  ab.set_sink([&b](const net::WireCell& w) { b.nic().rx().receive_wire(w); });
+  ba.set_sink([&a](const net::WireCell& w) { a.nic().rx().receive_wire(w); });
+  a.nic().attach_tx(ab);
+  b.nic().attach_tx(ba);
+  return {&ab, &ba};
+}
+
+net::Switch& Testbed::add_switch(net::SwitchConfig config) {
+  if (!config.clock_ppm) config.clock_ppm = ppm_rng_.normal(0.0, 20.0);
+  switches_.push_back(std::make_unique<net::Switch>(sim_, config));
+  return *switches_.back();
+}
+
+void Testbed::connect_to_switch(Station& s, net::Switch& sw,
+                                std::size_t port, net::LossModel loss,
+                                sim::Time propagation) {
+  net::Link& link = add_link(propagation, loss, next_seed());
+  link.set_sink(
+      [&sw, port](const net::WireCell& w) { sw.receive(port, w); });
+  s.nic().attach_tx(link);
+}
+
+void Testbed::connect_from_switch(net::Switch& sw, std::size_t port,
+                                  Station& s, net::LossModel loss,
+                                  sim::Time propagation) {
+  net::Link& link = add_link(propagation, loss, next_seed());
+  link.set_sink(
+      [&s](const net::WireCell& w) { s.nic().rx().receive_wire(w); });
+  sw.attach_output(port, link);
+}
+
+}  // namespace hni::core

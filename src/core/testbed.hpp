@@ -1,0 +1,83 @@
+// Scenario builder: stations, links, switches, and the simulation clock
+// in one place. The library's top-level public API.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   core::Testbed bed;
+//   auto& a = bed.add_station({.name = "alice"});
+//   auto& b = bed.add_station({.name = "bob"});
+//   bed.connect(a, b, net::LossModel{});           // duplex, both NICs wired
+//   a.nic().open_vc(vc, aal::AalType::kAal5);      // rx side of a
+//   b.nic().open_vc(vc, aal::AalType::kAal5);
+//   b.host().set_rx_handler(...);
+//   a.host().send(vc, aal::AalType::kAal5, payload);
+//   bed.run_for(sim::milliseconds(5));
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/station.hpp"
+#include "net/link.hpp"
+#include "net/switch.hpp"
+#include "sim/random.hpp"
+#include "sim/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace hni::core {
+
+class Testbed {
+ public:
+  Testbed() = default;
+
+  sim::Simulator& sim() { return sim_; }
+  sim::Time now() const { return sim_.now(); }
+
+  /// Shared tracer: add a sink to see per-cell wire events from every
+  /// link the testbed creates (off — zero cost — until a sink exists).
+  sim::Tracer& tracer() { return tracer_; }
+
+  /// Creates a station owned by the testbed.
+  Station& add_station(StationConfig config = {});
+
+  /// Creates a free-standing link owned by the testbed.
+  net::Link& add_link(sim::Time propagation, net::LossModel loss = {},
+                      std::uint64_t seed = 1);
+
+  /// Full-duplex connection a<->b: wires a's framer to a fresh link
+  /// into b's receive path and vice versa; starts both framers.
+  /// Returns {a->b, b->a}.
+  std::pair<net::Link*, net::Link*> connect(
+      Station& a, Station& b, net::LossModel loss = {},
+      sim::Time propagation = sim::microseconds(5));
+
+  /// Creates a switch owned by the testbed.
+  net::Switch& add_switch(net::SwitchConfig config);
+
+  /// Wires `s`'s transmit side into switch input `port`.
+  void connect_to_switch(Station& s, net::Switch& sw, std::size_t port,
+                         net::LossModel loss = {},
+                         sim::Time propagation = sim::microseconds(5));
+
+  /// Wires switch output `port` into `s`'s receive path.
+  void connect_from_switch(net::Switch& sw, std::size_t port, Station& s,
+                           net::LossModel loss = {},
+                           sim::Time propagation = sim::microseconds(5));
+
+  /// Advances simulated time by `duration`.
+  void run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
+
+ private:
+  std::uint64_t next_seed() { return seed_counter_++; }
+
+  sim::Simulator sim_;
+  sim::Tracer tracer_;
+  sim::Rng ppm_rng_{0xC10C4};  // oscillator-offset source (deterministic)
+  std::vector<std::unique_ptr<Station>> stations_;
+  std::vector<std::unique_ptr<net::Link>> links_;
+  std::vector<std::unique_ptr<net::Switch>> switches_;
+  std::uint64_t seed_counter_ = 0x5EED;
+};
+
+}  // namespace hni::core

@@ -1,0 +1,96 @@
+#include "host/host.hpp"
+
+#include <utility>
+
+namespace hni::host {
+
+Host::Host(sim::Simulator& sim, bus::HostMemory& memory, nic::Nic& nic,
+           HostConfig config)
+    : sim_(sim),
+      memory_(memory),
+      nic_(nic),
+      config_(config),
+      cpu_(sim, config.cpu) {
+  nic_.tx().set_completion(
+      [this](const nic::TxDescriptor& d) { on_tx_complete(d); });
+  nic_.rx().set_deliver([this](nic::RxDelivery d) { on_rx(std::move(d)); });
+  // Post the receive-buffer budget: the NIC draws landing pages from it
+  // and a delivery returns them once the host has consumed the SDU.
+  rx_pages_available_ = config_.rx_posted_pages;
+  nic_.rx().set_buffer_allocator(
+      [this](std::size_t bytes) -> std::optional<bus::SgList> {
+        const std::size_t pages =
+            (bytes + memory_.page_bytes() - 1) / memory_.page_bytes();
+        if (pages > rx_pages_available_ ||
+            pages > memory_.pages_free()) {
+          return std::nullopt;
+        }
+        rx_pages_available_ -= pages;
+        return memory_.alloc(bytes);
+      });
+}
+
+bool Host::send(atm::VcId vc, aal::AalType aal, aal::Bytes sdu) {
+  if (inflight_ >= config_.max_inflight_tx) return false;
+  ++inflight_;
+  sent_.add();
+  bytes_tx_.add(sdu.size());
+
+  // Stage the SDU into pinned host pages (functional copy; the CPU cost
+  // of the syscall + staging is charged to the host engine).
+  nic::TxDescriptor d;
+  d.len = sdu.size();
+  d.sg = memory_.stage(sdu);
+  d.vc = vc;
+  d.aal = aal;
+  d.cookie = sent_.value();
+
+  cpu_.execute(config_.costs.tx_syscall, [this, d = std::move(d)]() mutable {
+    if (!nic_.tx().post(d)) backlog_.push_back(std::move(d));
+  });
+  return true;
+}
+
+void Host::on_tx_complete(const nic::TxDescriptor& d) {
+  memory_.free(d.sg);
+  drain_backlog();
+  cpu_.execute(config_.costs.tx_completion, [this] {
+    if (inflight_ > 0) --inflight_;
+    if (tx_ready_) tx_ready_();
+  });
+}
+
+void Host::drain_backlog() {
+  while (!backlog_.empty() && nic_.tx().post(backlog_.front())) {
+    backlog_.pop_front();
+  }
+}
+
+void Host::on_rx(nic::RxDelivery d) {
+  // One interrupt may cover several PDUs; charge trap entry once.
+  std::uint32_t instr = config_.costs.rx_per_pdu;
+  if (d.first_of_batch) {
+    instr += config_.costs.interrupt_entry;
+    interrupts_.add();
+  }
+  cpu_.execute(instr, [this, d = std::move(d)] {
+    aal::Bytes sdu = memory_.gather(d.sg, d.len);
+    memory_.free(d.sg);
+    rx_pages_available_ += d.sg.size();  // replenish the posted budget
+    received_.add();
+    bytes_rx_.add(sdu.size());
+    RxInfo info;
+    info.vc = d.vc;
+    info.first_cell_time = d.first_cell_time;
+    info.delivered_time = d.delivered_time;
+    info.handed_up_time = sim_.now();
+    info.interrupt_batch = d.interrupt_batch;
+    if (auto it = vc_handlers_.find(d.vc); it != vc_handlers_.end()) {
+      it->second(std::move(sdu), info);
+    } else if (rx_handler_) {
+      rx_handler_(std::move(sdu), info);
+    }
+  });
+}
+
+}  // namespace hni::host

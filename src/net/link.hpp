@@ -1,0 +1,108 @@
+// Point-to-point ATM link with loss and bit-error injection.
+//
+// The link carries *wire images*: the 53-octet serialized cell. Bit
+// errors are injected by flipping real bits, so the receiver's HEC
+// machinery (correction/detection) and the AAL CRCs are exercised
+// end-to-end rather than being told the answer.
+//
+// Loss models:
+//   - Bernoulli: each cell independently lost with probability p.
+//   - Gilbert-Elliott: two-state Markov loss (good/bad), capturing the
+//     correlated losses ATM switches produce under congestion.
+//
+// Serialization time is the upstream framer's job; the link adds
+// propagation delay only.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "atm/cell.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace hni::net {
+
+/// A serialized cell in flight, with simulation metadata alongside.
+struct WireCell {
+  std::array<std::uint8_t, atm::kCellSize> bytes{};
+  atm::Cell::Meta meta;
+};
+
+/// Loss-process configuration.
+struct LossModel {
+  // Independent loss.
+  double cell_loss_rate = 0.0;
+
+  // Gilbert-Elliott correlated loss; enabled when mean_burst_cells > 0.
+  // In the bad state every cell is lost; transitions are chosen so the
+  // long-run loss rate equals cell_loss_rate and loss bursts average
+  // mean_burst_cells cells.
+  double mean_burst_cells = 0.0;
+
+  // Probability a cell suffers one header bit flip / one payload bit
+  // flip (independent).
+  double header_bit_error_rate = 0.0;
+  double payload_bit_error_rate = 0.0;
+
+  // Cell delay variation: each cell's delivery is delayed by an
+  // additional U(0, cdv_jitter) — the multiplexing jitter a real path
+  // accumulates (the quantity GCRA's tau exists to tolerate). Cell
+  // order within the link is preserved.
+  sim::Time cdv_jitter = 0;
+};
+
+class Link {
+ public:
+  using Sink = std::function<void(const WireCell&)>;
+
+  Link(sim::Simulator& sim, sim::Time propagation_delay,
+       LossModel loss = {}, std::uint64_t seed = 1);
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Attaches a tracer: the link emits one record per cell event
+  /// (sent / lost / corrupted), tagged with `name`.
+  void set_tracer(sim::Tracer* tracer, std::string name) {
+    tracer_ = tracer;
+    name_ = std::move(name);
+  }
+
+  /// Accepts a structured cell, serializes it and sends it (UNI header
+  /// format — the interface-to-network hop the paper concerns).
+  void send(const atm::Cell& cell);
+
+  /// Accepts a pre-serialized cell (switch-to-link hop).
+  void send_wire(WireCell wire);
+
+  std::uint64_t cells_in() const { return in_.value(); }
+  std::uint64_t cells_lost() const { return lost_.value(); }
+  std::uint64_t cells_corrupted() const { return corrupted_.value(); }
+  sim::Time propagation_delay() const { return delay_; }
+
+ private:
+  bool survives();  // advances the loss process
+
+  sim::Simulator& sim_;
+  sim::Time delay_;
+  LossModel loss_;
+  sim::Rng rng_;
+  Sink sink_;
+  sim::Tracer* tracer_ = nullptr;
+  std::string name_ = "link";
+  bool bad_state_ = false;
+  double p_good_to_bad_ = 0.0;
+  double p_bad_to_good_ = 0.0;
+  sim::Time last_delivery_ = 0;  // FIFO guard under CDV jitter
+  sim::Counter in_;
+  sim::Counter lost_;
+  sim::Counter corrupted_;
+};
+
+}  // namespace hni::net

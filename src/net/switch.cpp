@@ -1,0 +1,188 @@
+#include "net/switch.hpp"
+
+#include <stdexcept>
+
+namespace hni::net {
+
+Switch::Switch(sim::Simulator& sim, SwitchConfig config)
+    : sim_(sim), config_(config), outputs_(config.ports),
+      hec_(config.ports) {
+  if (config_.ports == 0 || config_.queue_cells == 0) {
+    throw std::invalid_argument("Switch: ports and queue must be nonzero");
+  }
+  if (config_.clp_threshold > config_.queue_cells) {
+    config_.clp_threshold = config_.queue_cells;
+  }
+}
+
+void Switch::add_route(std::size_t in_port, atm::VcId vc,
+                       std::size_t out_port, atm::VcId out_vc) {
+  if (in_port >= config_.ports || out_port >= config_.ports) {
+    throw std::out_of_range("Switch: port index");
+  }
+  routes_[RouteKey{in_port, vc}] = Route{out_port, out_vc};
+}
+
+void Switch::add_policer(std::size_t in_port, atm::VcId vc,
+                         double pcr_cells_per_second, sim::Time cdvt,
+                         PoliceAction action) {
+  if (in_port >= config_.ports) throw std::out_of_range("Switch: port");
+  policers_.insert_or_assign(
+      RouteKey{in_port, vc},
+      Policer{atm::Gcra::for_pcr(pcr_cells_per_second, cdvt), action});
+}
+
+bool Switch::remove_route(std::size_t in_port, atm::VcId vc) {
+  policers_.erase(RouteKey{in_port, vc});
+  return routes_.erase(RouteKey{in_port, vc}) > 0;
+}
+
+void Switch::attach_output(std::size_t out_port, Link& link) {
+  outputs_.at(out_port).link = &link;
+}
+
+void Switch::receive(std::size_t in_port, const WireCell& wire) {
+  // Validate/correct the header before trusting the VCI.
+  WireCell cell = wire;
+  auto header = std::span<std::uint8_t, 4>(cell.bytes.data(), 4);
+  const auto verdict = hec_.at(in_port).push(header, cell.bytes[4]);
+  if (verdict == atm::HecVerdict::kDiscard) {
+    hec_discard_.add();
+    return;
+  }
+  if (verdict == atm::HecVerdict::kCorrected) {
+    // Re-stamp the HEC so downstream hops see a consistent codeword.
+    cell.bytes[4] = atm::hec_compute(
+        std::span<const std::uint8_t, 4>(cell.bytes.data(), 4));
+  }
+
+  atm::CellHeader h = atm::decode_header(
+      std::span<const std::uint8_t, 4>(cell.bytes.data(), 4),
+      atm::HeaderFormat::kUni);
+  const auto it = routes_.find(RouteKey{in_port, h.vc});
+  if (it == routes_.end()) {
+    unroutable_.add();
+    return;
+  }
+
+  // Usage parameter control: non-conforming cells are dropped or tagged
+  // discard-eligible before they reach the output queue.
+  if (auto pit = policers_.find(RouteKey{in_port, h.vc});
+      pit != policers_.end()) {
+    if (!pit->second.gcra.police(sim_.now())) {
+      if (pit->second.action == PoliceAction::kDrop) {
+        policed_drop_.add();
+        return;
+      }
+      policed_tag_.add();
+      h.clp = true;
+    }
+  }
+
+  OutputPort& out = outputs_[it->second.out_port];
+
+  // Frame-aware discard (EPD/PPD) for AAL5 traffic.
+  const bool user_data = atm::pti_is_user_data(h.pti);
+  const bool last_of_pdu = atm::pti_auu(h.pti);
+  if (config_.epd_threshold > 0 && user_data) {
+    FrameState& fs = frames_[RouteKey{in_port, h.vc}];
+    if (fs.discard == FrameState::Discard::kWholePdu) {
+      // EPD in progress: consume everything through the final cell.
+      epd_drop_.add();
+      if (last_of_pdu) {
+        fs.discard = FrameState::Discard::kNone;
+        fs.mid_pdu = false;
+      }
+      return;
+    }
+    if (fs.discard == FrameState::Discard::kTail) {
+      // PPD: the PDU is already damaged; drop the useless remainder but
+      // let the final cell through so the receiver terminates the frame
+      // instead of splicing it into the next one.
+      if (!last_of_pdu) {
+        ppd_drop_.add();
+        return;
+      }
+      fs.discard = FrameState::Discard::kNone;
+      fs.mid_pdu = false;
+      // fall through: the final cell is forwarded (queue permitting)
+    } else if (!fs.mid_pdu) {
+      // First cell of a fresh PDU: admit whole PDUs only while the
+      // queue is below the EPD threshold.
+      if (out.queue.size() >= config_.epd_threshold) {
+        epd_drop_.add();
+        epd_pdus_.add();
+        if (!last_of_pdu) {
+          fs.discard = FrameState::Discard::kWholePdu;
+          fs.mid_pdu = true;
+        }
+        return;
+      }
+      fs.mid_pdu = true;
+    }
+    if (last_of_pdu) fs.mid_pdu = false;
+
+    if (out.queue.size() >= config_.queue_cells) {
+      // Overflow mid-PDU despite EPD: shed this cell and the PDU's
+      // remainder (PPD).
+      dropped_.add();
+      if (!last_of_pdu) {
+        fs.discard = FrameState::Discard::kTail;
+        fs.mid_pdu = true;
+      }
+      return;
+    }
+  } else if (out.queue.size() >= config_.queue_cells) {
+    dropped_.add();
+    return;
+  }
+  if (h.clp && out.queue.size() >= config_.clp_threshold) {
+    clp_dropped_.add();
+    return;
+  }
+
+  // Translate the VC and restamp the HEC.
+  h.vc = it->second.out_vc;
+  atm::encode_header(h, atm::HeaderFormat::kUni,
+                     std::span<std::uint8_t, 4>(cell.bytes.data(), 4));
+  cell.bytes[4] = atm::hec_compute(
+      std::span<const std::uint8_t, 4>(cell.bytes.data(), 4));
+
+  out.queue.push_back(std::move(cell));
+  out.depth.set(sim_.now(), static_cast<double>(out.queue.size()));
+  if (!out.serving) serve(it->second.out_port);
+}
+
+void Switch::serve(std::size_t out_port) {
+  OutputPort& out = outputs_[out_port];
+  if (out.queue.empty()) {
+    out.serving = false;
+    return;
+  }
+  out.serving = true;
+  WireCell cell = std::move(out.queue.front());
+  out.queue.pop_front();
+  out.depth.set(sim_.now(), static_cast<double>(out.queue.size()));
+  sim::Time slot = config_.port_rate.cell_slot();
+  if (config_.clock_ppm) {
+    slot = static_cast<sim::Time>(static_cast<double>(slot) *
+                                      (1.0 + *config_.clock_ppm * 1e-6) +
+                                  0.5);
+  }
+  sim_.after(slot, [this, out_port, cell = std::move(cell)]() mutable {
+    OutputPort& out = outputs_[out_port];
+    forwarded_.add();
+    if (out.link != nullptr) out.link->send_wire(std::move(cell));
+    serve(out_port);
+  });
+}
+
+double Switch::mean_queue_depth(std::size_t out_port) const {
+  return outputs_.at(out_port).depth.mean(sim_.now());
+}
+
+double Switch::max_queue_depth(std::size_t out_port) const {
+  return outputs_.at(out_port).depth.max();
+}
+
+}  // namespace hni::net

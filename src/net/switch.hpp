@@ -1,0 +1,154 @@
+// Output-buffered ATM switch.
+//
+// Minimal but real: per-input VC translation (the (port, VPI/VCI) ->
+// (port', VPI'/VCI') map every ATM switch maintains), per-output FIFO
+// queues of bounded depth with tail drop (CLP-eligible cells dropped
+// first at a configurable threshold — the standard CLP usage), and an
+// output scheduler that serves one cell per output slot at the port's
+// line rate. This is enough substrate to create the congestion losses
+// and multiplexing jitter the host interface must live with.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "atm/cell.hpp"
+#include "atm/hec.hpp"
+#include "atm/gcra.hpp"
+#include "atm/phy.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace hni::net {
+
+struct SwitchConfig {
+  std::size_t ports = 2;
+  std::size_t queue_cells = 128;   // per-output buffer, in cells
+  /// Queue depth at and beyond which CLP=1 cells are dropped (<= queue_cells).
+  std::size_t clp_threshold = 128;
+  atm::LineRate port_rate = atm::sts3c();
+  /// Early Packet Discard: when the *first* cell of an AAL5 PDU arrives
+  /// with the output queue at or beyond this depth, the whole PDU is
+  /// discarded instead of shedding random cells from many PDUs. Partial
+  /// Packet Discard engages automatically after any mid-PDU loss: the
+  /// rest of the damaged PDU is dropped (its final cell is forwarded so
+  /// the receiver's reassembler terminates cleanly instead of splicing).
+  /// 0 disables frame-aware discard. AAL5 VCs only (uses the PTI AUU
+  /// end-of-PDU bit); leave disabled on AAL3/4 paths.
+  std::size_t epd_threshold = 0;
+  /// Output clock oscillator offset in ppm; nullopt lets core::Testbed
+  /// assign a realistic random value.
+  std::optional<double> clock_ppm{};
+};
+
+class Switch {
+ public:
+  Switch(sim::Simulator& sim, SwitchConfig config);
+
+  /// Routes (in_port, vc) to (out_port, out_vc).
+  void add_route(std::size_t in_port, atm::VcId vc, std::size_t out_port,
+                 atm::VcId out_vc);
+
+  /// What UPC does with a non-conforming cell.
+  enum class PoliceAction : std::uint8_t {
+    kDrop,  // discard immediately
+    kTag,   // set CLP=1 (discard-eligible downstream)
+  };
+
+  /// Installs usage parameter control on (in_port, vc): cells are
+  /// checked against GCRA(1/pcr, cdvt) on arrival.
+  void add_policer(std::size_t in_port, atm::VcId vc,
+                   double pcr_cells_per_second, sim::Time cdvt,
+                   PoliceAction action);
+
+  /// Tears down a route (and its policer, if any). Returns true if a
+  /// route existed. Subsequent cells on the VC count as unroutable.
+  bool remove_route(std::size_t in_port, atm::VcId vc);
+
+  /// Attaches the link leaving `out_port`.
+  void attach_output(std::size_t out_port, Link& link);
+
+  /// Delivers a wire cell arriving on `in_port` (connect a Link's sink
+  /// to this via a lambda).
+  void receive(std::size_t in_port, const WireCell& wire);
+
+  std::uint64_t cells_forwarded() const { return forwarded_.value(); }
+  std::uint64_t cells_dropped_overflow() const { return dropped_.value(); }
+  std::uint64_t cells_dropped_clp() const { return clp_dropped_.value(); }
+  std::uint64_t cells_unroutable() const { return unroutable_.value(); }
+  std::uint64_t cells_hec_discarded() const { return hec_discard_.value(); }
+  std::uint64_t cells_policed_dropped() const { return policed_drop_.value(); }
+  std::uint64_t cells_policed_tagged() const { return policed_tag_.value(); }
+  std::uint64_t cells_epd_dropped() const { return epd_drop_.value(); }
+  std::uint64_t pdus_epd_discarded() const { return epd_pdus_.value(); }
+  std::uint64_t cells_ppd_dropped() const { return ppd_drop_.value(); }
+
+  const SwitchConfig& config() const { return config_; }
+
+  /// Time-average and max depth of an output queue.
+  double mean_queue_depth(std::size_t out_port) const;
+  double max_queue_depth(std::size_t out_port) const;
+
+ private:
+  struct RouteKey {
+    std::size_t port;
+    atm::VcId vc;
+    friend bool operator==(const RouteKey&, const RouteKey&) = default;
+  };
+  struct RouteKeyHash {
+    std::size_t operator()(const RouteKey& k) const noexcept {
+      return std::hash<atm::VcId>{}(k.vc) * 1315423911u ^ k.port;
+    }
+  };
+  struct Route {
+    std::size_t out_port;
+    atm::VcId out_vc;
+  };
+  struct Policer {
+    atm::Gcra gcra;
+    PoliceAction action;
+  };
+  /// Frame-aware discard state per (in_port, vc), AAL5 framing.
+  struct FrameState {
+    bool mid_pdu = false;      // a PDU is in progress (first cell seen)
+    enum class Discard : std::uint8_t {
+      kNone,
+      kWholePdu,   // EPD: drop everything through the final cell
+      kTail,       // PPD: drop the rest but forward the final cell
+    } discard = Discard::kNone;
+  };
+  struct OutputPort {
+    std::deque<WireCell> queue;
+    Link* link = nullptr;
+    bool serving = false;
+    sim::TimeWeightedStat depth;
+  };
+
+  void serve(std::size_t out_port);
+
+  sim::Simulator& sim_;
+  SwitchConfig config_;
+  std::unordered_map<RouteKey, Route, RouteKeyHash> routes_;
+  std::unordered_map<RouteKey, Policer, RouteKeyHash> policers_;
+  std::unordered_map<RouteKey, FrameState, RouteKeyHash> frames_;
+  std::vector<OutputPort> outputs_;
+  std::vector<atm::HecReceiver> hec_;  // one per input port
+  sim::Counter forwarded_;
+  sim::Counter dropped_;
+  sim::Counter clp_dropped_;
+  sim::Counter unroutable_;
+  sim::Counter hec_discard_;
+  sim::Counter policed_drop_;
+  sim::Counter policed_tag_;
+  sim::Counter epd_drop_;
+  sim::Counter epd_pdus_;
+  sim::Counter ppd_drop_;
+};
+
+}  // namespace hni::net

@@ -1,0 +1,82 @@
+// Workload generators.
+//
+// A source produces SDUs and offers them to a sender function (the host
+// API's transmit entry). The four processes cover the evaluation's
+// needs: greedy (closed-loop, saturates the path — used for throughput
+// ceilings), Poisson (open-loop), CBR (periodic — video/circuit
+// workloads), and on/off (bursty, exponential dwell times — the classic
+// data-traffic model).
+//
+// Payloads carry a deterministic per-SDU pattern (aal::make_pattern
+// keyed by sequence number) so any receiver can verify byte integrity.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "aal/types.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace hni::net {
+
+class SduSource {
+ public:
+  enum class Mode : std::uint8_t { kGreedy, kPoisson, kCbr, kOnOff };
+
+  struct Config {
+    Mode mode = Mode::kGreedy;
+    std::size_t sdu_bytes = 9180;  // classical IP-over-ATM MTU
+    std::uint64_t count = 0;       // SDUs to produce; 0 = unlimited
+    sim::Time interval = sim::microseconds(100);  // CBR period / Poisson
+                                                  // mean interarrival /
+                                                  // on-phase spacing
+    sim::Time mean_on = sim::milliseconds(1);     // on/off dwell means
+    sim::Time mean_off = sim::milliseconds(1);
+    std::uint64_t seed = 42;
+  };
+
+  /// `send` accepts an SDU or refuses it (transmit ring full). Greedy
+  /// mode stops on refusal and resumes on notify_ready(); open-loop
+  /// modes count a refusal as an offered-load drop.
+  using SendFn = std::function<bool(aal::Bytes)>;
+
+  SduSource(sim::Simulator& sim, Config config, SendFn send);
+
+  void start();
+  /// Backpressure release for greedy mode (no-op for open-loop modes).
+  void notify_ready();
+  /// Stops producing (pending scheduled arrivals are abandoned).
+  void stop() { running_ = false; }
+
+  std::uint64_t generated() const { return generated_.value(); }
+  std::uint64_t refused() const { return refused_.value(); }
+  std::uint64_t bytes_offered() const { return bytes_.value(); }
+  bool done() const {
+    return config_.count != 0 && generated_.value() >= config_.count;
+  }
+
+  /// The pattern seed used for SDU number `n` (receivers verify with it).
+  static std::uint64_t pattern_seed(std::uint64_t n) {
+    return 0xC0FFEE00u + n;
+  }
+
+ private:
+  void pump_greedy();
+  void schedule_next();
+  void emit_one();
+
+  sim::Simulator& sim_;
+  Config config_;
+  SendFn send_;
+  sim::Rng rng_;
+  bool running_ = false;
+  sim::Time phase_ends_ = 0;
+  sim::Counter generated_;
+  sim::Counter refused_;
+  sim::Counter bytes_;
+};
+
+}  // namespace hni::net

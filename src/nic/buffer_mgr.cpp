@@ -1,0 +1,35 @@
+#include "nic/buffer_mgr.hpp"
+
+namespace hni::nic {
+
+bool BoardMemory::add_cell(std::uint64_t chain) {
+  Chain& c = chains_[chain];
+  if (c.containers == 0 || c.cells_in_tail == config_.cells_per_container) {
+    if (in_use_ >= config_.containers) {
+      failures_.add();
+      if (c.containers == 0) chains_.erase(chain);
+      return false;
+    }
+    ++in_use_;
+    ++c.containers;
+    c.cells_in_tail = 0;
+    usage_.set(sim_.now(), static_cast<double>(in_use_));
+  }
+  ++c.cells_in_tail;
+  return true;
+}
+
+void BoardMemory::release(std::uint64_t chain) {
+  auto it = chains_.find(chain);
+  if (it == chains_.end()) return;
+  in_use_ -= it->second.containers;
+  usage_.set(sim_.now(), static_cast<double>(in_use_));
+  chains_.erase(it);
+}
+
+std::size_t BoardMemory::chain_containers(std::uint64_t chain) const {
+  const auto it = chains_.find(chain);
+  return it == chains_.end() ? 0 : it->second.containers;
+}
+
+}  // namespace hni::nic

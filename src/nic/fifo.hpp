@@ -1,0 +1,96 @@
+// Bounded cell FIFO with occupancy instrumentation.
+//
+// The FIFOs decouple the line-rate datapath from the protocol engines:
+// the RX FIFO absorbs back-to-back cell arrivals while the reassembly
+// engine and the host bus catch up, and its overflow is the interface's
+// cell-loss mechanism; the TX FIFO lets the segmentation engine run
+// ahead of the framer. Occupancy statistics (time-average, maximum) and
+// drop counts are first-class outputs — FIFO sizing is bench F3/A1.
+
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace hni::nic {
+
+template <typename T>
+class CellFifo {
+ public:
+  CellFifo(sim::Simulator& sim, std::size_t capacity)
+      : sim_(sim), capacity_(capacity) {}
+
+  /// Enqueues at the *front* (priority lane for control cells; the
+  /// next pop returns it). Same capacity rules as push().
+  bool push_front(T item) {
+    if (queue_.size() >= capacity_) {
+      drops_.add();
+      return false;
+    }
+    queue_.push_front(std::move(item));
+    depth_.set(sim_.now(), static_cast<double>(queue_.size()));
+    if (on_push_) on_push_();
+    return true;
+  }
+
+  /// Attempts to enqueue; returns false (and counts a drop) when full.
+  bool push(T item) {
+    if (queue_.size() >= capacity_) {
+      drops_.add();
+      return false;
+    }
+    queue_.push_back(std::move(item));
+    depth_.set(sim_.now(), static_cast<double>(queue_.size()));
+    if (on_push_) on_push_();
+    return true;
+  }
+
+  /// Removes the oldest element, if any. At most one queued space
+  /// waiter is released per pop.
+  std::optional<T> pop() {
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    depth_.set(sim_.now(), static_cast<double>(queue_.size()));
+    if (!space_waiters_.empty()) {
+      auto cb = std::move(space_waiters_.front());
+      space_waiters_.pop_front();
+      cb();
+    }
+    return item;
+  }
+
+  /// Callback fired on every successful push (consumer wake-up).
+  void set_on_push(std::function<void()> cb) { on_push_ = std::move(cb); }
+
+  /// One-shot producer backpressure: `cb` fires after a future pop
+  /// frees a slot (FIFO order among waiters).
+  void wait_space(std::function<void()> cb) {
+    space_waiters_.push_back(std::move(cb));
+  }
+
+  bool empty() const { return queue_.empty(); }
+  bool full() const { return queue_.size() >= capacity_; }
+  std::size_t size() const { return queue_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  std::uint64_t drops() const { return drops_.value(); }
+  double mean_depth() const { return depth_.mean(sim_.now()); }
+  double max_depth() const { return depth_.max(); }
+
+ private:
+  sim::Simulator& sim_;
+  std::size_t capacity_;
+  std::deque<T> queue_;
+  sim::Counter drops_;
+  sim::TimeWeightedStat depth_;
+  std::function<void()> on_push_;
+  std::deque<std::function<void()>> space_waiters_;
+};
+
+}  // namespace hni::nic

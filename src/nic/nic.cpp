@@ -1,0 +1,59 @@
+#include "nic/nic.hpp"
+
+namespace hni::nic {
+
+Nic::Nic(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
+         NicConfig config)
+    : config_(std::move(config)), sim_(&sim) {
+  tx_ = std::make_unique<TxPath>(sim, bus, memory, config_.firmware,
+                                 config_.tx, config_.line);
+  rx_ = std::make_unique<RxPath>(sim, bus, memory, config_.firmware,
+                                 config_.rx);
+  rx_->set_oam_handler(
+      [this](atm::VcId vc, const atm::OamCell& oam) { on_oam(vc, oam); });
+}
+
+void Nic::send_loopback(atm::VcId vc, std::uint64_t tag) {
+  ++loopbacks_sent_;
+  outstanding_loopbacks_[tag] = sim_->now();
+  atm::OamCell oam;
+  oam.function = atm::OamFunction::kLoopbackRequest;
+  oam.tag = tag;
+  tx_->inject_cell(oam.to_cell(vc));
+}
+
+void Nic::on_oam(atm::VcId vc, const atm::OamCell& oam) {
+  switch (oam.function) {
+    case atm::OamFunction::kLoopbackRequest: {
+      // Answer on the same VC: the firmware turns the cell around.
+      ++loopbacks_answered_;
+      atm::OamCell reply;
+      reply.function = atm::OamFunction::kLoopbackResponse;
+      reply.tag = oam.tag;
+      reply.end_to_end = oam.end_to_end;
+      tx_->inject_cell(reply.to_cell(vc));
+      break;
+    }
+    case atm::OamFunction::kLoopbackResponse: {
+      auto it = outstanding_loopbacks_.find(oam.tag);
+      if (it == outstanding_loopbacks_.end()) break;
+      const sim::Time rtt = sim_->now() - it->second;
+      outstanding_loopbacks_.erase(it);
+      ++loopbacks_completed_;
+      if (loopback_handler_) loopback_handler_(vc, oam.tag, rtt);
+      break;
+    }
+    case atm::OamFunction::kAis:
+    case atm::OamFunction::kRdi:
+      // Alarm codepoints are counted by the RX path; no automatic
+      // reaction is modeled here.
+      break;
+  }
+}
+
+void Nic::attach_tx(net::Link& link) {
+  tx_->framer().set_sink([&link](const atm::Cell& cell) { link.send(cell); });
+  tx_->start();
+}
+
+}  // namespace hni::nic

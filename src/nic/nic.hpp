@@ -1,0 +1,79 @@
+// The assembled host-network interface.
+//
+// One Nic owns a transmit path and a receive path sharing the host bus
+// and host memory, configured by a single NicConfig. This is the unit a
+// scenario instantiates per host; core::Testbed wires Nics to links and
+// switches.
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "nic/rx_path.hpp"
+#include "nic/tx_path.hpp"
+
+namespace hni::nic {
+
+struct NicConfig {
+  TxPathConfig tx{};
+  RxPathConfig rx{};
+  proc::FirmwareProfile firmware{};
+  atm::LineRate line = atm::sts3c();
+
+  /// Applies one engine clock to both sides (convenience for sweeps).
+  NicConfig& with_clock(double hz) {
+    tx.engine.clock_hz = hz;
+    rx.engine.clock_hz = hz;
+    return *this;
+  }
+};
+
+class Nic {
+ public:
+  Nic(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
+      NicConfig config);
+
+  TxPath& tx() { return *tx_; }
+  RxPath& rx() { return *rx_; }
+  const TxPath& tx() const { return *tx_; }
+  const RxPath& rx() const { return *rx_; }
+
+  /// Opens `vc` in both directions with the given AAL.
+  void open_vc(atm::VcId vc, aal::AalType aal) { rx_->open_vc(vc, aal); }
+
+  /// Connects the transmit framer to an outgoing link and starts it.
+  void attach_tx(net::Link& link);
+
+  // --- OAM fault management -------------------------------------------
+  /// Fires when a loopback response returns: (vc, tag, round-trip time).
+  using LoopbackHandler =
+      std::function<void(atm::VcId, std::uint64_t, sim::Time)>;
+  void set_loopback_handler(LoopbackHandler handler) {
+    loopback_handler_ = std::move(handler);
+  }
+  /// Sends an OAM loopback request on `vc` (the far-end Nic answers
+  /// automatically).
+  void send_loopback(atm::VcId vc, std::uint64_t tag);
+
+  std::uint64_t loopbacks_sent() const { return loopbacks_sent_; }
+  std::uint64_t loopbacks_answered() const { return loopbacks_answered_; }
+  std::uint64_t loopbacks_completed() const { return loopbacks_completed_; }
+
+  const NicConfig& config() const { return config_; }
+
+ private:
+  void on_oam(atm::VcId vc, const atm::OamCell& oam);
+
+  NicConfig config_;
+  sim::Simulator* sim_ = nullptr;
+  std::unique_ptr<TxPath> tx_;
+  std::unique_ptr<RxPath> rx_;
+  LoopbackHandler loopback_handler_;
+  std::unordered_map<std::uint64_t, sim::Time> outstanding_loopbacks_;
+  std::uint64_t loopbacks_sent_ = 0;
+  std::uint64_t loopbacks_answered_ = 0;
+  std::uint64_t loopbacks_completed_ = 0;
+};
+
+}  // namespace hni::nic

@@ -1,0 +1,227 @@
+#include "nic/rx_path.hpp"
+
+#include <utility>
+
+#include "aal/aal34.hpp"
+
+namespace hni::nic {
+
+RxPath::RxPath(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
+               const proc::FirmwareProfile& firmware, RxPathConfig config)
+    : sim_(sim),
+      memory_(memory),
+      dma_(bus, memory),
+      firmware_(firmware),
+      config_(config),
+      engine_(sim, config.engine),
+      fifo_(sim, config.fifo_cells),
+      board_(sim, config.board),
+      vcs_(config.vc_buckets),
+      interrupts_(sim, config.interrupt_coalesce) {
+  fifo_.set_on_push([this] { service(); });
+  alloc_ = [this](std::size_t bytes) -> std::optional<bus::SgList> {
+    if (memory_.pages_free() * memory_.page_bytes() < bytes) {
+      return std::nullopt;
+    }
+    return memory_.alloc(bytes);
+  };
+  if (config_.reassembly_timeout > 0) {
+    sim_.after(config_.reassembly_timeout, [this] { sweep_stale_pdus(); });
+  }
+  interrupts_.set_handler([this](std::size_t batch) {
+    // One interrupt covers `batch` PDU completions; hand them all up.
+    std::vector<RxDelivery> ready = std::move(pending_deliveries_);
+    pending_deliveries_.clear();
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      ready[i].interrupt_batch = batch;
+      ready[i].first_of_batch = (i == 0);
+      if (deliver_) deliver_(std::move(ready[i]));
+    }
+  });
+}
+
+void RxPath::open_vc(atm::VcId vc, aal::AalType aal) {
+  VcState state;
+  state.aal = aal;
+  state.reasm = std::make_unique<aal::FrameReassembler>(
+      aal, aal::FrameReassembler::Config(config_.max_sdu));
+  vcs_.insert(vc, std::move(state));
+}
+
+void RxPath::close_vc(atm::VcId vc) {
+  board_.release(chain_key(vc));
+  vcs_.erase(vc);
+}
+
+void RxPath::receive_wire(const net::WireCell& wire) {
+  cells_in_.add();
+  auto bytes = wire.bytes;  // mutable copy: HEC may correct a bit
+  auto header = std::span<std::uint8_t, 4>(bytes.data(), 4);
+  const auto verdict = hec_.push(header, bytes[4]);
+  if (verdict == atm::HecVerdict::kDiscard) {
+    hec_discard_.add();
+    return;
+  }
+  if (verdict == atm::HecVerdict::kCorrected) hec_corrected_.add();
+
+  atm::Cell cell = atm::Cell::deserialize(
+      std::span<const std::uint8_t, atm::kCellSize>(bytes.data(),
+                                                    atm::kCellSize),
+      atm::HeaderFormat::kUni);
+  cell.meta = wire.meta;
+  fifo_.push(std::move(cell));  // drop counted by the FIFO when full
+}
+
+bool RxPath::is_last_cell(const atm::Cell& cell, aal::AalType aal) {
+  if (aal == aal::AalType::kAal5) return atm::pti_auu(cell.header.pti);
+  const auto st = static_cast<aal::SegmentType>(cell.payload[0] >> 6);
+  return st == aal::SegmentType::kEom || st == aal::SegmentType::kSsm;
+}
+
+void RxPath::service() {
+  if (engine_busy_) return;
+  std::optional<atm::Cell> cell = fifo_.pop();
+  if (!cell) return;
+  engine_busy_ = true;
+
+  auto found = vcs_.find(cell->header.vc);
+  if (found.state == nullptr) {
+    // Unknown VC: the engine still pays arrival + lookup to find out.
+    no_vc_.add();
+    const std::uint32_t instr = rx_cell_instructions(
+        firmware_, aal::AalType::kAal5, proc::CellPosition{false, false},
+        found.extra_probes);
+    engine_.execute(instr, [this] {
+      engine_busy_ = false;
+      service();
+    });
+    return;
+  }
+
+  VcState& state = *found.state;
+
+  // OAM cells: fault-management handling, no reassembly involvement.
+  if (!atm::pti_is_user_data(cell->header.pti)) {
+    atm::Cell c = std::move(*cell);
+    engine_.execute(firmware_.rx.oam_cell, [this, c = std::move(c)] {
+      oam_cells_.add();
+      if (auto oam = atm::OamCell::parse(c)) {
+        if (oam_handler_) oam_handler_(c.header.vc, *oam);
+      } else {
+        oam_bad_.add();
+      }
+      engine_busy_ = false;
+      service();
+    });
+    return;
+  }
+
+  const proc::CellPosition pos{is_first_cell(*cell, state),
+                               is_last_cell(*cell, state.aal)};
+  const std::uint32_t instr = rx_cell_instructions(
+      firmware_, state.aal, pos, found.extra_probes);
+  atm::Cell c = std::move(*cell);
+  engine_.execute(instr, [this, c = std::move(c)]() mutable {
+    // Re-find the state: the VC table may have changed while the engine
+    // worked (close_vc mid-flight).
+    auto f = vcs_.find(c.header.vc);
+    if (f.state == nullptr) {
+      no_vc_.add();
+      engine_busy_ = false;
+      service();
+      return;
+    }
+    process_cell(std::move(c), *f.state);
+  });
+}
+
+bool RxPath::is_first_cell(const atm::Cell& cell, const VcState& state) {
+  if (state.aal == aal::AalType::kAal5) return !state.reasm->mid_pdu();
+  const auto st = static_cast<aal::SegmentType>(cell.payload[0] >> 6);
+  return st == aal::SegmentType::kBom || st == aal::SegmentType::kSsm;
+}
+
+void RxPath::sweep_stale_pdus() {
+  const sim::Time now = sim_.now();
+  vcs_.for_each([&](atm::VcId vc, VcState& state) {
+    if (!state.reasm->mid_pdu()) return;
+    if (now - state.last_activity < config_.reassembly_timeout) return;
+    // A PDU went quiet mid-assembly (lost final cell, dead sender):
+    // reclaim its containers and reset the stream.
+    timeouts_.add();
+    board_.release(chain_key(vc));
+    state.reasm->reset();
+  });
+  sim_.after(config_.reassembly_timeout, [this] { sweep_stale_pdus(); });
+}
+
+void RxPath::process_cell(atm::Cell cell, VcState& state) {
+  const atm::VcId vc = cell.header.vc;
+  state.last_activity = sim_.now();
+
+  // Board memory accounting: one cell appended to this VC's chain.
+  if (!board_.add_cell(chain_key(vc))) {
+    // Pool exhausted: the in-progress PDU on this VC is abandoned.
+    board_drop_.add();
+    board_.release(chain_key(vc));
+    state.reasm->reset();
+    engine_busy_ = false;
+    service();
+    return;
+  }
+
+  std::optional<aal::FrameDelivery> done = state.reasm->push(cell);
+  if (!done) {
+    engine_busy_ = false;
+    service();
+    return;
+  }
+  complete_pdu(vc, state, std::move(*done));
+}
+
+void RxPath::complete_pdu(atm::VcId vc, VcState& /*state*/,
+                          aal::FrameDelivery d) {
+  board_.release(chain_key(vc));
+  if (!d.ok()) {
+    pdus_err_.add();
+    error_counts_[static_cast<std::size_t>(d.error)].add();
+    engine_busy_ = false;
+    service();
+    return;
+  }
+
+  // Per-PDU delivery work, then the DMA to host memory. The engine is
+  // free once the DMA is programmed; the transfer itself is hardware.
+  engine_.execute(rx_pdu_instructions(firmware_), [this, vc,
+                                                   d = std::move(d)]() mutable {
+    std::optional<bus::SgList> sg = alloc_(d.sdu.size());
+    if (!sg) {
+      host_buffer_drop_.add();
+      engine_busy_ = false;
+      service();
+      return;
+    }
+    const std::size_t len = d.sdu.size();
+    const sim::Time first = d.first_cell_time;
+    bus::SgList host_sg = *std::move(sg);
+    // Engine moves on; DMA completes in the background.
+    engine_busy_ = false;
+    service();
+    dma_.write(host_sg, 0, std::move(d.sdu),
+               [this, vc, host_sg, len, first] {
+                 RxDelivery out;
+                 out.vc = vc;
+                 out.sg = host_sg;
+                 out.len = len;
+                 out.first_cell_time = first;
+                 out.delivered_time = sim_.now();
+                 latency_us_.add(
+                     sim::to_microseconds(out.delivered_time - first));
+                 pdus_ok_.add();
+                 pending_deliveries_.push_back(std::move(out));
+                 interrupts_.post();
+               });
+  });
+}
+
+}  // namespace hni::nic

@@ -1,0 +1,185 @@
+// Receive side of the host-network interface.
+//
+// The pipeline:
+//
+//   wire --> HEC check/correct --> RX cell FIFO --> reassembly engine
+//                                       |                 |
+//                                  (overflow =            | VC lookup (CAM
+//                                   cell loss)            |  or hash), buffer
+//                                                         |  chain append,
+//                                                         v  trailer check
+//                                  board containers   completed PDU
+//                                                         |
+//                                host memory <===(DMA)====+
+//                                       |
+//                                  interrupt (per PDU, coalesced)
+//
+// The RX FIFO absorbs line-rate bursts while the engine works; its
+// overflow is the architecture's loss mechanism under overload (bench
+// F3). The engine is charged per cell from the firmware tables; hash
+// probe counts come from the real VC table so lookup cost scales with
+// active VCs (bench F5). Completed PDUs cross the bus once and the host
+// is interrupted per PDU or less.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "aal/sar.hpp"
+#include "atm/hec.hpp"
+#include "atm/oam.hpp"
+#include "bus/dma.hpp"
+#include "net/link.hpp"
+#include "nic/buffer_mgr.hpp"
+#include "nic/fifo.hpp"
+#include "nic/interrupt.hpp"
+#include "nic/vc_table.hpp"
+#include "proc/engine.hpp"
+#include "proc/firmware.hpp"
+
+namespace hni::nic {
+
+/// A PDU landed in host memory.
+struct RxDelivery {
+  atm::VcId vc;
+  bus::SgList sg;              // host buffers holding the SDU
+  std::size_t len = 0;         // SDU octets
+  sim::Time first_cell_time = 0;   // sender-side stamp of first cell
+  sim::Time delivered_time = 0;    // when the DMA completed
+  std::size_t interrupt_batch = 0; // deliveries covered by the interrupt
+  bool first_of_batch = false;     // true for the first delivery of an
+                                   // interrupt (hosts charge interrupt
+                                   // entry once per batch)
+};
+
+struct RxPathConfig {
+  proc::EngineConfig engine{"rx-engine", 25e6, 1.0};
+  std::size_t fifo_cells = 64;
+  BoardMemoryConfig board{};
+  std::size_t vc_buckets = 64;
+  sim::Time interrupt_coalesce = 0;
+  std::size_t max_sdu = aal::kAal5MaxSdu;
+  /// A partially assembled PDU idle this long is abandoned and its
+  /// board containers reclaimed (a lost final cell must not pin
+  /// resources). 0 disables the sweep.
+  sim::Time reassembly_timeout = sim::milliseconds(50);
+};
+
+class RxPath {
+ public:
+  using DeliverFn = std::function<void(RxDelivery)>;
+  /// Provides host buffers for a PDU of the given size; empty optional
+  /// means the host is out of receive buffers (the PDU is dropped).
+  using BufferAllocator =
+      std::function<std::optional<bus::SgList>(std::size_t)>;
+
+  RxPath(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
+         const proc::FirmwareProfile& firmware, RxPathConfig config);
+
+  /// Opens a VC for reassembly with the given AAL.
+  void open_vc(atm::VcId vc, aal::AalType aal);
+  void close_vc(atm::VcId vc);
+
+  /// PHY entry point: connect a net::Link's sink here.
+  void receive_wire(const net::WireCell& wire);
+
+  /// Host-facing delivery hook (fires after DMA + interrupt).
+  void set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+  /// Overrides the default allocator (which draws directly from host
+  /// memory) — the host driver's free-buffer ring.
+  void set_buffer_allocator(BufferAllocator alloc) {
+    alloc_ = std::move(alloc);
+  }
+
+  /// Receives valid OAM cells arriving on open VCs (fault management;
+  /// the Nic wires loopback semantics on top).
+  using OamHandler = std::function<void(atm::VcId, const atm::OamCell&)>;
+  void set_oam_handler(OamHandler handler) {
+    oam_handler_ = std::move(handler);
+  }
+
+  InterruptController& interrupts() { return interrupts_; }
+  const InterruptController& interrupts() const { return interrupts_; }
+  const proc::Engine& engine() const { return engine_; }
+  const CellFifo<atm::Cell>& fifo() const { return fifo_; }
+  const BoardMemory& board() const { return board_; }
+
+  // --- statistics -----------------------------------------------------
+  std::uint64_t cells_received() const { return cells_in_.value(); }
+  std::uint64_t cells_hec_discarded() const { return hec_discard_.value(); }
+  std::uint64_t cells_hec_corrected() const { return hec_corrected_.value(); }
+  std::uint64_t cells_fifo_dropped() const { return fifo_.drops(); }
+  std::uint64_t cells_no_vc() const { return no_vc_.value(); }
+  std::uint64_t pdus_delivered() const { return pdus_ok_.value(); }
+  std::uint64_t pdus_errored() const { return pdus_err_.value(); }
+  std::uint64_t pdus_dropped_board() const { return board_drop_.value(); }
+  std::uint64_t pdus_dropped_host_buffers() const {
+    return host_buffer_drop_.value();
+  }
+  std::uint64_t oam_cells_received() const { return oam_cells_.value(); }
+  std::uint64_t oam_cells_bad() const { return oam_bad_.value(); }
+  /// Partial PDUs abandoned by the reassembly-timeout sweep.
+  std::uint64_t pdus_timed_out() const { return timeouts_.value(); }
+  std::uint64_t error_count(aal::ReassemblyError e) const {
+    return error_counts_[static_cast<std::size_t>(e)].value();
+  }
+  /// Reassembly latency: first cell emission to host-memory landing.
+  const sim::RunningStat& pdu_latency_us() const { return latency_us_; }
+
+ private:
+  struct VcState {
+    aal::AalType aal = aal::AalType::kAal5;
+    std::unique_ptr<aal::FrameReassembler> reasm;
+    sim::Time last_activity = 0;
+  };
+
+  void service();
+  void sweep_stale_pdus();
+  void process_cell(atm::Cell cell, VcState& state);
+  void complete_pdu(atm::VcId vc, VcState& state, aal::FrameDelivery d);
+  static bool is_first_cell(const atm::Cell& cell, const VcState& state);
+  static std::uint64_t chain_key(atm::VcId vc) {
+    return (static_cast<std::uint64_t>(vc.vpi) << 16) | vc.vci;
+  }
+  /// Whether this cell ends a PDU (peeked for cost computation).
+  static bool is_last_cell(const atm::Cell& cell, aal::AalType aal);
+
+  sim::Simulator& sim_;
+  bus::HostMemory& memory_;
+  bus::DmaEngine dma_;
+  proc::FirmwareProfile firmware_;
+  RxPathConfig config_;
+  proc::Engine engine_;
+  CellFifo<atm::Cell> fifo_;
+  BoardMemory board_;
+  atm::HecReceiver hec_;
+  VcTable<VcState> vcs_;
+  InterruptController interrupts_;
+  DeliverFn deliver_;
+  BufferAllocator alloc_;
+  OamHandler oam_handler_;
+  bool engine_busy_ = false;
+
+  sim::Counter cells_in_;
+  sim::Counter hec_discard_;
+  sim::Counter hec_corrected_;
+  sim::Counter no_vc_;
+  sim::Counter pdus_ok_;
+  sim::Counter pdus_err_;
+  sim::Counter board_drop_;
+  sim::Counter host_buffer_drop_;
+  sim::Counter oam_cells_;
+  sim::Counter oam_bad_;
+  sim::Counter timeouts_;
+  std::array<sim::Counter, 7> error_counts_;
+  sim::RunningStat latency_us_;
+
+  // Deliveries completed but not yet covered by an interrupt; flushed
+  // to the host when the controller fires.
+  std::vector<RxDelivery> pending_deliveries_;
+};
+
+}  // namespace hni::nic

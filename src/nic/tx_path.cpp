@@ -1,0 +1,243 @@
+#include "nic/tx_path.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hni::nic {
+
+TxPath::TxPath(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
+               const proc::FirmwareProfile& firmware, TxPathConfig config,
+               atm::LineRate line)
+    : sim_(sim),
+      memory_(memory),
+      dma_(bus, memory),
+      firmware_(firmware),
+      config_(config),
+      engine_(sim, config.engine),
+      fifo_(sim, config.fifo_cells),
+      framer_(sim, std::move(line)) {
+  if (config_.clock_ppm) framer_.set_clock_ppm(*config_.clock_ppm);
+  framer_.set_supplier([this]() -> std::optional<atm::Cell> {
+    return fifo_.pop();
+  });
+}
+
+TxPath::VcState& TxPath::state_for(atm::VcId vc) {
+  auto [it, inserted] = vcs_.try_emplace(vc);
+  if (inserted) rr_.push_back(vc);
+  return it->second;
+}
+
+bool TxPath::post(TxDescriptor descriptor) {
+  if (ring_full()) return false;
+  ring_.push_back(std::move(descriptor));
+  maybe_stage_next();
+  return true;
+}
+
+void TxPath::inject_cell(atm::Cell cell) {
+  control_.push_back(std::move(cell));
+  schedule_emission();
+}
+
+void TxPath::set_shaper(atm::VcId vc, double pcr_cells_per_second,
+                        sim::Time cdvt) {
+  state_for(vc).shaper = atm::Gcra::for_pcr(pcr_cells_per_second, cdvt);
+}
+
+void TxPath::clear_shaper(atm::VcId vc) { state_for(vc).shaper.reset(); }
+
+// Staging pipeline: the engine prefetches a descriptor and runs its DMA
+// while already-staged PDUs drain through the FIFO — double buffering,
+// so the wire does not idle during bus transfers. Staging is skipped
+// over descriptors whose VC has reached its per-VC staging quota, so a
+// deep queue on one VC cannot monopolize the board's staging slots.
+void TxPath::maybe_stage_next() {
+  if (staging_inflight_ >= config_.staging_concurrency ||
+      staged_count_ + staging_inflight_ >= config_.staged_pdus) {
+    return;
+  }
+  // Pick the oldest descriptor whose VC has a free staging quota and no
+  // staging already in flight (keeps every VC's PDUs in posting order).
+  auto it = std::find_if(ring_.begin(), ring_.end(),
+                         [this](const TxDescriptor& d) {
+                           return staging_vcs_.count(d.vc) == 0 &&
+                                  state_for(d.vc).queue.size() <
+                                      config_.staged_per_vc;
+                         });
+  if (it == ring_.end()) return;
+  ++staging_inflight_;
+  staging_vcs_.insert(it->vc);
+  TxDescriptor d = std::move(*it);
+  ring_.erase(it);
+  // Per-PDU front work: descriptor fetch + DMA programming.
+  const std::uint32_t instr =
+      firmware_.tx.fetch_descriptor + firmware_.tx.program_dma;
+  engine_.execute(instr, [this, d = std::move(d)]() mutable {
+    stage_pdu(std::move(d));
+  });
+}
+
+void TxPath::stage_pdu(TxDescriptor d) {
+  auto finish_staging = [this](TxDescriptor desc, aal::Bytes sdu) {
+    engine_.execute(firmware_.tx.build_trailer,
+                    [this, desc = std::move(desc),
+                     sdu = std::move(sdu)]() mutable {
+                      aal::FrameSegmenter seg(desc.aal, desc.vc);
+                      StagedPdu staged;
+                      staged.cells = seg.segment(sdu, desc.clp);
+                      const atm::VcId vc = desc.vc;
+                      staged.descriptor = std::move(desc);
+                      state_for(vc).queue.push_back(std::move(staged));
+                      ++staged_count_;
+                      --staging_inflight_;
+                      staging_vcs_.erase(vc);
+                      schedule_emission();
+                      maybe_stage_next();
+                    });
+  };
+
+  if (config_.dma_mode == TxDmaMode::kWholePdu) {
+    // Stage the whole SDU across the bus, then build the CPCS framing.
+    // (Window copied out first: the callback's capture moves `d`, and
+    // argument evaluation order is unspecified.)
+    const bus::SgList sg = d.sg;
+    const std::size_t len = d.len;
+    dma_.read(sg, 0, len,
+              [d = std::move(d), finish_staging](aal::Bytes sdu) mutable {
+                finish_staging(std::move(d), std::move(sdu));
+              });
+  } else {
+    // Cut-through: segmentation is functional up front (the bytes are
+    // already in host memory); the bus is charged one 48-octet transfer
+    // per cell as emission walks the PDU.
+    aal::Bytes sdu = memory_.gather(d.sg, d.len);
+    finish_staging(std::move(d), std::move(sdu));
+  }
+}
+
+// Round-robin, shaping-aware emission: one cell per grant, rotating
+// across VCs with staged cells. Re-armed by staging completions, FIFO
+// space, engine completions and shaper timers.
+void TxPath::schedule_emission() {
+  if (emit_busy_) return;
+  if (fifo_.full()) {
+    if (!fifo_wait_armed_) {
+      fifo_wait_armed_ = true;
+      fifo_.wait_space([this] {
+        fifo_wait_armed_ = false;
+        schedule_emission();
+      });
+    }
+    return;
+  }
+  // Control cells (OAM/RM) first: tiny, latency-sensitive, unshaped.
+  if (!control_.empty()) {
+    emit_busy_ = true;
+    atm::Cell cell = std::move(control_.front());
+    control_.pop_front();
+    engine_.execute(firmware_.tx.cell_overhead,
+                    [this, cell = std::move(cell)]() mutable {
+                      cell.meta.created = sim_.now();
+                      cell.meta.seq = next_seq_++;
+                      cells_.add();
+                      // Priority lane: the control cell takes the next
+                      // wire slot, ahead of queued user cells.
+                      fifo_.push_front(std::move(cell));
+                      emit_busy_ = false;
+                      schedule_emission();
+                    });
+    return;
+  }
+  if (rr_.empty()) return;
+
+  const sim::Time now = sim_.now();
+  sim::Time earliest = sim::kTimeNever;
+  for (std::size_t i = 0; i < rr_.size(); ++i) {
+    const std::size_t idx = (rr_pos_ + i) % rr_.size();
+    VcState& vs = vcs_.at(rr_[idx]);
+    if (vs.queue.empty()) continue;
+    if (vs.shaper && !vs.shaper->conforms(now)) {
+      earliest = std::min(earliest, vs.shaper->eligible_at());
+      continue;
+    }
+    rr_pos_ = (idx + 1) % rr_.size();
+    emit_one(rr_[idx]);
+    return;
+  }
+  if (earliest != sim::kTimeNever && earliest > now) {
+    // Everything pending is shaper-blocked; wake at first eligibility.
+    if (shaper_wakeup_at_ > earliest) {
+      sim_.cancel(shaper_wakeup_);
+      shaper_wakeup_at_ = earliest;
+      shaper_wakeup_ = sim_.at(earliest, [this] {
+        shaper_wakeup_at_ = sim::kTimeNever;
+        schedule_emission();
+      });
+    }
+  }
+}
+
+void TxPath::emit_one(atm::VcId vc) {
+  emit_busy_ = true;
+  VcState& vs = vcs_.at(vc);
+  StagedPdu& pdu = vs.queue.front();
+  const TxDescriptor& d = pdu.descriptor;
+  const std::size_t next = pdu.next;
+  const proc::CellPosition pos{next == 0, next + 1 == pdu.cells.size()};
+  const std::uint32_t instr =
+      proc::tx_cell_instructions(firmware_, d.aal, pos);
+
+  // Per-cell DMA window (cut-through mode only).
+  const std::size_t per_cell = aal::payload_per_cell(d.aal);
+  const std::size_t off = next * per_cell;
+  const std::size_t dma_len =
+      off < d.len ? std::min(per_cell, d.len - off) : 0;
+  const bool per_cell_dma =
+      config_.dma_mode == TxDmaMode::kPerCell && dma_len > 0;
+
+  auto push_cell = [this, vc]() mutable {
+    VcState& vs = vcs_.at(vc);
+    StagedPdu& pdu = vs.queue.front();
+    atm::Cell cell = pdu.cells[pdu.next];
+    cell.meta.created = sim_.now();
+    cell.meta.seq = next_seq_++;
+    cells_.add();
+    fifo_.push(std::move(cell));  // scheduler checked space; cannot drop
+    if (vs.shaper) vs.shaper->commit(sim_.now());
+    ++pdu.next;
+    if (pdu.next < pdu.cells.size()) {
+      emit_busy_ = false;
+      schedule_emission();
+      return;
+    }
+    // Last cell handed over: per-PDU completion work.
+    TxDescriptor done = std::move(pdu.descriptor);
+    vs.queue.pop_front();
+    --staged_count_;
+    engine_.execute(firmware_.tx.complete_pdu,
+                    [this, done = std::move(done)] {
+                      pdus_.add();
+                      if (completion_) completion_(done);
+                      emit_busy_ = false;
+                      schedule_emission();
+                      maybe_stage_next();
+                    });
+    maybe_stage_next();
+  };
+
+  if (per_cell_dma) {
+    // The payload window crosses the bus as its own transfer; cells
+    // past the SDU (pad/trailer cells) cost no bus time.
+    const bus::SgList sg = d.sg;
+    dma_.read(sg, off, dma_len,
+              [this, instr,
+               push_cell = std::move(push_cell)](aal::Bytes) mutable {
+                engine_.execute(instr, std::move(push_cell));
+              });
+    return;
+  }
+  engine_.execute(instr, std::move(push_cell));
+}
+
+}  // namespace hni::nic

@@ -1,0 +1,172 @@
+// Transmit side of the host-network interface.
+//
+// The pipeline the paper lays out:
+//
+//   host driver --(descriptor ring)--> segmentation engine
+//        |                                   |
+//        +--- host memory ===(DMA, bus)===> board staging
+//                                            |
+//                              cell build (header template, AAL fields,
+//                              CRC in hardware) --> TX cell FIFO
+//                                            |
+//                                     SONET framer (line rate)
+//
+// The host writes the SDU once; the board DMAs it across the bus once
+// (whole-PDU staging by default, per-cell cut-through as an ablation),
+// the engine walks it producing cells, and the framer drains the FIFO
+// at line rate. When the FIFO fills, the engine stalls — transmit
+// applies backpressure, it never drops.
+//
+// Two properties beyond the minimal pipeline:
+//
+//  * Staging is double-buffered: the next PDU's descriptor fetch and
+//    DMA overlap the current PDU's cell emission, so the wire does not
+//    idle across bus transfers.
+//  * Emission is scheduled per VC with cell-level round-robin: PDUs on
+//    different VCs interleave cell by cell (legal in ATM — cells of one
+//    VC stay in order), so a small urgent PDU is not head-of-line
+//    blocked behind a 64 kB transfer. A per-VC GCRA shaper can pace a
+//    VC to its traffic contract (see atm/gcra.hpp); unshaped VCs share
+//    the residual line rate round-robin.
+//
+// Costs charged to the engine come from proc::FirmwareProfile; the data
+// path itself is functional (real cells with real CRCs come out).
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "aal/sar.hpp"
+#include "atm/gcra.hpp"
+#include "atm/phy.hpp"
+#include "bus/dma.hpp"
+#include "nic/fifo.hpp"
+#include "proc/engine.hpp"
+#include "proc/firmware.hpp"
+
+namespace hni::nic {
+
+/// One transmit request, as the driver posts it.
+struct TxDescriptor {
+  bus::SgList sg;                 // SDU bytes in host memory
+  std::size_t len = 0;            // SDU length in octets
+  atm::VcId vc;
+  aal::AalType aal = aal::AalType::kAal5;
+  bool clp = false;
+  std::uint64_t cookie = 0;       // host correlation id
+};
+
+enum class TxDmaMode : std::uint8_t {
+  kWholePdu,  // one S/G DMA stages the PDU in board memory (default)
+  kPerCell,   // 48-octet DMA per cell (cut-through ablation)
+};
+
+struct TxPathConfig {
+  proc::EngineConfig engine{"tx-engine", 25e6, 1.0};
+  std::size_t ring_entries = 32;
+  std::size_t fifo_cells = 64;
+  std::size_t staged_pdus = 4;     // board staging slots (total)
+  std::size_t staged_per_vc = 2;   // ...and per VC (fairness)
+  std::size_t staging_concurrency = 2;  // staging DMAs in flight (the
+                                        // bus arbitrates burst-wise)
+  TxDmaMode dma_mode = TxDmaMode::kWholePdu;
+  /// Oscillator offset in ppm; nullopt lets core::Testbed assign a
+  /// realistic random value per station (+-50 ppm).
+  std::optional<double> clock_ppm{};
+};
+
+class TxPath {
+ public:
+  /// Fired when a descriptor's cells have all been handed to the framer
+  /// FIFO and its host buffers may be reclaimed.
+  using Completion = std::function<void(const TxDescriptor&)>;
+
+  TxPath(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
+         const proc::FirmwareProfile& firmware, TxPathConfig config,
+         atm::LineRate line);
+
+  /// Posts a descriptor; false when the ring is full.
+  bool post(TxDescriptor descriptor);
+
+  /// Queues a raw control cell (OAM, RM) for emission. Control cells
+  /// take priority over user data and are never shaped.
+  void inject_cell(atm::Cell cell);
+
+  /// Paces `vc` to a peak cell rate (cells/second) with the given CDVT.
+  /// Applies to cells emitted from now on.
+  void set_shaper(atm::VcId vc, double pcr_cells_per_second,
+                  sim::Time cdvt = 0);
+  void clear_shaper(atm::VcId vc);
+
+  void set_completion(Completion cb) { completion_ = std::move(cb); }
+
+  /// The framer feeding the wire; callers attach its sink and start it.
+  atm::TxFramer& framer() { return framer_; }
+
+  /// Starts the framer slot clock.
+  void start() { framer_.start(); }
+
+  bool ring_full() const { return ring_.size() >= config_.ring_entries; }
+  std::size_t ring_occupancy() const { return ring_.size(); }
+
+  std::uint64_t pdus_sent() const { return pdus_.value(); }
+  std::uint64_t cells_built() const { return cells_.value(); }
+  const proc::Engine& engine() const { return engine_; }
+  const CellFifo<atm::Cell>& fifo() const { return fifo_; }
+
+ private:
+  /// A PDU staged on the board: bytes DMA'd, cells cut, ready to emit.
+  struct StagedPdu {
+    TxDescriptor descriptor;
+    std::vector<atm::Cell> cells;
+    std::size_t next = 0;  // next cell to emit
+  };
+
+  struct VcState {
+    std::deque<StagedPdu> queue;
+    std::optional<atm::Gcra> shaper;
+  };
+
+  void maybe_stage_next();
+  void stage_pdu(TxDescriptor descriptor);
+  /// Emission scheduler: picks the next eligible VC round-robin and
+  /// emits one cell; re-arms on FIFO space / shaper eligibility.
+  void schedule_emission();
+  void emit_one(atm::VcId vc);
+  VcState& state_for(atm::VcId vc);
+
+  sim::Simulator& sim_;
+  bus::HostMemory& memory_;
+  bus::DmaEngine dma_;
+  proc::FirmwareProfile firmware_;
+  TxPathConfig config_;
+  proc::Engine engine_;
+  CellFifo<atm::Cell> fifo_;
+  atm::TxFramer framer_;
+  std::deque<TxDescriptor> ring_;
+  std::deque<atm::Cell> control_;  // OAM/RM cells awaiting emission
+
+  std::unordered_map<atm::VcId, VcState> vcs_;
+  std::vector<atm::VcId> rr_;   // all VCs ever seen, rotation order
+  std::size_t rr_pos_ = 0;
+  std::size_t staged_count_ = 0;
+  std::size_t staging_inflight_ = 0;
+  std::unordered_set<atm::VcId> staging_vcs_;  // per-VC ordering guard
+  bool emit_busy_ = false;
+  bool fifo_wait_armed_ = false;
+  sim::EventHandle shaper_wakeup_;
+  sim::Time shaper_wakeup_at_ = sim::kTimeNever;
+
+  Completion completion_;
+  std::uint64_t next_seq_ = 0;
+  sim::Counter pdus_;
+  sim::Counter cells_;
+};
+
+}  // namespace hni::nic

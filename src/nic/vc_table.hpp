@@ -1,0 +1,91 @@
+// Per-VC state lookup.
+//
+// The receive engine must map each arriving cell's VPI/VCI to its
+// reassembly state. The paper's design point is a CAM assist (constant
+// time); the software alternative is an open hash whose probe count
+// grows with the number of active VCs — the difference is exactly what
+// bench F5 measures. This table is a real open hash: lookups report how
+// many extra probes the search performed so the engine can be charged
+// faithfully.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "atm/cell.hpp"
+
+namespace hni::nic {
+
+template <typename State>
+class VcTable {
+ public:
+  explicit VcTable(std::size_t buckets = 64) : buckets_(buckets) {}
+
+  struct Found {
+    State* state = nullptr;
+    std::uint32_t extra_probes = 0;  // chain hops beyond the first slot
+  };
+
+  /// Inserts (or replaces) state for `vc`.
+  State& insert(atm::VcId vc, State state) {
+    auto& chain = buckets_[index(vc)];
+    for (auto& entry : chain) {
+      if (entry.first == vc) {
+        entry.second = std::move(state);
+        return entry.second;
+      }
+    }
+    chain.emplace_back(vc, std::move(state));
+    ++size_;
+    return chain.back().second;
+  }
+
+  /// Looks up `vc`, reporting chain probes.
+  Found find(atm::VcId vc) {
+    auto& chain = buckets_[index(vc)];
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (chain[i].first == vc) {
+        return Found{&chain[i].second, static_cast<std::uint32_t>(i)};
+      }
+    }
+    return Found{nullptr,
+                 static_cast<std::uint32_t>(chain.empty() ? 0
+                                                          : chain.size() - 1)};
+  }
+
+  bool erase(atm::VcId vc) {
+    auto& chain = buckets_[index(vc)];
+    for (auto it = chain.begin(); it != chain.end(); ++it) {
+      if (it->first == vc) {
+        chain.erase(it);
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// Visits every (vc, state) pair.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& chain : buckets_) {
+      for (auto& entry : chain) fn(entry.first, entry.second);
+    }
+  }
+
+ private:
+  std::size_t index(atm::VcId vc) const {
+    return std::hash<atm::VcId>{}(vc) % buckets_.size();
+  }
+
+  std::vector<std::vector<std::pair<atm::VcId, State>>> buckets_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hni::nic

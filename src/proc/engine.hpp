@@ -1,0 +1,68 @@
+// Protocol engine: a cycle-cost model of the interface's programmable
+// processors.
+//
+// The paper puts one Intel 80960CA-class RISC microcontroller on each
+// side of the interface (TX segmentation, RX reassembly) and evaluates
+// the design by counting the instructions each per-cell and per-PDU
+// firmware operation executes, then comparing the resulting time against
+// the cell slot (2.831 us at STS-3c, 707.7 ns at STS-12c). This class is
+// exactly that arithmetic plus busy/idle bookkeeping: an Engine is a
+// serially-busy resource; work items cost instructions; instructions
+// cost cpi/clock seconds.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace hni::proc {
+
+struct EngineConfig {
+  std::string name = "engine";
+  double clock_hz = 25e6;  // 80960CA shipped at 25/33 MHz
+  double cpi = 1.0;        // sustained cycles per instruction (hot loops)
+};
+
+class Engine {
+ public:
+  using Done = std::function<void()>;
+
+  Engine(sim::Simulator& sim, EngineConfig config);
+
+  /// Time `instructions` take on this engine.
+  sim::Time cost(std::uint32_t instructions) const;
+
+  /// Occupies the engine for `instructions`, FIFO behind queued work,
+  /// then fires `done`.
+  void execute(std::uint32_t instructions, Done done);
+
+  /// Occupies the engine for a literal duration (e.g. a CPU stalled on
+  /// programmed I/O while the bus moves words).
+  void occupy(sim::Time duration, Done done);
+
+  /// True when no work is in progress or queued.
+  bool idle() const { return free_at_ <= sim_.now(); }
+  sim::Time free_at() const { return free_at_; }
+
+  /// Fraction of time busy since construction.
+  double utilization(sim::Time now) const;
+
+  const EngineConfig& config() const { return config_; }
+  std::uint64_t instructions_retired() const { return instructions_.value(); }
+  std::uint64_t work_items() const { return items_.value(); }
+
+ private:
+  sim::Simulator& sim_;
+  EngineConfig config_;
+  sim::Time free_at_ = 0;
+  sim::Time busy_accum_ = 0;
+  sim::Time born_;
+  sim::Counter instructions_;
+  sim::Counter items_;
+};
+
+}  // namespace hni::proc

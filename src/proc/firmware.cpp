@@ -1,0 +1,59 @@
+#include "proc/firmware.hpp"
+
+namespace hni::proc {
+namespace {
+
+// 32-bit words of payload the software CRC must digest per cell.
+constexpr std::uint32_t crc_words(aal::AalType aal) {
+  switch (aal) {
+    case aal::AalType::kAal5:
+      return 48 / 4;
+    case aal::AalType::kAal34:
+      return 48 / 4;  // CRC-10 covers the whole SAR-PDU
+    case aal::AalType::kAal1:
+      return 0;  // SNP is 4 bits over 4 bits; negligible either way
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint32_t tx_cell_instructions(const FirmwareProfile& profile,
+                                   aal::AalType aal, CellPosition pos) {
+  std::uint32_t n = profile.tx.cell_overhead;
+  if (aal == aal::AalType::kAal34) n += profile.tx.aal34_cell_extra;
+  if (!profile.assists.crc_offload) {
+    n += profile.tx.crc_per_word * crc_words(aal);
+  }
+  (void)pos;  // TX treats all cells alike; PDU edges are charged per PDU
+  return n;
+}
+
+std::uint32_t tx_pdu_instructions(const FirmwareProfile& profile) {
+  return profile.tx.fetch_descriptor + profile.tx.program_dma +
+         profile.tx.build_trailer + profile.tx.complete_pdu;
+}
+
+std::uint32_t rx_cell_instructions(const FirmwareProfile& profile,
+                                   aal::AalType aal, CellPosition pos,
+                                   std::uint32_t extra_probes) {
+  std::uint32_t n = profile.rx.cell_arrival;
+  n += profile.assists.cam_lookup
+           ? profile.rx.vc_lookup_cam
+           : profile.rx.vc_lookup_hash +
+                 profile.rx.vc_lookup_probe * extra_probes;
+  n += profile.rx.buffer_append;
+  if (pos.first) n += profile.rx.first_cell_extra;
+  if (pos.last) n += profile.rx.last_cell_extra;
+  if (aal == aal::AalType::kAal34) n += profile.rx.aal34_cell_extra;
+  if (!profile.assists.crc_offload) {
+    n += profile.rx.crc_per_word * crc_words(aal);
+  }
+  return n;
+}
+
+std::uint32_t rx_pdu_instructions(const FirmwareProfile& profile) {
+  return profile.rx.deliver_pdu;
+}
+
+}  // namespace hni::proc

@@ -1,0 +1,180 @@
+#include "sig/call_control.hpp"
+
+namespace hni::sig {
+
+CallControl::CallControl(core::Station& station, std::uint16_t my_party)
+    : station_(station), party_(my_party) {
+  station_.nic().open_vc(kSignalingVc, aal::AalType::kAal5);
+  station_.host().set_vc_handler(
+      kSignalingVc, [this](aal::Bytes sdu, const host::RxInfo&) {
+        on_signaling_frame(std::move(sdu));
+      });
+}
+
+std::uint32_t CallControl::place_call(std::uint16_t called,
+                                      aal::AalType aal,
+                                      double pcr_cells_per_second,
+                                      ConnectedFn on_connected,
+                                      FailedFn on_failed) {
+  // Call references must be network-unique (the agent keys on them);
+  // derive from the party address.
+  const std::uint32_t ref =
+      (static_cast<std::uint32_t>(party_) << 16) | (next_ref_++ & 0xFFFF);
+  ++placed_;
+  Call call;
+  call.state = State::kCalling;
+  call.info.call_id = ref;
+  call.info.peer = called;
+  call.info.aal = aal;
+  call.info.pcr_cells_per_second = pcr_cells_per_second;
+  call.on_connected = std::move(on_connected);
+  call.on_failed = std::move(on_failed);
+  calls_.emplace(ref, std::move(call));
+
+  Message m;
+  m.type = MessageType::kSetup;
+  m.call_id = ref;
+  m.calling_party = party_;
+  m.called_party = called;
+  m.aal = aal;
+  m.pcr_cells_per_second = pcr_cells_per_second;
+  send(m);
+  return ref;
+}
+
+void CallControl::set_incoming(IncomingFn accept, ConnectedFn on_connected) {
+  incoming_ = std::move(accept);
+  incoming_connected_ = std::move(on_connected);
+}
+
+void CallControl::release(std::uint32_t call_id, Cause cause) {
+  auto it = calls_.find(call_id);
+  if (it == calls_.end() || it->second.state != State::kConnected) return;
+  it->second.state = State::kReleasing;
+  Message m;
+  m.type = MessageType::kRelease;
+  m.call_id = call_id;
+  m.calling_party = party_;
+  m.cause = cause;
+  send(m);
+}
+
+void CallControl::send(const Message& m) {
+  station_.host().send(kSignalingVc, aal::AalType::kAal5, m.encode());
+}
+
+void CallControl::open_data_vc(const CallInfo& info) {
+  station_.nic().open_vc(info.vc, info.aal);
+  if (info.pcr_cells_per_second > 0.0) {
+    // Honour the traffic contract at the source: UPC polices it in the
+    // network, so shape here and the call is loss-free by construction.
+    station_.nic().tx().set_shaper(info.vc, info.pcr_cells_per_second,
+                                   sim::microseconds(3));
+  }
+}
+
+void CallControl::close_data_vc(const CallInfo& info) {
+  station_.nic().rx().close_vc(info.vc);
+  if (info.pcr_cells_per_second > 0.0) {
+    station_.nic().tx().clear_shaper(info.vc);
+  }
+}
+
+void CallControl::on_signaling_frame(aal::Bytes sdu) {
+  const auto m = Message::decode(sdu);
+  if (!m) return;  // malformed frame: ignore (no SSCOP underneath)
+  switch (m->type) {
+    case MessageType::kSetup:
+      handle_setup(*m);
+      break;
+    case MessageType::kConnect:
+      handle_connect(*m);
+      break;
+    case MessageType::kRelease:
+      handle_release(*m);
+      break;
+    case MessageType::kReleaseComplete:
+      handle_release_complete(*m);
+      break;
+  }
+}
+
+void CallControl::handle_setup(const Message& m) {
+  CallInfo info;
+  info.call_id = m.call_id;
+  info.peer = m.calling_party;
+  info.vc = m.assigned_vc;  // the network already allocated our leg
+  info.aal = m.aal;
+  info.pcr_cells_per_second = m.pcr_cells_per_second;
+
+  const bool accept = incoming_ && incoming_(info);
+  if (!accept) {
+    Message reply;
+    reply.type = MessageType::kRelease;
+    reply.call_id = m.call_id;
+    reply.calling_party = party_;
+    reply.cause = Cause::kCallRejected;
+    send(reply);
+    return;
+  }
+
+  Call call;
+  call.state = State::kConnected;
+  call.info = info;
+  calls_.emplace(m.call_id, std::move(call));
+  open_data_vc(info);
+
+  Message reply;
+  reply.type = MessageType::kConnect;
+  reply.call_id = m.call_id;
+  reply.calling_party = party_;
+  reply.assigned_vc = info.vc;
+  send(reply);
+  ++connected_;
+  if (incoming_connected_) incoming_connected_(info);
+}
+
+void CallControl::handle_connect(const Message& m) {
+  auto it = calls_.find(m.call_id);
+  if (it == calls_.end() || it->second.state != State::kCalling) return;
+  Call& call = it->second;
+  call.state = State::kConnected;
+  call.info.vc = m.assigned_vc;
+  open_data_vc(call.info);
+  ++connected_;
+  if (call.on_connected) call.on_connected(call.info);
+}
+
+void CallControl::handle_release(const Message& m) {
+  auto it = calls_.find(m.call_id);
+  if (it == calls_.end()) return;
+  Call call = std::move(it->second);
+  calls_.erase(it);
+
+  Message reply;
+  reply.type = MessageType::kReleaseComplete;
+  reply.call_id = m.call_id;
+  reply.calling_party = party_;
+  reply.cause = m.cause;
+  send(reply);
+
+  if (call.state == State::kCalling) {
+    // Our SETUP was refused (by the callee or the network).
+    ++failed_;
+    if (call.on_failed) call.on_failed(m.call_id, m.cause);
+    return;
+  }
+  close_data_vc(call.info);
+  if (on_released_) on_released_(call.info, m.cause);
+}
+
+void CallControl::handle_release_complete(const Message& m) {
+  auto it = calls_.find(m.call_id);
+  if (it == calls_.end()) return;
+  Call call = std::move(it->second);
+  calls_.erase(it);
+  close_data_vc(call.info);
+  if (on_released_) on_released_(call.info, m.cause);
+}
+
+}  // namespace hni::sig

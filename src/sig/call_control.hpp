@@ -1,0 +1,104 @@
+// Endpoint call control: the user side of the signalling protocol.
+//
+// One CallControl per station. It owns the station's signalling VC
+// (VPI 0 / VCI 5): outgoing calls are placed with place_call(), incoming
+// SETUPs are offered to the application's incoming-call handler, and on
+// CONNECT both ends open the network-assigned VC (and install a GCRA
+// shaper when the call carries a traffic contract). Release can be
+// initiated from either end.
+//
+// Call states follow the usual half of Q.2931:
+//
+//   idle -> calling  (SETUP sent)    -> connected (CONNECT received)
+//   idle -> incoming (SETUP received)-> connected (CONNECT sent)
+//   connected -> releasing (RELEASE sent) -> idle (RELEASE COMPLETE)
+//   connected -> idle (RELEASE received; RELEASE COMPLETE sent)
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "core/station.hpp"
+#include "sig/messages.hpp"
+
+namespace hni::sig {
+
+class CallControl {
+ public:
+  struct CallInfo {
+    std::uint32_t call_id = 0;
+    std::uint16_t peer = 0;       // the other party's address
+    atm::VcId vc{};               // network-assigned data VC
+    aal::AalType aal = aal::AalType::kAal5;
+    double pcr_cells_per_second = 0.0;
+  };
+
+  using ConnectedFn = std::function<void(const CallInfo&)>;
+  using FailedFn = std::function<void(std::uint32_t call_id, Cause cause)>;
+  using ReleasedFn = std::function<void(const CallInfo&, Cause cause)>;
+  /// Offered an incoming call; return true to accept.
+  using IncomingFn = std::function<bool(const CallInfo&)>;
+
+  CallControl(core::Station& station, std::uint16_t my_party);
+
+  std::uint16_t party() const { return party_; }
+
+  /// Places a call; returns the call reference. `on_connected` fires
+  /// with the assigned VC; `on_failed` on rejection/failure.
+  std::uint32_t place_call(std::uint16_t called, aal::AalType aal,
+                           double pcr_cells_per_second,
+                           ConnectedFn on_connected,
+                           FailedFn on_failed = {});
+
+  /// Application policy + notification hooks for the callee side.
+  void set_incoming(IncomingFn accept, ConnectedFn on_connected = {});
+  /// Fires whenever an established call ends (either initiator).
+  void set_released(ReleasedFn on_released) {
+    on_released_ = std::move(on_released);
+  }
+
+  /// Initiates teardown of an established call.
+  void release(std::uint32_t call_id, Cause cause = Cause::kNormal);
+
+  std::size_t active_calls() const { return calls_.size(); }
+  std::uint64_t calls_placed() const { return placed_; }
+  std::uint64_t calls_connected() const { return connected_; }
+  std::uint64_t calls_failed() const { return failed_; }
+
+ private:
+  enum class State : std::uint8_t {
+    kCalling,
+    kConnected,
+    kReleasing,
+  };
+  struct Call {
+    State state = State::kCalling;
+    CallInfo info;
+    ConnectedFn on_connected;
+    FailedFn on_failed;
+  };
+
+  void on_signaling_frame(aal::Bytes sdu);
+  void handle_setup(const Message& m);
+  void handle_connect(const Message& m);
+  void handle_release(const Message& m);
+  void handle_release_complete(const Message& m);
+  void send(const Message& m);
+  void open_data_vc(const CallInfo& info);
+  void close_data_vc(const CallInfo& info);
+
+  core::Station& station_;
+  std::uint16_t party_;
+  std::uint32_t next_ref_ = 1;
+  std::unordered_map<std::uint32_t, Call> calls_;
+  IncomingFn incoming_;
+  ConnectedFn incoming_connected_;
+  ReleasedFn on_released_;
+  std::uint64_t placed_ = 0;
+  std::uint64_t connected_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace hni::sig

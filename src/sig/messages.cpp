@@ -1,0 +1,119 @@
+#include "sig/messages.hpp"
+
+#include <cstring>
+
+namespace hni::sig {
+namespace {
+
+constexpr std::uint16_t kMagic = 0x5147;  // "QG" — signalling frame guard
+constexpr std::size_t kWireSize = 2 +     // magic
+                                  1 +     // type
+                                  4 +     // call_id
+                                  2 + 2 + // calling, called
+                                  1 +     // aal
+                                  8 +     // pcr (micro-cells/s as u64)
+                                  2 + 2 + // assigned vpi, vci
+                                  1;      // cause
+
+void put_u16(aal::Bytes& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void put_u32(aal::Bytes& b, std::uint32_t v) {
+  put_u16(b, static_cast<std::uint16_t>(v));
+  put_u16(b, static_cast<std::uint16_t>(v >> 16));
+}
+void put_u64(aal::Bytes& b, std::uint64_t v) {
+  put_u32(b, static_cast<std::uint32_t>(v));
+  put_u32(b, static_cast<std::uint32_t>(v >> 32));
+}
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(get_u16(p)) |
+         (static_cast<std::uint32_t>(get_u16(p + 2)) << 16);
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+aal::Bytes Message::encode() const {
+  aal::Bytes b;
+  b.reserve(kWireSize);
+  put_u16(b, kMagic);
+  b.push_back(static_cast<std::uint8_t>(type));
+  put_u32(b, call_id);
+  put_u16(b, calling_party);
+  put_u16(b, called_party);
+  b.push_back(static_cast<std::uint8_t>(aal));
+  // PCR carried as micro-cells/second so a double survives the wire.
+  put_u64(b, static_cast<std::uint64_t>(pcr_cells_per_second * 1e6));
+  put_u16(b, assigned_vc.vpi);
+  put_u16(b, assigned_vc.vci);
+  b.push_back(static_cast<std::uint8_t>(cause));
+  return b;
+}
+
+std::optional<Message> Message::decode(const aal::Bytes& bytes) {
+  if (bytes.size() != kWireSize) return std::nullopt;
+  const std::uint8_t* p = bytes.data();
+  if (get_u16(p) != kMagic) return std::nullopt;
+  p += 2;
+  Message m;
+  const std::uint8_t type = *p++;
+  if (type < 1 || type > 4) return std::nullopt;
+  m.type = static_cast<MessageType>(type);
+  m.call_id = get_u32(p);
+  p += 4;
+  m.calling_party = get_u16(p);
+  p += 2;
+  m.called_party = get_u16(p);
+  p += 2;
+  const std::uint8_t aal = *p++;
+  if (aal > 2) return std::nullopt;
+  m.aal = static_cast<aal::AalType>(aal);
+  m.pcr_cells_per_second = static_cast<double>(get_u64(p)) / 1e6;
+  p += 8;
+  m.assigned_vc.vpi = get_u16(p);
+  p += 2;
+  m.assigned_vc.vci = get_u16(p);
+  p += 2;
+  m.cause = static_cast<Cause>(*p);
+  return m;
+}
+
+std::string_view to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kSetup:
+      return "SETUP";
+    case MessageType::kConnect:
+      return "CONNECT";
+    case MessageType::kRelease:
+      return "RELEASE";
+    case MessageType::kReleaseComplete:
+      return "RELEASE-COMPLETE";
+  }
+  return "?";
+}
+
+std::string_view to_string(Cause cause) {
+  switch (cause) {
+    case Cause::kNormal:
+      return "normal clearing";
+    case Cause::kUserBusy:
+      return "user busy";
+    case Cause::kNoRouteToDestination:
+      return "no route to destination";
+    case Cause::kCallRejected:
+      return "call rejected";
+    case Cause::kNetworkOutOfVcs:
+      return "no VC available";
+  }
+  return "?";
+}
+
+}  // namespace hni::sig

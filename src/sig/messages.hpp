@@ -1,0 +1,65 @@
+// Signalling messages — a deliberately small Q.2931-flavoured protocol.
+//
+// ATM is out-of-band signalled: connection control rides its own VC
+// (VPI 0 / VCI 5 at the UNI), carried here as AAL5 frames. The message
+// set is the minimal call-control vocabulary:
+//
+//   SETUP            caller -> network -> callee   (open a call)
+//   CONNECT          callee -> network -> caller   (accept; VC assigned)
+//   RELEASE          either -> network -> peer     (tear down)
+//   RELEASE COMPLETE peer   -> network -> either   (teardown confirmed)
+//
+// Simplifications vs. the real stack, documented per DESIGN.md: no
+// SSCOP assured-mode layer underneath (our signalling VC is clean),
+// addresses are 16-bit party numbers instead of NSAP/E.164, and the
+// traffic descriptor carries only a PCR. The wire format is explicit
+// little-endian serialization with a magic/length guard, so malformed
+// frames are rejected rather than misparsed.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "aal/types.hpp"
+#include "atm/cell.hpp"
+
+namespace hni::sig {
+
+/// The well-known signalling channel at the UNI.
+inline constexpr atm::VcId kSignalingVc{0, 5};
+
+enum class MessageType : std::uint8_t {
+  kSetup = 1,
+  kConnect = 2,
+  kRelease = 3,
+  kReleaseComplete = 4,
+};
+
+/// Cause codes carried in RELEASE (a small subset of Q.850).
+enum class Cause : std::uint8_t {
+  kNormal = 16,
+  kUserBusy = 17,
+  kNoRouteToDestination = 3,
+  kCallRejected = 21,
+  kNetworkOutOfVcs = 35,
+};
+
+struct Message {
+  MessageType type = MessageType::kSetup;
+  std::uint32_t call_id = 0;      // caller-chosen call reference
+  std::uint16_t calling_party = 0;
+  std::uint16_t called_party = 0;
+  aal::AalType aal = aal::AalType::kAal5;
+  double pcr_cells_per_second = 0.0;  // 0 = best effort (no shaping/UPC)
+  atm::VcId assigned_vc{};        // filled by the network on CONNECT
+  Cause cause = Cause::kNormal;   // meaningful in RELEASE*
+
+  aal::Bytes encode() const;
+  static std::optional<Message> decode(const aal::Bytes& bytes);
+};
+
+std::string_view to_string(MessageType type);
+std::string_view to_string(Cause cause);
+
+}  // namespace hni::sig

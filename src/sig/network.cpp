@@ -1,0 +1,205 @@
+#include "sig/network.hpp"
+
+#include <stdexcept>
+
+namespace hni::sig {
+
+SignalingNetwork::SignalingNetwork(core::Testbed& bed, net::Switch& sw,
+                                   std::size_t agent_port,
+                                   SignalingConfig config)
+    : bed_(bed), sw_(sw), agent_port_(agent_port), config_(config) {
+  core::StationConfig sc;
+  sc.name = "call-agent";
+  // The agent is a beefy dedicated server: give it headroom so call
+  // processing is dominated by protocol transport, not agent CPU.
+  sc.host.cpu.clock_hz = 100e6;
+  sc.host.cpu.cpi = 1.0;
+  agent_ = &bed_.add_station(sc);
+  bed_.connect_to_switch(*agent_, sw_, agent_port_);
+  bed_.connect_from_switch(sw_, agent_port_, *agent_);
+}
+
+CallControl& SignalingNetwork::attach(core::Station& station,
+                                      std::size_t port,
+                                      std::uint16_t party) {
+  if (port == agent_port_) {
+    throw std::invalid_argument("SignalingNetwork: port taken by agent");
+  }
+  bed_.connect_to_switch(station, sw_, port);
+  bed_.connect_from_switch(sw_, port, station);
+
+  // Permanent signalling paths: endpoint <-> agent.
+  sw_.add_route(port, kSignalingVc, agent_port_, agent_rx_vc(port));
+  sw_.add_route(agent_port_, agent_tx_vc(port), port, kSignalingVc);
+  agent_->nic().open_vc(agent_rx_vc(port), aal::AalType::kAal5);
+  agent_->host().set_vc_handler(
+      agent_rx_vc(port),
+      [this, port](aal::Bytes sdu, const host::RxInfo&) {
+        on_frame(port, std::move(sdu));
+      });
+
+  endpoints_.push_back(Endpoint{port, party});
+  next_vci_[port] = config_.first_data_vci;
+  controls_.push_back(std::make_unique<CallControl>(station, party));
+  return *controls_.back();
+}
+
+const SignalingNetwork::Endpoint* SignalingNetwork::endpoint_by_party(
+    std::uint16_t party) const {
+  for (const auto& e : endpoints_) {
+    if (e.party == party) return &e;
+  }
+  return nullptr;
+}
+
+std::optional<std::uint16_t> SignalingNetwork::allocate_vci(
+    std::size_t port) {
+  auto& free = free_vcis_[port];
+  if (!free.empty()) {
+    const std::uint16_t vci = free.back();
+    free.pop_back();
+    return vci;
+  }
+  auto& next = next_vci_[port];
+  if (next >= config_.first_data_vci + config_.max_vcs_per_port) {
+    return std::nullopt;
+  }
+  return next++;
+}
+
+void SignalingNetwork::free_vci(std::size_t port, std::uint16_t vci) {
+  free_vcis_[port].push_back(vci);
+}
+
+void SignalingNetwork::send_to_port(std::size_t port, const Message& m) {
+  agent_->host().send(agent_tx_vc(port), aal::AalType::kAal5, m.encode());
+}
+
+void SignalingNetwork::refuse(std::size_t port, const Message& setup,
+                              Cause cause) {
+  ++calls_refused_;
+  Message m;
+  m.type = MessageType::kRelease;
+  m.call_id = setup.call_id;
+  m.cause = cause;
+  send_to_port(port, m);
+}
+
+void SignalingNetwork::on_frame(std::size_t from_port, aal::Bytes sdu) {
+  const auto m = Message::decode(sdu);
+  if (!m) return;
+  switch (m->type) {
+    case MessageType::kSetup:
+      handle_setup(from_port, *m);
+      break;
+    case MessageType::kConnect:
+      handle_connect(*m);
+      break;
+    case MessageType::kRelease:
+      handle_release(from_port, *m);
+      break;
+    case MessageType::kReleaseComplete:
+      handle_release_complete(*m);
+      break;
+  }
+}
+
+void SignalingNetwork::handle_setup(std::size_t from_port,
+                                    const Message& m) {
+  const Endpoint* callee = endpoint_by_party(m.called_party);
+  if (callee == nullptr) {
+    refuse(from_port, m, Cause::kNoRouteToDestination);
+    return;
+  }
+  if (calls_.count(m.call_id) != 0) {
+    refuse(from_port, m, Cause::kCallRejected);  // duplicate reference
+    return;
+  }
+  const auto caller_vci = allocate_vci(from_port);
+  const auto callee_vci = allocate_vci(callee->port);
+  if (!caller_vci || !callee_vci) {
+    if (caller_vci) free_vci(from_port, *caller_vci);
+    if (callee_vci) free_vci(callee->port, *callee_vci);
+    refuse(from_port, m, Cause::kNetworkOutOfVcs);
+    return;
+  }
+
+  CallState call;
+  call.caller_port = from_port;
+  call.callee_port = callee->port;
+  call.caller_party = m.calling_party;
+  call.callee_party = m.called_party;
+  call.caller_vc = {0, *caller_vci};
+  call.callee_vc = {0, *callee_vci};
+  call.pcr = m.pcr_cells_per_second;
+  calls_.emplace(m.call_id, call);
+
+  Message fwd = m;
+  fwd.assigned_vc = call.callee_vc;
+  send_to_port(callee->port, fwd);
+}
+
+void SignalingNetwork::program_routes(const CallState& call) {
+  sw_.add_route(call.caller_port, call.caller_vc, call.callee_port,
+                call.callee_vc);
+  sw_.add_route(call.callee_port, call.callee_vc, call.caller_port,
+                call.caller_vc);
+  if (call.pcr > 0.0) {
+    const sim::Time cdvt = static_cast<sim::Time>(
+        config_.police_cdvt_slots *
+        static_cast<double>(sw_.config().port_rate.cell_slot()));
+    sw_.add_policer(call.caller_port, call.caller_vc, call.pcr, cdvt,
+                    net::Switch::PoliceAction::kDrop);
+    sw_.add_policer(call.callee_port, call.callee_vc, call.pcr, cdvt,
+                    net::Switch::PoliceAction::kDrop);
+  }
+}
+
+void SignalingNetwork::remove_routes(const CallState& call) {
+  sw_.remove_route(call.caller_port, call.caller_vc);
+  sw_.remove_route(call.callee_port, call.callee_vc);
+}
+
+void SignalingNetwork::handle_connect(const Message& m) {
+  auto it = calls_.find(m.call_id);
+  if (it == calls_.end()) return;
+  CallState& call = it->second;
+  program_routes(call);
+  call.routed = true;
+  ++calls_routed_;
+
+  Message fwd = m;
+  fwd.assigned_vc = call.caller_vc;
+  send_to_port(call.caller_port, fwd);
+}
+
+void SignalingNetwork::handle_release(std::size_t from_port,
+                                      const Message& m) {
+  auto it = calls_.find(m.call_id);
+  if (it == calls_.end()) return;
+  CallState call = it->second;
+  // Relay to the peer leg; on its RELEASE COMPLETE we finish cleanup.
+  const std::size_t peer_port = from_port == call.caller_port
+                                    ? call.callee_port
+                                    : call.caller_port;
+  if (call.routed) remove_routes(call);
+  send_to_port(peer_port, m);
+}
+
+void SignalingNetwork::handle_release_complete(const Message& m) {
+  auto it = calls_.find(m.call_id);
+  if (it == calls_.end()) return;
+  CallState call = it->second;
+  calls_.erase(it);
+  free_vci(call.caller_port, call.caller_vc.vci);
+  free_vci(call.callee_port, call.callee_vc.vci);
+  // Forward the completion to the release initiator: it is the leg that
+  // has not answered with RELEASE COMPLETE itself. The initiator's
+  // address rode in the message.
+  const std::size_t to_port = m.calling_party == call.caller_party
+                                  ? call.callee_port
+                                  : call.caller_port;
+  send_to_port(to_port, m);
+}
+
+}  // namespace hni::sig

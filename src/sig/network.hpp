@@ -1,0 +1,112 @@
+// Network-side signalling: the call agent and topology provisioning.
+//
+// A SignalingNetwork owns a dedicated agent station on one port of an
+// ATM switch. Every endpoint's signalling VC (0/5) is provisioned as a
+// permanent path to the agent; the agent terminates the protocol:
+//
+//   SETUP   : resolve the called party -> its port, allocate one VCI
+//             per leg, forward SETUP (with the callee's VC) to the
+//             callee;
+//   CONNECT : program the switch's duplex route between the legs,
+//             install UPC policers when the call carries a traffic
+//             contract, forward CONNECT (with the caller's VC) to the
+//             caller;
+//   RELEASE : tear the routes down, free the VCIs, relay to the peer.
+//
+// Everything — agent processing time, signalling transport, route
+// programming — happens through the same simulated substrate as user
+// data, so call-setup latency is an emergent, measurable quantity.
+//
+// The per-port signalling relay uses well-known VCIs:
+//   endpoint at port p -> agent:   (p, 0/5)        -> (agent, 0/64+p)
+//   agent -> endpoint at port p:   (agent, 0/32+p) -> (p, 0/5)
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "sig/call_control.hpp"
+#include "sig/messages.hpp"
+
+namespace hni::sig {
+
+struct SignalingConfig {
+  std::uint16_t first_data_vci = 1000;  // allocated upward per port
+  std::size_t max_vcs_per_port = 256;
+  /// CDVT granted by installed policers, as a multiple of the cell slot.
+  double police_cdvt_slots = 10.0;
+};
+
+class SignalingNetwork {
+ public:
+  /// `agent_port` must be a free port on `sw`; the network creates and
+  /// wires its agent station there.
+  SignalingNetwork(core::Testbed& bed, net::Switch& sw,
+                   std::size_t agent_port, SignalingConfig config = {});
+
+  /// Wires `station` to switch port `port` (duplex) and registers it
+  /// under address `party`. Returns the endpoint's call control.
+  CallControl& attach(core::Station& station, std::size_t port,
+                      std::uint16_t party);
+
+  core::Station& agent() { return *agent_; }
+
+  std::uint64_t calls_routed() const { return calls_routed_; }
+  std::uint64_t calls_refused() const { return calls_refused_; }
+  std::size_t active_calls() const { return calls_.size(); }
+
+ private:
+  struct Endpoint {
+    std::size_t port = 0;
+    std::uint16_t party = 0;
+  };
+  struct CallState {
+    std::size_t caller_port = 0;
+    std::size_t callee_port = 0;
+    std::uint16_t caller_party = 0;
+    std::uint16_t callee_party = 0;
+    atm::VcId caller_vc{};
+    atm::VcId callee_vc{};
+    double pcr = 0.0;
+    bool routed = false;
+  };
+
+  atm::VcId agent_tx_vc(std::size_t port) const {
+    return {0, static_cast<std::uint16_t>(32 + port)};
+  }
+  atm::VcId agent_rx_vc(std::size_t port) const {
+    return {0, static_cast<std::uint16_t>(64 + port)};
+  }
+
+  void on_frame(std::size_t from_port, aal::Bytes sdu);
+  void handle_setup(std::size_t from_port, const Message& m);
+  void handle_connect(const Message& m);
+  void handle_release(std::size_t from_port, const Message& m);
+  void handle_release_complete(const Message& m);
+  void send_to_port(std::size_t port, const Message& m);
+  void refuse(std::size_t port, const Message& setup, Cause cause);
+  std::optional<std::uint16_t> allocate_vci(std::size_t port);
+  void free_vci(std::size_t port, std::uint16_t vci);
+  void program_routes(const CallState& call);
+  void remove_routes(const CallState& call);
+  const Endpoint* endpoint_by_party(std::uint16_t party) const;
+
+  core::Testbed& bed_;
+  net::Switch& sw_;
+  std::size_t agent_port_;
+  SignalingConfig config_;
+  core::Station* agent_ = nullptr;
+  std::vector<Endpoint> endpoints_;
+  std::vector<std::unique_ptr<CallControl>> controls_;
+  std::unordered_map<std::uint32_t, CallState> calls_;
+  std::unordered_map<std::size_t, std::vector<std::uint16_t>> free_vcis_;
+  std::unordered_map<std::size_t, std::uint16_t> next_vci_;
+  std::uint64_t calls_routed_ = 0;
+  std::uint64_t calls_refused_ = 0;
+};
+
+}  // namespace hni::sig

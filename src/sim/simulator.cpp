@@ -1,0 +1,88 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace hni::sim {
+
+EventHandle Simulator::at(Time when, Action action) {
+  if (when < now_) {
+    throw std::logic_error("Simulator::at: scheduling into the past");
+  }
+  const std::uint64_t id = next_seq_;
+  queue_.push(Entry{when, next_seq_, id, std::move(action)});
+  ++next_seq_;
+  return EventHandle{id};
+}
+
+bool Simulator::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  // An id is pending iff it was issued, has not fired, and is not already
+  // cancelled. Fired ids are < next_seq_ too, so verify lazily: record the
+  // id and let pop_next() drop it; report success only if it was pending.
+  // Pending ids are exactly those still in the queue; we cannot probe the
+  // priority queue, so track cancellations and trust callers to cancel
+  // only handles they own.
+  auto [it, inserted] = cancelled_ids_.insert(handle.id_);
+  (void)it;
+  if (inserted) ++cancelled_;
+  return inserted;
+}
+
+bool Simulator::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; move via const_cast is the standard
+    // idiom for move-out-then-pop of non-copyable payloads.
+    Entry& top = const_cast<Entry&>(queue_.top());
+    Entry entry = std::move(top);
+    queue_.pop();
+    auto it = cancelled_ids_.find(entry.id);
+    if (it != cancelled_ids_.end()) {
+      cancelled_ids_.erase(it);
+      --cancelled_;
+      continue;
+    }
+    out = std::move(entry);
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Entry entry;
+  if (!pop_next(entry)) return false;
+  assert(entry.when >= now_);
+  now_ = entry.when;
+  ++fired_;
+  entry.action();
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(Time deadline) {
+  std::uint64_t n = 0;
+  while (true) {
+    Entry entry;
+    if (!pop_next(entry)) break;
+    if (entry.when > deadline) {
+      // Put it back (cheap: re-push preserves when/seq ordering).
+      queue_.push(std::move(entry));
+      now_ = deadline;
+      return n;
+    }
+    now_ = entry.when;
+    ++fired_;
+    ++n;
+    entry.action();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace hni::sim

@@ -1,0 +1,103 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns a time-ordered queue of events; each event is a
+// callable fired at a scheduled instant. Ties are broken by insertion
+// order (FIFO among simultaneous events), which makes component
+// interactions deterministic and keeps every experiment reproducible.
+//
+// Components hold a reference to the Simulator and call `at()`/`after()`
+// to schedule work. The kernel is deliberately minimal: no processes, no
+// channels — those live in the domain libraries built on top.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hni::sim {
+
+/// Handle to a scheduled event; allows cancellation.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if this handle refers to an event (which may have fired).
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// The event-driven simulation engine.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `action` at absolute time `when` (must be >= now()).
+  EventHandle at(Time when, Action action);
+
+  /// Schedules `action` `delay` after the current time.
+  EventHandle after(Time delay, Action action) {
+    return at(now_ + delay, std::move(action));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or invalid
+  /// handle is a harmless no-op. Returns true if an event was cancelled.
+  bool cancel(EventHandle handle);
+
+  /// Runs until the queue is empty. Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Runs until the queue is empty or simulated time would exceed
+  /// `deadline`; events at exactly `deadline` fire. On return, now() is
+  /// min(deadline, time of last event). Returns events fired.
+  std::uint64_t run_until(Time deadline);
+
+  /// Fires the single next event, if any. Returns false on empty queue.
+  bool step();
+
+  /// Number of events currently pending.
+  std::size_t pending() const { return queue_.size() - cancelled_; }
+
+  /// Total events fired since construction.
+  std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    std::uint64_t id;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(Entry& out);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_ids_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fired_ = 0;
+  std::size_t cancelled_ = 0;
+};
+
+}  // namespace hni::sim

@@ -1,0 +1,89 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hni::sim {
+
+void RunningStat::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double bin_width, std::size_t bins)
+    : bin_width_(bin_width), counts_(bins, 0) {
+  if (bin_width <= 0.0 || bins == 0) {
+    throw std::invalid_argument("Histogram: bin_width and bins must be > 0");
+  }
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < 0.0) x = 0.0;
+  const auto idx = static_cast<std::size_t>(x / bin_width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+  } else {
+    ++counts_[idx];
+  }
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t next = cum + counts_[i];
+    if (static_cast<double>(next) >= target) {
+      const double within =
+          counts_[i] == 0
+              ? 0.0
+              : (target - static_cast<double>(cum)) /
+                    static_cast<double>(counts_[i]);
+      return (static_cast<double>(i) + within) * bin_width_;
+    }
+    cum = next;
+  }
+  return bin_width_ * static_cast<double>(counts_.size());
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  overflow_ = 0;
+}
+
+void TimeWeightedStat::set(Time now, double value) {
+  if (start_ < 0) {
+    start_ = now;
+  } else if (last_ >= 0 && now > last_) {
+    integral_ += value_ * static_cast<double>(now - last_);
+  }
+  last_ = now;
+  value_ = value;
+  max_ = std::max(max_, value);
+}
+
+double TimeWeightedStat::mean(Time now) const {
+  if (start_ < 0 || now <= start_) return 0.0;
+  if (now > last_) {
+    integral_ += value_ * static_cast<double>(now - last_);
+    last_ = now;
+  }
+  return integral_ / static_cast<double>(now - start_);
+}
+
+}  // namespace hni::sim

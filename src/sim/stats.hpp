@@ -1,0 +1,97 @@
+// Measurement primitives shared by all modules.
+//
+// Counter           — monotonically increasing event/byte counts.
+// RunningStat       — streaming mean/variance/min/max (Welford).
+// Histogram         — fixed-bin-width histogram with percentile queries.
+// TimeWeightedStat  — time-average of a piecewise-constant signal
+//                     (queue depth, utilization), integrated in sim time.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hni::sim {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Streaming mean/variance/min/max over double-valued samples.
+class RunningStat {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  void reset() { *this = RunningStat{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width-bin histogram over [0, bin_width * bins); values beyond
+/// the top edge land in an overflow bin that percentile() treats as the
+/// top edge.
+class Histogram {
+ public:
+  Histogram(double bin_width, std::size_t bins);
+
+  void add(double x);
+  std::uint64_t count() const { return total_; }
+  /// p in [0, 100]. Linear interpolation within the bin.
+  double percentile(double p) const;
+  double bin_width() const { return bin_width_; }
+  const std::vector<std::uint64_t>& bins() const { return counts_; }
+  std::uint64_t overflow() const { return overflow_; }
+  void reset();
+
+ private:
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Time-average of a piecewise-constant signal. Call set(now, v) at each
+/// change; finalize(now) before reading the mean.
+class TimeWeightedStat {
+ public:
+  void set(Time now, double value);
+  /// Integrates up to `now` and returns the time average since the first
+  /// set(). Returns 0 if never set or no time elapsed.
+  double mean(Time now) const;
+  double current() const { return value_; }
+  double max() const { return max_; }
+
+ private:
+  mutable Time last_ = -1;
+  mutable double integral_ = 0.0;
+  Time start_ = -1;
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hni::sim

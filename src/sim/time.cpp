@@ -1,0 +1,32 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hni::sim {
+
+std::string format_time(Time t) {
+  const bool negative = t < 0;
+  const double ps = static_cast<double>(negative ? -t : t);
+  const char* unit = "ps";
+  double value = ps;
+  if (ps >= 1e12) {
+    unit = "s";
+    value = ps / 1e12;
+  } else if (ps >= 1e9) {
+    unit = "ms";
+    value = ps / 1e9;
+  } else if (ps >= 1e6) {
+    unit = "us";
+    value = ps / 1e6;
+  } else if (ps >= 1e3) {
+    unit = "ns";
+    value = ps / 1e3;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s%.4g %s", negative ? "-" : "", value,
+                unit);
+  return buf;
+}
+
+}  // namespace hni::sim

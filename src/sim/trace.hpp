@@ -1,0 +1,51 @@
+// Lightweight event tracing.
+//
+// Components emit trace records through a shared Tracer; sinks decide
+// what to do with them (print, collect, ignore). Tracing is off by
+// default and costs one branch per emit when disabled.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hni::sim {
+
+/// One trace record: when, which component, what happened.
+struct TraceRecord {
+  Time when = 0;
+  std::string source;
+  std::string message;
+};
+
+/// Fan-out trace hub. Thread-unsafe by design (the kernel is
+/// single-threaded).
+class Tracer {
+ public:
+  using Sink = std::function<void(const TraceRecord&)>;
+
+  /// Adds a sink; all future records are delivered to it.
+  void add_sink(Sink sink) { sinks_.push_back(std::move(sink)); }
+
+  /// Convenience sink that appends records to `out`.
+  void collect_into(std::vector<TraceRecord>& out) {
+    add_sink([&out](const TraceRecord& r) { out.push_back(r); });
+  }
+
+  bool enabled() const { return !sinks_.empty(); }
+
+  void emit(Time when, std::string source, std::string message) {
+    if (!enabled()) return;
+    TraceRecord rec{when, std::move(source), std::move(message)};
+    for (auto& sink : sinks_) sink(rec);
+  }
+
+ private:
+  std::vector<Sink> sinks_;
+};
+
+}  // namespace hni::sim

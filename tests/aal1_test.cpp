@@ -1,0 +1,125 @@
+// AAL1 tests: SNP (CRC-3 + parity) protection of the sequence count,
+// stream slicing, gap detection modulo 8.
+
+#include <gtest/gtest.h>
+
+#include "aal/aal1.hpp"
+#include "aal/types.hpp"
+
+namespace hni::aal {
+namespace {
+
+atm::VcId kVc{2, 9};
+
+TEST(Aal1Snp, AllSixteenHeadersSelfConsistent) {
+  for (int csi = 0; csi < 2; ++csi) {
+    for (std::uint8_t sc = 0; sc < 8; ++sc) {
+      const std::uint8_t octet = aal1_encode_header(csi != 0, sc);
+      const Aal1Header h = aal1_decode_header(octet);
+      EXPECT_TRUE(h.snp_ok) << "csi=" << csi << " sc=" << int(sc);
+      EXPECT_EQ(h.csi, csi != 0);
+      EXPECT_EQ(h.sc, sc);
+    }
+  }
+}
+
+// Any single bit flip in the header octet must be detected by the SNP.
+class Aal1HeaderBitFlip : public ::testing::TestWithParam<int> {};
+
+TEST_P(Aal1HeaderBitFlip, Detected) {
+  const int bit = GetParam();
+  for (std::uint8_t sc = 0; sc < 8; ++sc) {
+    const std::uint8_t octet = aal1_encode_header(false, sc);
+    const std::uint8_t damaged =
+        static_cast<std::uint8_t>(octet ^ (1u << bit));
+    EXPECT_FALSE(aal1_decode_header(damaged).snp_ok)
+        << "sc=" << int(sc) << " bit=" << bit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, Aal1HeaderBitFlip, ::testing::Range(0, 8));
+
+TEST(Aal1Segmenter, SlicesStreamInto47ByteCells) {
+  Aal1Segmenter seg(kVc);
+  const Bytes stream = make_pattern(47 * 3 + 10, 5);
+  auto cells = seg.push(stream);
+  EXPECT_EQ(cells.size(), 3u);
+  EXPECT_EQ(seg.buffered(), 10u);
+  auto last = seg.flush(0xEE);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(seg.buffered(), 0u);
+  EXPECT_FALSE(seg.flush().has_value());
+}
+
+TEST(Aal1Segmenter, SequenceCountsIncrementMod8) {
+  Aal1Segmenter seg(kVc);
+  auto cells = seg.push(make_pattern(47 * 20, 6));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Aal1Header h = aal1_decode_header(cells[i].payload[0]);
+    EXPECT_EQ(h.sc, i % 8) << i;
+  }
+}
+
+TEST(Aal1Roundtrip, StreamBytesSurvive) {
+  Aal1Segmenter seg(kVc);
+  Aal1Reassembler rx;
+  const Bytes stream = make_pattern(47 * 8, 7);
+  Bytes out;
+  for (const auto& cell : seg.push(stream)) {
+    auto chunk = rx.push(cell);
+    ASSERT_TRUE(chunk.has_value());
+    EXPECT_EQ(chunk->lost_before, 0u);
+    out.insert(out.end(), chunk->payload.begin(), chunk->payload.end());
+  }
+  EXPECT_EQ(out, stream);
+  EXPECT_EQ(rx.cells_lost(), 0u);
+}
+
+TEST(Aal1Reassembler, DetectsGapOfOne) {
+  Aal1Segmenter seg(kVc);
+  auto cells = seg.push(make_pattern(47 * 5, 8));
+  Aal1Reassembler rx;
+  rx.push(cells[0]);
+  rx.push(cells[1]);
+  // cells[2] lost
+  auto chunk = rx.push(cells[3]);
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->lost_before, 1u);
+  EXPECT_EQ(rx.cells_lost(), 1u);
+}
+
+TEST(Aal1Reassembler, DetectsGapUpToSeven) {
+  Aal1Segmenter seg(kVc);
+  auto cells = seg.push(make_pattern(47 * 9, 9));
+  Aal1Reassembler rx;
+  rx.push(cells[0]);
+  // Drop cells 1..7 (seven cells).
+  auto chunk = rx.push(cells[8]);
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->lost_before, 7u);
+}
+
+TEST(Aal1Reassembler, DropsHeaderCorruptedCells) {
+  Aal1Segmenter seg(kVc);
+  auto cells = seg.push(make_pattern(47 * 2, 10));
+  cells[0].payload[0] ^= 0x40;  // damage the SC field
+  Aal1Reassembler rx;
+  EXPECT_FALSE(rx.push(cells[0]).has_value());
+  EXPECT_EQ(rx.header_errors(), 1u);
+  // The follow-up cell still delivers (first accepted cell sets state).
+  auto chunk = rx.push(cells[1]);
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->lost_before, 0u);
+}
+
+TEST(Aal1Reassembler, CsiBitCarried) {
+  atm::Cell cell;
+  cell.payload[0] = aal1_encode_header(true, 3);
+  Aal1Reassembler rx;
+  auto chunk = rx.push(cell);
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_TRUE(chunk->csi);
+}
+
+}  // namespace
+}  // namespace hni::aal

@@ -1,0 +1,266 @@
+// AAL3/4 tests: SAR-PDU bit layout, CRC-10 protection, CPCS framing,
+// MID multiplexing, and the error machinery (sequence gaps, tag
+// mismatches, orphan cells).
+
+#include <gtest/gtest.h>
+
+#include "aal/aal34.hpp"
+#include "aal/types.hpp"
+
+namespace hni::aal {
+namespace {
+
+atm::VcId kVc{0, 33};
+
+std::optional<Aal34Reassembler::Delivery> feed_all(
+    Aal34Reassembler& rx, const std::vector<atm::Cell>& cells) {
+  std::optional<Aal34Reassembler::Delivery> out;
+  for (const auto& c : cells) {
+    auto r = rx.push(c);
+    if (r) out = std::move(r);
+  }
+  return out;
+}
+
+TEST(SarPdu, EncodeDecodeRoundtrip) {
+  SarPdu pdu;
+  pdu.st = SegmentType::kBom;
+  pdu.sn = 0xB;
+  pdu.mid = 0x2A7;
+  pdu.li = 44;
+  for (std::size_t i = 0; i < kAal34PayloadPerCell; ++i) {
+    pdu.payload[i] = static_cast<std::uint8_t>(i + 3);
+  }
+  const auto raw = sar_encode(pdu);
+  const SarPdu back = sar_decode(raw);
+  EXPECT_EQ(back.st, pdu.st);
+  EXPECT_EQ(back.sn, pdu.sn);
+  EXPECT_EQ(back.mid, pdu.mid);
+  EXPECT_EQ(back.li, pdu.li);
+  EXPECT_EQ(back.payload, pdu.payload);
+  EXPECT_TRUE(back.crc_ok);
+}
+
+TEST(SarPdu, Crc10CatchesCorruption) {
+  SarPdu pdu;
+  pdu.st = SegmentType::kCom;
+  pdu.sn = 5;
+  pdu.mid = 17;
+  pdu.li = 44;
+  auto raw = sar_encode(pdu);
+  for (std::size_t byte : {0u, 1u, 2u, 25u, 45u, 46u, 47u}) {
+    auto damaged = raw;
+    damaged[byte] ^= 0x08;
+    EXPECT_FALSE(sar_decode(damaged).crc_ok) << "byte " << byte;
+  }
+}
+
+TEST(SarPdu, SegmentTypeCodepoints) {
+  // ST occupies the top two bits of octet 0: BOM=10, COM=00, EOM=01,
+  // SSM=11.
+  SarPdu pdu;
+  pdu.st = SegmentType::kBom;
+  EXPECT_EQ(sar_encode(pdu)[0] >> 6, 0b10);
+  pdu.st = SegmentType::kEom;
+  EXPECT_EQ(sar_encode(pdu)[0] >> 6, 0b01);
+  pdu.st = SegmentType::kSsm;
+  EXPECT_EQ(sar_encode(pdu)[0] >> 6, 0b11);
+  pdu.st = SegmentType::kCom;
+  EXPECT_EQ(sar_encode(pdu)[0] >> 6, 0b00);
+}
+
+TEST(Aal34CellCount, IncludesCpcsOverheadAndAlignment) {
+  // CPCS adds 8 octets and pads payload to 4; cells carry 44.
+  EXPECT_EQ(aal34_cell_count(1), 1u);    // 4+4+4 = 12 -> 1 cell (SSM)
+  EXPECT_EQ(aal34_cell_count(36), 1u);   // 4+36+4 = 44
+  EXPECT_EQ(aal34_cell_count(37), 2u);   // 4+40+4 = 48 -> 2 cells
+  EXPECT_EQ(aal34_cell_count(9180), 209u);
+}
+
+TEST(Aal34Segmenter, SingleCellUsesSsm) {
+  Aal34Segmenter seg(kVc, 7);
+  const auto cells = seg.segment(make_pattern(20, 1));
+  ASSERT_EQ(cells.size(), 1u);
+  const SarPdu sar = sar_decode(cells[0].payload);
+  EXPECT_EQ(sar.st, SegmentType::kSsm);
+  EXPECT_EQ(sar.mid, 7u);
+  EXPECT_TRUE(sar.crc_ok);
+}
+
+TEST(Aal34Segmenter, BomComEomStructure) {
+  Aal34Segmenter seg(kVc);
+  const auto cells = seg.segment(make_pattern(200, 2));
+  ASSERT_GE(cells.size(), 3u);
+  EXPECT_EQ(sar_decode(cells.front().payload).st, SegmentType::kBom);
+  for (std::size_t i = 1; i + 1 < cells.size(); ++i) {
+    EXPECT_EQ(sar_decode(cells[i].payload).st, SegmentType::kCom) << i;
+  }
+  EXPECT_EQ(sar_decode(cells.back().payload).st, SegmentType::kEom);
+}
+
+TEST(Aal34Segmenter, SequenceNumbersIncrementMod16) {
+  Aal34Segmenter seg(kVc);
+  const auto cells = seg.segment(make_pattern(44 * 20, 3));
+  std::uint8_t expect = sar_decode(cells[0].payload).sn;
+  for (const auto& c : cells) {
+    EXPECT_EQ(sar_decode(c.payload).sn, expect);
+    expect = static_cast<std::uint8_t>((expect + 1) & 0x0F);
+  }
+}
+
+TEST(Aal34Segmenter, RejectsBadInput) {
+  Aal34Segmenter seg(kVc);
+  EXPECT_THROW(seg.segment({}), std::length_error);
+  EXPECT_THROW(seg.segment(Bytes(65536, 0)), std::length_error);
+  EXPECT_THROW(Aal34Segmenter(kVc, 0x400), std::out_of_range);
+}
+
+class Aal34Roundtrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Aal34Roundtrip, DeliversExactBytes) {
+  const std::size_t n = GetParam();
+  const Bytes sdu = make_pattern(n, n);
+  Aal34Segmenter seg(kVc, 5);
+  const auto cells = seg.segment(sdu);
+  EXPECT_EQ(cells.size(), aal34_cell_count(n));
+
+  Aal34Reassembler rx;
+  auto d = feed_all(rx, cells);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->error, ReassemblyError::kNone);
+  EXPECT_EQ(d->sdu, sdu);
+  EXPECT_EQ(d->mid, 5u);
+  EXPECT_EQ(rx.pdus_ok(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeSweep, Aal34Roundtrip,
+    ::testing::Values(1, 2, 3, 4, 35, 36, 37, 43, 44, 45, 88, 100, 1000,
+                      9180, 65535));
+
+TEST(Aal34Reassembler, MidStreamsInterleave) {
+  Aal34Segmenter seg_a(kVc, 1);
+  Aal34Segmenter seg_b(kVc, 2);
+  const Bytes sdu_a = make_pattern(300, 10);
+  const Bytes sdu_b = make_pattern(500, 20);
+  const auto cells_a = seg_a.segment(sdu_a);
+  const auto cells_b = seg_b.segment(sdu_b);
+
+  // Interleave strictly alternating.
+  Aal34Reassembler rx;
+  std::size_t ia = 0, ib = 0;
+  Bytes got_a, got_b;
+  while (ia < cells_a.size() || ib < cells_b.size()) {
+    if (ia < cells_a.size()) {
+      if (auto d = rx.push(cells_a[ia++])) {
+        ASSERT_EQ(d->error, ReassemblyError::kNone);
+        got_a = d->sdu;
+      }
+    }
+    if (ib < cells_b.size()) {
+      if (auto d = rx.push(cells_b[ib++])) {
+        ASSERT_EQ(d->error, ReassemblyError::kNone);
+        got_b = d->sdu;
+      }
+    }
+  }
+  EXPECT_EQ(got_a, sdu_a);
+  EXPECT_EQ(got_b, sdu_b);
+  EXPECT_EQ(rx.pdus_ok(), 2u);
+}
+
+TEST(Aal34Reassembler, LostComYieldsSequenceError) {
+  Aal34Segmenter seg(kVc);
+  auto cells = seg.segment(make_pattern(400, 4));
+  ASSERT_GE(cells.size(), 4u);
+  cells.erase(cells.begin() + 1);
+  Aal34Reassembler rx;
+  auto d = feed_all(rx, cells);
+  ASSERT_TRUE(d.has_value());
+  // Sequence break detected; the later EOM is then an orphan.
+  EXPECT_EQ(rx.pdus_ok(), 0u);
+  EXPECT_GT(rx.pdus_errored(), 0u);
+}
+
+TEST(Aal34Reassembler, LostEomSplicesAndTagCatches) {
+  Aal34Segmenter seg(kVc);
+  const Bytes sdu1 = make_pattern(200, 7);
+  const Bytes sdu2 = make_pattern(200, 8);
+  auto c1 = seg.segment(sdu1);
+  auto c2 = seg.segment(sdu2);
+  c1.pop_back();  // lose the EOM
+
+  Aal34Reassembler rx;
+  for (const auto& c : c1) EXPECT_FALSE(rx.push(c).has_value());
+  // The BOM of PDU 2 arrives while PDU 1 is open on the same MID ->
+  // protocol error for the open PDU; PDU 2 proceeds fresh afterwards.
+  bool second_ok = false;
+  bool first_failed = false;
+  for (const auto& c : c2) {
+    if (auto d = rx.push(c)) {
+      if (d->error == ReassemblyError::kNone) {
+        second_ok = true;
+        EXPECT_EQ(d->sdu, sdu2);
+      } else {
+        first_failed = true;
+      }
+    }
+  }
+  // Depending on SN phase the splice is caught at the BOM (protocol) or
+  // at the spliced EOM (tag/length/sequence); either way PDU 1 must not
+  // be delivered and PDU 2's bytes must survive if delivered.
+  EXPECT_TRUE(first_failed);
+  (void)second_ok;
+  EXPECT_EQ(rx.pdus_ok(), second_ok ? 1u : 0u);
+}
+
+TEST(Aal34Reassembler, OrphanComCounted) {
+  Aal34Segmenter seg(kVc);
+  auto cells = seg.segment(make_pattern(400, 4));
+  Aal34Reassembler rx;
+  auto d = rx.push(cells[1]);  // a COM with no BOM
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->error, ReassemblyError::kProtocol);
+  EXPECT_EQ(rx.orphan_cells(), 1u);
+}
+
+TEST(Aal34Reassembler, CorruptedCellDroppedByCrc) {
+  Aal34Segmenter seg(kVc);
+  auto cells = seg.segment(make_pattern(400, 4));
+  cells[1].payload[20] ^= 0xFF;
+  Aal34Reassembler rx;
+  auto d = feed_all(rx, cells);
+  // The corrupted COM vanishes (CRC) -> later SN gap -> error, no OK PDU.
+  EXPECT_EQ(rx.pdus_ok(), 0u);
+  EXPECT_EQ(rx.cells_bad_crc(), 1u);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NE(d->error, ReassemblyError::kNone);
+}
+
+TEST(Aal34Reassembler, ActiveStreamsTracked) {
+  Aal34Segmenter seg_a(kVc, 1);
+  Aal34Segmenter seg_b(kVc, 2);
+  auto a = seg_a.segment(make_pattern(200, 1));
+  auto b = seg_b.segment(make_pattern(200, 2));
+  Aal34Reassembler rx;
+  rx.push(a[0]);
+  rx.push(b[0]);
+  EXPECT_EQ(rx.active_streams(), 2u);
+  rx.reset();
+  EXPECT_EQ(rx.active_streams(), 0u);
+}
+
+TEST(Aal34Reassembler, SsmWhileOpenAborts) {
+  Aal34Segmenter seg(kVc, 3);
+  auto big = seg.segment(make_pattern(200, 1));
+  auto small = seg.segment(make_pattern(10, 2));
+  ASSERT_EQ(small.size(), 1u);
+  Aal34Reassembler rx;
+  rx.push(big[0]);
+  auto d = rx.push(small[0]);  // SSM on the same MID while open
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->error, ReassemblyError::kProtocol);
+}
+
+}  // namespace
+}  // namespace hni::aal

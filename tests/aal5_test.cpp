@@ -1,0 +1,282 @@
+// AAL5 tests: CPCS framing, padding and trailer layout, segmentation,
+// reassembly, and every failure mode a receiver must detect.
+
+#include <gtest/gtest.h>
+
+#include "aal/aal5.hpp"
+#include "atm/crc.hpp"
+#include "aal/types.hpp"
+
+namespace hni::aal {
+namespace {
+
+atm::VcId kVc{1, 42};
+
+Bytes sdu_of(std::size_t n, std::uint64_t seed = 1) {
+  return make_pattern(n, seed);
+}
+
+std::optional<Aal5Reassembler::Delivery> feed_all(
+    Aal5Reassembler& rx, const std::vector<atm::Cell>& cells) {
+  std::optional<Aal5Reassembler::Delivery> out;
+  for (const auto& c : cells) {
+    auto r = rx.push(c);
+    if (r) out = std::move(r);
+  }
+  return out;
+}
+
+TEST(Aal5CellCount, MatchesFormula) {
+  EXPECT_EQ(aal5_cell_count(1), 1u);
+  EXPECT_EQ(aal5_cell_count(40), 1u);   // 40+8 = 48
+  EXPECT_EQ(aal5_cell_count(41), 2u);   // 49 > 48
+  EXPECT_EQ(aal5_cell_count(88), 2u);   // 96 exactly
+  EXPECT_EQ(aal5_cell_count(9180), 192u);
+  EXPECT_EQ(aal5_cell_count(65535), 1366u);  // the AAL5 maximum
+}
+
+TEST(Aal5Cpcs, PduIsMultipleOf48) {
+  for (std::size_t n : {1u, 39u, 40u, 41u, 47u, 48u, 100u, 9180u}) {
+    const Bytes pdu = aal5_build_cpcs_pdu(sdu_of(n));
+    EXPECT_EQ(pdu.size() % atm::kPayloadSize, 0u) << n;
+    EXPECT_EQ(pdu.size(), aal5_cell_count(n) * atm::kPayloadSize) << n;
+  }
+}
+
+TEST(Aal5Cpcs, TrailerFields) {
+  const Bytes sdu = sdu_of(100);
+  const Bytes pdu = aal5_build_cpcs_pdu(sdu, /*uu=*/0xAB, /*cpi=*/0x01);
+  const std::uint8_t* t = pdu.data() + pdu.size() - 8;
+  EXPECT_EQ(t[0], 0xAB);                       // UU
+  EXPECT_EQ(t[1], 0x01);                       // CPI
+  EXPECT_EQ((t[2] << 8) | t[3], 100);          // Length
+}
+
+TEST(Aal5Cpcs, PadIsZeroed) {
+  const Bytes sdu = sdu_of(10);
+  const Bytes pdu = aal5_build_cpcs_pdu(sdu);
+  for (std::size_t i = 10; i + 8 < pdu.size(); ++i) {
+    EXPECT_EQ(pdu[i], 0) << i;
+  }
+}
+
+TEST(Aal5Cpcs, RejectsEmptyAndOversize) {
+  EXPECT_THROW(aal5_build_cpcs_pdu({}), std::length_error);
+  EXPECT_THROW(aal5_build_cpcs_pdu(Bytes(65536, 0)), std::length_error);
+}
+
+TEST(Aal5Segment, OnlyLastCellCarriesAuu) {
+  const auto cells = aal5_segment(sdu_of(200), kVc);
+  ASSERT_GE(cells.size(), 2u);
+  for (std::size_t i = 0; i + 1 < cells.size(); ++i) {
+    EXPECT_FALSE(atm::pti_auu(cells[i].header.pti)) << i;
+  }
+  EXPECT_TRUE(atm::pti_auu(cells.back().header.pti));
+}
+
+TEST(Aal5Segment, AllCellsOnTheVc) {
+  const auto cells = aal5_segment(sdu_of(500), kVc, 0, 0, /*clp=*/true);
+  for (const auto& c : cells) {
+    EXPECT_EQ(c.header.vc, kVc);
+    EXPECT_TRUE(c.header.clp);
+  }
+}
+
+class Aal5Roundtrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Aal5Roundtrip, DeliversExactBytes) {
+  const std::size_t n = GetParam();
+  const Bytes sdu = sdu_of(n, n);
+  const auto cells = aal5_segment(sdu, kVc, 0x11, 0x00);
+  EXPECT_EQ(cells.size(), aal5_cell_count(n));
+
+  Aal5Reassembler rx;
+  auto d = feed_all(rx, cells);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->error, ReassemblyError::kNone);
+  EXPECT_EQ(d->sdu, sdu);
+  EXPECT_EQ(d->uu, 0x11);
+  EXPECT_EQ(d->cells, cells.size());
+  EXPECT_EQ(rx.pdus_ok(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeSweep, Aal5Roundtrip,
+    ::testing::Values(1, 2, 7, 39, 40, 41, 47, 48, 49, 95, 96, 97, 255,
+                      1000, 4096, 9180, 65535));
+
+TEST(Aal5Reassembler, BackToBackPdus) {
+  Aal5Reassembler rx;
+  for (int k = 0; k < 5; ++k) {
+    const Bytes sdu = sdu_of(100 + static_cast<std::size_t>(k) * 37,
+                             static_cast<std::uint64_t>(k));
+    auto d = feed_all(rx, aal5_segment(sdu, kVc));
+    ASSERT_TRUE(d.has_value()) << k;
+    EXPECT_EQ(d->sdu, sdu) << k;
+  }
+  EXPECT_EQ(rx.pdus_ok(), 5u);
+  EXPECT_EQ(rx.pdus_errored(), 0u);
+}
+
+TEST(Aal5Reassembler, LostMiddleCellCorruptsCrc) {
+  auto cells = aal5_segment(sdu_of(300), kVc);
+  ASSERT_GE(cells.size(), 3u);
+  cells.erase(cells.begin() + 2);
+  Aal5Reassembler rx;
+  auto d = feed_all(rx, cells);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NE(d->error, ReassemblyError::kNone);
+  EXPECT_TRUE(d->sdu.empty());
+  EXPECT_EQ(rx.pdus_errored(), 1u);
+}
+
+TEST(Aal5Reassembler, LostLastCellConcatenatesAndIsDetected) {
+  auto first = aal5_segment(sdu_of(200, 1), kVc);
+  auto second = aal5_segment(sdu_of(200, 2), kVc);
+  first.pop_back();  // lose the AUU cell
+
+  Aal5Reassembler rx;
+  std::optional<Aal5Reassembler::Delivery> d;
+  for (const auto& c : first) d = rx.push(c);
+  EXPECT_FALSE(d.has_value());
+  for (const auto& c : second) {
+    auto r = rx.push(c);
+    if (r) d = std::move(r);
+  }
+  // The spliced monster PDU must be rejected, not delivered.
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NE(d->error, ReassemblyError::kNone);
+  EXPECT_EQ(rx.pdus_ok(), 0u);
+}
+
+TEST(Aal5Reassembler, CorruptedPayloadFailsCrc) {
+  auto cells = aal5_segment(sdu_of(100), kVc);
+  cells[0].payload[10] ^= 0xFF;
+  Aal5Reassembler rx;
+  auto d = feed_all(rx, cells);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->error, ReassemblyError::kCrc);
+}
+
+TEST(Aal5Reassembler, CorruptedLengthDetected) {
+  // Flip a length bit *and* fix nothing else: CRC catches it. To test
+  // the length check in isolation, rebuild the trailer CRC after
+  // tampering with the length.
+  const Bytes sdu = sdu_of(100);
+  Bytes pdu = aal5_build_cpcs_pdu(sdu);
+  std::uint8_t* t = pdu.data() + pdu.size() - 8;
+  t[3] = 90;  // wrong length
+  // Recompute CRC over the tampered PDU.
+  const std::uint32_t crc = [&] {
+    return atm::crc32(
+        std::span<const std::uint8_t>(pdu.data(), pdu.size() - 4));
+  }();
+  t[4] = static_cast<std::uint8_t>(crc >> 24);
+  t[5] = static_cast<std::uint8_t>(crc >> 16);
+  t[6] = static_cast<std::uint8_t>(crc >> 8);
+  t[7] = static_cast<std::uint8_t>(crc);
+
+  // Hand-build cells from the tampered PDU.
+  std::vector<atm::Cell> cells(pdu.size() / atm::kPayloadSize);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cells[i].header.vc = kVc;
+    cells[i].header.pti = (i + 1 == cells.size()) ? atm::Pti::kUserData1
+                                                  : atm::Pti::kUserData0;
+    std::copy_n(pdu.begin() + static_cast<std::ptrdiff_t>(
+                                  i * atm::kPayloadSize),
+                atm::kPayloadSize, cells[i].payload.begin());
+  }
+  Aal5Reassembler rx;
+  auto d = feed_all(rx, cells);
+  ASSERT_TRUE(d.has_value());
+  // Length 90 in a 144-octet PDU implies pad of 46 < 48 — wait, 90+8=98,
+  // 144-98=46 which is a *valid* pad. The reassembler would truncate to
+  // 90 bytes; that is indistinguishable from a legitimate PDU at this
+  // layer, so the CRC we recomputed makes it "valid". Assert the
+  // truncation contract instead.
+  if (d->error == ReassemblyError::kNone) {
+    EXPECT_EQ(d->sdu.size(), 90u);
+  } else {
+    EXPECT_EQ(d->error, ReassemblyError::kLength);
+  }
+}
+
+TEST(Aal5Reassembler, ImplausibleLengthRejected) {
+  // Length implying pad >= 48 must be rejected even with a valid CRC.
+  const Bytes sdu = sdu_of(100);  // 3 cells: 144 octets
+  Bytes pdu = aal5_build_cpcs_pdu(sdu);
+  std::uint8_t* t = pdu.data() + pdu.size() - 8;
+  t[2] = 0;
+  t[3] = 10;  // pad would be 144-18 = 126 >= 48: bogus
+  const std::uint32_t crc = atm::crc32(
+      std::span<const std::uint8_t>(pdu.data(), pdu.size() - 4));
+  t[4] = static_cast<std::uint8_t>(crc >> 24);
+  t[5] = static_cast<std::uint8_t>(crc >> 16);
+  t[6] = static_cast<std::uint8_t>(crc >> 8);
+  t[7] = static_cast<std::uint8_t>(crc);
+
+  std::vector<atm::Cell> cells(pdu.size() / atm::kPayloadSize);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cells[i].header.vc = kVc;
+    cells[i].header.pti = (i + 1 == cells.size()) ? atm::Pti::kUserData1
+                                                  : atm::Pti::kUserData0;
+    std::copy_n(pdu.begin() + static_cast<std::ptrdiff_t>(
+                                  i * atm::kPayloadSize),
+                atm::kPayloadSize, cells[i].payload.begin());
+  }
+  Aal5Reassembler rx;
+  auto d = feed_all(rx, cells);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->error, ReassemblyError::kLength);
+}
+
+TEST(Aal5Reassembler, OversizeGuardWithoutEom) {
+  // A stream that never carries AUU must be bounded by max_sdu.
+  Aal5Reassembler rx(Aal5Reassembler::Config(1000));
+  auto cells = aal5_segment(sdu_of(5000), kVc);
+  cells.pop_back();  // never ends
+  std::optional<Aal5Reassembler::Delivery> d;
+  for (const auto& c : cells) {
+    auto r = rx.push(c);
+    if (r) {
+      d = std::move(r);
+      break;
+    }
+  }
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->error, ReassemblyError::kOversize);
+}
+
+TEST(Aal5Reassembler, IgnoresOamCells) {
+  Aal5Reassembler rx;
+  atm::Cell oam;
+  oam.header.vc = kVc;
+  oam.header.pti = atm::Pti::kOamSegment;
+  EXPECT_FALSE(rx.push(oam).has_value());
+  EXPECT_FALSE(rx.mid_pdu());
+}
+
+TEST(Aal5Reassembler, ResetDiscardsPartialPdu) {
+  auto cells = aal5_segment(sdu_of(300), kVc);
+  Aal5Reassembler rx;
+  rx.push(cells[0]);
+  EXPECT_TRUE(rx.mid_pdu());
+  rx.reset();
+  EXPECT_FALSE(rx.mid_pdu());
+  // A fresh PDU afterwards reassembles fine.
+  const Bytes sdu = sdu_of(50, 9);
+  auto d = feed_all(rx, aal5_segment(sdu, kVc));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->sdu, sdu);
+}
+
+TEST(Aal5Reassembler, TracksBufferedOctets) {
+  auto cells = aal5_segment(sdu_of(300), kVc);
+  Aal5Reassembler rx;
+  rx.push(cells[0]);
+  rx.push(cells[1]);
+  EXPECT_EQ(rx.buffered_octets(), 2 * atm::kPayloadSize);
+}
+
+}  // namespace
+}  // namespace hni::aal

@@ -1,0 +1,121 @@
+// Tests for the AAL-agnostic facade and the shared helper types.
+
+#include <gtest/gtest.h>
+
+#include "aal/sar.hpp"
+
+namespace hni::aal {
+namespace {
+
+atm::VcId kVc{0, 5};
+
+TEST(AalTypes, Names) {
+  EXPECT_EQ(to_string(AalType::kAal1), "AAL1");
+  EXPECT_EQ(to_string(AalType::kAal34), "AAL3/4");
+  EXPECT_EQ(to_string(AalType::kAal5), "AAL5");
+}
+
+TEST(AalTypes, ErrorNames) {
+  EXPECT_EQ(to_string(ReassemblyError::kNone), "none");
+  EXPECT_EQ(to_string(ReassemblyError::kCrc), "crc");
+  EXPECT_EQ(to_string(ReassemblyError::kTagMismatch), "tag-mismatch");
+}
+
+TEST(AalTypes, PayloadPerCell) {
+  EXPECT_EQ(payload_per_cell(AalType::kAal1), 47u);
+  EXPECT_EQ(payload_per_cell(AalType::kAal34), 44u);
+  EXPECT_EQ(payload_per_cell(AalType::kAal5), 48u);
+}
+
+TEST(Pattern, SelfIdentifyingVerification) {
+  for (std::size_t n : {4u, 8u, 9u, 100u, 9180u}) {
+    const Bytes p = make_pattern(n, 0xABCDu + n);
+    EXPECT_TRUE(verify_pattern(p)) << n;
+    EXPECT_TRUE(verify_pattern(p, 0xABCDu + n)) << n;
+  }
+}
+
+TEST(Pattern, DetectsCorruption) {
+  Bytes p = make_pattern(64, 77);
+  p[32] ^= 1;
+  EXPECT_FALSE(verify_pattern(p));
+}
+
+TEST(Pattern, DetectsTruncation) {
+  Bytes p = make_pattern(64, 77);
+  p.resize(40);
+  EXPECT_FALSE(verify_pattern(p));
+}
+
+TEST(FrameSegmenter, DispatchesBothAals) {
+  FrameSegmenter s5(AalType::kAal5, kVc);
+  FrameSegmenter s34(AalType::kAal34, kVc, 3);
+  const Bytes sdu = make_pattern(200, 1);
+  EXPECT_EQ(s5.segment(sdu).size(), aal5_cell_count(200));
+  EXPECT_EQ(s34.segment(sdu).size(), aal34_cell_count(200));
+}
+
+TEST(FrameSegmenter, CellCountHelper) {
+  EXPECT_EQ(FrameSegmenter::cell_count(AalType::kAal5, 9180), 192u);
+  EXPECT_EQ(FrameSegmenter::cell_count(AalType::kAal34, 9180), 209u);
+  EXPECT_EQ(FrameSegmenter::cell_count(AalType::kAal1, 94), 2u);
+}
+
+TEST(FrameSegmenter, RejectsAal1) {
+  EXPECT_THROW(FrameSegmenter(AalType::kAal1, kVc), std::invalid_argument);
+}
+
+TEST(FrameReassembler, RejectsAal1) {
+  EXPECT_THROW(FrameReassembler(AalType::kAal1), std::invalid_argument);
+}
+
+class FacadeRoundtrip : public ::testing::TestWithParam<AalType> {};
+
+TEST_P(FacadeRoundtrip, DeliversThroughFacade) {
+  const AalType aal = GetParam();
+  FrameSegmenter seg(aal, kVc);
+  FrameReassembler rx(aal);
+  const Bytes sdu = make_pattern(1234, 42);
+  std::optional<FrameDelivery> d;
+  for (const auto& c : seg.segment(sdu)) {
+    auto r = rx.push(c);
+    if (r) d = std::move(r);
+  }
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->ok());
+  EXPECT_EQ(d->sdu, sdu);
+  EXPECT_EQ(rx.pdus_ok(), 1u);
+  EXPECT_EQ(rx.pdus_errored(), 0u);
+  EXPECT_FALSE(rx.mid_pdu());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFramedAals, FacadeRoundtrip,
+                         ::testing::Values(AalType::kAal5, AalType::kAal34));
+
+TEST(FrameReassembler, MidPduReflectsState) {
+  FrameReassembler rx(AalType::kAal5);
+  FrameSegmenter seg(AalType::kAal5, kVc);
+  auto cells = seg.segment(make_pattern(200, 1));
+  rx.push(cells[0]);
+  EXPECT_TRUE(rx.mid_pdu());
+  rx.reset();
+  EXPECT_FALSE(rx.mid_pdu());
+}
+
+TEST(FrameReassembler, ErrorsSurfaceThroughFacade) {
+  FrameReassembler rx(AalType::kAal5);
+  FrameSegmenter seg(AalType::kAal5, kVc);
+  auto cells = seg.segment(make_pattern(300, 2));
+  cells.erase(cells.begin() + 1);
+  std::optional<FrameDelivery> d;
+  for (const auto& c : cells) {
+    auto r = rx.push(c);
+    if (r) d = std::move(r);
+  }
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->ok());
+  EXPECT_EQ(rx.pdus_errored(), 1u);
+}
+
+}  // namespace
+}  // namespace hni::aal

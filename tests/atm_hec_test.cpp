@@ -1,0 +1,210 @@
+// HEC tests: the CRC-8/coset arithmetic, single-bit correction over the
+// whole 40-bit codeword, the correction/detection mode automaton, and
+// cell delineation (HUNT/PRESYNC/SYNC).
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "atm/hec.hpp"
+
+namespace hni::atm {
+namespace {
+
+using Header = std::array<std::uint8_t, 4>;
+
+std::uint8_t hec_of(const Header& h) {
+  return hec_compute(std::span<const std::uint8_t, 4>(h.data(), 4));
+}
+
+TEST(Hec, ZeroHeaderCoset) {
+  // CRC-8 of all-zero input is 0, so the wire HEC is the coset itself.
+  Header h{0, 0, 0, 0};
+  EXPECT_EQ(hec_of(h), kHecCosetPattern);
+}
+
+TEST(Hec, CheckAcceptsComputed) {
+  Header h{0x12, 0x34, 0x56, 0x78};
+  EXPECT_TRUE(hec_check(std::span<const std::uint8_t, 4>(h.data(), 4),
+                        hec_of(h)));
+  EXPECT_FALSE(hec_check(std::span<const std::uint8_t, 4>(h.data(), 4),
+                         static_cast<std::uint8_t>(hec_of(h) ^ 1)));
+}
+
+TEST(Hec, DiffersAcrossHeaders) {
+  Header a{1, 2, 3, 4};
+  Header b{1, 2, 3, 5};
+  EXPECT_NE(hec_of(a), hec_of(b));
+}
+
+TEST(HecReceiver, ValidStaysInCorrectionMode) {
+  HecReceiver rx;
+  Header h{9, 9, 9, 9};
+  auto hec = hec_of(h);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(rx.push(std::span<std::uint8_t, 4>(h.data(), 4), hec),
+              HecVerdict::kValid);
+    EXPECT_TRUE(rx.in_correction_mode());
+  }
+}
+
+// Every single-bit error in the 32 header bits must be corrected and the
+// original header restored.
+class HecHeaderBitFlip : public ::testing::TestWithParam<int> {};
+
+TEST_P(HecHeaderBitFlip, Corrected) {
+  const int bit = GetParam();
+  const Header original{0xDE, 0xAD, 0xBE, 0xEF};
+  const std::uint8_t hec = hec_of(original);
+
+  Header damaged = original;
+  damaged[static_cast<std::size_t>(bit / 8)] ^=
+      static_cast<std::uint8_t>(0x80u >> (bit % 8));
+
+  HecReceiver rx;
+  EXPECT_EQ(rx.push(std::span<std::uint8_t, 4>(damaged.data(), 4), hec),
+            HecVerdict::kCorrected);
+  EXPECT_EQ(damaged, original);
+  // After a correction the receiver must drop to detection mode.
+  EXPECT_FALSE(rx.in_correction_mode());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHeaderBits, HecHeaderBitFlip,
+                         ::testing::Range(0, 32));
+
+// Errors in the HEC octet itself are also single-bit errors of the
+// codeword: the header must pass through untouched.
+class HecOctetBitFlip : public ::testing::TestWithParam<int> {};
+
+TEST_P(HecOctetBitFlip, HeaderSurvives) {
+  const int bit = GetParam();
+  const Header original{0x01, 0x02, 0x03, 0x04};
+  const std::uint8_t hec = static_cast<std::uint8_t>(
+      hec_of(original) ^ (0x80u >> bit));
+
+  Header h = original;
+  HecReceiver rx;
+  EXPECT_EQ(rx.push(std::span<std::uint8_t, 4>(h.data(), 4), hec),
+            HecVerdict::kCorrected);
+  EXPECT_EQ(h, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHecBits, HecOctetBitFlip, ::testing::Range(0, 8));
+
+TEST(HecReceiver, DoubleBitErrorDiscardsInCorrectionMode) {
+  Header original{0x55, 0x66, 0x77, 0x88};
+  const std::uint8_t hec = hec_of(original);
+  // Flip two header bits: most such patterns yield a syndrome that is
+  // either unmapped or maps to a *wrong* single-bit "correction". The
+  // I.432 algorithm accepts this; what matters is that the next error
+  // in detection mode is discarded. Choose a pattern with an unmapped
+  // syndrome: flipping the same bit position in two different octets.
+  Header damaged = original;
+  damaged[0] ^= 0x80;
+  damaged[1] ^= 0x80;
+  HecReceiver rx;
+  const auto verdict =
+      rx.push(std::span<std::uint8_t, 4>(damaged.data(), 4), hec);
+  // Either discarded outright or miscorrected — but never "valid", and
+  // the receiver must leave correction mode.
+  EXPECT_NE(verdict, HecVerdict::kValid);
+  EXPECT_FALSE(rx.in_correction_mode());
+}
+
+TEST(HecReceiver, DetectionModeDiscardsSingleBitErrors) {
+  HecReceiver rx;
+  Header h{1, 2, 3, 4};
+  const std::uint8_t hec = hec_of(h);
+
+  // First error: corrected, drops to detection mode.
+  Header e1 = h;
+  e1[0] ^= 0x01;
+  EXPECT_EQ(rx.push(std::span<std::uint8_t, 4>(e1.data(), 4), hec),
+            HecVerdict::kCorrected);
+
+  // Second consecutive error: discarded even though correctable.
+  Header e2 = h;
+  e2[2] ^= 0x10;
+  EXPECT_EQ(rx.push(std::span<std::uint8_t, 4>(e2.data(), 4), hec),
+            HecVerdict::kDiscard);
+
+  // A clean header restores correction mode.
+  Header ok = h;
+  EXPECT_EQ(rx.push(std::span<std::uint8_t, 4>(ok.data(), 4), hec),
+            HecVerdict::kValid);
+  EXPECT_TRUE(rx.in_correction_mode());
+
+  // And the next single-bit error is corrected again.
+  Header e3 = h;
+  e3[3] ^= 0x40;
+  EXPECT_EQ(rx.push(std::span<std::uint8_t, 4>(e3.data(), 4), hec),
+            HecVerdict::kCorrected);
+}
+
+TEST(HecSyndromes, SingleBitSyndromesAreUnique) {
+  // Correction over a 40-bit codeword is only sound if all 40
+  // single-bit syndromes are distinct and nonzero. Verify via the
+  // public API: each corrected position must restore the exact
+  // original, which fails if two positions shared a syndrome.
+  const Header original{0xA5, 0x5A, 0xC3, 0x3C};
+  const std::uint8_t hec = hec_of(original);
+  for (int bit = 0; bit < 32; ++bit) {
+    Header damaged = original;
+    damaged[static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<std::uint8_t>(0x80u >> (bit % 8));
+    HecReceiver rx;
+    ASSERT_EQ(rx.push(std::span<std::uint8_t, 4>(damaged.data(), 4), hec),
+              HecVerdict::kCorrected)
+        << "bit " << bit;
+    ASSERT_EQ(damaged, original) << "bit " << bit;
+  }
+}
+
+TEST(CellDelineation, HuntToSyncViaPresync) {
+  CellDelineation d;
+  EXPECT_EQ(d.state(), CellDelineation::State::kHunt);
+  d.push(true);  // first valid HEC -> PRESYNC
+  EXPECT_EQ(d.state(), CellDelineation::State::kPresync);
+  for (int i = 1; i < kHecDelta; ++i) {
+    d.push(true);
+  }
+  EXPECT_EQ(d.state(), CellDelineation::State::kSync);
+}
+
+TEST(CellDelineation, PresyncFallsBackOnError) {
+  CellDelineation d;
+  d.push(true);
+  d.push(true);
+  d.push(false);
+  EXPECT_EQ(d.state(), CellDelineation::State::kHunt);
+}
+
+TEST(CellDelineation, SyncTolleratesFewerThanAlphaErrors) {
+  CellDelineation d;
+  for (int i = 0; i < kHecDelta; ++i) d.push(true);
+  ASSERT_EQ(d.state(), CellDelineation::State::kSync);
+  for (int i = 0; i < kHecAlpha - 1; ++i) d.push(false);
+  EXPECT_EQ(d.state(), CellDelineation::State::kSync);
+  d.push(true);  // a good cell resets the run
+  for (int i = 0; i < kHecAlpha - 1; ++i) d.push(false);
+  EXPECT_EQ(d.state(), CellDelineation::State::kSync);
+  EXPECT_EQ(d.sync_losses(), 0u);
+}
+
+TEST(CellDelineation, AlphaConsecutiveErrorsLoseSync) {
+  CellDelineation d;
+  for (int i = 0; i < kHecDelta; ++i) d.push(true);
+  for (int i = 0; i < kHecAlpha; ++i) d.push(false);
+  EXPECT_EQ(d.state(), CellDelineation::State::kHunt);
+  EXPECT_EQ(d.sync_losses(), 1u);
+}
+
+TEST(CellDelineation, ResetReturnsToHunt) {
+  CellDelineation d;
+  for (int i = 0; i < kHecDelta; ++i) d.push(true);
+  d.reset();
+  EXPECT_EQ(d.state(), CellDelineation::State::kHunt);
+}
+
+}  // namespace
+}  // namespace hni::atm

@@ -1,0 +1,116 @@
+// PHY model tests: SONET payload rates, slot arithmetic, and the
+// transmit framer's pacing/idle behaviour.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "atm/phy.hpp"
+
+namespace hni::atm {
+namespace {
+
+TEST(LineRate, Sts3cNumbers) {
+  const LineRate r = sts3c();
+  EXPECT_DOUBLE_EQ(r.line_bps, 155.52e6);
+  EXPECT_DOUBLE_EQ(r.payload_bps, 149.760e6);
+  // 149.76e6 / 424 = 353,207.5 cells/s
+  EXPECT_NEAR(r.cells_per_second(), 353207.5, 0.1);
+  // slot = 424 / 149.76e6 s = 2.8312 us
+  EXPECT_NEAR(static_cast<double>(r.cell_slot()), 2.8312e6, 100.0);
+}
+
+TEST(LineRate, Sts12cNumbers) {
+  const LineRate r = sts12c();
+  EXPECT_DOUBLE_EQ(r.payload_bps, 599.040e6);
+  EXPECT_NEAR(r.cells_per_second(), 1412830.2, 1.0);
+  EXPECT_NEAR(static_cast<double>(r.cell_slot()), 707.8e3, 100.0);
+}
+
+TEST(LineRate, Sts12cIsFourTimesSts3c) {
+  EXPECT_NEAR(sts12c().payload_bps / sts3c().payload_bps, 4.0, 1e-9);
+}
+
+TEST(LineRate, RawRateHasNoOverhead) {
+  const LineRate r = raw_rate(424e6, "test");
+  EXPECT_DOUBLE_EQ(r.line_bps, r.payload_bps);
+  EXPECT_EQ(r.cell_slot(), sim::microseconds(1));
+}
+
+TEST(TxFramer, RequiresWiringBeforeStart) {
+  sim::Simulator sim;
+  TxFramer framer(sim, sts3c());
+  EXPECT_THROW(framer.start(), std::logic_error);
+}
+
+TEST(TxFramer, RejectsNonPositiveRate) {
+  sim::Simulator sim;
+  EXPECT_THROW(TxFramer(sim, raw_rate(0.0)), std::invalid_argument);
+}
+
+TEST(TxFramer, PacesCellsAtSlotRate) {
+  sim::Simulator sim;
+  TxFramer framer(sim, raw_rate(424e6));  // slot = exactly 1 us
+  int to_send = 5;
+  std::vector<sim::Time> arrivals;
+  framer.set_supplier([&]() -> std::optional<Cell> {
+    if (to_send == 0) return std::nullopt;
+    --to_send;
+    return Cell{};
+  });
+  framer.set_sink([&](const Cell&) { arrivals.push_back(sim.now()); });
+  framer.start();
+  sim.run_until(sim::microseconds(20));
+
+  ASSERT_EQ(arrivals.size(), 5u);
+  // Cell n completes serialization at (n+1) slots.
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i], sim::microseconds(static_cast<std::int64_t>(i + 1)));
+  }
+  EXPECT_EQ(framer.cells_sent(), 5u);
+}
+
+TEST(TxFramer, CountsIdleSlots) {
+  sim::Simulator sim;
+  TxFramer framer(sim, raw_rate(424e6));
+  int sent = 0;
+  framer.set_supplier([&]() -> std::optional<Cell> {
+    // Supply a cell every other slot.
+    if (++sent % 2 == 0) return Cell{};
+    return std::nullopt;
+  });
+  framer.set_sink([](const Cell&) {});
+  framer.start();
+  sim.run_until(sim::microseconds(100));
+  EXPECT_NEAR(framer.utilization(), 0.5, 0.02);
+  EXPECT_GT(framer.idle_slots(), 0u);
+}
+
+TEST(TxFramer, StopHaltsTheSlotClock) {
+  sim::Simulator sim;
+  TxFramer framer(sim, raw_rate(424e6));
+  framer.set_supplier([]() -> std::optional<Cell> { return Cell{}; });
+  framer.set_sink([](const Cell&) {});
+  framer.start();
+  sim.run_until(sim::microseconds(10));
+  framer.stop();
+  const auto sent = framer.cells_sent();
+  sim.run_until(sim::microseconds(50));
+  // At most the in-flight slot completes after stop().
+  EXPECT_LE(framer.cells_sent(), sent + 1);
+}
+
+TEST(TxFramer, FullUtilizationWhenAlwaysSupplied) {
+  sim::Simulator sim;
+  TxFramer framer(sim, sts3c());
+  framer.set_supplier([]() -> std::optional<Cell> { return Cell{}; });
+  framer.set_sink([](const Cell&) {});
+  framer.start();
+  sim.run_until(sim::milliseconds(1));
+  EXPECT_DOUBLE_EQ(framer.utilization(), 1.0);
+  // ~353 cells in a millisecond at STS-3c.
+  EXPECT_NEAR(static_cast<double>(framer.cells_sent()), 353.0, 2.0);
+}
+
+}  // namespace
+}  // namespace hni::atm

@@ -1,0 +1,112 @@
+// Core API tests: testbed wiring, the report formatter, and the
+// canonical point-to-point scenario runner.
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+
+namespace hni::core {
+namespace {
+
+TEST(Table, FormatsAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.to_string("demo");
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumberHelpers) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::integer(42), "42");
+  EXPECT_EQ(Table::percent(0.123, 1), "12.3%");
+}
+
+TEST(Testbed, StationsAreIndependent) {
+  Testbed bed;
+  auto& a = bed.add_station({.name = "a"});
+  auto& b = bed.add_station({.name = "b"});
+  EXPECT_EQ(a.name(), "a");
+  EXPECT_EQ(b.name(), "b");
+  EXPECT_NE(&a.bus(), &b.bus());
+  EXPECT_NE(&a.memory(), &b.memory());
+}
+
+TEST(Testbed, RunForAdvancesClock) {
+  Testbed bed;
+  bed.run_for(sim::milliseconds(3));
+  EXPECT_EQ(bed.now(), sim::milliseconds(3));
+  bed.run_for(sim::milliseconds(2));
+  EXPECT_EQ(bed.now(), sim::milliseconds(5));
+}
+
+TEST(RunP2p, GreedyAal5ReachesLineRate) {
+  P2pConfig cfg;
+  cfg.traffic.mode = net::SduSource::Mode::kGreedy;
+  cfg.traffic.sdu_bytes = 9180;
+  cfg.warmup = sim::milliseconds(2);
+  cfg.measure = sim::milliseconds(20);
+  const P2pResult r = run_p2p(cfg);
+
+  EXPECT_TRUE(r.data_ok());
+  EXPECT_GT(r.sdus_received, 0u);
+  EXPECT_EQ(r.sdus_errored, 0u);
+  EXPECT_EQ(r.cells_fifo_dropped, 0u);
+  // AAL5 goodput ceiling at STS-3c: payload_rate * 48/53 * (9180/9216).
+  const double ceiling = 149.76e6 * (9180.0 * 8) / (192.0 * 424.0);
+  EXPECT_GT(r.goodput_bps, 0.9 * ceiling);
+  EXPECT_LT(r.goodput_bps, 1.02 * ceiling);
+  EXPECT_GT(r.tx_line_util, 0.95);
+  EXPECT_GT(r.latency_mean_us, 0.0);
+}
+
+TEST(RunP2p, Aal34CarriesLessGoodput) {
+  P2pConfig cfg;
+  cfg.traffic.mode = net::SduSource::Mode::kGreedy;
+  cfg.traffic.sdu_bytes = 9180;
+  cfg.measure = sim::milliseconds(10);
+  P2pConfig cfg34 = cfg;
+  cfg34.aal = aal::AalType::kAal34;
+  const P2pResult r5 = run_p2p(cfg);
+  const P2pResult r34 = run_p2p(cfg34);
+  EXPECT_TRUE(r34.data_ok());
+  // 44/48 payload ratio shows up directly.
+  EXPECT_LT(r34.goodput_bps, 0.95 * r5.goodput_bps);
+  EXPECT_GT(r34.goodput_bps, 0.85 * r5.goodput_bps);
+}
+
+TEST(RunP2p, LossyLinkProducesErroredPdus) {
+  P2pConfig cfg;
+  cfg.traffic.mode = net::SduSource::Mode::kGreedy;
+  cfg.traffic.sdu_bytes = 9180;
+  cfg.loss.cell_loss_rate = 0.001;
+  cfg.measure = sim::milliseconds(20);
+  const P2pResult r = run_p2p(cfg);
+  EXPECT_GT(r.sdus_errored, 0u);
+  EXPECT_TRUE(r.data_ok());  // delivered PDUs are still byte-perfect
+  EXPECT_LT(r.goodput_bps, r.offered_bps);
+}
+
+TEST(RunP2p, OpenLoopPoissonUnderload) {
+  P2pConfig cfg;
+  cfg.traffic.mode = net::SduSource::Mode::kPoisson;
+  cfg.traffic.sdu_bytes = 1000;
+  cfg.traffic.interval = sim::microseconds(500);  // ~16 Mb/s offered
+  cfg.measure = sim::milliseconds(20);
+  const P2pResult r = run_p2p(cfg);
+  // Underload: everything offered is delivered.
+  EXPECT_NEAR(r.goodput_bps, r.offered_bps, 0.1 * r.offered_bps);
+  EXPECT_EQ(r.cells_fifo_dropped, 0u);
+  EXPECT_LT(r.rx_engine_util, 0.5);
+}
+
+}  // namespace
+}  // namespace hni::core

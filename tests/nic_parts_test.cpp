@@ -1,0 +1,226 @@
+// Tests for the NIC's building blocks: cell FIFO, board buffer manager,
+// VC table, interrupt controller.
+
+#include <gtest/gtest.h>
+
+#include "nic/buffer_mgr.hpp"
+#include "nic/fifo.hpp"
+#include "nic/interrupt.hpp"
+#include "nic/vc_table.hpp"
+
+namespace hni::nic {
+namespace {
+
+TEST(CellFifo, PushPopFifoOrder) {
+  sim::Simulator sim;
+  CellFifo<int> f(sim, 4);
+  EXPECT_TRUE(f.empty());
+  f.push(1);
+  f.push(2);
+  f.push(3);
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_EQ(f.pop(), 1);
+  EXPECT_EQ(f.pop(), 2);
+  EXPECT_EQ(f.pop(), 3);
+  EXPECT_FALSE(f.pop().has_value());
+}
+
+TEST(CellFifo, DropsWhenFull) {
+  sim::Simulator sim;
+  CellFifo<int> f(sim, 2);
+  EXPECT_TRUE(f.push(1));
+  EXPECT_TRUE(f.push(2));
+  EXPECT_TRUE(f.full());
+  EXPECT_FALSE(f.push(3));
+  EXPECT_EQ(f.drops(), 1u);
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(CellFifo, OnPushFiresPerPush) {
+  sim::Simulator sim;
+  CellFifo<int> f(sim, 4);
+  int wakeups = 0;
+  f.set_on_push([&] { ++wakeups; });
+  f.push(1);
+  f.push(2);
+  EXPECT_EQ(wakeups, 2);
+}
+
+TEST(CellFifo, SpaceWaitersReleasedOnePerPop) {
+  sim::Simulator sim;
+  CellFifo<int> f(sim, 1);
+  f.push(1);
+  int released = 0;
+  f.wait_space([&] { ++released; });
+  f.wait_space([&] { ++released; });
+  EXPECT_EQ(released, 0);
+  f.pop();
+  EXPECT_EQ(released, 1);
+  f.pop();  // empty pop: no release
+  EXPECT_EQ(released, 1);
+  f.push(2);
+  f.pop();
+  EXPECT_EQ(released, 2);
+}
+
+TEST(CellFifo, OccupancyStats) {
+  sim::Simulator sim;
+  CellFifo<int> f(sim, 8);
+  sim.at(0, [&] { f.push(1); });
+  sim.at(10, [&] { f.push(2); });
+  sim.at(20, [&] {
+    f.pop();
+    f.pop();
+  });
+  sim.run();
+  sim.run_until(40);
+  EXPECT_DOUBLE_EQ(f.max_depth(), 2.0);
+  // depth: 1 over [0,10), 2 over [10,20), 0 over [20,40) -> mean 0.75
+  EXPECT_DOUBLE_EQ(f.mean_depth(), 0.75);
+}
+
+TEST(BoardMemory, ChainsGrowByContainer) {
+  sim::Simulator sim;
+  BoardMemory bm(sim, {.containers = 4, .cells_per_container = 2});
+  EXPECT_TRUE(bm.add_cell(1));
+  EXPECT_EQ(bm.containers_in_use(), 1u);
+  EXPECT_TRUE(bm.add_cell(1));  // fills container 1
+  EXPECT_EQ(bm.containers_in_use(), 1u);
+  EXPECT_TRUE(bm.add_cell(1));  // needs a second container
+  EXPECT_EQ(bm.containers_in_use(), 2u);
+  EXPECT_EQ(bm.chain_containers(1), 2u);
+}
+
+TEST(BoardMemory, ExhaustionRefusesWithoutCorruption) {
+  sim::Simulator sim;
+  BoardMemory bm(sim, {.containers = 2, .cells_per_container = 1});
+  EXPECT_TRUE(bm.add_cell(1));
+  EXPECT_TRUE(bm.add_cell(2));
+  EXPECT_FALSE(bm.add_cell(3));
+  EXPECT_EQ(bm.alloc_failures(), 1u);
+  EXPECT_EQ(bm.containers_in_use(), 2u);
+  bm.release(1);
+  EXPECT_TRUE(bm.add_cell(3));
+}
+
+TEST(BoardMemory, ReleaseReturnsAllContainers) {
+  sim::Simulator sim;
+  BoardMemory bm(sim, {.containers = 8, .cells_per_container = 2});
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(bm.add_cell(7));
+  EXPECT_EQ(bm.containers_in_use(), 3u);
+  bm.release(7);
+  EXPECT_EQ(bm.containers_in_use(), 0u);
+  EXPECT_EQ(bm.chain_containers(7), 0u);
+  bm.release(7);  // double release is harmless
+}
+
+TEST(BoardMemory, PeakTracked) {
+  sim::Simulator sim;
+  BoardMemory bm(sim, {.containers = 8, .cells_per_container = 1});
+  bm.add_cell(1);
+  bm.add_cell(2);
+  bm.add_cell(3);
+  bm.release(1);
+  bm.release(2);
+  EXPECT_DOUBLE_EQ(bm.peak_in_use(), 3.0);
+  EXPECT_EQ(bm.containers_in_use(), 1u);
+}
+
+TEST(BoardMemoryConfig, ByteArithmetic) {
+  BoardMemoryConfig c{.containers = 10,
+                      .cells_per_container = 32,
+                      .container_overhead_bytes = 4};
+  EXPECT_EQ(c.container_bytes(), 32 * 48 + 4u);
+  EXPECT_EQ(c.total_bytes(), 10 * (32 * 48 + 4u));
+}
+
+TEST(VcTable, InsertFindErase) {
+  VcTable<int> t(16);
+  t.insert({0, 1}, 100);
+  t.insert({0, 2}, 200);
+  EXPECT_EQ(t.size(), 2u);
+  auto f = t.find({0, 1});
+  ASSERT_NE(f.state, nullptr);
+  EXPECT_EQ(*f.state, 100);
+  EXPECT_EQ(t.find({9, 9}).state, nullptr);
+  EXPECT_TRUE(t.erase({0, 1}));
+  EXPECT_FALSE(t.erase({0, 1}));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(VcTable, InsertReplacesExisting) {
+  VcTable<int> t(16);
+  t.insert({1, 1}, 5);
+  t.insert({1, 1}, 7);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.find({1, 1}).state, 7);
+}
+
+TEST(VcTable, ProbeCountGrowsWithCollisions) {
+  // One bucket forces every entry onto one chain.
+  VcTable<int> t(1);
+  for (std::uint16_t i = 0; i < 8; ++i) {
+    t.insert({0, i}, i);
+  }
+  std::uint32_t max_probes = 0;
+  for (std::uint16_t i = 0; i < 8; ++i) {
+    auto f = t.find({0, i});
+    ASSERT_NE(f.state, nullptr);
+    max_probes = std::max(max_probes, f.extra_probes);
+  }
+  EXPECT_EQ(max_probes, 7u);
+}
+
+TEST(VcTable, ForEachVisitsAll) {
+  VcTable<int> t(4);
+  for (std::uint16_t i = 0; i < 10; ++i) t.insert({0, i}, i);
+  int sum = 0;
+  t.for_each([&](atm::VcId, int& v) { sum += v; });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(InterruptController, ZeroWindowBatchesSameInstant) {
+  sim::Simulator sim;
+  InterruptController ic(sim, 0);
+  std::vector<std::size_t> batches;
+  ic.set_handler([&](std::size_t n) { batches.push_back(n); });
+  sim.at(10, [&] {
+    ic.post();
+    ic.post();
+    ic.post();
+  });
+  sim.run();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0], 3u);
+  EXPECT_EQ(ic.events(), 3u);
+  EXPECT_EQ(ic.interrupts(), 1u);
+  EXPECT_DOUBLE_EQ(ic.batching(), 3.0);
+}
+
+TEST(InterruptController, WindowCoalescesAcrossTime) {
+  sim::Simulator sim;
+  InterruptController ic(sim, sim::microseconds(10));
+  std::vector<std::size_t> batches;
+  ic.set_handler([&](std::size_t n) { batches.push_back(n); });
+  sim.at(0, [&] { ic.post(); });
+  sim.at(sim::microseconds(5), [&] { ic.post(); });
+  sim.at(sim::microseconds(30), [&] { ic.post(); });
+  sim.run();
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0], 2u);  // events at 0 and 5 us share one interrupt
+  EXPECT_EQ(batches[1], 1u);
+}
+
+TEST(InterruptController, SeparateInstantsSeparateInterrupts) {
+  sim::Simulator sim;
+  InterruptController ic(sim, 0);
+  int interrupts = 0;
+  ic.set_handler([&](std::size_t) { ++interrupts; });
+  sim.at(10, [&] { ic.post(); });
+  sim.at(20, [&] { ic.post(); });
+  sim.run();
+  EXPECT_EQ(interrupts, 2);
+}
+
+}  // namespace
+}  // namespace hni::nic

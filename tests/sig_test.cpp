@@ -1,0 +1,278 @@
+// Signalling tests: message codec, end-to-end call setup/teardown
+// through the switch, rejection causes, VCI lifecycle, traffic
+// contracts installed by the network, and data flow over switched VCs.
+
+#include <gtest/gtest.h>
+
+#include "sig/network.hpp"
+
+namespace hni {
+namespace {
+
+using sig::Cause;
+using sig::Message;
+using sig::MessageType;
+
+TEST(SigMessage, CodecRoundtrip) {
+  Message m;
+  m.type = MessageType::kSetup;
+  m.call_id = 0x12345678;
+  m.calling_party = 7;
+  m.called_party = 9;
+  m.aal = aal::AalType::kAal34;
+  m.pcr_cells_per_second = 88301.875;
+  m.assigned_vc = {3, 1234};
+  m.cause = Cause::kUserBusy;
+
+  const auto back = Message::decode(m.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, m.type);
+  EXPECT_EQ(back->call_id, m.call_id);
+  EXPECT_EQ(back->calling_party, m.calling_party);
+  EXPECT_EQ(back->called_party, m.called_party);
+  EXPECT_EQ(back->aal, m.aal);
+  EXPECT_NEAR(back->pcr_cells_per_second, m.pcr_cells_per_second, 1e-5);
+  EXPECT_EQ(back->assigned_vc, m.assigned_vc);
+  EXPECT_EQ(back->cause, m.cause);
+}
+
+TEST(SigMessage, RejectsGarbage) {
+  EXPECT_FALSE(Message::decode({}).has_value());
+  EXPECT_FALSE(Message::decode(aal::Bytes(5, 0xAB)).has_value());
+  aal::Bytes wire = Message{}.encode();
+  wire[0] ^= 0xFF;  // break the magic
+  EXPECT_FALSE(Message::decode(wire).has_value());
+  aal::Bytes wire2 = Message{}.encode();
+  wire2[2] = 99;  // invalid type
+  EXPECT_FALSE(Message::decode(wire2).has_value());
+  aal::Bytes truncated = Message{}.encode();
+  truncated.pop_back();
+  EXPECT_FALSE(Message::decode(truncated).has_value());
+}
+
+// Shared scenario: three endpoints + agent on a 4-port switch.
+struct SigBed {
+  core::Testbed bed;
+  net::Switch& sw;
+  core::Station& alice;
+  core::Station& bob;
+  core::Station& carol;
+  sig::SignalingNetwork net;
+  sig::CallControl& cc_alice;
+  sig::CallControl& cc_bob;
+  sig::CallControl& cc_carol;
+
+  SigBed()
+      : sw(bed.add_switch({.ports = 4,
+                           .queue_cells = 512,
+                           .clp_threshold = 512})),
+        alice(bed.add_station({.name = "alice"})),
+        bob(bed.add_station({.name = "bob"})),
+        carol(bed.add_station({.name = "carol"})),
+        net(bed, sw, /*agent_port=*/3),
+        cc_alice(net.attach(alice, 0, 1)),
+        cc_bob(net.attach(bob, 1, 2)),
+        cc_carol(net.attach(carol, 2, 3)) {}
+};
+
+TEST(Signaling, CallSetupConnectsBothEnds) {
+  SigBed s;
+  s.cc_bob.set_incoming([](const sig::CallControl::CallInfo&) {
+    return true;
+  });
+
+  std::optional<sig::CallControl::CallInfo> at_alice;
+  s.cc_alice.place_call(2, aal::AalType::kAal5, 0.0,
+                        [&](const sig::CallControl::CallInfo& i) {
+                          at_alice = i;
+                        });
+  s.bed.run_for(sim::milliseconds(10));
+
+  ASSERT_TRUE(at_alice.has_value());
+  EXPECT_EQ(at_alice->peer, 2);
+  EXPECT_GE(at_alice->vc.vci, 1000);
+  EXPECT_EQ(s.cc_alice.active_calls(), 1u);
+  EXPECT_EQ(s.cc_bob.active_calls(), 1u);
+  EXPECT_EQ(s.net.calls_routed(), 1u);
+  EXPECT_EQ(s.net.active_calls(), 1u);
+}
+
+TEST(Signaling, DataFlowsOverSwitchedCall) {
+  SigBed s;
+  s.cc_bob.set_incoming([](const sig::CallControl::CallInfo&) {
+    return true;
+  });
+  aal::Bytes got;
+  s.bob.host().set_rx_handler(
+      [&](aal::Bytes sdu, const host::RxInfo&) { got = std::move(sdu); });
+
+  const aal::Bytes payload = aal::make_pattern(5000, 11);
+  s.cc_alice.place_call(2, aal::AalType::kAal5, 0.0,
+                        [&](const sig::CallControl::CallInfo& i) {
+                          s.alice.host().send(i.vc, i.aal, payload);
+                        });
+  s.bed.run_for(sim::milliseconds(20));
+  EXPECT_EQ(got, payload);
+}
+
+TEST(Signaling, RejectionReportsCause) {
+  SigBed s;
+  s.cc_bob.set_incoming([](const sig::CallControl::CallInfo&) {
+    return false;  // busy
+  });
+  std::optional<Cause> cause;
+  s.cc_alice.place_call(
+      2, aal::AalType::kAal5, 0.0,
+      [](const sig::CallControl::CallInfo&) { FAIL() << "connected?"; },
+      [&](std::uint32_t, Cause c) { cause = c; });
+  s.bed.run_for(sim::milliseconds(10));
+  ASSERT_TRUE(cause.has_value());
+  EXPECT_EQ(*cause, Cause::kCallRejected);
+  EXPECT_EQ(s.cc_alice.active_calls(), 0u);
+  EXPECT_EQ(s.net.active_calls(), 0u);
+  EXPECT_EQ(s.cc_alice.calls_failed(), 1u);
+}
+
+TEST(Signaling, UnknownPartyRefusedByNetwork) {
+  SigBed s;
+  std::optional<Cause> cause;
+  s.cc_alice.place_call(
+      42, aal::AalType::kAal5, 0.0,
+      [](const sig::CallControl::CallInfo&) { FAIL(); },
+      [&](std::uint32_t, Cause c) { cause = c; });
+  s.bed.run_for(sim::milliseconds(10));
+  ASSERT_TRUE(cause.has_value());
+  EXPECT_EQ(*cause, Cause::kNoRouteToDestination);
+  EXPECT_EQ(s.net.calls_refused(), 1u);
+}
+
+TEST(Signaling, ReleaseTearsDownRoutesAndNotifiesPeer) {
+  SigBed s;
+  s.cc_bob.set_incoming([](const sig::CallControl::CallInfo&) {
+    return true;
+  });
+  std::optional<sig::CallControl::CallInfo> call;
+  s.cc_alice.place_call(2, aal::AalType::kAal5, 0.0,
+                        [&](const sig::CallControl::CallInfo& i) {
+                          call = i;
+                        });
+  std::optional<Cause> bob_released;
+  s.cc_bob.set_released(
+      [&](const sig::CallControl::CallInfo&, Cause c) { bob_released = c; });
+  s.bed.run_for(sim::milliseconds(10));
+  ASSERT_TRUE(call.has_value());
+
+  s.cc_alice.release(call->call_id);
+  s.bed.run_for(sim::milliseconds(10));
+
+  ASSERT_TRUE(bob_released.has_value());
+  EXPECT_EQ(*bob_released, Cause::kNormal);
+  EXPECT_EQ(s.cc_alice.active_calls(), 0u);
+  EXPECT_EQ(s.cc_bob.active_calls(), 0u);
+  EXPECT_EQ(s.net.active_calls(), 0u);
+
+  // The data path is really gone: cells on the old VC are unroutable.
+  const auto unroutable_before = s.sw.cells_unroutable();
+  s.alice.host().send(call->vc, aal::AalType::kAal5,
+                      aal::make_pattern(100, 1));
+  s.bed.run_for(sim::milliseconds(10));
+  EXPECT_GT(s.sw.cells_unroutable(), unroutable_before);
+}
+
+TEST(Signaling, ConcurrentCallsGetDistinctVcs) {
+  SigBed s;
+  auto accept_all = [](const sig::CallControl::CallInfo&) { return true; };
+  s.cc_bob.set_incoming(accept_all);
+  s.cc_carol.set_incoming(accept_all);
+
+  std::vector<atm::VcId> vcs;
+  s.cc_alice.place_call(2, aal::AalType::kAal5, 0.0,
+                        [&](const sig::CallControl::CallInfo& i) {
+                          vcs.push_back(i.vc);
+                        });
+  s.cc_alice.place_call(3, aal::AalType::kAal5, 0.0,
+                        [&](const sig::CallControl::CallInfo& i) {
+                          vcs.push_back(i.vc);
+                        });
+  s.bed.run_for(sim::milliseconds(10));
+
+  ASSERT_EQ(vcs.size(), 2u);
+  EXPECT_NE(vcs[0], vcs[1]);  // alice's two legs use distinct VCIs
+  EXPECT_EQ(s.net.active_calls(), 2u);
+}
+
+TEST(Signaling, VcisRecycledAfterRelease) {
+  SigBed s;
+  s.cc_bob.set_incoming([](const sig::CallControl::CallInfo&) {
+    return true;
+  });
+  std::optional<sig::CallControl::CallInfo> first;
+  s.cc_alice.place_call(2, aal::AalType::kAal5, 0.0,
+                        [&](const sig::CallControl::CallInfo& i) {
+                          first = i;
+                        });
+  s.bed.run_for(sim::milliseconds(10));
+  ASSERT_TRUE(first.has_value());
+  s.cc_alice.release(first->call_id);
+  s.bed.run_for(sim::milliseconds(10));
+
+  std::optional<sig::CallControl::CallInfo> second;
+  s.cc_alice.place_call(2, aal::AalType::kAal5, 0.0,
+                        [&](const sig::CallControl::CallInfo& i) {
+                          second = i;
+                        });
+  s.bed.run_for(sim::milliseconds(10));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->vc, first->vc);  // freed VCI reused
+}
+
+TEST(Signaling, ContractedCallIsShapedAndPoliced) {
+  SigBed s;
+  s.cc_bob.set_incoming([](const sig::CallControl::CallInfo&) {
+    return true;
+  });
+  std::size_t got = 0;
+  s.bob.host().set_rx_handler(
+      [&](aal::Bytes sdu, const host::RxInfo&) {
+        EXPECT_TRUE(aal::verify_pattern(sdu));
+        ++got;
+      });
+
+  // A call with a PCR contract at a quarter of STS-3c. The network
+  // installs UPC; the caller's CallControl installs the GCRA shaper —
+  // so a greedy burst of PDUs still arrives intact, just paced.
+  const double pcr = atm::sts3c().cells_per_second() / 4.0;
+  std::optional<sig::CallControl::CallInfo> call;
+  s.cc_alice.place_call(2, aal::AalType::kAal5, pcr,
+                        [&](const sig::CallControl::CallInfo& i) {
+                          call = i;
+                          for (int k = 0; k < 5; ++k) {
+                            s.alice.host().send(
+                                i.vc, i.aal, aal::make_pattern(9180, k));
+                          }
+                        });
+  s.bed.run_for(sim::milliseconds(80));
+
+  EXPECT_EQ(got, 5u);
+  EXPECT_EQ(s.sw.cells_policed_dropped(), 0u);
+}
+
+TEST(Signaling, SetupLatencyIsMicroseconds) {
+  SigBed s;
+  s.cc_bob.set_incoming([](const sig::CallControl::CallInfo&) {
+    return true;
+  });
+  sim::Time connected_at = 0;
+  const sim::Time start = s.bed.now();
+  s.cc_alice.place_call(2, aal::AalType::kAal5, 0.0,
+                        [&](const sig::CallControl::CallInfo&) {
+                          connected_at = s.bed.now();
+                        });
+  s.bed.run_for(sim::milliseconds(10));
+  ASSERT_GT(connected_at, start);
+  // Four signalling frames through switch + agent: well under 1 ms.
+  EXPECT_LT(connected_at - start, sim::milliseconds(1));
+}
+
+}  // namespace
+}  // namespace hni
