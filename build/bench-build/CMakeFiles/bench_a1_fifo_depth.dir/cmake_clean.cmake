@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a1_fifo_depth"
+  "../bench/bench_a1_fifo_depth.pdb"
+  "CMakeFiles/bench_a1_fifo_depth.dir/bench_a1_fifo_depth.cpp.o"
+  "CMakeFiles/bench_a1_fifo_depth.dir/bench_a1_fifo_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_fifo_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

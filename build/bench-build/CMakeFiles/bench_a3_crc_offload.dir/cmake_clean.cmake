@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a3_crc_offload"
+  "../bench/bench_a3_crc_offload.pdb"
+  "CMakeFiles/bench_a3_crc_offload.dir/bench_a3_crc_offload.cpp.o"
+  "CMakeFiles/bench_a3_crc_offload.dir/bench_a3_crc_offload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_crc_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a4_traffic_contract"
+  "../bench/bench_a4_traffic_contract.pdb"
+  "CMakeFiles/bench_a4_traffic_contract.dir/bench_a4_traffic_contract.cpp.o"
+  "CMakeFiles/bench_a4_traffic_contract.dir/bench_a4_traffic_contract.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_traffic_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

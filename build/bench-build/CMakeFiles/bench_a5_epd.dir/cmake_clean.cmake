@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a5_epd"
+  "../bench/bench_a5_epd.pdb"
+  "CMakeFiles/bench_a5_epd.dir/bench_a5_epd.cpp.o"
+  "CMakeFiles/bench_a5_epd.dir/bench_a5_epd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_epd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

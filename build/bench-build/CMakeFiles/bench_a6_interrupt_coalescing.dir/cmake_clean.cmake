@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a6_interrupt_coalescing"
+  "../bench/bench_a6_interrupt_coalescing.pdb"
+  "CMakeFiles/bench_a6_interrupt_coalescing.dir/bench_a6_interrupt_coalescing.cpp.o"
+  "CMakeFiles/bench_a6_interrupt_coalescing.dir/bench_a6_interrupt_coalescing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_interrupt_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f1_throughput_vs_pdu"
+  "../bench/bench_f1_throughput_vs_pdu.pdb"
+  "CMakeFiles/bench_f1_throughput_vs_pdu.dir/bench_f1_throughput_vs_pdu.cpp.o"
+  "CMakeFiles/bench_f1_throughput_vs_pdu.dir/bench_f1_throughput_vs_pdu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_throughput_vs_pdu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

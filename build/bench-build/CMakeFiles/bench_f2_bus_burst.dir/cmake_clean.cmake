@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f2_bus_burst"
+  "../bench/bench_f2_bus_burst.pdb"
+  "CMakeFiles/bench_f2_bus_burst.dir/bench_f2_bus_burst.cpp.o"
+  "CMakeFiles/bench_f2_bus_burst.dir/bench_f2_bus_burst.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_bus_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f3_fifo_occupancy"
+  "../bench/bench_f3_fifo_occupancy.pdb"
+  "CMakeFiles/bench_f3_fifo_occupancy.dir/bench_f3_fifo_occupancy.cpp.o"
+  "CMakeFiles/bench_f3_fifo_occupancy.dir/bench_f3_fifo_occupancy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_fifo_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

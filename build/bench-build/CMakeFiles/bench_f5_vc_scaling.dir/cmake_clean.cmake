@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f5_vc_scaling"
+  "../bench/bench_f5_vc_scaling.pdb"
+  "CMakeFiles/bench_f5_vc_scaling.dir/bench_f5_vc_scaling.cpp.o"
+  "CMakeFiles/bench_f5_vc_scaling.dir/bench_f5_vc_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_vc_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t1_tx_budget"
+  "../bench/bench_t1_tx_budget.pdb"
+  "CMakeFiles/bench_t1_tx_budget.dir/bench_t1_tx_budget.cpp.o"
+  "CMakeFiles/bench_t1_tx_budget.dir/bench_t1_tx_budget.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_tx_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t2_rx_budget"
+  "../bench/bench_t2_rx_budget.pdb"
+  "CMakeFiles/bench_t2_rx_budget.dir/bench_t2_rx_budget.cpp.o"
+  "CMakeFiles/bench_t2_rx_budget.dir/bench_t2_rx_budget.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_rx_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

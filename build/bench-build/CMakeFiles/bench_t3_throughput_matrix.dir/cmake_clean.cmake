@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t3_throughput_matrix"
+  "../bench/bench_t3_throughput_matrix.pdb"
+  "CMakeFiles/bench_t3_throughput_matrix.dir/bench_t3_throughput_matrix.cpp.o"
+  "CMakeFiles/bench_t3_throughput_matrix.dir/bench_t3_throughput_matrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_throughput_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t4_baseline_compare"
+  "../bench/bench_t4_baseline_compare.pdb"
+  "CMakeFiles/bench_t4_baseline_compare.dir/bench_t4_baseline_compare.cpp.o"
+  "CMakeFiles/bench_t4_baseline_compare.dir/bench_t4_baseline_compare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_baseline_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t5_signaling"
+  "../bench/bench_t5_signaling.pdb"
+  "CMakeFiles/bench_t5_signaling.dir/bench_t5_signaling.cpp.o"
+  "CMakeFiles/bench_t5_signaling.dir/bench_t5_signaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

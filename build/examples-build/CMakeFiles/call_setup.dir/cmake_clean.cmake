@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/call_setup"
+  "../examples/call_setup.pdb"
+  "CMakeFiles/call_setup.dir/call_setup.cpp.o"
+  "CMakeFiles/call_setup.dir/call_setup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/call_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

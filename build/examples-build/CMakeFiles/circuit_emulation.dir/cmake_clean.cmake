@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/circuit_emulation"
+  "../examples/circuit_emulation.pdb"
+  "CMakeFiles/circuit_emulation.dir/circuit_emulation.cpp.o"
+  "CMakeFiles/circuit_emulation.dir/circuit_emulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/multi_vc_mux"
+  "../examples/multi_vc_mux.pdb"
+  "CMakeFiles/multi_vc_mux.dir/multi_vc_mux.cpp.o"
+  "CMakeFiles/multi_vc_mux.dir/multi_vc_mux.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_vc_mux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples-build/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples-build/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hni_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/hni_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/hni_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/hni_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/hni_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/hni_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hni_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/aal/CMakeFiles/hni_aal.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/hni_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hni_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

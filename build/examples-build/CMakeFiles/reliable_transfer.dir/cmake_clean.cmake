@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/reliable_transfer"
+  "../examples/reliable_transfer.pdb"
+  "CMakeFiles/reliable_transfer.dir/reliable_transfer.cpp.o"
+  "CMakeFiles/reliable_transfer.dir/reliable_transfer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

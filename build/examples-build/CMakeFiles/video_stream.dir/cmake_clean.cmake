@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/video_stream"
+  "../examples/video_stream.pdb"
+  "CMakeFiles/video_stream.dir/video_stream.cpp.o"
+  "CMakeFiles/video_stream.dir/video_stream.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aal/aal1.cpp" "src/aal/CMakeFiles/hni_aal.dir/aal1.cpp.o" "gcc" "src/aal/CMakeFiles/hni_aal.dir/aal1.cpp.o.d"
+  "/root/repo/src/aal/aal34.cpp" "src/aal/CMakeFiles/hni_aal.dir/aal34.cpp.o" "gcc" "src/aal/CMakeFiles/hni_aal.dir/aal34.cpp.o.d"
+  "/root/repo/src/aal/aal5.cpp" "src/aal/CMakeFiles/hni_aal.dir/aal5.cpp.o" "gcc" "src/aal/CMakeFiles/hni_aal.dir/aal5.cpp.o.d"
+  "/root/repo/src/aal/sar.cpp" "src/aal/CMakeFiles/hni_aal.dir/sar.cpp.o" "gcc" "src/aal/CMakeFiles/hni_aal.dir/sar.cpp.o.d"
+  "/root/repo/src/aal/types.cpp" "src/aal/CMakeFiles/hni_aal.dir/types.cpp.o" "gcc" "src/aal/CMakeFiles/hni_aal.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atm/CMakeFiles/hni_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hni_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

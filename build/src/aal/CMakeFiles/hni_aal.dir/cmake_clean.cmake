@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hni_aal.dir/aal1.cpp.o"
+  "CMakeFiles/hni_aal.dir/aal1.cpp.o.d"
+  "CMakeFiles/hni_aal.dir/aal34.cpp.o"
+  "CMakeFiles/hni_aal.dir/aal34.cpp.o.d"
+  "CMakeFiles/hni_aal.dir/aal5.cpp.o"
+  "CMakeFiles/hni_aal.dir/aal5.cpp.o.d"
+  "CMakeFiles/hni_aal.dir/sar.cpp.o"
+  "CMakeFiles/hni_aal.dir/sar.cpp.o.d"
+  "CMakeFiles/hni_aal.dir/types.cpp.o"
+  "CMakeFiles/hni_aal.dir/types.cpp.o.d"
+  "libhni_aal.a"
+  "libhni_aal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hni_aal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

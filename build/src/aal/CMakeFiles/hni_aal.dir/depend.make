@@ -1,0 +1,2 @@
+# Empty dependencies file for hni_aal.
+# This may be replaced when dependencies are built.

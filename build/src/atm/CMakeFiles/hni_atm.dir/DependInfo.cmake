@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atm/cell.cpp" "src/atm/CMakeFiles/hni_atm.dir/cell.cpp.o" "gcc" "src/atm/CMakeFiles/hni_atm.dir/cell.cpp.o.d"
+  "/root/repo/src/atm/crc.cpp" "src/atm/CMakeFiles/hni_atm.dir/crc.cpp.o" "gcc" "src/atm/CMakeFiles/hni_atm.dir/crc.cpp.o.d"
+  "/root/repo/src/atm/hec.cpp" "src/atm/CMakeFiles/hni_atm.dir/hec.cpp.o" "gcc" "src/atm/CMakeFiles/hni_atm.dir/hec.cpp.o.d"
+  "/root/repo/src/atm/oam.cpp" "src/atm/CMakeFiles/hni_atm.dir/oam.cpp.o" "gcc" "src/atm/CMakeFiles/hni_atm.dir/oam.cpp.o.d"
+  "/root/repo/src/atm/phy.cpp" "src/atm/CMakeFiles/hni_atm.dir/phy.cpp.o" "gcc" "src/atm/CMakeFiles/hni_atm.dir/phy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hni_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

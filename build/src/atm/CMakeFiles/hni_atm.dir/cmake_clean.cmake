@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hni_atm.dir/cell.cpp.o"
+  "CMakeFiles/hni_atm.dir/cell.cpp.o.d"
+  "CMakeFiles/hni_atm.dir/crc.cpp.o"
+  "CMakeFiles/hni_atm.dir/crc.cpp.o.d"
+  "CMakeFiles/hni_atm.dir/hec.cpp.o"
+  "CMakeFiles/hni_atm.dir/hec.cpp.o.d"
+  "CMakeFiles/hni_atm.dir/oam.cpp.o"
+  "CMakeFiles/hni_atm.dir/oam.cpp.o.d"
+  "CMakeFiles/hni_atm.dir/phy.cpp.o"
+  "CMakeFiles/hni_atm.dir/phy.cpp.o.d"
+  "libhni_atm.a"
+  "libhni_atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hni_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/dma.cpp" "src/bus/CMakeFiles/hni_bus.dir/dma.cpp.o" "gcc" "src/bus/CMakeFiles/hni_bus.dir/dma.cpp.o.d"
+  "/root/repo/src/bus/host_memory.cpp" "src/bus/CMakeFiles/hni_bus.dir/host_memory.cpp.o" "gcc" "src/bus/CMakeFiles/hni_bus.dir/host_memory.cpp.o.d"
+  "/root/repo/src/bus/turbochannel.cpp" "src/bus/CMakeFiles/hni_bus.dir/turbochannel.cpp.o" "gcc" "src/bus/CMakeFiles/hni_bus.dir/turbochannel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hni_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/aal/CMakeFiles/hni_aal.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/hni_atm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hni_bus.dir/dma.cpp.o"
+  "CMakeFiles/hni_bus.dir/dma.cpp.o.d"
+  "CMakeFiles/hni_bus.dir/host_memory.cpp.o"
+  "CMakeFiles/hni_bus.dir/host_memory.cpp.o.d"
+  "CMakeFiles/hni_bus.dir/turbochannel.cpp.o"
+  "CMakeFiles/hni_bus.dir/turbochannel.cpp.o.d"
+  "libhni_bus.a"
+  "libhni_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hni_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hni_core.dir/report.cpp.o"
+  "CMakeFiles/hni_core.dir/report.cpp.o.d"
+  "CMakeFiles/hni_core.dir/scenario.cpp.o"
+  "CMakeFiles/hni_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/hni_core.dir/station.cpp.o"
+  "CMakeFiles/hni_core.dir/station.cpp.o.d"
+  "CMakeFiles/hni_core.dir/testbed.cpp.o"
+  "CMakeFiles/hni_core.dir/testbed.cpp.o.d"
+  "libhni_core.a"
+  "libhni_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hni_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhni_core.a"
+)

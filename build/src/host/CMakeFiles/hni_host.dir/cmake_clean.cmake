@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hni_host.dir/host.cpp.o"
+  "CMakeFiles/hni_host.dir/host.cpp.o.d"
+  "CMakeFiles/hni_host.dir/sw_sar.cpp.o"
+  "CMakeFiles/hni_host.dir/sw_sar.cpp.o.d"
+  "libhni_host.a"
+  "libhni_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hni_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

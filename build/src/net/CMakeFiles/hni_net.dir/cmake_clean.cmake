@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hni_net.dir/link.cpp.o"
+  "CMakeFiles/hni_net.dir/link.cpp.o.d"
+  "CMakeFiles/hni_net.dir/switch.cpp.o"
+  "CMakeFiles/hni_net.dir/switch.cpp.o.d"
+  "CMakeFiles/hni_net.dir/traffic.cpp.o"
+  "CMakeFiles/hni_net.dir/traffic.cpp.o.d"
+  "libhni_net.a"
+  "libhni_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hni_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

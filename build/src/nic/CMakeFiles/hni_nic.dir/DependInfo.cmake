@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/buffer_mgr.cpp" "src/nic/CMakeFiles/hni_nic.dir/buffer_mgr.cpp.o" "gcc" "src/nic/CMakeFiles/hni_nic.dir/buffer_mgr.cpp.o.d"
+  "/root/repo/src/nic/nic.cpp" "src/nic/CMakeFiles/hni_nic.dir/nic.cpp.o" "gcc" "src/nic/CMakeFiles/hni_nic.dir/nic.cpp.o.d"
+  "/root/repo/src/nic/rx_path.cpp" "src/nic/CMakeFiles/hni_nic.dir/rx_path.cpp.o" "gcc" "src/nic/CMakeFiles/hni_nic.dir/rx_path.cpp.o.d"
+  "/root/repo/src/nic/tx_path.cpp" "src/nic/CMakeFiles/hni_nic.dir/tx_path.cpp.o" "gcc" "src/nic/CMakeFiles/hni_nic.dir/tx_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hni_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/hni_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/aal/CMakeFiles/hni_aal.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/hni_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/hni_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hni_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

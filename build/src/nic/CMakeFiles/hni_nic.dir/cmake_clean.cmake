@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hni_nic.dir/buffer_mgr.cpp.o"
+  "CMakeFiles/hni_nic.dir/buffer_mgr.cpp.o.d"
+  "CMakeFiles/hni_nic.dir/nic.cpp.o"
+  "CMakeFiles/hni_nic.dir/nic.cpp.o.d"
+  "CMakeFiles/hni_nic.dir/rx_path.cpp.o"
+  "CMakeFiles/hni_nic.dir/rx_path.cpp.o.d"
+  "CMakeFiles/hni_nic.dir/tx_path.cpp.o"
+  "CMakeFiles/hni_nic.dir/tx_path.cpp.o.d"
+  "libhni_nic.a"
+  "libhni_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hni_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

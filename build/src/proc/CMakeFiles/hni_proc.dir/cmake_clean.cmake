@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hni_proc.dir/engine.cpp.o"
+  "CMakeFiles/hni_proc.dir/engine.cpp.o.d"
+  "CMakeFiles/hni_proc.dir/firmware.cpp.o"
+  "CMakeFiles/hni_proc.dir/firmware.cpp.o.d"
+  "libhni_proc.a"
+  "libhni_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hni_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

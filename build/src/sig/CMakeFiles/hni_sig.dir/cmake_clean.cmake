@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hni_sig.dir/call_control.cpp.o"
+  "CMakeFiles/hni_sig.dir/call_control.cpp.o.d"
+  "CMakeFiles/hni_sig.dir/messages.cpp.o"
+  "CMakeFiles/hni_sig.dir/messages.cpp.o.d"
+  "CMakeFiles/hni_sig.dir/network.cpp.o"
+  "CMakeFiles/hni_sig.dir/network.cpp.o.d"
+  "libhni_sig.a"
+  "libhni_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hni_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

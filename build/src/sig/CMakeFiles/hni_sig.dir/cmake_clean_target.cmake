@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhni_sig.a"
+)

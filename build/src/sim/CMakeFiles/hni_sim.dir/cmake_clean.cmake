@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hni_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hni_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hni_sim.dir/stats.cpp.o"
+  "CMakeFiles/hni_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/hni_sim.dir/time.cpp.o"
+  "CMakeFiles/hni_sim.dir/time.cpp.o.d"
+  "libhni_sim.a"
+  "libhni_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hni_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

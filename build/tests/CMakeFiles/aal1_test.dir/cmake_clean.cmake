@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aal1_test.dir/aal1_test.cpp.o"
+  "CMakeFiles/aal1_test.dir/aal1_test.cpp.o.d"
+  "aal1_test"
+  "aal1_test.pdb"
+  "aal1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aal1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aal34_test.dir/aal34_test.cpp.o"
+  "CMakeFiles/aal34_test.dir/aal34_test.cpp.o.d"
+  "aal34_test"
+  "aal34_test.pdb"
+  "aal34_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aal34_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

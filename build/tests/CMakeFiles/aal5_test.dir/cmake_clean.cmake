@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aal5_test.dir/aal5_test.cpp.o"
+  "CMakeFiles/aal5_test.dir/aal5_test.cpp.o.d"
+  "aal5_test"
+  "aal5_test.pdb"
+  "aal5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aal5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aal_sar_test.dir/aal_sar_test.cpp.o"
+  "CMakeFiles/aal_sar_test.dir/aal_sar_test.cpp.o.d"
+  "aal_sar_test"
+  "aal_sar_test.pdb"
+  "aal_sar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aal_sar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

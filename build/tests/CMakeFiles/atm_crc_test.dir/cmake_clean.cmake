@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_crc_test.dir/atm_crc_test.cpp.o"
+  "CMakeFiles/atm_crc_test.dir/atm_crc_test.cpp.o.d"
+  "atm_crc_test"
+  "atm_crc_test.pdb"
+  "atm_crc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_crc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

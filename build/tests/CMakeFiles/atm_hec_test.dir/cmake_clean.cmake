@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_hec_test.dir/atm_hec_test.cpp.o"
+  "CMakeFiles/atm_hec_test.dir/atm_hec_test.cpp.o.d"
+  "atm_hec_test"
+  "atm_hec_test.pdb"
+  "atm_hec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_hec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

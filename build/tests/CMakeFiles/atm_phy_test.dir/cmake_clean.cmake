@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_phy_test.dir/atm_phy_test.cpp.o"
+  "CMakeFiles/atm_phy_test.dir/atm_phy_test.cpp.o.d"
+  "atm_phy_test"
+  "atm_phy_test.pdb"
+  "atm_phy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_phy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epd_test.dir/epd_test.cpp.o"
+  "CMakeFiles/epd_test.dir/epd_test.cpp.o.d"
+  "epd_test"
+  "epd_test.pdb"
+  "epd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_parts_test.dir/nic_parts_test.cpp.o"
+  "CMakeFiles/nic_parts_test.dir/nic_parts_test.cpp.o.d"
+  "nic_parts_test"
+  "nic_parts_test.pdb"
+  "nic_parts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_parts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_rx_test.dir/nic_rx_test.cpp.o"
+  "CMakeFiles/nic_rx_test.dir/nic_rx_test.cpp.o.d"
+  "nic_rx_test"
+  "nic_rx_test.pdb"
+  "nic_rx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_rx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

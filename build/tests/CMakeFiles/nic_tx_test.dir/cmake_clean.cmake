@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_tx_test.dir/nic_tx_test.cpp.o"
+  "CMakeFiles/nic_tx_test.dir/nic_tx_test.cpp.o.d"
+  "nic_tx_test"
+  "nic_tx_test.pdb"
+  "nic_tx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_tx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oam_test.dir/oam_test.cpp.o"
+  "CMakeFiles/oam_test.dir/oam_test.cpp.o.d"
+  "oam_test"
+  "oam_test.pdb"
+  "oam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

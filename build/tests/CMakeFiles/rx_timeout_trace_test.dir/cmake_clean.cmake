@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rx_timeout_trace_test.dir/rx_timeout_trace_test.cpp.o"
+  "CMakeFiles/rx_timeout_trace_test.dir/rx_timeout_trace_test.cpp.o.d"
+  "rx_timeout_trace_test"
+  "rx_timeout_trace_test.pdb"
+  "rx_timeout_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rx_timeout_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

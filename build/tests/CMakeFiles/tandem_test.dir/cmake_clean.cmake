@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tandem_test.dir/tandem_test.cpp.o"
+  "CMakeFiles/tandem_test.dir/tandem_test.cpp.o.d"
+  "tandem_test"
+  "tandem_test.pdb"
+  "tandem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tandem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/atm_cell_test[1]_include.cmake")
+include("/root/repo/build/tests/atm_hec_test[1]_include.cmake")
+include("/root/repo/build/tests/atm_crc_test[1]_include.cmake")
+include("/root/repo/build/tests/atm_phy_test[1]_include.cmake")
+include("/root/repo/build/tests/aal5_test[1]_include.cmake")
+include("/root/repo/build/tests/aal34_test[1]_include.cmake")
+include("/root/repo/build/tests/aal1_test[1]_include.cmake")
+include("/root/repo/build/tests/aal_sar_test[1]_include.cmake")
+include("/root/repo/build/tests/bus_test[1]_include.cmake")
+include("/root/repo/build/tests/proc_test[1]_include.cmake")
+include("/root/repo/build/tests/nic_parts_test[1]_include.cmake")
+include("/root/repo/build/tests/nic_tx_test[1]_include.cmake")
+include("/root/repo/build/tests/nic_rx_test[1]_include.cmake")
+include("/root/repo/build/tests/host_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/qos_test[1]_include.cmake")
+include("/root/repo/build/tests/oam_test[1]_include.cmake")
+include("/root/repo/build/tests/sig_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/rx_timeout_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/tandem_test[1]_include.cmake")
+include("/root/repo/build/tests/epd_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
