@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: the plain build, then an
+# AddressSanitizer+UBSan build. The fault layer's recovery paths (abort,
+# retry, reset) are exactly where lifetime bugs hide; the sanitized pass
+# makes the chaos soak count as a memory test too.
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local build_dir="$1"; shift
+  cmake -B "$build_dir" -S . "$@" > /dev/null
+  cmake --build "$build_dir" -j "$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+}
+
+mode="${1:-all}"
+
+if [[ "$mode" != "--sanitize-only" ]]; then
+  echo "== tier-1: plain =="
+  run_suite build
+fi
+
+if [[ "$mode" != "--plain-only" ]]; then
+  echo "== tier-1: address+undefined sanitizers =="
+  run_suite build-asan "-DHNI_SANITIZE=address;undefined"
+fi
+
+echo "check.sh: all requested suites passed"

@@ -9,6 +9,13 @@
 // completion time, which is faithful for reads (the driver does not
 // recycle a posted buffer before completion) and conservative for
 // writes.
+//
+// Fault model: a transfer attempt can be made to fail (fail_next) or the
+// whole engine to stall (stall). A failed attempt is retried after an
+// exponentially growing backoff, up to max_retries; past that the
+// engine gives up and reports the transfer failed, so the caller can
+// abort and reclaim rather than wedge. Retries and give-ups are counted
+// — they appear in the standard fault/recovery report.
 
 #pragma once
 
@@ -17,30 +24,56 @@
 #include "aal/types.hpp"
 #include "bus/host_memory.hpp"
 #include "bus/turbochannel.hpp"
+#include "sim/stats.hpp"
 
 namespace hni::bus {
+
+struct DmaConfig {
+  /// Retry attempts after a failed transfer before giving up. 0 means a
+  /// single attempt (recovery disabled).
+  std::uint32_t max_retries = 4;
+  /// First retry delay; doubles per subsequent retry.
+  sim::Time retry_backoff = sim::microseconds(2);
+};
 
 class DmaEngine {
  public:
   using Done = std::function<void()>;
   using ReadDone = std::function<void(aal::Bytes)>;
+  /// Fired instead of the completion when the engine gives up on a
+  /// transfer (all retries exhausted).
+  using Failed = std::function<void()>;
 
-  DmaEngine(Bus& bus, HostMemory& memory) : bus_(bus), memory_(memory) {}
+  DmaEngine(Bus& bus, HostMemory& memory, DmaConfig config = {})
+      : bus_(bus), memory_(memory), config_(config) {}
 
   /// Reads `len` bytes starting `offset` bytes into `sg` from host
   /// memory (TX direction). Throws std::out_of_range if the window
   /// exceeds the list.
   void read(const SgList& sg, std::size_t offset, std::size_t len,
-            ReadDone done);
+            ReadDone done, Failed failed = {});
 
   /// Writes `data` starting `offset` bytes into `sg` (RX direction).
   void write(const SgList& sg, std::size_t offset, aal::Bytes data,
-             Done done);
+             Done done, Failed failed = {});
 
-  std::uint64_t reads() const { return reads_; }
-  std::uint64_t writes() const { return writes_; }
-  std::uint64_t bytes_read() const { return bytes_read_; }
-  std::uint64_t bytes_written() const { return bytes_written_; }
+  // --- fault hooks ------------------------------------------------------
+  /// The next `attempts` transfer attempts (including retries) fail.
+  void fail_next(std::uint64_t attempts) { faults_pending_ += attempts; }
+  /// Holds new transfer attempts until `duration` from now (a wedged
+  /// DMA controller; queued work resumes by itself afterwards).
+  void stall(sim::Time duration);
+
+  std::uint64_t reads() const { return reads_.value(); }
+  std::uint64_t writes() const { return writes_.value(); }
+  std::uint64_t bytes_read() const { return bytes_read_.value(); }
+  std::uint64_t bytes_written() const { return bytes_written_.value(); }
+  /// Failed attempts that were retried.
+  std::uint64_t retries() const { return retries_.value(); }
+  /// Transfers abandoned after exhausting every retry.
+  std::uint64_t gave_up() const { return gave_up_.value(); }
+  std::uint64_t stalls() const { return stalls_.value(); }
+  const DmaConfig& config() const { return config_; }
 
  private:
   /// Copies between host memory and a linear buffer through an S/G
@@ -48,12 +81,23 @@ class DmaEngine {
   void copy_window(const SgList& sg, std::size_t offset,
                    std::span<std::uint8_t> linear, bool to_host);
 
+  /// One transfer attempt (plus retries) of `bytes`; `success` fires on
+  /// bus completion of a non-faulted attempt, `failed` after giving up.
+  void attempt(std::size_t bytes, Direction dir, std::uint32_t tries,
+               std::function<void()> success, Failed failed);
+
   Bus& bus_;
   HostMemory& memory_;
-  std::uint64_t reads_ = 0;
-  std::uint64_t writes_ = 0;
-  std::uint64_t bytes_read_ = 0;
-  std::uint64_t bytes_written_ = 0;
+  DmaConfig config_;
+  std::uint64_t faults_pending_ = 0;
+  sim::Time stalled_until_ = 0;
+  sim::Counter reads_;
+  sim::Counter writes_;
+  sim::Counter bytes_read_;
+  sim::Counter bytes_written_;
+  sim::Counter retries_;
+  sim::Counter gave_up_;
+  sim::Counter stalls_;
 };
 
 }  // namespace hni::bus

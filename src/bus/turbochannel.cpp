@@ -72,12 +72,25 @@ void Bus::pio_transfer(std::size_t bytes, Direction dir, Done done) {
 // gets one burst, then rotates to the back of the ring, so a short
 // transfer is never stuck behind a long one for more than the ring's
 // worth of bursts — how real multi-master buses behave.
+void Bus::hold_off(sim::Time duration) {
+  holdoffs_.add();
+  held_until_ = std::max(held_until_, sim_.now() + std::max<sim::Time>(0, duration));
+  // An idle bus must still wake itself when the hold clears, in case
+  // transfers arrive meanwhile; a serving bus re-checks between bursts.
+  if (!serving_ && !queue_.empty()) serve_next();
+}
+
 void Bus::serve_next() {
   if (queue_.empty()) {
     serving_ = false;
     return;
   }
   serving_ = true;
+  if (sim_.now() < held_until_) {
+    // Arbiter held off: no grants until the hold clears.
+    sim_.at(held_until_, [this] { serve_next(); });
+    return;
+  }
   Pending p = std::move(queue_.front());
   queue_.pop_front();
   if (!p.started) {

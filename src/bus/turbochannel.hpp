@@ -55,9 +55,19 @@ class Bus {
 
   Bus(sim::Simulator& sim, BusConfig config);
 
+  /// The simulation clock this bus runs on (clients schedule retries
+  /// and timeouts against it).
+  sim::Simulator& sim() { return sim_; }
+
   /// Submits a transfer of `bytes` (split into bursts internally).
   /// `done` fires when the final burst completes.
   void transfer(std::size_t bytes, Direction dir, Done done);
+
+  /// Fault hook: the arbiter grants no bursts until `duration` from now
+  /// (a misbehaving master holding the bus). Queued transfers resume by
+  /// themselves; in-flight bursts finish.
+  void hold_off(sim::Time duration);
+  std::uint64_t holdoffs() const { return holdoffs_.value(); }
 
   /// Unloaded duration of a transfer of `bytes` (all bursts, overheads
   /// included) — the analytical quantity benches report.
@@ -100,6 +110,8 @@ class Bus {
   BusConfig config_;
   std::deque<Pending> queue_;
   bool serving_ = false;
+  sim::Time held_until_ = 0;
+  sim::Counter holdoffs_;
   sim::Time busy_accum_ = 0;  // total time spent transferring
   sim::Time born_;
   sim::Counter transfers_;

@@ -1,0 +1,87 @@
+#include "core/audit.hpp"
+
+namespace hni::core {
+
+void InvariantAuditor::expect_eq(std::uint64_t lhs, std::uint64_t rhs,
+                                 const std::string& check,
+                                 const std::string& detail) {
+  ++checks_;
+  if (lhs == rhs) return;
+  violations_.push_back(
+      {check, detail + " (" + std::to_string(lhs) +
+                  " != " + std::to_string(rhs) + ")"});
+}
+
+void InvariantAuditor::audit_station(Station& s) {
+  const std::string who = s.name() + ": ";
+  nic::RxPath& rx = s.nic().rx();
+  nic::TxPath& tx = s.nic().tx();
+
+  // Board container pool: every allocation is matched by a release or
+  // is still in use. Abort/timeout/reset paths all release through the
+  // same books, so a leak shows up here no matter which path leaked.
+  expect_eq(rx.board().allocated(),
+            rx.board().released() + rx.board().containers_in_use(),
+            "board-pool conservation",
+            who + "allocated == released + in_use");
+
+  // RX FIFO: everything offered was accepted or dropped; everything
+  // accepted was removed or is still resident.
+  expect_eq(rx.cells_received(),
+            rx.cells_hec_discarded() + rx.fifo().pushes() +
+                rx.fifo().drops(),
+            "rx-fifo offered conservation",
+            who + "received == hec_discarded + accepted + dropped");
+  expect_eq(rx.fifo().pushes(), rx.fifo().pops() + rx.fifo().size(),
+            "rx-fifo resident conservation",
+            who + "accepted == removed + resident");
+
+  // RX engine: the only two consumers of the FIFO are normal service
+  // and the reset flush.
+  expect_eq(rx.fifo().pops(), rx.cells_serviced() + rx.cells_flushed(),
+            "rx-engine service conservation",
+            who + "removed == serviced + flushed");
+
+  // TX FIFO: every built cell was accepted by the FIFO or dropped at
+  // its mouth; accepted cells were handed to the framer or are queued.
+  expect_eq(tx.cells_built(), tx.fifo().pushes() + tx.fifo().drops(),
+            "tx-fifo offered conservation",
+            who + "built == accepted + dropped");
+  expect_eq(tx.fifo().pushes(), tx.fifo().pops() + tx.fifo().size(),
+            "tx-fifo resident conservation",
+            who + "accepted == removed + resident");
+}
+
+void InvariantAuditor::audit_hop(Station& tx, const net::Link& link,
+                                 Station& rx) {
+  const std::string who = tx.name() + "->" + rx.name() + ": ";
+
+  // The framer forwards every cell it pops straight onto the link.
+  expect_eq(tx.nic().tx().fifo().pops(), link.cells_in(),
+            "hop emission conservation",
+            who + "framer pops == link cells in");
+
+  // Cells the link accepted either died on it or arrived; the receive
+  // count additionally includes alarm cells the RX PHY itself inserted
+  // while the link was down.
+  expect_eq(link.cells_in() - link.cells_lost() - link.cells_dropped_down()
+                + rx.nic().ais_inserted(),
+            rx.nic().rx().cells_received(),
+            "hop delivery conservation",
+            who + "sent - lost - down_dropped + ais == received");
+}
+
+std::string InvariantAuditor::report() const {
+  if (violations_.empty()) {
+    return "invariant audit: " + std::to_string(checks_) + " checks, ok\n";
+  }
+  std::string out = "invariant audit: " +
+                    std::to_string(violations_.size()) + " of " +
+                    std::to_string(checks_) + " checks FAILED\n";
+  for (const auto& v : violations_) {
+    out += "  FAIL " + v.check + ": " + v.detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace hni::core

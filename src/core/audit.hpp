@@ -1,0 +1,63 @@
+// Invariant auditor: conservation checks over the interface's books.
+//
+// Every resource the interface manages is double-entry accounted —
+// containers allocated vs released, cells pushed vs popped, cells sent
+// vs received-plus-lost. Fault injection exercises exactly the paths
+// where such books historically go wrong (abort paths, retries, resets
+// that forget to return a buffer), so the auditor re-derives each
+// identity from independent counters and reports any imbalance:
+//
+//   * board container pool:  allocated == released + in_use
+//   * cell FIFOs:            offered == accepted + dropped,
+//                            accepted == removed + resident
+//   * RX engine:             removed == serviced + flushed
+//   * wire hop (quiescent):  sent == delivered + lost + dropped-down,
+//                            received == delivered + AIS inserted
+//
+// Station identities hold at *any* instant (counters update together);
+// hop identities only once the simulator has run dry (cells in flight
+// are on nobody's books). core::Testbed runs the station audits at
+// teardown and warns on stderr; tests call audit() and assert ok().
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/station.hpp"
+#include "net/link.hpp"
+
+namespace hni::core {
+
+class InvariantAuditor {
+ public:
+  struct Violation {
+    std::string check;   // which identity failed
+    std::string detail;  // the numbers that disagree
+  };
+
+  /// Records an equality check; a mismatch becomes a violation.
+  void expect_eq(std::uint64_t lhs, std::uint64_t rhs,
+                 const std::string& check, const std::string& detail);
+
+  /// Audits one station's always-true identities (valid at any time).
+  void audit_station(Station& s);
+
+  /// Audits a simplex wire hop tx -> link -> rx. Only valid once the
+  /// simulator has run dry: cells in flight are on nobody's books.
+  void audit_hop(Station& tx, const net::Link& link, Station& rx);
+
+  bool ok() const { return violations_.empty(); }
+  std::size_t checks_run() const { return checks_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /// Human-readable verdict, one line per violation.
+  std::string report() const;
+
+ private:
+  std::vector<Violation> violations_;
+  std::size_t checks_ = 0;
+};
+
+}  // namespace hni::core

@@ -70,4 +70,35 @@ void Table::print(const std::string& title) const {
   std::fflush(stdout);
 }
 
+Table fault_recovery_table(Station& s) {
+  nic::TxPath& tx = s.nic().tx();
+  nic::RxPath& rx = s.nic().rx();
+  Table t({"counter", "tx", "rx"});
+  t.add_row({"dma retries", Table::integer(tx.dma().retries()),
+             Table::integer(rx.dma().retries())});
+  t.add_row({"dma gave up", Table::integer(tx.dma().gave_up()),
+             Table::integer(rx.dma().gave_up())});
+  t.add_row({"dma stalls", Table::integer(tx.dma().stalls()),
+             Table::integer(rx.dma().stalls())});
+  t.add_row({"watchdog resets", Table::integer(tx.watchdog_resets()),
+             Table::integer(rx.watchdog_resets())});
+  t.add_row({"pdus aborted", Table::integer(tx.pdus_aborted()),
+             Table::integer(rx.pdus_aborted())});
+  t.add_row({"pdus dropped (paused vc)",
+             Table::integer(tx.pdus_dropped_paused()), "0"});
+  t.add_row({"pdus dropped (dma)", "0",
+             Table::integer(rx.pdus_dropped_dma())});
+  t.add_row({"pdus timed out", "0", Table::integer(rx.pdus_timed_out())});
+  t.add_row({"cells flushed (reset)", "0",
+             Table::integer(rx.cells_flushed())});
+  t.add_row({"bus hold-offs", Table::integer(s.bus().holdoffs()),
+             Table::integer(s.bus().holdoffs())});
+  t.add_row({"ais inserted / received",
+             Table::integer(s.nic().ais_inserted()),
+             Table::integer(s.nic().ais_received())});
+  t.add_row({"rdi sent / received", Table::integer(s.nic().rdi_sent()),
+             Table::integer(s.nic().rdi_received())});
+  return t;
+}
+
 }  // namespace hni::core

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "core/station.hpp"
+
 namespace hni::core {
 
 class Table {
@@ -31,5 +33,11 @@ class Table {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// The standard fault & recovery accounting for one station: DMA
+/// retry/backoff behaviour, bus hold-offs, watchdog resets, abort
+/// accounting and OAM alarm traffic. Benches print this next to their
+/// performance tables when a run involved fault injection.
+Table fault_recovery_table(Station& s);
 
 }  // namespace hni::core

@@ -1,6 +1,27 @@
 #include "core/testbed.hpp"
 
+#include <cstdio>
+
 namespace hni::core {
+
+Testbed::~Testbed() {
+  InvariantAuditor auditor;
+  for (auto& s : stations_) auditor.audit_station(*s);
+  if (!auditor.ok()) {
+    std::fputs(auditor.report().c_str(), stderr);
+  }
+}
+
+InvariantAuditor Testbed::audit(bool include_hops) {
+  InvariantAuditor auditor;
+  for (auto& s : stations_) auditor.audit_station(*s);
+  if (include_hops) {
+    for (const Hop& hop : hops_) {
+      auditor.audit_hop(*hop.tx, *hop.link, *hop.rx);
+    }
+  }
+  return auditor;
+}
 
 Station& Testbed::add_station(StationConfig config) {
   if (!config.nic.tx.clock_ppm) {
@@ -26,10 +47,12 @@ std::pair<net::Link*, net::Link*> Testbed::connect(Station& a, Station& b,
                                                    sim::Time propagation) {
   net::Link& ab = add_link(propagation, loss, next_seed());
   net::Link& ba = add_link(propagation, loss, next_seed());
-  ab.set_sink([&b](const net::WireCell& w) { b.nic().rx().receive_wire(w); });
-  ba.set_sink([&a](const net::WireCell& w) { a.nic().rx().receive_wire(w); });
+  b.nic().attach_rx(ab);  // sink + loss-of-signal observer
+  a.nic().attach_rx(ba);
   a.nic().attach_tx(ab);
   b.nic().attach_tx(ba);
+  hops_.push_back({&a, &ab, &b});
+  hops_.push_back({&b, &ba, &a});
   return {&ab, &ba};
 }
 
@@ -52,8 +75,7 @@ void Testbed::connect_from_switch(net::Switch& sw, std::size_t port,
                                   Station& s, net::LossModel loss,
                                   sim::Time propagation) {
   net::Link& link = add_link(propagation, loss, next_seed());
-  link.set_sink(
-      [&s](const net::WireCell& w) { s.nic().rx().receive_wire(w); });
+  s.nic().attach_rx(link);
   sw.attach_output(port, link);
 }
 

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/audit.hpp"
 #include "core/station.hpp"
 #include "net/link.hpp"
 #include "net/switch.hpp"
@@ -30,6 +31,11 @@ namespace hni::core {
 class Testbed {
  public:
   Testbed() = default;
+
+  /// Teardown runs the station-level invariant audit and warns on
+  /// stderr if any conservation identity is broken — a leak anywhere
+  /// in a scenario surfaces even when no test asked.
+  ~Testbed();
 
   sim::Simulator& sim() { return sim_; }
   sim::Time now() const { return sim_.now(); }
@@ -68,7 +74,19 @@ class Testbed {
   /// Advances simulated time by `duration`.
   void run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
 
+  /// Runs the invariant auditor over every station; with
+  /// `include_hops`, also audits each connect()ed wire hop (only valid
+  /// once the event queue has run dry — cells in flight are on
+  /// nobody's books).
+  InvariantAuditor audit(bool include_hops = false);
+
  private:
+  struct Hop {
+    Station* tx;
+    net::Link* link;
+    Station* rx;
+  };
+
   std::uint64_t next_seed() { return seed_counter_++; }
 
   sim::Simulator sim_;
@@ -77,6 +95,7 @@ class Testbed {
   std::vector<std::unique_ptr<Station>> stations_;
   std::vector<std::unique_ptr<net::Link>> links_;
   std::vector<std::unique_ptr<net::Switch>> switches_;
+  std::vector<Hop> hops_;
   std::uint64_t seed_counter_ = 0x5EED;
 };
 

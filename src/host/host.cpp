@@ -28,6 +28,12 @@ Host::Host(sim::Simulator& sim, bus::HostMemory& memory, nic::Nic& nic,
         rx_pages_available_ -= pages;
         return memory_.alloc(bytes);
       });
+  // A landing that never completes (DMA gave up) must repost its pages,
+  // or the budget leaks away under faults.
+  nic_.rx().set_buffer_releaser([this](const bus::SgList& sg) {
+    memory_.free(sg);
+    rx_pages_available_ += sg.size();
+  });
 }
 
 bool Host::send(atm::VcId vc, aal::AalType aal, aal::Bytes sdu) {

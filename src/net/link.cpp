@@ -46,8 +46,27 @@ void Link::send(const atm::Cell& cell) {
   send_wire(std::move(wire));
 }
 
+void Link::set_down(bool down) {
+  if (down == down_) return;
+  down_ = down;
+  if (down) flaps_.add();
+  if (tracer_ && tracer_->enabled()) {
+    tracer_->emit(sim_.now(), name_, down ? "LINK DOWN" : "LINK UP");
+  }
+  for (const auto& observer : observers_) observer(down_);
+}
+
 void Link::send_wire(WireCell wire) {
   in_.add();
+  if (down_) {
+    down_drop_.add();
+    if (tracer_ && tracer_->enabled()) {
+      tracer_->emit(sim_.now(), name_,
+                    "cell seq=" + std::to_string(wire.meta.seq) +
+                        " DROPPED (link down)");
+    }
+    return;
+  }
   if (!survives()) {
     lost_.add();
     if (tracer_ && tracer_->enabled()) {

@@ -20,6 +20,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "atm/cell.hpp"
 #include "sim/random.hpp"
@@ -81,9 +82,26 @@ class Link {
   /// Accepts a pre-serialized cell (switch-to-link hop).
   void send_wire(WireCell wire);
 
+  // --- fault hooks ----------------------------------------------------
+  /// Takes the link down (fiber pull) or brings it back. While down
+  /// every cell is dropped; observers (the receiving NIC's loss-of-
+  /// signal detector) are notified on each transition.
+  void set_down(bool down);
+  bool is_down() const { return down_; }
+  /// Registers a state observer, called with `down` on every
+  /// transition. The downstream NIC uses this as its LOS detector.
+  using StateObserver = std::function<void(bool down)>;
+  void add_state_observer(StateObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+
   std::uint64_t cells_in() const { return in_.value(); }
   std::uint64_t cells_lost() const { return lost_.value(); }
   std::uint64_t cells_corrupted() const { return corrupted_.value(); }
+  /// Cells dropped because the link was administratively down.
+  std::uint64_t cells_dropped_down() const { return down_drop_.value(); }
+  /// Up->down transitions seen.
+  std::uint64_t flaps() const { return flaps_.value(); }
   sim::Time propagation_delay() const { return delay_; }
 
  private:
@@ -100,9 +118,13 @@ class Link {
   double p_good_to_bad_ = 0.0;
   double p_bad_to_good_ = 0.0;
   sim::Time last_delivery_ = 0;  // FIFO guard under CDV jitter
+  bool down_ = false;
+  std::vector<StateObserver> observers_;
   sim::Counter in_;
   sim::Counter lost_;
   sim::Counter corrupted_;
+  sim::Counter down_drop_;
+  sim::Counter flaps_;
 };
 
 }  // namespace hni::net

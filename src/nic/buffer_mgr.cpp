@@ -5,13 +5,14 @@ namespace hni::nic {
 bool BoardMemory::add_cell(std::uint64_t chain) {
   Chain& c = chains_[chain];
   if (c.containers == 0 || c.cells_in_tail == config_.cells_per_container) {
-    if (in_use_ >= config_.containers) {
+    if (in_use_ >= effective_containers()) {
       failures_.add();
       if (c.containers == 0) chains_.erase(chain);
       return false;
     }
     ++in_use_;
     ++c.containers;
+    allocated_.add();
     c.cells_in_tail = 0;
     usage_.set(sim_.now(), static_cast<double>(in_use_));
   }
@@ -19,10 +20,15 @@ bool BoardMemory::add_cell(std::uint64_t chain) {
   return true;
 }
 
+void BoardMemory::set_capacity_limit(std::size_t containers) {
+  limit_ = std::min(containers, config_.containers);
+}
+
 void BoardMemory::release(std::uint64_t chain) {
   auto it = chains_.find(chain);
   if (it == chains_.end()) return;
   in_use_ -= it->second.containers;
+  released_.add(it->second.containers);
   usage_.set(sim_.now(), static_cast<double>(in_use_));
   chains_.erase(it);
 }

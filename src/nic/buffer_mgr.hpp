@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <unordered_map>
@@ -52,11 +53,31 @@ class BoardMemory {
   /// Containers a chain currently holds.
   std::size_t chain_containers(std::uint64_t chain) const;
 
+  // --- fault hooks ------------------------------------------------------
+  /// Squeezes the pool: allocations refuse once `containers` are in use
+  /// (models board memory claimed by diagnostics/another function).
+  /// Already-allocated containers above the limit stay valid until
+  /// released. No-op restriction beyond the configured pool size.
+  void set_capacity_limit(std::size_t containers);
+  /// Restores the full configured pool.
+  void clear_capacity_limit() { limit_ = config_.containers; }
+  /// Pool size allocations are currently checked against.
+  std::size_t effective_containers() const {
+    return std::min(limit_, config_.containers);
+  }
+
   std::size_t containers_in_use() const { return in_use_; }
-  std::size_t containers_free() const { return config_.containers - in_use_; }
+  std::size_t containers_free() const {
+    const std::size_t cap = effective_containers();
+    return in_use_ >= cap ? 0 : cap - in_use_;
+  }
   double mean_in_use() const { return usage_.mean(sim_.now()); }
   double peak_in_use() const { return usage_.max(); }
   std::uint64_t alloc_failures() const { return failures_.value(); }
+  /// Cumulative container allocations / releases. Conservation:
+  /// allocated() == released() + containers_in_use(), always.
+  std::uint64_t allocated() const { return allocated_.value(); }
+  std::uint64_t released() const { return released_.value(); }
   const BoardMemoryConfig& config() const { return config_; }
 
  private:
@@ -69,8 +90,11 @@ class BoardMemory {
   BoardMemoryConfig config_;
   std::unordered_map<std::uint64_t, Chain> chains_;
   std::size_t in_use_ = 0;
+  std::size_t limit_ = static_cast<std::size_t>(-1);
   sim::TimeWeightedStat usage_;
   sim::Counter failures_;
+  sim::Counter allocated_;
+  sim::Counter released_;
 };
 
 }  // namespace hni::nic

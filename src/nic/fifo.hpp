@@ -32,6 +32,7 @@ class CellFifo {
       drops_.add();
       return false;
     }
+    pushes_.add();
     queue_.push_front(std::move(item));
     depth_.set(sim_.now(), static_cast<double>(queue_.size()));
     if (on_push_) on_push_();
@@ -44,6 +45,7 @@ class CellFifo {
       drops_.add();
       return false;
     }
+    pushes_.add();
     queue_.push_back(std::move(item));
     depth_.set(sim_.now(), static_cast<double>(queue_.size()));
     if (on_push_) on_push_();
@@ -56,6 +58,7 @@ class CellFifo {
     if (queue_.empty()) return std::nullopt;
     T item = std::move(queue_.front());
     queue_.pop_front();
+    pops_.add();
     depth_.set(sim_.now(), static_cast<double>(queue_.size()));
     if (!space_waiters_.empty()) {
       auto cb = std::move(space_waiters_.front());
@@ -80,6 +83,12 @@ class CellFifo {
   std::size_t capacity() const { return capacity_; }
 
   std::uint64_t drops() const { return drops_.value(); }
+  /// Cells accepted / removed since construction. The conservation
+  /// identity pushes() == pops() + size() is what the invariant auditor
+  /// checks (in = out + dropped + resident, with drops counted at the
+  /// offered side).
+  std::uint64_t pushes() const { return pushes_.value(); }
+  std::uint64_t pops() const { return pops_.value(); }
   double mean_depth() const { return depth_.mean(sim_.now()); }
   double max_depth() const { return depth_.max(); }
 
@@ -88,6 +97,8 @@ class CellFifo {
   std::size_t capacity_;
   std::deque<T> queue_;
   sim::Counter drops_;
+  sim::Counter pushes_;
+  sim::Counter pops_;
   sim::TimeWeightedStat depth_;
   std::function<void()> on_push_;
   std::deque<std::function<void()>> space_waiters_;

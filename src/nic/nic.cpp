@@ -43,17 +43,87 @@ void Nic::on_oam(atm::VcId vc, const atm::OamCell& oam) {
       if (loopback_handler_) loopback_handler_(vc, oam.tag, rtt);
       break;
     }
-    case atm::OamFunction::kAis:
-    case atm::OamFunction::kRdi:
-      // Alarm codepoints are counted by the RX path; no automatic
-      // reaction is modeled here.
+    case atm::OamFunction::kAis: {
+      // Downstream path declared dead: echo a remote defect indication
+      // upstream so the far end stops transmitting into the failure.
+      ++ais_received_;
+      atm::OamCell rdi;
+      rdi.function = atm::OamFunction::kRdi;
+      rdi.tag = oam.tag;
+      rdi.end_to_end = oam.end_to_end;
+      ++rdi_sent_;
+      tx_->inject_cell(rdi.to_cell(vc));
       break;
+    }
+    case atm::OamFunction::kRdi: {
+      // The far end cannot hear us: pause the VC rather than pour
+      // cells into a dead path. Each RDI extends the hold; the VC
+      // resumes rdi_hold after the indications stop.
+      ++rdi_received_;
+      const bool first = rdi_until_.find(vc) == rdi_until_.end();
+      rdi_until_[vc] = sim_->now() + config_.rdi_hold;
+      tx_->pause_vc(vc);
+      if (first) schedule_rdi_resume(vc);
+      break;
+    }
   }
+}
+
+void Nic::on_link_state(bool down) {
+  if (down == los_) return;
+  los_ = down;
+  ++ais_epoch_;
+  if (down) {
+    ++los_events_;
+    if (config_.ais_period > 0) insert_ais();
+  }
+}
+
+void Nic::insert_ais() {
+  if (!los_) return;
+  // The PHY substitutes AIS cells for the missing signal: one per open
+  // VC, fed into the NIC's own receive stream so the standard OAM path
+  // (engine cost, CRC-10 check, on_oam dispatch) sees the alarm.
+  for (atm::VcId vc : open_vcs_) {
+    atm::OamCell oam;
+    oam.function = atm::OamFunction::kAis;
+    ++ais_inserted_;
+    const atm::Cell c = oam.to_cell(vc);
+    net::WireCell wire;
+    wire.bytes = c.serialize(atm::HeaderFormat::kUni);
+    wire.meta = c.meta;
+    rx_->receive_wire(wire);
+  }
+  const std::uint64_t epoch = ais_epoch_;
+  sim_->after(config_.ais_period, [this, epoch] {
+    if (epoch == ais_epoch_) insert_ais();
+  });
+}
+
+void Nic::schedule_rdi_resume(atm::VcId vc) {
+  auto it = rdi_until_.find(vc);
+  if (it == rdi_until_.end()) return;
+  sim_->at(it->second, [this, vc] {
+    auto at = rdi_until_.find(vc);
+    if (at == rdi_until_.end()) return;
+    if (sim_->now() >= at->second) {
+      // No RDI for a full hold interval: the defect cleared.
+      rdi_until_.erase(at);
+      tx_->resume_vc(vc);
+    } else {
+      schedule_rdi_resume(vc);  // hold was extended by a newer RDI
+    }
+  });
 }
 
 void Nic::attach_tx(net::Link& link) {
   tx_->framer().set_sink([&link](const atm::Cell& cell) { link.send(cell); });
   tx_->start();
+}
+
+void Nic::attach_rx(net::Link& link) {
+  link.set_sink([this](const net::WireCell& w) { rx_->receive_wire(w); });
+  link.add_state_observer([this](bool down) { on_link_state(down); });
 }
 
 }  // namespace hni::nic

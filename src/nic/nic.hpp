@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "nic/rx_path.hpp"
 #include "nic/tx_path.hpp"
@@ -20,6 +21,15 @@ struct NicConfig {
   RxPathConfig rx{};
   proc::FirmwareProfile firmware{};
   atm::LineRate line = atm::sts3c();
+
+  /// While loss-of-signal stands on the receive link, an AIS cell is
+  /// inserted into the RX stream per open VC on this period (I.610
+  /// nominal is one per second; compressed for simulation timescales).
+  /// 0 disables alarm insertion (recovery off).
+  sim::Time ais_period = sim::microseconds(500);
+  /// An RDI-paused VC resumes this long after the last RDI cell —
+  /// alarm clears when the defect indications stop arriving.
+  sim::Time rdi_hold = sim::milliseconds(2);
 
   /// Applies one engine clock to both sides (convenience for sweeps).
   NicConfig& with_clock(double hz) {
@@ -40,10 +50,18 @@ class Nic {
   const RxPath& rx() const { return *rx_; }
 
   /// Opens `vc` in both directions with the given AAL.
-  void open_vc(atm::VcId vc, aal::AalType aal) { rx_->open_vc(vc, aal); }
+  void open_vc(atm::VcId vc, aal::AalType aal) {
+    rx_->open_vc(vc, aal);
+    open_vcs_.push_back(vc);
+  }
 
   /// Connects the transmit framer to an outgoing link and starts it.
   void attach_tx(net::Link& link);
+
+  /// Connects an incoming link: sets its sink to the RX path and
+  /// registers this NIC's loss-of-signal detector as a state observer
+  /// (link down -> AIS insertion -> RDI reply upstream).
+  void attach_rx(net::Link& link);
 
   // --- OAM fault management -------------------------------------------
   /// Fires when a loopback response returns: (vc, tag, round-trip time).
@@ -60,10 +78,23 @@ class Nic {
   std::uint64_t loopbacks_answered() const { return loopbacks_answered_; }
   std::uint64_t loopbacks_completed() const { return loopbacks_completed_; }
 
+  // --- alarm statistics -----------------------------------------------
+  /// Loss-of-signal currently standing on the receive link.
+  bool los() const { return los_; }
+  std::uint64_t los_events() const { return los_events_; }
+  /// AIS cells this NIC inserted into its own RX stream under LOS.
+  std::uint64_t ais_inserted() const { return ais_inserted_; }
+  std::uint64_t ais_received() const { return ais_received_; }
+  std::uint64_t rdi_sent() const { return rdi_sent_; }
+  std::uint64_t rdi_received() const { return rdi_received_; }
+
   const NicConfig& config() const { return config_; }
 
  private:
   void on_oam(atm::VcId vc, const atm::OamCell& oam);
+  void on_link_state(bool down);
+  void insert_ais();
+  void schedule_rdi_resume(atm::VcId vc);
 
   NicConfig config_;
   sim::Simulator* sim_ = nullptr;
@@ -74,6 +105,16 @@ class Nic {
   std::uint64_t loopbacks_sent_ = 0;
   std::uint64_t loopbacks_answered_ = 0;
   std::uint64_t loopbacks_completed_ = 0;
+
+  std::vector<atm::VcId> open_vcs_;
+  bool los_ = false;
+  std::uint64_t ais_epoch_ = 0;  // invalidates stale AIS timers
+  std::unordered_map<atm::VcId, sim::Time> rdi_until_;
+  std::uint64_t los_events_ = 0;
+  std::uint64_t ais_inserted_ = 0;
+  std::uint64_t ais_received_ = 0;
+  std::uint64_t rdi_sent_ = 0;
+  std::uint64_t rdi_received_ = 0;
 };
 
 }  // namespace hni::nic

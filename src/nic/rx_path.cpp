@@ -10,7 +10,7 @@ RxPath::RxPath(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
                const proc::FirmwareProfile& firmware, RxPathConfig config)
     : sim_(sim),
       memory_(memory),
-      dma_(bus, memory),
+      dma_(bus, memory, config.dma),
       firmware_(firmware),
       config_(config),
       engine_(sim, config.engine),
@@ -25,8 +25,16 @@ RxPath::RxPath(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
     }
     return memory_.alloc(bytes);
   };
+  release_ = [this](const bus::SgList& sg) { memory_.free(sg); };
   if (config_.reassembly_timeout > 0) {
     sim_.after(config_.reassembly_timeout, [this] { sweep_stale_pdus(); });
+  }
+  if (config_.watchdog_interval > 0) {
+    watchdog_ = std::make_unique<Watchdog>(
+        sim_, config_.watchdog_interval,
+        [this] { return serviced_.value(); },
+        [this] { return !fifo_.empty(); },
+        [this] { reset_engine(); });
   }
   interrupts_.set_handler([this](std::size_t batch) {
     // One interrupt covers `batch` PDU completions; hand them all up.
@@ -78,10 +86,33 @@ bool RxPath::is_last_cell(const atm::Cell& cell, aal::AalType aal) {
   return st == aal::SegmentType::kEom || st == aal::SegmentType::kSsm;
 }
 
+void RxPath::unwedge_engine() {
+  if (!wedged_) return;
+  wedged_ = false;
+  service();
+}
+
+void RxPath::reset_engine() {
+  // Hardware abort: the engine restarts from a clean state. Cells still
+  // in the FIFO belong to interrupted streams — discard them.
+  wedged_ = false;
+  while (fifo_.pop()) flushed_.add();
+  // Reclaim the containers of every interrupted reassembly and reset
+  // the streams so the next first cell starts a fresh PDU.
+  vcs_.for_each([this](atm::VcId vc, VcState& state) {
+    if (!state.reasm->mid_pdu()) return;
+    aborted_.add();
+    board_.release(chain_key(vc));
+    state.reasm->reset();
+  });
+  service();
+}
+
 void RxPath::service() {
-  if (engine_busy_) return;
+  if (engine_busy_ || wedged_) return;
   std::optional<atm::Cell> cell = fifo_.pop();
   if (!cell) return;
+  serviced_.add();
   engine_busy_ = true;
 
   auto found = vcs_.find(cell->header.vc);
@@ -220,6 +251,12 @@ void RxPath::complete_pdu(atm::VcId vc, VcState& /*state*/,
                  pdus_ok_.add();
                  pending_deliveries_.push_back(std::move(out));
                  interrupts_.post();
+               },
+               [this, host_sg] {
+                 // Landing DMA gave up: the reassembled PDU is lost and
+                 // the host buffers go back where they came from.
+                 dma_drop_.add();
+                 if (release_) release_(host_sg);
                });
   });
 }

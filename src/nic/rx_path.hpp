@@ -37,6 +37,7 @@
 #include "nic/fifo.hpp"
 #include "nic/interrupt.hpp"
 #include "nic/vc_table.hpp"
+#include "nic/watchdog.hpp"
 #include "proc/engine.hpp"
 #include "proc/firmware.hpp"
 
@@ -61,11 +62,18 @@ struct RxPathConfig {
   BoardMemoryConfig board{};
   std::size_t vc_buckets = 64;
   sim::Time interrupt_coalesce = 0;
+  /// Landing DMA retry/backoff policy (max_retries = 0 disables
+  /// recovery: one failed attempt loses the PDU).
+  bus::DmaConfig dma{};
   std::size_t max_sdu = aal::kAal5MaxSdu;
   /// A partially assembled PDU idle this long is abandoned and its
   /// board containers reclaimed (a lost final cell must not pin
   /// resources). 0 disables the sweep.
   sim::Time reassembly_timeout = sim::milliseconds(50);
+  /// Watchdog sampling interval: a reassembly engine that shows no
+  /// progress across two samples while cells wait is abort-and-reclaim
+  /// reset. 0 disables the watchdog (recovery off).
+  sim::Time watchdog_interval = sim::milliseconds(10);
 };
 
 class RxPath {
@@ -93,6 +101,30 @@ class RxPath {
   void set_buffer_allocator(BufferAllocator alloc) {
     alloc_ = std::move(alloc);
   }
+  /// Returns buffers obtained from the allocator but never delivered
+  /// (the landing DMA gave up). Must undo whatever the allocator did.
+  using BufferReleaser = std::function<void(const bus::SgList&)>;
+  void set_buffer_releaser(BufferReleaser release) {
+    release_ = std::move(release);
+  }
+
+  // --- fault hooks & recovery -------------------------------------------
+  /// Wedges the reassembly engine: it stops draining the FIFO (which
+  /// then overflows) until unwedge_engine() or a watchdog reset.
+  void wedge_engine() { wedged_ = true; }
+  /// Clears a wedge without the destructive reset (fault ended by
+  /// itself). Resumes service.
+  void unwedge_engine();
+  /// Abort-and-reclaim reset: flushes the cell FIFO, releases every
+  /// mid-PDU board chain back to the pool (accounted as pdus_aborted)
+  /// and resets the reassembly streams. The watchdog's action.
+  void reset_engine();
+  /// The landing DMA engine (fault hooks: fail_next / stall).
+  bus::DmaEngine& dma() { return dma_; }
+  const bus::DmaEngine& dma() const { return dma_; }
+  std::uint64_t watchdog_resets() const {
+    return watchdog_ ? watchdog_->resets() : 0;
+  }
 
   /// Receives valid OAM cells arriving on open VCs (fault management;
   /// the Nic wires loopback semantics on top).
@@ -106,6 +138,8 @@ class RxPath {
   const proc::Engine& engine() const { return engine_; }
   const CellFifo<atm::Cell>& fifo() const { return fifo_; }
   const BoardMemory& board() const { return board_; }
+  /// Mutable board pool (fault hooks: set_capacity_limit).
+  BoardMemory& board_memory() { return board_; }
 
   // --- statistics -----------------------------------------------------
   std::uint64_t cells_received() const { return cells_in_.value(); }
@@ -123,6 +157,14 @@ class RxPath {
   std::uint64_t oam_cells_bad() const { return oam_bad_.value(); }
   /// Partial PDUs abandoned by the reassembly-timeout sweep.
   std::uint64_t pdus_timed_out() const { return timeouts_.value(); }
+  /// Partial PDUs aborted by an engine reset (watchdog recovery).
+  std::uint64_t pdus_aborted() const { return aborted_.value(); }
+  /// Completed PDUs lost because the landing DMA gave up after retries.
+  std::uint64_t pdus_dropped_dma() const { return dma_drop_.value(); }
+  /// Cells the engine pulled from the FIFO for processing.
+  std::uint64_t cells_serviced() const { return serviced_.value(); }
+  /// Cells discarded from the FIFO by an engine reset.
+  std::uint64_t cells_flushed() const { return flushed_.value(); }
   std::uint64_t error_count(aal::ReassemblyError e) const {
     return error_counts_[static_cast<std::size_t>(e)].value();
   }
@@ -160,8 +202,11 @@ class RxPath {
   InterruptController interrupts_;
   DeliverFn deliver_;
   BufferAllocator alloc_;
+  BufferReleaser release_;
   OamHandler oam_handler_;
+  std::unique_ptr<Watchdog> watchdog_;
   bool engine_busy_ = false;
+  bool wedged_ = false;
 
   sim::Counter cells_in_;
   sim::Counter hec_discard_;
@@ -174,6 +219,10 @@ class RxPath {
   sim::Counter oam_cells_;
   sim::Counter oam_bad_;
   sim::Counter timeouts_;
+  sim::Counter aborted_;
+  sim::Counter dma_drop_;
+  sim::Counter serviced_;
+  sim::Counter flushed_;
   std::array<sim::Counter, 7> error_counts_;
   sim::RunningStat latency_us_;
 

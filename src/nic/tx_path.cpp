@@ -10,7 +10,7 @@ TxPath::TxPath(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
                atm::LineRate line)
     : sim_(sim),
       memory_(memory),
-      dma_(bus, memory),
+      dma_(bus, memory, config.dma),
       firmware_(firmware),
       config_(config),
       engine_(sim, config.engine),
@@ -20,6 +20,19 @@ TxPath::TxPath(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
   framer_.set_supplier([this]() -> std::optional<atm::Cell> {
     return fifo_.pop();
   });
+  if (config_.watchdog_interval > 0) {
+    watchdog_ = std::make_unique<Watchdog>(
+        sim_, config_.watchdog_interval,
+        [this] { return cells_.value(); },
+        [this] { return has_runnable_work(); },
+        [this] {
+          // Reset: clear any wedge and restart both halves of the
+          // pipeline. Non-destructive — staged cells survive.
+          wedged_ = false;
+          schedule_emission();
+          maybe_stage_next();
+        });
+  }
 }
 
 TxPath::VcState& TxPath::state_for(atm::VcId vc) {
@@ -30,9 +43,67 @@ TxPath::VcState& TxPath::state_for(atm::VcId vc) {
 
 bool TxPath::post(TxDescriptor descriptor) {
   if (ring_full()) return false;
+  if (state_for(descriptor.vc).paused) {
+    // A VC under a standing remote defect sheds new posts instead of
+    // queueing unboundedly into a dead connection. Completion is
+    // deferred one event so a driver that reposts from its completion
+    // callback cannot reenter post() recursively.
+    paused_drop_.add();
+    sim_.after(0, [this, d = std::move(descriptor)] {
+      if (completion_) completion_(d);
+    });
+    return true;
+  }
   ring_.push_back(std::move(descriptor));
   maybe_stage_next();
   return true;
+}
+
+void TxPath::pause_vc(atm::VcId vc) { state_for(vc).paused = true; }
+
+void TxPath::resume_vc(atm::VcId vc) {
+  VcState& vs = state_for(vc);
+  if (!vs.paused) return;
+  vs.paused = false;
+  schedule_emission();
+  maybe_stage_next();
+}
+
+bool TxPath::vc_paused(atm::VcId vc) const {
+  auto it = vcs_.find(vc);
+  return it != vcs_.end() && it->second.paused;
+}
+
+void TxPath::unwedge_engine() {
+  if (!wedged_) return;
+  wedged_ = false;
+  schedule_emission();
+  maybe_stage_next();
+}
+
+bool TxPath::has_runnable_work() const {
+  if (!control_.empty()) return true;
+  const sim::Time now = sim_.now();
+  for (const auto& [vc, vs] : vcs_) {
+    if (vs.paused || vs.queue.empty()) continue;
+    if (vs.shaper && !vs.shaper->conforms(now)) continue;
+    return true;
+  }
+  // A stageable descriptor waiting while the staging pipeline sits idle
+  // also counts: a wedge can strand work before it reaches a VC queue.
+  if (staging_inflight_ == 0 && staged_count_ < config_.staged_pdus) {
+    for (const auto& d : ring_) {
+      auto it = vcs_.find(d.vc);
+      const bool paused = it != vcs_.end() && it->second.paused;
+      const std::size_t queued =
+          it != vcs_.end() ? it->second.queue.size() : 0;
+      if (!paused && staging_vcs_.count(d.vc) == 0 &&
+          queued < config_.staged_per_vc) {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 void TxPath::inject_cell(atm::Cell cell) {
@@ -53,17 +124,20 @@ void TxPath::clear_shaper(atm::VcId vc) { state_for(vc).shaper.reset(); }
 // over descriptors whose VC has reached its per-VC staging quota, so a
 // deep queue on one VC cannot monopolize the board's staging slots.
 void TxPath::maybe_stage_next() {
+  if (wedged_) return;
   if (staging_inflight_ >= config_.staging_concurrency ||
       staged_count_ + staging_inflight_ >= config_.staged_pdus) {
     return;
   }
-  // Pick the oldest descriptor whose VC has a free staging quota and no
-  // staging already in flight (keeps every VC's PDUs in posting order).
+  // Pick the oldest descriptor whose VC has a free staging quota, no
+  // staging already in flight (keeps every VC's PDUs in posting order),
+  // and no standing pause (a paused VC must not pin staging slots).
   auto it = std::find_if(ring_.begin(), ring_.end(),
                          [this](const TxDescriptor& d) {
+                           VcState& vs = state_for(d.vc);
                            return staging_vcs_.count(d.vc) == 0 &&
-                                  state_for(d.vc).queue.size() <
-                                      config_.staged_per_vc;
+                                  !vs.paused &&
+                                  vs.queue.size() < config_.staged_per_vc;
                          });
   if (it == ring_.end()) return;
   ++staging_inflight_;
@@ -99,13 +173,23 @@ void TxPath::stage_pdu(TxDescriptor d) {
 
   if (config_.dma_mode == TxDmaMode::kWholePdu) {
     // Stage the whole SDU across the bus, then build the CPCS framing.
-    // (Window copied out first: the callback's capture moves `d`, and
-    // argument evaluation order is unspecified.)
-    const bus::SgList sg = d.sg;
-    const std::size_t len = d.len;
+    // (Descriptor shared between the two outcomes; only one ever runs.)
+    auto dsh = std::make_shared<TxDescriptor>(std::move(d));
+    const bus::SgList sg = dsh->sg;
+    const std::size_t len = dsh->len;
     dma_.read(sg, 0, len,
-              [d = std::move(d), finish_staging](aal::Bytes sdu) mutable {
-                finish_staging(std::move(d), std::move(sdu));
+              [dsh, finish_staging](aal::Bytes sdu) mutable {
+                finish_staging(std::move(*dsh), std::move(sdu));
+              },
+              [this, dsh] {
+                // Staging DMA gave up after retries: abandon the PDU
+                // and free its slot; completion still fires so the
+                // driver reclaims the host buffers.
+                --staging_inflight_;
+                staging_vcs_.erase(dsh->vc);
+                aborted_.add();
+                if (completion_) completion_(*dsh);
+                maybe_stage_next();
               });
   } else {
     // Cut-through: segmentation is functional up front (the bytes are
@@ -120,7 +204,7 @@ void TxPath::stage_pdu(TxDescriptor d) {
 // across VCs with staged cells. Re-armed by staging completions, FIFO
 // space, engine completions and shaper timers.
 void TxPath::schedule_emission() {
-  if (emit_busy_) return;
+  if (emit_busy_ || wedged_) return;
   if (fifo_.full()) {
     if (!fifo_wait_armed_) {
       fifo_wait_armed_ = true;
@@ -156,7 +240,7 @@ void TxPath::schedule_emission() {
   for (std::size_t i = 0; i < rr_.size(); ++i) {
     const std::size_t idx = (rr_pos_ + i) % rr_.size();
     VcState& vs = vcs_.at(rr_[idx]);
-    if (vs.queue.empty()) continue;
+    if (vs.queue.empty() || vs.paused) continue;
     if (vs.shaper && !vs.shaper->conforms(now)) {
       earliest = std::min(earliest, vs.shaper->eligible_at());
       continue;
@@ -234,6 +318,19 @@ void TxPath::emit_one(atm::VcId vc) {
               [this, instr,
                push_cell = std::move(push_cell)](aal::Bytes) mutable {
                 engine_.execute(instr, std::move(push_cell));
+              },
+              [this, vc] {
+                // Mid-PDU DMA gave up: the rest of this PDU can never
+                // be cut — abandon it and move the scheduler along.
+                VcState& vs = vcs_.at(vc);
+                TxDescriptor done = std::move(vs.queue.front().descriptor);
+                vs.queue.pop_front();
+                --staged_count_;
+                aborted_.add();
+                if (completion_) completion_(done);
+                emit_busy_ = false;
+                schedule_emission();
+                maybe_stage_next();
               });
     return;
   }

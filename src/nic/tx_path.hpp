@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -47,6 +48,7 @@
 #include "atm/phy.hpp"
 #include "bus/dma.hpp"
 #include "nic/fifo.hpp"
+#include "nic/watchdog.hpp"
 #include "proc/engine.hpp"
 #include "proc/firmware.hpp"
 
@@ -76,9 +78,16 @@ struct TxPathConfig {
   std::size_t staging_concurrency = 2;  // staging DMAs in flight (the
                                         // bus arbitrates burst-wise)
   TxDmaMode dma_mode = TxDmaMode::kWholePdu;
+  /// Staging DMA retry/backoff policy (max_retries = 0 disables
+  /// recovery: one failed attempt aborts the PDU).
+  bus::DmaConfig dma{};
   /// Oscillator offset in ppm; nullopt lets core::Testbed assign a
   /// realistic random value per station (+-50 ppm).
   std::optional<double> clock_ppm{};
+  /// Watchdog sampling interval: a segmentation engine showing no
+  /// progress across two samples while unblocked work waits is reset
+  /// (unwedged and rescheduled). 0 disables the watchdog.
+  sim::Time watchdog_interval = sim::milliseconds(10);
 };
 
 class TxPath {
@@ -104,6 +113,27 @@ class TxPath {
                   sim::Time cdvt = 0);
   void clear_shaper(atm::VcId vc);
 
+  // --- fault management -------------------------------------------------
+  /// Pauses `vc` (remote defect, e.g. an RDI alarm): already-staged
+  /// PDUs hold their slots but stop emitting, and *new* posts for the
+  /// VC are dropped with accounting rather than queued unboundedly into
+  /// a dead connection (the completion callback still fires so the
+  /// driver reclaims its buffers).
+  void pause_vc(atm::VcId vc);
+  void resume_vc(atm::VcId vc);
+  bool vc_paused(atm::VcId vc) const;
+
+  /// Wedges the segmentation/emission engine (fault hook); cleared by
+  /// unwedge_engine() or a watchdog reset.
+  void wedge_engine() { wedged_ = true; }
+  void unwedge_engine();
+  /// The staging DMA engine (fault hooks: fail_next / stall).
+  bus::DmaEngine& dma() { return dma_; }
+  const bus::DmaEngine& dma() const { return dma_; }
+  std::uint64_t watchdog_resets() const {
+    return watchdog_ ? watchdog_->resets() : 0;
+  }
+
   void set_completion(Completion cb) { completion_ = std::move(cb); }
 
   /// The framer feeding the wire; callers attach its sink and start it.
@@ -117,6 +147,10 @@ class TxPath {
 
   std::uint64_t pdus_sent() const { return pdus_.value(); }
   std::uint64_t cells_built() const { return cells_.value(); }
+  /// PDUs abandoned because their staging or per-cell DMA gave up.
+  std::uint64_t pdus_aborted() const { return aborted_.value(); }
+  /// Posts dropped (with completion) because the VC was paused.
+  std::uint64_t pdus_dropped_paused() const { return paused_drop_.value(); }
   const proc::Engine& engine() const { return engine_; }
   const CellFifo<atm::Cell>& fifo() const { return fifo_; }
 
@@ -131,7 +165,13 @@ class TxPath {
   struct VcState {
     std::deque<StagedPdu> queue;
     std::optional<atm::Gcra> shaper;
+    bool paused = false;  // remote defect: hold emission, shed posts
   };
+
+  /// Unblocked work exists (what the watchdog calls "pending"): control
+  /// cells, or staged cells on a VC that is neither paused nor
+  /// shaper-blocked right now.
+  bool has_runnable_work() const;
 
   void maybe_stage_next();
   void stage_pdu(TxDescriptor descriptor);
@@ -160,13 +200,17 @@ class TxPath {
   std::unordered_set<atm::VcId> staging_vcs_;  // per-VC ordering guard
   bool emit_busy_ = false;
   bool fifo_wait_armed_ = false;
+  bool wedged_ = false;
   sim::EventHandle shaper_wakeup_;
   sim::Time shaper_wakeup_at_ = sim::kTimeNever;
+  std::unique_ptr<Watchdog> watchdog_;
 
   Completion completion_;
   std::uint64_t next_seq_ = 0;
   sim::Counter pdus_;
   sim::Counter cells_;
+  sim::Counter aborted_;
+  sim::Counter paused_drop_;
 };
 
 }  // namespace hni::nic

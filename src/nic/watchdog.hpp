@@ -1,0 +1,76 @@
+// Progress watchdog for the interface's engines.
+//
+// Real host interfaces pair every autonomous engine with a watchdog:
+// firmware that stops making progress (a wedged state machine, a FIFO
+// whose consumer died) must be detected and reset by the board, not by
+// the host noticing hours later. This watchdog samples a progress
+// counter on a fixed interval; when two consecutive samples show
+// pending work but no progress, it fires the reset action. Requiring
+// work to be pending on the *previous* tick too keeps a burst of work
+// that arrived just before a sample from being mistaken for a stall.
+//
+// The class is deliberately generic — probe callbacks supply "progress"
+// and "work pending", the owner supplies the abort-and-reclaim reset —
+// so the TX and RX paths share one implementation.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace hni::nic {
+
+class Watchdog {
+ public:
+  using Progress = std::function<std::uint64_t()>;
+  using Pending = std::function<bool()>;
+  using Reset = std::function<void()>;
+
+  /// `interval` of 0 disables the watchdog entirely.
+  Watchdog(sim::Simulator& sim, sim::Time interval, Progress progress,
+           Pending pending, Reset reset)
+      : sim_(sim),
+        interval_(interval),
+        progress_(std::move(progress)),
+        pending_(std::move(pending)),
+        reset_(std::move(reset)) {
+    if (interval_ > 0) sim_.after(interval_, [this] { tick(); });
+  }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  std::uint64_t resets() const { return resets_.value(); }
+  sim::Time interval() const { return interval_; }
+
+ private:
+  void tick() {
+    const std::uint64_t p = progress_();
+    const bool pending = pending_();
+    if (pending && pending_last_ && p == last_progress_) {
+      resets_.add();
+      reset_();
+      // Re-sample: the reset itself makes progress (flushes, aborts).
+      last_progress_ = progress_();
+      pending_last_ = pending_();
+    } else {
+      last_progress_ = p;
+      pending_last_ = pending;
+    }
+    sim_.after(interval_, [this] { tick(); });
+  }
+
+  sim::Simulator& sim_;
+  sim::Time interval_;
+  Progress progress_;
+  Pending pending_;
+  Reset reset_;
+  std::uint64_t last_progress_ = 0;
+  bool pending_last_ = false;
+  sim::Counter resets_;
+};
+
+}  // namespace hni::nic

@@ -1,0 +1,131 @@
+// Statistical validation of the link loss processes.
+//
+// The Gilbert-Elliott model is parameterized indirectly (long-run loss
+// rate + mean burst length); these tests drive a large, fixed-seed
+// sample through the link and check that the realized statistics
+// converge to the configured targets. Tolerances are generous — the
+// point is catching an inverted transition probability or a biased
+// draw, not re-deriving the chain's variance.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace hni {
+namespace {
+
+// Offers `count` cells and records, per cell, whether the link lost it
+// (loss is decided synchronously in send_wire, so counter deltas
+// attribute losses to individual cells).
+std::vector<bool> offer_cells(net::Link& link, std::size_t count) {
+  std::vector<bool> lost(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t before = link.cells_lost();
+    net::WireCell w;
+    w.meta.seq = i;
+    link.send_wire(w);
+    lost[i] = link.cells_lost() != before;
+  }
+  return lost;
+}
+
+TEST(LinkLoss, BernoulliConvergesToConfiguredRate) {
+  sim::Simulator s;
+  net::LossModel loss;
+  loss.cell_loss_rate = 0.05;
+  net::Link link(s, sim::microseconds(1), loss, /*seed=*/1234);
+  link.set_sink([](const net::WireCell&) {});
+
+  const std::size_t n = 200000;
+  const auto lost = offer_cells(link, n);
+  std::size_t losses = 0;
+  for (bool l : lost) losses += l ? 1 : 0;
+
+  const double rate = static_cast<double>(losses) / n;
+  EXPECT_NEAR(rate, 0.05, 0.005);  // +-10% of target
+}
+
+TEST(LinkLoss, GilbertElliottConvergesToRateAndBurstLength) {
+  sim::Simulator s;
+  net::LossModel loss;
+  loss.cell_loss_rate = 0.10;
+  loss.mean_burst_cells = 8.0;
+  net::Link link(s, sim::microseconds(1), loss, /*seed=*/99);
+  link.set_sink([](const net::WireCell&) {});
+
+  const std::size_t n = 400000;
+  const auto lost = offer_cells(link, n);
+
+  std::size_t losses = 0;
+  std::size_t bursts = 0;
+  std::size_t run = 0;
+  std::vector<std::size_t> burst_lengths;
+  for (bool l : lost) {
+    if (l) {
+      ++losses;
+      ++run;
+    } else if (run > 0) {
+      ++bursts;
+      burst_lengths.push_back(run);
+      run = 0;
+    }
+  }
+  if (run > 0) burst_lengths.push_back(run), ++bursts;
+
+  const double rate = static_cast<double>(losses) / n;
+  EXPECT_NEAR(rate, 0.10, 0.02);  // +-20% of target
+
+  ASSERT_GT(bursts, 100u);  // enough bursts for the mean to settle
+  double mean_burst = 0.0;
+  for (std::size_t b : burst_lengths) mean_burst += static_cast<double>(b);
+  mean_burst /= static_cast<double>(bursts);
+  EXPECT_NEAR(mean_burst, 8.0, 2.0);  // +-25% of target
+}
+
+TEST(LinkLoss, GilbertElliottLossesAreBurstier) {
+  // Same long-run rate, bursty vs independent: the burst model must
+  // produce far fewer (longer) loss events.
+  sim::Simulator s;
+  net::LossModel bern;
+  bern.cell_loss_rate = 0.10;
+  net::LossModel ge = bern;
+  ge.mean_burst_cells = 16.0;
+
+  net::Link link_bern(s, 1, bern, 7);
+  net::Link link_ge(s, 1, ge, 7);
+  link_bern.set_sink([](const net::WireCell&) {});
+  link_ge.set_sink([](const net::WireCell&) {});
+
+  const std::size_t n = 100000;
+  auto count_bursts = [](const std::vector<bool>& lost) {
+    std::size_t bursts = 0;
+    bool in_burst = false;
+    for (bool l : lost) {
+      if (l && !in_burst) ++bursts;
+      in_burst = l;
+    }
+    return bursts;
+  };
+  const std::size_t bursts_bern = count_bursts(offer_cells(link_bern, n));
+  const std::size_t bursts_ge = count_bursts(offer_cells(link_ge, n));
+  EXPECT_GT(bursts_bern, 4 * bursts_ge);
+}
+
+TEST(LinkLoss, SameSeedSameRealization) {
+  auto run_once = [] {
+    sim::Simulator s;
+    net::LossModel loss;
+    loss.cell_loss_rate = 0.10;
+    loss.mean_burst_cells = 8.0;
+    net::Link link(s, 1, loss, /*seed=*/4242);
+    link.set_sink([](const net::WireCell&) {});
+    return offer_cells(link, 50000);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace hni
