@@ -27,12 +27,18 @@ class Gcra {
   Gcra(sim::Time increment, sim::Time limit)
       : increment_(increment), limit_(limit) {}
 
-  /// Builds a GCRA for a peak cell rate in cells/second.
+  /// Builds a GCRA for a peak cell rate in cells/second. The increment
+  /// is rounded *up* to the next picosecond: rounding T down would let a
+  /// shaper pacing at exactly T slightly exceed the contracted PCR, and
+  /// a downstream policer holding the exact contract would then drop
+  /// cells the sender believed conforming. Ceil errs on the safe side —
+  /// the shaped stream is never faster than the contract.
   static Gcra for_pcr(double cells_per_second, sim::Time cdvt) {
-    return Gcra(static_cast<sim::Time>(
-                    static_cast<double>(sim::kSecond) / cells_per_second +
-                    0.5),
-                cdvt);
+    const double period =
+        static_cast<double>(sim::kSecond) / cells_per_second;
+    auto t = static_cast<sim::Time>(period);
+    if (static_cast<double>(t) < period) ++t;
+    return Gcra(t, cdvt);
   }
 
   /// Would a cell at `arrival` conform? (No state update.)

@@ -25,6 +25,7 @@
 #include "bus/host_memory.hpp"
 #include "bus/turbochannel.hpp"
 #include "sim/stats.hpp"
+#include "sim/telemetry/metrics.hpp"
 
 namespace hni::bus {
 
@@ -74,6 +75,17 @@ class DmaEngine {
   std::uint64_t gave_up() const { return gave_up_.value(); }
   std::uint64_t stalls() const { return stalls_.value(); }
   const DmaConfig& config() const { return config_; }
+
+  /// Surfaces the engine's books under `scope`.
+  void register_metrics(const sim::MetricScope& scope) const {
+    scope.expose("reads", reads_);
+    scope.expose("writes", writes_);
+    scope.expose("bytes_read", bytes_read_);
+    scope.expose("bytes_written", bytes_written_);
+    scope.expose("retries", retries_);
+    scope.expose("gave_up", gave_up_);
+    scope.expose("stalls", stalls_);
+  }
 
  private:
   /// Copies between host memory and a linear buffer through an S/G

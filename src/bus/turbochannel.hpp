@@ -22,6 +22,7 @@
 
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
+#include "sim/telemetry/metrics.hpp"
 
 namespace hni::bus {
 
@@ -91,6 +92,15 @@ class Bus {
   std::uint64_t transfers() const { return transfers_.value(); }
   std::uint64_t bytes_moved() const { return bytes_.value(); }
   const sim::RunningStat& queueing_delay_us() const { return queueing_us_; }
+
+  /// Surfaces the bus's books under `scope`.
+  void register_metrics(const sim::MetricScope& scope) const {
+    scope.expose("transfers", transfers_);
+    scope.expose("bytes_moved", bytes_);
+    scope.expose("holdoffs", holdoffs_);
+    scope.gauge("utilization", [this] { return utilization(sim_.now()); });
+    scope.expose_stat("queueing_delay_us", queueing_us_);
+  }
 
  private:
   struct Pending {

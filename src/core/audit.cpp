@@ -26,12 +26,15 @@ void InvariantAuditor::audit_station(Station& s) {
             who + "allocated == released + in_use");
 
   // RX FIFO: everything offered was accepted or dropped; everything
-  // accepted was removed or is still resident.
+  // accepted was removed or is still resident. Priority-lane (OAM)
+  // drops are a separate book — a lost alarm must not hide inside the
+  // data-loss count, and it must not unbalance the conservation either.
   expect_eq(rx.cells_received(),
             rx.cells_hec_discarded() + rx.fifo().pushes() +
-                rx.fifo().drops(),
+                rx.fifo().drops() + rx.fifo().priority_drops(),
             "rx-fifo offered conservation",
-            who + "received == hec_discarded + accepted + dropped");
+            who + "received == hec_discarded + accepted + dropped + "
+                  "priority_dropped");
   expect_eq(rx.fifo().pushes(), rx.fifo().pops() + rx.fifo().size(),
             "rx-fifo resident conservation",
             who + "accepted == removed + resident");
@@ -43,10 +46,13 @@ void InvariantAuditor::audit_station(Station& s) {
             who + "removed == serviced + flushed");
 
   // TX FIFO: every built cell was accepted by the FIFO or dropped at
-  // its mouth; accepted cells were handed to the framer or are queued.
-  expect_eq(tx.cells_built(), tx.fifo().pushes() + tx.fifo().drops(),
+  // its mouth (control cells through the priority lane); accepted cells
+  // were handed to the framer or are queued.
+  expect_eq(tx.cells_built(),
+            tx.fifo().pushes() + tx.fifo().drops() +
+                tx.fifo().priority_drops(),
             "tx-fifo offered conservation",
-            who + "built == accepted + dropped");
+            who + "built == accepted + dropped + priority_dropped");
   expect_eq(tx.fifo().pushes(), tx.fifo().pops() + tx.fifo().size(),
             "tx-fifo resident conservation",
             who + "accepted == removed + resident");

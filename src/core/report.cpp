@@ -91,6 +91,9 @@ Table fault_recovery_table(Station& s) {
   t.add_row({"pdus timed out", "0", Table::integer(rx.pdus_timed_out())});
   t.add_row({"cells flushed (reset)", "0",
              Table::integer(rx.cells_flushed())});
+  t.add_row({"priority-lane drops",
+             Table::integer(tx.fifo().priority_drops()),
+             Table::integer(rx.fifo().priority_drops())});
   t.add_row({"bus hold-offs", Table::integer(s.bus().holdoffs()),
              Table::integer(s.bus().holdoffs())});
   t.add_row({"ais inserted / received",
@@ -98,6 +101,54 @@ Table fault_recovery_table(Station& s) {
              Table::integer(s.nic().ais_received())});
   t.add_row({"rdi sent / received", Table::integer(s.nic().rdi_sent()),
              Table::integer(s.nic().rdi_received())});
+  return t;
+}
+
+namespace {
+
+std::string metric_value(const sim::MetricsRegistry::Sample& s) {
+  if (s.kind == sim::MetricKind::kHistogram && s.histogram != nullptr) {
+    return "n=" + Table::integer(s.histogram->count()) +
+           " p50=" + Table::num(s.histogram->percentile(50.0), 3) +
+           " p99=" + Table::num(s.histogram->percentile(99.0), 3);
+  }
+  const auto as_int = static_cast<std::int64_t>(s.value);
+  if (s.value == static_cast<double>(as_int)) {
+    return std::to_string(as_int);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", s.value);
+  return buf;
+}
+
+}  // namespace
+
+Table metrics_table(const sim::MetricsRegistry& registry,
+                    const std::string& prefix) {
+  Table t({"metric", "kind", "value"});
+  for (const auto& s : registry.snapshot()) {
+    if (!prefix.empty() && s.name.rfind(prefix, 0) != 0) continue;
+    const char* kind = s.kind == sim::MetricKind::kCounter ? "counter"
+                       : s.kind == sim::MetricKind::kGauge ? "gauge"
+                                                           : "histogram";
+    t.add_row({s.name, kind, metric_value(s)});
+  }
+  return t;
+}
+
+Table cycle_budget_table(const sim::CycleProfiler& profiler) {
+  Table t({"phase", "items", "cycles/item", "us/item", "total cycles",
+           "share"});
+  const sim::Time total = profiler.total();
+  for (const auto& ps : profiler.stats()) {
+    const double share =
+        total > 0 ? static_cast<double>(ps.total) / static_cast<double>(total)
+                  : 0.0;
+    t.add_row({ps.name, Table::integer(ps.items),
+               Table::num(ps.cycles_per_item, 1),
+               Table::num(sim::to_microseconds(ps.time_per_item), 3),
+               Table::num(ps.cycles, 0), Table::percent(share)});
+  }
   return t;
 }
 

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/station.hpp"
+#include "sim/telemetry/metrics.hpp"
+#include "sim/telemetry/profiler.hpp"
 
 namespace hni::core {
 
@@ -39,5 +41,16 @@ class Table {
 /// accounting and OAM alarm traffic. Benches print this next to their
 /// performance tables when a run involved fault injection.
 Table fault_recovery_table(Station& s);
+
+/// Every instrument in `registry` as an aligned (name, kind, value)
+/// table, in snapshot (sorted-by-name) order — byte-identical across
+/// identical runs. Pass a `prefix` to restrict to one subtree.
+Table metrics_table(const sim::MetricsRegistry& registry,
+                    const std::string& prefix = "");
+
+/// The paper-style per-phase cycle-budget table of one engine: items,
+/// cycles/item, us/item, total cycles, and each phase's share of the
+/// attributed time.
+Table cycle_budget_table(const sim::CycleProfiler& profiler);
 
 }  // namespace hni::core

@@ -38,6 +38,13 @@ class Station {
   host::Host& host() { return host_; }
   const StationConfig& config() const { return config_; }
 
+  /// Surfaces the whole station — bus + NIC (both paths, per-VC) —
+  /// under `scope`.
+  void register_metrics(const sim::MetricScope& scope) {
+    bus_.register_metrics(scope.sub("bus"));
+    nic_.register_metrics(scope.sub("nic"));
+  }
+
  private:
   StationConfig config_;
   bus::Bus bus_;

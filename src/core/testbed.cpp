@@ -1,6 +1,7 @@
 #include "core/testbed.hpp"
 
 #include <cstdio>
+#include <string>
 
 namespace hni::core {
 
@@ -30,15 +31,23 @@ Station& Testbed::add_station(StationConfig config) {
     config.nic.tx.clock_ppm = ppm_rng_.normal(0.0, 20.0);
   }
   stations_.push_back(std::make_unique<Station>(sim_, std::move(config)));
-  return *stations_.back();
+  Station& st = *stations_.back();
+  const std::string scope =
+      "station." + std::to_string(stations_.size() - 1) + "." + st.name();
+  st.register_metrics(sim::MetricScope(metrics_, scope));
+  // Priority-lane drops in the RX FIFO (a lost alarm cell) are trace
+  // events too, not just a counter.
+  st.nic().rx().set_tracer(&tracer_, scope + ".nic.rx.fifo");
+  return st;
 }
 
 net::Link& Testbed::add_link(sim::Time propagation, net::LossModel loss,
                              std::uint64_t seed) {
   links_.push_back(
       std::make_unique<net::Link>(sim_, propagation, loss, seed));
-  links_.back()->set_tracer(&tracer_,
-                            "link" + std::to_string(links_.size() - 1));
+  const std::string idx = std::to_string(links_.size() - 1);
+  links_.back()->set_tracer(&tracer_, "link" + idx);
+  links_.back()->register_metrics(sim::MetricScope(metrics_, "link." + idx));
   return *links_.back();
 }
 
@@ -59,6 +68,8 @@ std::pair<net::Link*, net::Link*> Testbed::connect(Station& a, Station& b,
 net::Switch& Testbed::add_switch(net::SwitchConfig config) {
   if (!config.clock_ppm) config.clock_ppm = ppm_rng_.normal(0.0, 20.0);
   switches_.push_back(std::make_unique<net::Switch>(sim_, config));
+  switches_.back()->register_metrics(sim::MetricScope(
+      metrics_, "switch." + std::to_string(switches_.size() - 1)));
   return *switches_.back();
 }
 

@@ -23,6 +23,7 @@
 #include "net/link.hpp"
 #include "net/switch.hpp"
 #include "sim/random.hpp"
+#include "sim/telemetry/metrics.hpp"
 #include "sim/trace.hpp"
 #include "sim/simulator.hpp"
 
@@ -40,9 +41,17 @@ class Testbed {
   sim::Simulator& sim() { return sim_; }
   sim::Time now() const { return sim_.now(); }
 
-  /// Shared tracer: add a sink to see per-cell wire events from every
-  /// link the testbed creates (off — zero cost — until a sink exists).
+  /// Shared tracer: add a sink (or enable the ring) to see per-cell
+  /// wire events from every link the testbed creates (off — one branch
+  /// per emit, zero allocations — until armed).
   sim::Tracer& tracer() { return tracer_; }
+
+  /// The system-wide metrics registry. Everything the testbed creates
+  /// registers itself: stations under "station.<i>.<name>", links under
+  /// "link.<i>", switches under "switch.<i>". Snapshot or to_json() it
+  /// to enumerate every instrument in the scenario.
+  sim::MetricsRegistry& metrics() { return metrics_; }
+  const sim::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Creates a station owned by the testbed.
   Station& add_station(StationConfig config = {});
@@ -91,6 +100,11 @@ class Testbed {
 
   sim::Simulator sim_;
   sim::Tracer tracer_;
+  // Declared before the components that register into it: gauges hold
+  // references into stations/links/switches, so those must die first
+  // only if nobody snapshots afterwards — which ~Testbed guarantees by
+  // auditing in its body, before any member is destroyed.
+  sim::MetricsRegistry metrics_;
   sim::Rng ppm_rng_{0xC10C4};  // oscillator-offset source (deterministic)
   std::vector<std::unique_ptr<Station>> stations_;
   std::vector<std::unique_ptr<net::Link>> links_;

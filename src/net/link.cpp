@@ -50,8 +50,11 @@ void Link::set_down(bool down) {
   if (down == down_) return;
   down_ = down;
   if (down) flaps_.add();
-  if (tracer_ && tracer_->enabled()) {
-    tracer_->emit(sim_.now(), name_, down ? "LINK DOWN" : "LINK UP");
+  if (tracer_) {
+    tracer_->emit({sim_.now(),
+                   down ? sim::TraceEventId::kLinkDown
+                        : sim::TraceEventId::kLinkUp,
+                   source_, 0, 0, 0});
   }
   for (const auto& observer : observers_) observer(down_);
 }
@@ -60,18 +63,17 @@ void Link::send_wire(WireCell wire) {
   in_.add();
   if (down_) {
     down_drop_.add();
-    if (tracer_ && tracer_->enabled()) {
-      tracer_->emit(sim_.now(), name_,
-                    "cell seq=" + std::to_string(wire.meta.seq) +
-                        " DROPPED (link down)");
+    if (tracer_) {
+      tracer_->emit({sim_.now(), sim::TraceEventId::kLinkCellDroppedDown,
+                     source_, 0, 0, wire.meta.seq});
     }
     return;
   }
   if (!survives()) {
     lost_.add();
-    if (tracer_ && tracer_->enabled()) {
-      tracer_->emit(sim_.now(), name_,
-                    "cell seq=" + std::to_string(wire.meta.seq) + " LOST");
+    if (tracer_) {
+      tracer_->emit({sim_.now(), sim::TraceEventId::kLinkCellLost, source_,
+                     0, 0, wire.meta.seq});
     }
     return;
   }
@@ -91,13 +93,15 @@ void Link::send_wire(WireCell wire) {
   }
   if (corrupted) corrupted_.add();
   if (tracer_ && tracer_->enabled()) {
+    // Header decode only when someone is listening; the emit itself is
+    // a POD copy — no strings until Tracer::format().
     const atm::CellHeader h = atm::decode_header(
         std::span<const std::uint8_t, 4>(wire.bytes.data(), 4),
         atm::HeaderFormat::kUni);
-    tracer_->emit(sim_.now(), name_,
-                  "cell seq=" + std::to_string(wire.meta.seq) + " vc=" +
-                      h.vc.to_string() +
-                      (corrupted ? " CORRUPTED" : ""));
+    tracer_->emit({sim_.now(),
+                   corrupted ? sim::TraceEventId::kLinkCellCorrupted
+                             : sim::TraceEventId::kLinkCellSent,
+                   source_, h.vc.vpi, h.vc.vci, wire.meta.seq});
   }
   if (!sink_) throw std::logic_error("Link: sink not set");
   sim::Time deliver_at = sim_.now() + delay_;

@@ -26,6 +26,7 @@
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
+#include "sim/telemetry/metrics.hpp"
 #include "sim/trace.hpp"
 
 namespace hni::net {
@@ -68,11 +69,12 @@ class Link {
 
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
-  /// Attaches a tracer: the link emits one record per cell event
-  /// (sent / lost / corrupted), tagged with `name`.
+  /// Attaches a tracer: the link emits one typed event per cell
+  /// (sent / lost / corrupted) and per state transition, tagged with
+  /// the interned `name`.
   void set_tracer(sim::Tracer* tracer, std::string name) {
     tracer_ = tracer;
-    name_ = std::move(name);
+    source_ = tracer ? tracer->intern(std::move(name)) : 0;
   }
 
   /// Accepts a structured cell, serializes it and sends it (UNI header
@@ -104,6 +106,15 @@ class Link {
   std::uint64_t flaps() const { return flaps_.value(); }
   sim::Time propagation_delay() const { return delay_; }
 
+  /// Surfaces the link's books under `scope`.
+  void register_metrics(const sim::MetricScope& scope) const {
+    scope.expose("cells_in", in_);
+    scope.expose("cells_lost", lost_);
+    scope.expose("cells_corrupted", corrupted_);
+    scope.expose("cells_dropped_down", down_drop_);
+    scope.expose("flaps", flaps_);
+  }
+
  private:
   bool survives();  // advances the loss process
 
@@ -113,7 +124,7 @@ class Link {
   sim::Rng rng_;
   Sink sink_;
   sim::Tracer* tracer_ = nullptr;
-  std::string name_ = "link";
+  std::uint16_t source_ = 0;
   bool bad_state_ = false;
   double p_good_to_bad_ = 0.0;
   double p_bad_to_good_ = 0.0;

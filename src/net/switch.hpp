@@ -95,6 +95,28 @@ class Switch {
   double mean_queue_depth(std::size_t out_port) const;
   double max_queue_depth(std::size_t out_port) const;
 
+  /// Surfaces the switch's books (plus per-port queue-depth gauges)
+  /// under `scope`.
+  void register_metrics(const sim::MetricScope& scope) const {
+    scope.expose("cells_forwarded", forwarded_);
+    scope.expose("cells_dropped_overflow", dropped_);
+    scope.expose("cells_dropped_clp", clp_dropped_);
+    scope.expose("cells_unroutable", unroutable_);
+    scope.expose("cells_hec_discarded", hec_discard_);
+    scope.expose("cells_policed_dropped", policed_drop_);
+    scope.expose("cells_policed_tagged", policed_tag_);
+    scope.expose("cells_epd_dropped", epd_drop_);
+    scope.expose("pdus_epd_discarded", epd_pdus_);
+    scope.expose("cells_ppd_dropped", ppd_drop_);
+    for (std::size_t p = 0; p < config_.ports; ++p) {
+      const sim::MetricScope port = scope.sub("port." + std::to_string(p));
+      port.gauge("queue_depth_mean",
+                 [this, p] { return mean_queue_depth(p); });
+      port.gauge("queue_depth_max",
+                 [this, p] { return max_queue_depth(p); });
+    }
+  }
+
  private:
   struct RouteKey {
     std::size_t port;

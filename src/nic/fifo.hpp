@@ -16,6 +16,8 @@
 
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
+#include "sim/telemetry/metrics.hpp"
+#include "sim/trace.hpp"
 
 namespace hni::nic {
 
@@ -26,10 +28,17 @@ class CellFifo {
       : sim_(sim), capacity_(capacity) {}
 
   /// Enqueues at the *front* (priority lane for control cells; the
-  /// next pop returns it). Same capacity rules as push().
+  /// next pop returns it). Same capacity rules as push(), but a full
+  /// FIFO counts the loss as a *priority* drop: an AIS/RDI cell
+  /// vanishing must stay distinguishable from data loss.
   bool push_front(T item) {
     if (queue_.size() >= capacity_) {
-      drops_.add();
+      priority_drops_.add();
+      if (tracer_) {
+        tracer_->emit({sim_.now(), sim::TraceEventId::kFifoPriorityDrop,
+                       trace_source_,
+                       static_cast<std::uint32_t>(queue_.size()), 0, 0});
+      }
       return false;
     }
     pushes_.add();
@@ -71,6 +80,13 @@ class CellFifo {
   /// Callback fired on every successful push (consumer wake-up).
   void set_on_push(std::function<void()> cb) { on_push_ = std::move(cb); }
 
+  /// Attaches a tracer: a refused priority-lane push emits
+  /// kFifoPriorityDrop tagged with the interned `source`.
+  void set_tracer(sim::Tracer* tracer, std::uint16_t source) {
+    tracer_ = tracer;
+    trace_source_ = source;
+  }
+
   /// One-shot producer backpressure: `cb` fires after a future pop
   /// frees a slot (FIFO order among waiters).
   void wait_space(std::function<void()> cb) {
@@ -82,7 +98,12 @@ class CellFifo {
   std::size_t size() const { return queue_.size(); }
   std::size_t capacity() const { return capacity_; }
 
+  /// Data cells (push) refused by a full FIFO.
   std::uint64_t drops() const { return drops_.value(); }
+  /// Priority-lane cells (push_front: OAM/control) refused by a full
+  /// FIFO — counted apart from data loss so alarms cannot vanish
+  /// silently into the drop statistics.
+  std::uint64_t priority_drops() const { return priority_drops_.value(); }
   /// Cells accepted / removed since construction. The conservation
   /// identity pushes() == pops() + size() is what the invariant auditor
   /// checks (in = out + dropped + resident, with drops counted at the
@@ -92,14 +113,28 @@ class CellFifo {
   double mean_depth() const { return depth_.mean(sim_.now()); }
   double max_depth() const { return depth_.max(); }
 
+  /// Surfaces the FIFO's books under `scope` (".pushes", ".drops", …).
+  void register_metrics(const sim::MetricScope& scope) const {
+    scope.expose("pushes", pushes_);
+    scope.expose("pops", pops_);
+    scope.expose("drops", drops_);
+    scope.expose("priority_drops", priority_drops_);
+    scope.gauge("depth", [this] { return static_cast<double>(size()); });
+    scope.gauge("depth_mean", [this] { return mean_depth(); });
+    scope.gauge("depth_max", [this] { return max_depth(); });
+  }
+
  private:
   sim::Simulator& sim_;
   std::size_t capacity_;
   std::deque<T> queue_;
   sim::Counter drops_;
+  sim::Counter priority_drops_;
   sim::Counter pushes_;
   sim::Counter pops_;
   sim::TimeWeightedStat depth_;
+  sim::Tracer* tracer_ = nullptr;
+  std::uint16_t trace_source_ = 0;
   std::function<void()> on_push_;
   std::deque<std::function<void()>> space_waiters_;
 };

@@ -90,6 +90,25 @@ class Nic {
 
   const NicConfig& config() const { return config_; }
 
+  /// Surfaces both paths' books plus the NIC's OAM/alarm statistics
+  /// under `scope` ("tx.…", "rx.…", "oam.…").
+  void register_metrics(const sim::MetricScope& scope) {
+    tx_->register_metrics(scope.sub("tx"));
+    rx_->register_metrics(scope.sub("rx"));
+    const sim::MetricScope oam = scope.sub("oam");
+    oam.gauge("los_events",
+              [this] { return static_cast<double>(los_events_); });
+    oam.gauge("ais_inserted",
+              [this] { return static_cast<double>(ais_inserted_); });
+    oam.gauge("ais_received",
+              [this] { return static_cast<double>(ais_received_); });
+    oam.gauge("rdi_sent", [this] { return static_cast<double>(rdi_sent_); });
+    oam.gauge("rdi_received",
+              [this] { return static_cast<double>(rdi_received_); });
+    oam.gauge("loopbacks_completed",
+              [this] { return static_cast<double>(loopbacks_completed_); });
+  }
+
  private:
   void on_oam(atm::VcId vc, const atm::OamCell& oam);
   void on_link_state(bool down);

@@ -13,11 +13,19 @@ RxPath::RxPath(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
       dma_(bus, memory, config.dma),
       firmware_(firmware),
       config_(config),
+      profiler_(config.engine.clock_hz),
       engine_(sim, config.engine),
       fifo_(sim, config.fifo_cells),
       board_(sim, config.board),
       vcs_(config.vc_buckets),
       interrupts_(sim, config.interrupt_coalesce) {
+  ph_arrival_ = profiler_.phase("cell arrival + VC lookup");
+  ph_append_ = profiler_.phase("buffer append / reassembly");
+  ph_crc_ = profiler_.phase("payload CRC (software)");
+  ph_oam_ = profiler_.phase("OAM cell handling");
+  ph_deliver_ = profiler_.phase("PDU delivery");
+  ph_dma_wait_ = profiler_.phase("landing DMA wait (overlapped)");
+  engine_.set_profiler(&profiler_);
   fifo_.set_on_push([this] { service(); });
   alloc_ = [this](std::size_t bytes) -> std::optional<bus::SgList> {
     if (memory_.pages_free() * memory_.page_bytes() < bytes) {
@@ -54,6 +62,48 @@ void RxPath::open_vc(atm::VcId vc, aal::AalType aal) {
   state.reasm = std::make_unique<aal::FrameReassembler>(
       aal, aal::FrameReassembler::Config(config_.max_sdu));
   vcs_.insert(vc, std::move(state));
+  if (auto found = vcs_.find(vc); found.state != nullptr) {
+    attach_vc_metrics(vc, *found.state);
+  }
+}
+
+void RxPath::attach_vc_metrics(atm::VcId vc, VcState& vs) {
+  if (!metrics_) return;
+  const sim::MetricScope scope = metrics_->vc(vc.vpi, vc.vci);
+  vs.m_cells = &scope.counter("cells");
+  vs.m_pdus = &scope.counter("pdus");
+}
+
+void RxPath::register_metrics(const sim::MetricScope& scope) {
+  metrics_ = scope;
+  scope.expose("cells_received", cells_in_);
+  scope.expose("cells_hec_discarded", hec_discard_);
+  scope.expose("cells_hec_corrected", hec_corrected_);
+  scope.expose("cells_no_vc", no_vc_);
+  scope.expose("cells_serviced", serviced_);
+  scope.expose("cells_flushed", flushed_);
+  scope.expose("pdus_delivered", pdus_ok_);
+  scope.expose("pdus_errored", pdus_err_);
+  scope.expose("pdus_dropped_board", board_drop_);
+  scope.expose("pdus_dropped_host_buffers", host_buffer_drop_);
+  scope.expose("pdus_dropped_dma", dma_drop_);
+  scope.expose("pdus_timed_out", timeouts_);
+  scope.expose("pdus_aborted", aborted_);
+  scope.expose("oam_cells", oam_cells_);
+  scope.expose("oam_cells_bad", oam_bad_);
+  scope.expose_stat("pdu_latency_us", latency_us_);
+  scope.gauge("board_containers_in_use",
+              [this] { return static_cast<double>(board_.containers_in_use()); });
+  scope.gauge("board_alloc_failures",
+              [this] { return static_cast<double>(board_.alloc_failures()); });
+  scope.gauge("interrupts",
+              [this] { return static_cast<double>(interrupts_.interrupts()); });
+  engine_.register_metrics(scope.sub("engine"));
+  fifo_.register_metrics(scope.sub("fifo"));
+  dma_.register_metrics(scope.sub("dma"));
+  vcs_.for_each([this](atm::VcId vc, VcState& vs) {
+    attach_vc_metrics(vc, vs);
+  });
 }
 
 void RxPath::close_vc(atm::VcId vc) {
@@ -77,6 +127,14 @@ void RxPath::receive_wire(const net::WireCell& wire) {
                                                     atm::kCellSize),
       atm::HeaderFormat::kUni);
   cell.meta = wire.meta;
+  if (!atm::pti_is_user_data(cell.header.pti)) {
+    // OAM/control cells take the priority lane: they jump the queue so
+    // fault management survives a FIFO full of user data. A drop here
+    // is counted separately (priority_drops) — losing an alarm is a
+    // different failure than shedding load.
+    fifo_.push_front(std::move(cell));
+    return;
+  }
   fifo_.push(std::move(cell));  // drop counted by the FIFO when full
 }
 
@@ -122,7 +180,7 @@ void RxPath::service() {
     const std::uint32_t instr = rx_cell_instructions(
         firmware_, aal::AalType::kAal5, proc::CellPosition{false, false},
         found.extra_probes);
-    engine_.execute(instr, [this] {
+    engine_.execute(ph_arrival_, instr, [this] {
       engine_busy_ = false;
       service();
     });
@@ -134,7 +192,7 @@ void RxPath::service() {
   // OAM cells: fault-management handling, no reassembly involvement.
   if (!atm::pti_is_user_data(cell->header.pti)) {
     atm::Cell c = std::move(*cell);
-    engine_.execute(firmware_.rx.oam_cell, [this, c = std::move(c)] {
+    engine_.execute(ph_oam_, firmware_.rx.oam_cell, [this, c = std::move(c)] {
       oam_cells_.add();
       if (auto oam = atm::OamCell::parse(c)) {
         if (oam_handler_) oam_handler_(c.header.vc, *oam);
@@ -151,6 +209,16 @@ void RxPath::service() {
                                is_last_cell(*cell, state.aal)};
   const std::uint32_t instr = rx_cell_instructions(
       firmware_, state.aal, pos, found.extra_probes);
+  // One engine occupancy, three budget lines: arrival + VC lookup, the
+  // software-CRC share (zero with the offload), append/reassembly rest.
+  const std::uint32_t arrival_instr =
+      firmware_.rx.cell_arrival +
+      rx_cell_lookup_instructions(firmware_, found.extra_probes);
+  const std::uint32_t crc_instr =
+      rx_cell_crc_instructions(firmware_, state.aal);
+  profiler_.add(ph_arrival_, engine_.cost(arrival_instr));
+  profiler_.add(ph_append_, engine_.cost(instr - arrival_instr - crc_instr));
+  if (crc_instr > 0) profiler_.add(ph_crc_, engine_.cost(crc_instr));
   atm::Cell c = std::move(*cell);
   engine_.execute(instr, [this, c = std::move(c)]() mutable {
     // Re-find the state: the VC table may have changed while the engine
@@ -189,6 +257,7 @@ void RxPath::sweep_stale_pdus() {
 void RxPath::process_cell(atm::Cell cell, VcState& state) {
   const atm::VcId vc = cell.header.vc;
   state.last_activity = sim_.now();
+  if (state.m_cells) state.m_cells->add();
 
   // Board memory accounting: one cell appended to this VC's chain.
   if (!board_.add_cell(chain_key(vc))) {
@@ -210,7 +279,7 @@ void RxPath::process_cell(atm::Cell cell, VcState& state) {
   complete_pdu(vc, state, std::move(*done));
 }
 
-void RxPath::complete_pdu(atm::VcId vc, VcState& /*state*/,
+void RxPath::complete_pdu(atm::VcId vc, VcState& state,
                           aal::FrameDelivery d) {
   board_.release(chain_key(vc));
   if (!d.ok()) {
@@ -221,10 +290,14 @@ void RxPath::complete_pdu(atm::VcId vc, VcState& /*state*/,
     return;
   }
 
+  // Registry-owned, so the pointer outlives the VcState even if the VC
+  // closes while the landing DMA is in flight.
+  sim::Counter* m_pdus = state.m_pdus;
+
   // Per-PDU delivery work, then the DMA to host memory. The engine is
   // free once the DMA is programmed; the transfer itself is hardware.
-  engine_.execute(rx_pdu_instructions(firmware_), [this, vc,
-                                                   d = std::move(d)]() mutable {
+  engine_.execute(ph_deliver_, rx_pdu_instructions(firmware_),
+                  [this, vc, m_pdus, d = std::move(d)]() mutable {
     std::optional<bus::SgList> sg = alloc_(d.sdu.size());
     if (!sg) {
       host_buffer_drop_.add();
@@ -238,8 +311,10 @@ void RxPath::complete_pdu(atm::VcId vc, VcState& /*state*/,
     // Engine moves on; DMA completes in the background.
     engine_busy_ = false;
     service();
+    const sim::Time issued = sim_.now();
     dma_.write(host_sg, 0, std::move(d.sdu),
-               [this, vc, host_sg, len, first] {
+               [this, vc, m_pdus, host_sg, len, first, issued] {
+                 profiler_.add(ph_dma_wait_, sim_.now() - issued);
                  RxDelivery out;
                  out.vc = vc;
                  out.sg = host_sg;
@@ -249,6 +324,7 @@ void RxPath::complete_pdu(atm::VcId vc, VcState& /*state*/,
                  latency_us_.add(
                      sim::to_microseconds(out.delivered_time - first));
                  pdus_ok_.add();
+                 if (m_pdus) m_pdus->add();
                  pending_deliveries_.push_back(std::move(out));
                  interrupts_.post();
                },

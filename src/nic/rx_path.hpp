@@ -171,12 +171,31 @@ class RxPath {
   /// Reassembly latency: first cell emission to host-memory landing.
   const sim::RunningStat& pdu_latency_us() const { return latency_us_; }
 
+  /// Per-phase cycle budget of the reassembly engine (arrival + lookup,
+  /// append, CRC, OAM, delivery, DMA wait) — bench O1's RX table.
+  const sim::CycleProfiler& profiler() const { return profiler_; }
+
+  /// Surfaces the path's books (and per-VC counters for open and future
+  /// VCs) under `scope`.
+  void register_metrics(const sim::MetricScope& scope);
+
+  /// Attaches a tracer: a priority-lane (OAM/control) cell refused by a
+  /// full RX FIFO emits kFifoPriorityDrop tagged `name`.
+  void set_tracer(sim::Tracer* tracer, const std::string& name) {
+    fifo_.set_tracer(tracer, tracer ? tracer->intern(name) : 0);
+  }
+
  private:
   struct VcState {
     aal::AalType aal = aal::AalType::kAal5;
     std::unique_ptr<aal::FrameReassembler> reasm;
     sim::Time last_activity = 0;
+    // Per-VC instruments (registry-owned; null until metrics attach).
+    sim::Counter* m_cells = nullptr;
+    sim::Counter* m_pdus = nullptr;
   };
+
+  void attach_vc_metrics(atm::VcId vc, VcState& vs);
 
   void service();
   void sweep_stale_pdus();
@@ -194,6 +213,7 @@ class RxPath {
   bus::DmaEngine dma_;
   proc::FirmwareProfile firmware_;
   RxPathConfig config_;
+  sim::CycleProfiler profiler_;
   proc::Engine engine_;
   CellFifo<atm::Cell> fifo_;
   BoardMemory board_;
@@ -207,6 +227,15 @@ class RxPath {
   std::unique_ptr<Watchdog> watchdog_;
   bool engine_busy_ = false;
   bool wedged_ = false;
+
+  // Cycle-budget phases (see profiler()).
+  sim::CycleProfiler::PhaseId ph_arrival_;
+  sim::CycleProfiler::PhaseId ph_append_;
+  sim::CycleProfiler::PhaseId ph_crc_;
+  sim::CycleProfiler::PhaseId ph_oam_;
+  sim::CycleProfiler::PhaseId ph_deliver_;
+  sim::CycleProfiler::PhaseId ph_dma_wait_;
+  std::optional<sim::MetricScope> metrics_;
 
   sim::Counter cells_in_;
   sim::Counter hec_discard_;

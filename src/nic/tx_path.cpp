@@ -13,9 +13,18 @@ TxPath::TxPath(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
       dma_(bus, memory, config.dma),
       firmware_(firmware),
       config_(config),
+      profiler_(config.engine.clock_hz),
       engine_(sim, config.engine),
       fifo_(sim, config.fifo_cells),
       framer_(sim, std::move(line)) {
+  ph_fetch_ = profiler_.phase("descriptor fetch + DMA program");
+  ph_dma_wait_ = profiler_.phase("staging DMA wait (overlapped)");
+  ph_trailer_ = profiler_.phase("CPCS trailer build");
+  ph_header_ = profiler_.phase("cell header build + enqueue");
+  ph_crc_ = profiler_.phase("payload CRC (software)");
+  ph_stall_ = profiler_.phase("TX FIFO stall");
+  ph_complete_ = profiler_.phase("PDU completion");
+  engine_.set_profiler(&profiler_);
   if (config_.clock_ppm) framer_.set_clock_ppm(*config_.clock_ppm);
   framer_.set_supplier([this]() -> std::optional<atm::Cell> {
     return fifo_.pop();
@@ -37,8 +46,32 @@ TxPath::TxPath(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
 
 TxPath::VcState& TxPath::state_for(atm::VcId vc) {
   auto [it, inserted] = vcs_.try_emplace(vc);
-  if (inserted) rr_.push_back(vc);
+  if (inserted) {
+    rr_.push_back(vc);
+    attach_vc_metrics(vc, it->second);
+  }
   return it->second;
+}
+
+void TxPath::attach_vc_metrics(atm::VcId vc, VcState& vs) {
+  if (!metrics_) return;
+  const sim::MetricScope scope = metrics_->vc(vc.vpi, vc.vci);
+  vs.m_cells = &scope.counter("cells");
+  vs.m_pdus = &scope.counter("pdus");
+}
+
+void TxPath::register_metrics(const sim::MetricScope& scope) {
+  metrics_ = scope;
+  scope.expose("pdus_sent", pdus_);
+  scope.expose("cells_built", cells_);
+  scope.expose("pdus_aborted", aborted_);
+  scope.expose("pdus_dropped_paused", paused_drop_);
+  scope.gauge("ring_occupancy",
+              [this] { return static_cast<double>(ring_.size()); });
+  engine_.register_metrics(scope.sub("engine"));
+  fifo_.register_metrics(scope.sub("fifo"));
+  dma_.register_metrics(scope.sub("dma"));
+  for (auto& [vc, vs] : vcs_) attach_vc_metrics(vc, vs);
 }
 
 bool TxPath::post(TxDescriptor descriptor) {
@@ -147,14 +180,14 @@ void TxPath::maybe_stage_next() {
   // Per-PDU front work: descriptor fetch + DMA programming.
   const std::uint32_t instr =
       firmware_.tx.fetch_descriptor + firmware_.tx.program_dma;
-  engine_.execute(instr, [this, d = std::move(d)]() mutable {
+  engine_.execute(ph_fetch_, instr, [this, d = std::move(d)]() mutable {
     stage_pdu(std::move(d));
   });
 }
 
 void TxPath::stage_pdu(TxDescriptor d) {
   auto finish_staging = [this](TxDescriptor desc, aal::Bytes sdu) {
-    engine_.execute(firmware_.tx.build_trailer,
+    engine_.execute(ph_trailer_, firmware_.tx.build_trailer,
                     [this, desc = std::move(desc),
                      sdu = std::move(sdu)]() mutable {
                       aal::FrameSegmenter seg(desc.aal, desc.vc);
@@ -177,8 +210,13 @@ void TxPath::stage_pdu(TxDescriptor d) {
     auto dsh = std::make_shared<TxDescriptor>(std::move(d));
     const bus::SgList sg = dsh->sg;
     const std::size_t len = dsh->len;
+    const sim::Time issued = sim_.now();
     dma_.read(sg, 0, len,
-              [dsh, finish_staging](aal::Bytes sdu) mutable {
+              [this, issued, dsh, finish_staging](aal::Bytes sdu) mutable {
+                // Bus time the staging transfer took; overlapped with
+                // emission of already-staged PDUs, so this is exposure,
+                // not serial engine time.
+                profiler_.add(ph_dma_wait_, sim_.now() - issued);
                 finish_staging(std::move(*dsh), std::move(sdu));
               },
               [this, dsh] {
@@ -208,8 +246,12 @@ void TxPath::schedule_emission() {
   if (fifo_.full()) {
     if (!fifo_wait_armed_) {
       fifo_wait_armed_ = true;
+      fifo_stall_since_ = sim_.now();
       fifo_.wait_space([this] {
         fifo_wait_armed_ = false;
+        // Line-rate backpressure: the engine sat on a built cell the
+        // whole time the FIFO stayed full.
+        profiler_.add(ph_stall_, sim_.now() - fifo_stall_since_);
         schedule_emission();
       });
     }
@@ -220,7 +262,7 @@ void TxPath::schedule_emission() {
     emit_busy_ = true;
     atm::Cell cell = std::move(control_.front());
     control_.pop_front();
-    engine_.execute(firmware_.tx.cell_overhead,
+    engine_.execute(ph_header_, firmware_.tx.cell_overhead,
                     [this, cell = std::move(cell)]() mutable {
                       cell.meta.created = sim_.now();
                       cell.meta.seq = next_seq_++;
@@ -271,6 +313,12 @@ void TxPath::emit_one(atm::VcId vc) {
   const proc::CellPosition pos{next == 0, next + 1 == pdu.cells.size()};
   const std::uint32_t instr =
       proc::tx_cell_instructions(firmware_, d.aal, pos);
+  // One engine occupancy, two budget lines: header/bookkeeping vs the
+  // software-CRC share (zero with the CRC offload).
+  const std::uint32_t crc_instr =
+      proc::tx_cell_crc_instructions(firmware_, d.aal);
+  profiler_.add(ph_header_, engine_.cost(instr - crc_instr));
+  if (crc_instr > 0) profiler_.add(ph_crc_, engine_.cost(crc_instr));
 
   // Per-cell DMA window (cut-through mode only).
   const std::size_t per_cell = aal::payload_per_cell(d.aal);
@@ -287,6 +335,7 @@ void TxPath::emit_one(atm::VcId vc) {
     cell.meta.created = sim_.now();
     cell.meta.seq = next_seq_++;
     cells_.add();
+    if (vs.m_cells) vs.m_cells->add();
     fifo_.push(std::move(cell));  // scheduler checked space; cannot drop
     if (vs.shaper) vs.shaper->commit(sim_.now());
     ++pdu.next;
@@ -297,11 +346,13 @@ void TxPath::emit_one(atm::VcId vc) {
     }
     // Last cell handed over: per-PDU completion work.
     TxDescriptor done = std::move(pdu.descriptor);
+    sim::Counter* m_pdus = vs.m_pdus;
     vs.queue.pop_front();
     --staged_count_;
-    engine_.execute(firmware_.tx.complete_pdu,
-                    [this, done = std::move(done)] {
+    engine_.execute(ph_complete_, firmware_.tx.complete_pdu,
+                    [this, m_pdus, done = std::move(done)] {
                       pdus_.add();
+                      if (m_pdus) m_pdus->add();
                       if (completion_) completion_(done);
                       emit_busy_ = false;
                       schedule_emission();
@@ -314,9 +365,11 @@ void TxPath::emit_one(atm::VcId vc) {
     // The payload window crosses the bus as its own transfer; cells
     // past the SDU (pad/trailer cells) cost no bus time.
     const bus::SgList sg = d.sg;
+    const sim::Time issued = sim_.now();
     dma_.read(sg, off, dma_len,
-              [this, instr,
+              [this, instr, issued,
                push_cell = std::move(push_cell)](aal::Bytes) mutable {
+                profiler_.add(ph_dma_wait_, sim_.now() - issued);
                 engine_.execute(instr, std::move(push_cell));
               },
               [this, vc] {

@@ -154,6 +154,14 @@ class TxPath {
   const proc::Engine& engine() const { return engine_; }
   const CellFifo<atm::Cell>& fifo() const { return fifo_; }
 
+  /// Per-phase cycle budget of the segmentation engine (header build,
+  /// CRC, DMA wait, FIFO stall, …) — bench O1's TX table.
+  const sim::CycleProfiler& profiler() const { return profiler_; }
+
+  /// Surfaces the path's books (and per-VC counters for every VC seen
+  /// from now on) under `scope`.
+  void register_metrics(const sim::MetricScope& scope);
+
  private:
   /// A PDU staged on the board: bytes DMA'd, cells cut, ready to emit.
   struct StagedPdu {
@@ -166,7 +174,12 @@ class TxPath {
     std::deque<StagedPdu> queue;
     std::optional<atm::Gcra> shaper;
     bool paused = false;  // remote defect: hold emission, shed posts
+    // Per-VC instruments (registry-owned; null until metrics attach).
+    sim::Counter* m_cells = nullptr;
+    sim::Counter* m_pdus = nullptr;
   };
+
+  void attach_vc_metrics(atm::VcId vc, VcState& vs);
 
   /// Unblocked work exists (what the watchdog calls "pending"): control
   /// cells, or staged cells on a VC that is neither paused nor
@@ -186,6 +199,7 @@ class TxPath {
   bus::DmaEngine dma_;
   proc::FirmwareProfile firmware_;
   TxPathConfig config_;
+  sim::CycleProfiler profiler_;
   proc::Engine engine_;
   CellFifo<atm::Cell> fifo_;
   atm::TxFramer framer_;
@@ -200,10 +214,21 @@ class TxPath {
   std::unordered_set<atm::VcId> staging_vcs_;  // per-VC ordering guard
   bool emit_busy_ = false;
   bool fifo_wait_armed_ = false;
+  sim::Time fifo_stall_since_ = 0;
   bool wedged_ = false;
   sim::EventHandle shaper_wakeup_;
   sim::Time shaper_wakeup_at_ = sim::kTimeNever;
   std::unique_ptr<Watchdog> watchdog_;
+
+  // Cycle-budget phases (see profiler()).
+  sim::CycleProfiler::PhaseId ph_fetch_;
+  sim::CycleProfiler::PhaseId ph_dma_wait_;
+  sim::CycleProfiler::PhaseId ph_trailer_;
+  sim::CycleProfiler::PhaseId ph_header_;
+  sim::CycleProfiler::PhaseId ph_crc_;
+  sim::CycleProfiler::PhaseId ph_stall_;
+  sim::CycleProfiler::PhaseId ph_complete_;
+  std::optional<sim::MetricScope> metrics_;
 
   Completion completion_;
   std::uint64_t next_seq_ = 0;

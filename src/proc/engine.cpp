@@ -24,6 +24,14 @@ void Engine::execute(std::uint32_t instructions, Done done) {
   occupy(cost(instructions), std::move(done));
 }
 
+void Engine::execute(sim::CycleProfiler::PhaseId phase,
+                     std::uint32_t instructions, Done done) {
+  instructions_.add(instructions);
+  const sim::Time t = cost(instructions);
+  if (profiler_) profiler_->add(phase, t);
+  occupy(t, std::move(done));
+}
+
 void Engine::occupy(sim::Time duration, Done done) {
   const sim::Time now = sim_.now();
   const sim::Time start = std::max(now, free_at_);

@@ -18,6 +18,8 @@
 
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
+#include "sim/telemetry/metrics.hpp"
+#include "sim/telemetry/profiler.hpp"
 
 namespace hni::proc {
 
@@ -40,6 +42,16 @@ class Engine {
   /// then fires `done`.
   void execute(std::uint32_t instructions, Done done);
 
+  /// As execute(), attributing the work to `phase` of the attached
+  /// cycle-budget profiler (no-op attribution when none is attached).
+  void execute(sim::CycleProfiler::PhaseId phase, std::uint32_t instructions,
+               Done done);
+
+  /// Attaches a cycle-budget profiler; the paths register their phases
+  /// against it and attribute work via the phased execute() overload.
+  void set_profiler(sim::CycleProfiler* profiler) { profiler_ = profiler; }
+  sim::CycleProfiler* profiler() const { return profiler_; }
+
   /// Occupies the engine for a literal duration (e.g. a CPU stalled on
   /// programmed I/O while the bus moves words).
   void occupy(sim::Time duration, Done done);
@@ -55,9 +67,17 @@ class Engine {
   std::uint64_t instructions_retired() const { return instructions_.value(); }
   std::uint64_t work_items() const { return items_.value(); }
 
+  /// Surfaces the engine's books under `scope`.
+  void register_metrics(const sim::MetricScope& scope) const {
+    scope.expose("instructions", instructions_);
+    scope.expose("work_items", items_);
+    scope.gauge("utilization", [this] { return utilization(sim_.now()); });
+  }
+
  private:
   sim::Simulator& sim_;
   EngineConfig config_;
+  sim::CycleProfiler* profiler_ = nullptr;
   sim::Time free_at_ = 0;
   sim::Time busy_accum_ = 0;
   sim::Time born_;

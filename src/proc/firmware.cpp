@@ -22,11 +22,15 @@ std::uint32_t tx_cell_instructions(const FirmwareProfile& profile,
                                    aal::AalType aal, CellPosition pos) {
   std::uint32_t n = profile.tx.cell_overhead;
   if (aal == aal::AalType::kAal34) n += profile.tx.aal34_cell_extra;
-  if (!profile.assists.crc_offload) {
-    n += profile.tx.crc_per_word * crc_words(aal);
-  }
+  n += tx_cell_crc_instructions(profile, aal);
   (void)pos;  // TX treats all cells alike; PDU edges are charged per PDU
   return n;
+}
+
+std::uint32_t tx_cell_crc_instructions(const FirmwareProfile& profile,
+                                       aal::AalType aal) {
+  if (profile.assists.crc_offload) return 0;
+  return profile.tx.crc_per_word * crc_words(aal);
 }
 
 std::uint32_t tx_pdu_instructions(const FirmwareProfile& profile) {
@@ -38,18 +42,27 @@ std::uint32_t rx_cell_instructions(const FirmwareProfile& profile,
                                    aal::AalType aal, CellPosition pos,
                                    std::uint32_t extra_probes) {
   std::uint32_t n = profile.rx.cell_arrival;
-  n += profile.assists.cam_lookup
-           ? profile.rx.vc_lookup_cam
-           : profile.rx.vc_lookup_hash +
-                 profile.rx.vc_lookup_probe * extra_probes;
+  n += rx_cell_lookup_instructions(profile, extra_probes);
   n += profile.rx.buffer_append;
   if (pos.first) n += profile.rx.first_cell_extra;
   if (pos.last) n += profile.rx.last_cell_extra;
   if (aal == aal::AalType::kAal34) n += profile.rx.aal34_cell_extra;
-  if (!profile.assists.crc_offload) {
-    n += profile.rx.crc_per_word * crc_words(aal);
-  }
+  n += rx_cell_crc_instructions(profile, aal);
   return n;
+}
+
+std::uint32_t rx_cell_lookup_instructions(const FirmwareProfile& profile,
+                                          std::uint32_t extra_probes) {
+  return profile.assists.cam_lookup
+             ? profile.rx.vc_lookup_cam
+             : profile.rx.vc_lookup_hash +
+                   profile.rx.vc_lookup_probe * extra_probes;
+}
+
+std::uint32_t rx_cell_crc_instructions(const FirmwareProfile& profile,
+                                       aal::AalType aal) {
+  if (profile.assists.crc_offload) return 0;
+  return profile.rx.crc_per_word * crc_words(aal);
 }
 
 std::uint32_t rx_pdu_instructions(const FirmwareProfile& profile) {

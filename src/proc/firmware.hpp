@@ -79,6 +79,11 @@ struct CellPosition {
 std::uint32_t tx_cell_instructions(const FirmwareProfile& profile,
                                    aal::AalType aal, CellPosition pos);
 
+/// The software-CRC share of one TX cell (0 with the CRC offload). The
+/// cycle-budget profiler attributes this separately from header build.
+std::uint32_t tx_cell_crc_instructions(const FirmwareProfile& profile,
+                                       aal::AalType aal);
+
 /// Instructions the TX engine spends per PDU (outside the cell loop).
 std::uint32_t tx_pdu_instructions(const FirmwareProfile& profile);
 
@@ -90,5 +95,13 @@ std::uint32_t rx_cell_instructions(const FirmwareProfile& profile,
 
 /// Instructions the RX engine spends per delivered PDU.
 std::uint32_t rx_pdu_instructions(const FirmwareProfile& profile);
+
+/// The VC-lookup share of one RX cell (CAM or hash + probes).
+std::uint32_t rx_cell_lookup_instructions(const FirmwareProfile& profile,
+                                          std::uint32_t extra_probes = 0);
+
+/// The software-CRC share of one RX cell (0 with the CRC offload).
+std::uint32_t rx_cell_crc_instructions(const FirmwareProfile& profile,
+                                       aal::AalType aal);
 
 }  // namespace hni::proc

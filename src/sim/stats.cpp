@@ -72,18 +72,25 @@ void TimeWeightedStat::set(Time now, double value) {
   } else if (last_ >= 0 && now > last_) {
     integral_ += value_ * static_cast<double>(now - last_);
   }
-  last_ = now;
+  // A non-monotonic `now` (stale clock) must not move the books
+  // backwards; the change takes effect at the integration frontier.
+  last_ = std::max(last_, now);
   value_ = value;
   max_ = std::max(max_, value);
 }
 
 double TimeWeightedStat::mean(Time now) const {
-  if (start_ < 0 || now <= start_) return 0.0;
+  if (start_ < 0) return 0.0;
+  // Extend the integral to `now` arithmetically — no member mutation, so
+  // repeated or out-of-order reads cannot corrupt the integral. Reads
+  // before the last change clamp to the integration frontier.
+  const Time end = std::max(now, last_);
+  if (end <= start_) return 0.0;
+  double integral = integral_;
   if (now > last_) {
-    integral_ += value_ * static_cast<double>(now - last_);
-    last_ = now;
+    integral += value_ * static_cast<double>(now - last_);
   }
-  return integral_ / static_cast<double>(now - start_);
+  return integral / static_cast<double>(end - start_);
 }
 
 }  // namespace hni::sim

@@ -76,19 +76,26 @@ class Histogram {
 };
 
 /// Time-average of a piecewise-constant signal. Call set(now, v) at each
-/// change; finalize(now) before reading the mean.
+/// change. Reading the mean never mutates state: mean(now) extends the
+/// integral to `now` arithmetically, so interleaved readers at different
+/// times (or a reader with a stale clock) cannot corrupt the books.
+/// A non-monotonic `now` (before the last recorded change) is clamped
+/// to the last change time.
 class TimeWeightedStat {
  public:
   void set(Time now, double value);
-  /// Integrates up to `now` and returns the time average since the first
-  /// set(). Returns 0 if never set or no time elapsed.
+  /// Explicit integrate step: advances the integral to `now` without
+  /// changing the value (e.g. before a checkpoint dump).
+  void advance(Time now) { set(now, value_); }
+  /// Time average since the first set(), extended to `now` (read-only).
+  /// Returns 0 if never set or no time elapsed.
   double mean(Time now) const;
   double current() const { return value_; }
   double max() const { return max_; }
 
  private:
-  mutable Time last_ = -1;
-  mutable double integral_ = 0.0;
+  Time last_ = -1;
+  double integral_ = 0.0;
   Time start_ = -1;
   double value_ = 0.0;
   double max_ = 0.0;

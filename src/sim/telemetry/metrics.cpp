@@ -1,0 +1,132 @@
+#include "sim/telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hni::sim {
+
+MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name) {
+  for (Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  if (Entry* e = find(name)) {
+    // Same-name re-registration returns the original instrument so two
+    // components sharing a scope accumulate into one counter.
+    return const_cast<Counter&>(*e->counter);
+  }
+  owned_counters_.emplace_back();
+  entries_.push_back(
+      {name, MetricKind::kCounter, &owned_counters_.back(), nullptr, {}});
+  return owned_counters_.back();
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      double bin_width, std::size_t bins) {
+  if (Entry* e = find(name)) {
+    return const_cast<Histogram&>(*e->histogram);
+  }
+  owned_histograms_.emplace_back(bin_width, bins);
+  entries_.push_back({name, MetricKind::kHistogram, nullptr,
+                      &owned_histograms_.back(), {}});
+  return owned_histograms_.back();
+}
+
+void MetricsRegistry::expose(const std::string& name, const Counter& c) {
+  if (Entry* e = find(name)) {
+    e->counter = &c;  // newest registration wins (re-wired component)
+    e->kind = MetricKind::kCounter;
+    return;
+  }
+  entries_.push_back({name, MetricKind::kCounter, &c, nullptr, {}});
+}
+
+void MetricsRegistry::gauge(const std::string& name,
+                            std::function<double()> fn) {
+  if (Entry* e = find(name)) {
+    e->gauge = std::move(fn);
+    e->kind = MetricKind::kGauge;
+    return;
+  }
+  entries_.push_back({name, MetricKind::kGauge, nullptr, nullptr,
+                      std::move(fn)});
+}
+
+std::size_t MetricsRegistry::size() const { return entries_.size(); }
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    Sample s;
+    s.name = e.name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(e.counter->value());
+        break;
+      case MetricKind::kGauge:
+        s.value = e.gauge ? e.gauge() : 0.0;
+        break;
+      case MetricKind::kHistogram:
+        s.value = static_cast<double>(e.histogram->count());
+        s.histogram = e.histogram;
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+namespace {
+
+std::string format_value(double v) {
+  // Integers print without a fraction so counters stay readable; the
+  // %.6g fallback is deterministic for identical inputs.
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json(const std::string& prefix) const {
+  std::string out = "{";
+  bool first = true;
+  for (const Sample& s : snapshot()) {
+    if (!prefix.empty() && s.name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + s.name + "\":";
+    if (s.kind == MetricKind::kHistogram) {
+      out += "{\"count\":" + format_value(s.value) +
+             ",\"p50\":" + format_value(s.histogram->percentile(50)) +
+             ",\"p99\":" + format_value(s.histogram->percentile(99)) + "}";
+    } else {
+      out += format_value(s.value);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+void MetricScope::expose_stat(const std::string& name,
+                              const RunningStat& s) const {
+  const RunningStat* stat = &s;
+  gauge(name + ".count",
+        [stat] { return static_cast<double>(stat->count()); });
+  gauge(name + ".mean", [stat] { return stat->mean(); });
+  gauge(name + ".max", [stat] { return stat->max(); });
+}
+
+}  // namespace hni::sim

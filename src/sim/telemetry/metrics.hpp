@@ -1,0 +1,140 @@
+// Metrics registry: named, hierarchically-scoped instruments.
+//
+// Components stop hand-rolling `sim::Counter` member soup for export:
+// they register their instruments (or expose existing members) under a
+// dotted scope — "station.0.alice.nic.rx.fifo.drops" — and anything
+// holding the registry can enumerate every instrument in the system,
+// dump it as an aligned table (core::report) or as JSON.
+//
+// Three instrument kinds:
+//   * counters   — registry-owned (counter()) or externally-owned
+//                  members surfaced by reference (expose());
+//   * gauges     — a callback sampled at snapshot time (utilization,
+//                  queue depth, any derived value);
+//   * histograms — registry-owned, for latency-style distributions.
+//
+// Per-VC metrics are just scopes: a path registers each open VC under
+// "<scope>.vc.<vpi>.<vci>" and the dump enumerates them like any other
+// instrument.
+//
+// Hot-path cost: incrementing a registered counter is identical to an
+// unregistered one (Counter::add — no allocation, no lookup). All
+// string work happens at registration and snapshot time only.
+// Snapshots are sorted by name, so two identical runs dump
+// byte-identical output — the determinism tests rely on this.
+//
+// Lifetime: expose() and gauge() hold references into the registering
+// component; the registry must not be snapshotted after a registered
+// component dies. core::Testbed owns the registry alongside its
+// stations and links, which satisfies this by construction.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace hni::sim {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+class MetricsRegistry {
+ public:
+  /// One enumerated instrument at snapshot time.
+  struct Sample {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    double value = 0.0;  // counter/gauge value; histogram sample count
+    const Histogram* histogram = nullptr;  // set when kind == kHistogram
+  };
+
+  /// Registry-owned counter; repeated calls with the same name return
+  /// the same instrument.
+  Counter& counter(const std::string& name);
+
+  /// Registry-owned histogram; repeated calls with the same name return
+  /// the same instrument (bin parameters of the first call win).
+  Histogram& histogram(const std::string& name, double bin_width,
+                       std::size_t bins);
+
+  /// Surfaces an externally-owned counter (a component member) under
+  /// `name`. The component must outlive every snapshot.
+  void expose(const std::string& name, const Counter& c);
+
+  /// Registers a callback gauge, sampled at snapshot time.
+  void gauge(const std::string& name, std::function<double()> fn);
+
+  /// Every instrument, sorted by name (deterministic dump order).
+  std::vector<Sample> snapshot() const;
+
+  /// Compact JSON object {"name": value, ...} in snapshot order.
+  /// Histograms render as {"count":n,"p50":x,"p99":y}.
+  std::string to_json(const std::string& prefix = "") const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    const Counter* counter = nullptr;      // owned or exposed
+    const Histogram* histogram = nullptr;  // owned
+    std::function<double()> gauge;
+  };
+
+  Entry* find(const std::string& name);
+
+  // Deques: stable addresses across registration.
+  std::deque<Counter> owned_counters_;
+  std::deque<Histogram> owned_histograms_;
+  std::vector<Entry> entries_;
+};
+
+/// A dotted-prefix view of a registry: Scope("nic.rx").counter("drops")
+/// registers "nic.rx.drops". Cheap to copy; sub() descends a level.
+class MetricScope {
+ public:
+  MetricScope(MetricsRegistry& registry, std::string prefix)
+      : registry_(&registry), prefix_(std::move(prefix)) {}
+
+  MetricScope sub(const std::string& name) const {
+    return MetricScope(*registry_, join(name));
+  }
+  /// Per-VC scope: "<prefix>.vc.<vpi>.<vci>".
+  MetricScope vc(std::uint32_t vpi, std::uint32_t vci) const {
+    return sub("vc." + std::to_string(vpi) + "." + std::to_string(vci));
+  }
+
+  Counter& counter(const std::string& name) const {
+    return registry_->counter(join(name));
+  }
+  Histogram& histogram(const std::string& name, double bin_width,
+                       std::size_t bins) const {
+    return registry_->histogram(join(name), bin_width, bins);
+  }
+  void expose(const std::string& name, const Counter& c) const {
+    registry_->expose(join(name), c);
+  }
+  void gauge(const std::string& name, std::function<double()> fn) const {
+    registry_->gauge(join(name), std::move(fn));
+  }
+  /// Surfaces a RunningStat as .count/.mean/.max gauges.
+  void expose_stat(const std::string& name, const RunningStat& s) const;
+
+  const std::string& prefix() const { return prefix_; }
+  MetricsRegistry& registry() const { return *registry_; }
+
+ private:
+  std::string join(const std::string& name) const {
+    return prefix_.empty() ? name : prefix_ + "." + name;
+  }
+
+  MetricsRegistry* registry_;
+  std::string prefix_;
+};
+
+}  // namespace hni::sim

@@ -1,0 +1,52 @@
+#include "sim/telemetry/profiler.hpp"
+
+#include <stdexcept>
+
+namespace hni::sim {
+
+CycleProfiler::CycleProfiler(double clock_hz) : clock_hz_(clock_hz) {
+  if (clock_hz <= 0) {
+    throw std::invalid_argument("CycleProfiler: clock must be positive");
+  }
+}
+
+CycleProfiler::PhaseId CycleProfiler::phase(const std::string& name) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].name == name) return i;
+  }
+  slots_.push_back({name, 0, 0});
+  return slots_.size() - 1;
+}
+
+std::vector<CycleProfiler::PhaseStat> CycleProfiler::stats() const {
+  std::vector<PhaseStat> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    PhaseStat p;
+    p.name = s.name;
+    p.items = s.items;
+    p.total = s.total;
+    p.cycles = to_seconds(s.total) * clock_hz_;
+    if (s.items > 0) {
+      p.cycles_per_item = p.cycles / static_cast<double>(s.items);
+      p.time_per_item = s.total / static_cast<Time>(s.items);
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+Time CycleProfiler::total() const {
+  Time t = 0;
+  for (const Slot& s : slots_) t += s.total;
+  return t;
+}
+
+void CycleProfiler::reset() {
+  for (Slot& s : slots_) {
+    s.items = 0;
+    s.total = 0;
+  }
+}
+
+}  // namespace hni::sim

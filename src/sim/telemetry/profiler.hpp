@@ -1,0 +1,70 @@
+// Cycle-budget profiler: attributes engine time to named phases.
+//
+// The paper's evaluation is a per-cell cycle-budget table — how many
+// cycles each firmware operation (header build, CRC, trailer check, …)
+// spends, against the cell slot. The protocol-engine paths register a
+// phase per operation (plus non-instruction phases like DMA wait and
+// FIFO stall, measured as elapsed sim time) and attribute work as it
+// happens; bench_o1_cycle_budget renders the resulting table.
+//
+// Hot path: add() is an array index plus two integer adds — no
+// allocation, no lookup. Phase registration (phase()) is cold.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hni::sim {
+
+class CycleProfiler {
+ public:
+  using PhaseId = std::size_t;
+
+  /// `clock_hz` converts attributed time to engine cycles.
+  explicit CycleProfiler(double clock_hz);
+
+  /// Registers (or finds) a phase by name; cold path.
+  PhaseId phase(const std::string& name);
+
+  /// Attributes `elapsed` to `p` across `items` work items. Hot path.
+  void add(PhaseId p, Time elapsed, std::uint64_t items = 1) {
+    Slot& s = slots_[p];
+    s.total += elapsed;
+    s.items += items;
+  }
+
+  struct PhaseStat {
+    std::string name;
+    std::uint64_t items = 0;
+    Time total = 0;               // attributed sim time
+    double cycles = 0.0;          // total, in engine cycles
+    double cycles_per_item = 0.0;
+    Time time_per_item = 0;
+  };
+
+  /// Per-phase totals in registration order (stable table layout).
+  std::vector<PhaseStat> stats() const;
+
+  /// Sum of attributed time across all phases.
+  Time total() const;
+
+  double clock_hz() const { return clock_hz_; }
+  std::size_t phases() const { return slots_.size(); }
+  void reset();
+
+ private:
+  struct Slot {
+    std::string name;
+    std::uint64_t items = 0;
+    Time total = 0;
+  };
+
+  double clock_hz_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace hni::sim

@@ -1,0 +1,41 @@
+#include "sim/trace.hpp"
+
+namespace hni::sim {
+
+std::string Tracer::format(const TraceEvent& ev) const {
+  std::string out = source_name(ev.source) + ": ";
+  const std::string vc =
+      "vc=" + std::to_string(ev.a) + "/" + std::to_string(ev.b);
+  const std::string seq = "cell seq=" + std::to_string(ev.seq);
+  switch (ev.id) {
+    case TraceEventId::kLinkCellSent:
+      out += seq + " " + vc;
+      break;
+    case TraceEventId::kLinkCellCorrupted:
+      out += seq + " " + vc + " CORRUPTED";
+      break;
+    case TraceEventId::kLinkCellLost:
+      out += seq + " LOST";
+      break;
+    case TraceEventId::kLinkCellDroppedDown:
+      out += seq + " DROPPED (link down)";
+      break;
+    case TraceEventId::kLinkUp:
+      out += "LINK UP";
+      break;
+    case TraceEventId::kLinkDown:
+      out += "LINK DOWN";
+      break;
+    case TraceEventId::kFifoPriorityDrop:
+      out += "control cell DROPPED (fifo full, depth=" +
+             std::to_string(ev.a) + ")";
+      break;
+    case TraceEventId::kUser:
+      out += "user event a=" + std::to_string(ev.a) +
+             " b=" + std::to_string(ev.b);
+      break;
+  }
+  return out;
+}
+
+}  // namespace hni::sim

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "atm/gcra.hpp"
 #include "core/testbed.hpp"
 #include "nic/tx_path.hpp"
@@ -58,6 +61,48 @@ TEST(Gcra, IdleStreamAccumulatesNoBurstCredit) {
 TEST(Gcra, ForPcrComputesIncrement) {
   const Gcra g = Gcra::for_pcr(100000.0, 0);  // 100k cells/s
   EXPECT_EQ(g.increment(), sim::microseconds(10));
+}
+
+TEST(Gcra, ForPcrRoundsAwkwardPeriodsUp) {
+  // Rates whose ideal period is non-integral in picoseconds: the
+  // increment must round UP (never-faster-than-contract), within 1 ps.
+  for (const double pcr : {300000.0, 353207.55, 106132.08, 7.0}) {
+    const Gcra g = Gcra::for_pcr(pcr, 0);
+    const double ideal = static_cast<double>(sim::kSecond) / pcr;
+    EXPECT_GE(static_cast<double>(g.increment()), ideal) << pcr;
+    EXPECT_LT(static_cast<double>(g.increment()), ideal + 1.0) << pcr;
+  }
+}
+
+TEST(Gcra, ShapedStreamSurvivesExactRatePolicer) {
+  // Regression: for_pcr used round-to-nearest, so at an awkward PCR the
+  // shaper's period could round DOWN. A stream paced at that period
+  // runs slightly faster than the contract, drifts ahead of an ideal
+  // policer's TAT, and eventually gets dropped — a shaped stream
+  // violating its own contract. With ceil this cannot happen.
+  const double pcr = 300000.0;  // ideal period: 3333333.33... ps
+  Gcra shaper = Gcra::for_pcr(pcr, 0);
+
+  // Exact-rate policer with zero CDVT, run in long-double arithmetic so
+  // its TAT carries the fractional picoseconds the integer clock
+  // cannot.
+  const long double ideal_t =
+      static_cast<long double>(sim::kSecond) / static_cast<long double>(pcr);
+  long double tat = 0.0L;
+  std::uint64_t drops = 0;
+
+  sim::Time now = 0;
+  for (int i = 0; i < 200000; ++i) {  // ~0.67 s of cells
+    if (!shaper.conforms(now)) now = shaper.eligible_at();
+    shaper.commit(now);
+    const auto t = static_cast<long double>(now);
+    if (t < tat) {
+      ++drops;  // violator earns no credit
+    } else {
+      tat = std::max(tat, t) + ideal_t;
+    }
+  }
+  EXPECT_EQ(drops, 0u);
 }
 
 TEST(Gcra, EligibleAtTracksTat) {

@@ -99,31 +99,50 @@ TEST(ReassemblyTimeout, ZeroDisablesSweep) {
 TEST(Tracer, DisabledCostsNothingAndCollectsNothing) {
   sim::Tracer tracer;
   EXPECT_FALSE(tracer.enabled());
-  tracer.emit(0, "x", "dropped on the floor");
-  std::vector<sim::TraceRecord> records;
-  tracer.collect_into(records);
+  const std::uint16_t src = tracer.intern("x");
+  tracer.emit({0, sim::TraceEventId::kUser, src, 1, 2, 3});  // no sink yet
+  std::vector<sim::TraceEvent> events;
+  tracer.collect_into(events);
   EXPECT_TRUE(tracer.enabled());
-  tracer.emit(5, "src", "hello");
-  ASSERT_EQ(records.size(), 1u);
-  EXPECT_EQ(records[0].when, 5);
-  EXPECT_EQ(records[0].source, "src");
-  EXPECT_EQ(records[0].message, "hello");
+  tracer.emit({5, sim::TraceEventId::kUser, src, 7, 8, 9});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].when, 5);
+  EXPECT_EQ(tracer.source_name(events[0].source), "x");
+  EXPECT_EQ(events[0].a, 7u);
+  EXPECT_EQ(events[0].b, 8u);
+  EXPECT_EQ(events[0].seq, 9u);
 }
 
 TEST(Tracer, FanOutToMultipleSinks) {
   sim::Tracer tracer;
   int a = 0, b = 0;
-  tracer.add_sink([&](const sim::TraceRecord&) { ++a; });
-  tracer.add_sink([&](const sim::TraceRecord&) { ++b; });
-  tracer.emit(1, "s", "m");
+  tracer.add_sink([&](const sim::TraceEvent&) { ++a; });
+  tracer.add_sink([&](const sim::TraceEvent&) { ++b; });
+  tracer.emit({1, sim::TraceEventId::kUser, 0, 0, 0, 0});
   EXPECT_EQ(a, 1);
   EXPECT_EQ(b, 1);
 }
 
-TEST(Tracer, LinksEmitPerCellRecords) {
+TEST(Tracer, RingRetainsMostRecentEventsWithoutAllocation) {
+  sim::Tracer tracer;
+  sim::TraceRing& ring = tracer.ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    tracer.emit({static_cast<sim::Time>(i), sim::TraceEventId::kUser, 0,
+                 0, 0, i});
+  }
+  EXPECT_EQ(ring.total(), 10u);
+  EXPECT_EQ(ring.size(), 4u);
+  std::vector<std::uint64_t> seqs;
+  ring.for_each([&](const sim::TraceEvent& ev) { seqs.push_back(ev.seq); });
+  ASSERT_EQ(seqs.size(), 4u);
+  EXPECT_EQ(seqs.front(), 6u);  // oldest retained
+  EXPECT_EQ(seqs.back(), 9u);   // newest
+}
+
+TEST(Tracer, LinksEmitPerCellEvents) {
   core::Testbed bed;
-  std::vector<sim::TraceRecord> records;
-  bed.tracer().collect_into(records);
+  std::vector<sim::TraceEvent> events;
+  bed.tracer().collect_into(events);
 
   auto& a = bed.add_station({});
   auto& b = bed.add_station({});
@@ -133,17 +152,21 @@ TEST(Tracer, LinksEmitPerCellRecords) {
   a.host().send(kVc, aal::AalType::kAal5, aal::make_pattern(200, 1));
   bed.run_for(sim::milliseconds(5));
 
-  // 5 cells -> 5 wire records carrying the VC.
-  ASSERT_EQ(records.size(), aal::aal5_cell_count(200));
-  for (const auto& r : records) {
-    EXPECT_NE(r.message.find("vc=0/31"), std::string::npos) << r.message;
+  // 5 cells -> 5 wire events carrying the VC, lazily formattable.
+  ASSERT_EQ(events.size(), aal::aal5_cell_count(200));
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.id, sim::TraceEventId::kLinkCellSent);
+    EXPECT_EQ(ev.a, kVc.vpi);
+    EXPECT_EQ(ev.b, kVc.vci);
+    const std::string line = bed.tracer().format(ev);
+    EXPECT_NE(line.find("vc=0/31"), std::string::npos) << line;
   }
 }
 
 TEST(Tracer, LostCellsAreMarked) {
   core::Testbed bed;
-  std::vector<sim::TraceRecord> records;
-  bed.tracer().collect_into(records);
+  std::vector<sim::TraceEvent> events;
+  bed.tracer().collect_into(events);
   auto& a = bed.add_station({});
   auto& b = bed.add_station({});
   net::LossModel loss;
@@ -155,8 +178,11 @@ TEST(Tracer, LostCellsAreMarked) {
   bed.run_for(sim::milliseconds(5));
 
   std::size_t lost = 0;
-  for (const auto& r : records) {
-    if (r.message.find("LOST") != std::string::npos) ++lost;
+  for (const auto& ev : events) {
+    if (ev.id == sim::TraceEventId::kLinkCellLost) {
+      ++lost;
+      EXPECT_NE(bed.tracer().format(ev).find("LOST"), std::string::npos);
+    }
   }
   EXPECT_GT(lost, 0u);
 }

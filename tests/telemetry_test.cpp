@@ -1,0 +1,440 @@
+// Telemetry subsystem tests: metrics registry, cycle-budget profiler,
+// typed tracing, and the stats primitives they surface.
+//
+// The headline guarantee is cost: the tracing/metrics hot path must be
+// allocation-free (the paper's engines have a per-cell cycle budget; an
+// observability layer that mallocs per cell would distort exactly what
+// it measures). The test binary replaces global operator new to count
+// allocations and asserts a zero delta across the hot paths.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "core/report.hpp"
+#include "core/testbed.hpp"
+#include "sim/stats.hpp"
+#include "sim/telemetry/metrics.hpp"
+#include "sim/telemetry/profiler.hpp"
+#include "sim/trace.hpp"
+
+// --- Global allocation counter -------------------------------------
+//
+// Replaces the default operator new/delete for this binary. The tests
+// are single-threaded, so a plain counter suffices.
+
+namespace {
+std::uint64_t g_allocations = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace hni {
+namespace {
+
+const atm::VcId kVc{0, 31};
+
+// --- Zero-allocation guarantees ------------------------------------
+
+TEST(ZeroAlloc, DisabledTracerEmitAllocatesNothing) {
+  sim::Tracer tracer;
+  const std::uint16_t src = tracer.intern("hot");
+  ASSERT_FALSE(tracer.enabled());
+
+  const std::uint64_t before = g_allocations;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    tracer.emit({static_cast<sim::Time>(i), sim::TraceEventId::kUser, src,
+                 1, 2, i});
+  }
+  EXPECT_EQ(g_allocations - before, 0u);
+}
+
+TEST(ZeroAlloc, RingSinkEmitAllocatesNothing) {
+  sim::Tracer tracer;
+  const std::uint16_t src = tracer.intern("hot");
+  sim::TraceRing& ring = tracer.ring(1024);  // preallocates here
+
+  const std::uint64_t before = g_allocations;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    tracer.emit({static_cast<sim::Time>(i), sim::TraceEventId::kUser, src,
+                 1, 2, i});
+  }
+  EXPECT_EQ(g_allocations - before, 0u);
+  EXPECT_EQ(ring.total(), 100000u);
+  EXPECT_EQ(ring.size(), 1024u);
+}
+
+TEST(ZeroAlloc, CounterAndProfilerHotPathsAllocateNothing) {
+  sim::MetricsRegistry registry;
+  sim::Counter& counter = registry.counter("hot.counter");
+  sim::CycleProfiler profiler(25e6);
+  const sim::CycleProfiler::PhaseId ph = profiler.phase("hot phase");
+
+  const std::uint64_t before = g_allocations;
+  for (int i = 0; i < 100000; ++i) {
+    counter.add();
+    profiler.add(ph, 40000 /* 40 ns */);
+  }
+  EXPECT_EQ(g_allocations - before, 0u);
+  EXPECT_EQ(counter.value(), 100000u);
+  EXPECT_EQ(profiler.stats()[0].items, 100000u);
+}
+
+// --- MetricsRegistry -----------------------------------------------
+
+TEST(MetricsRegistry, CounterDeduplicatesByName) {
+  sim::MetricsRegistry registry;
+  sim::Counter& a = registry.counter("nic.tx.cells");
+  sim::Counter& b = registry.counter("nic.tx.cells");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.size(), 1u);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(MetricsRegistry, ExposeReflectsExternalCounter) {
+  sim::MetricsRegistry registry;
+  sim::Counter member;
+  registry.expose("fifo.drops", member);
+  member.add(7);  // after registration — snapshot must see it
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].name, "fifo.drops");
+  EXPECT_EQ(snap[0].kind, sim::MetricKind::kCounter);
+  EXPECT_EQ(snap[0].value, 7.0);
+}
+
+TEST(MetricsRegistry, GaugeSampledAtSnapshotTime) {
+  sim::MetricsRegistry registry;
+  double depth = 1.0;
+  registry.gauge("fifo.depth", [&depth] { return depth; });
+  EXPECT_EQ(registry.snapshot()[0].value, 1.0);
+  depth = 9.0;
+  EXPECT_EQ(registry.snapshot()[0].value, 9.0);
+}
+
+TEST(MetricsRegistry, SnapshotSortedByName) {
+  sim::MetricsRegistry registry;
+  registry.counter("zeta");
+  registry.counter("alpha");
+  registry.gauge("mid", [] { return 0.0; });
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "alpha");
+  EXPECT_EQ(snap[1].name, "mid");
+  EXPECT_EQ(snap[2].name, "zeta");
+}
+
+TEST(MetricsRegistry, HistogramSampleCarriesDistribution) {
+  sim::MetricsRegistry registry;
+  sim::Histogram& h = registry.histogram("latency", 1.0, 16);
+  h.add(2.5);
+  h.add(3.5);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].kind, sim::MetricKind::kHistogram);
+  EXPECT_EQ(snap[0].value, 2.0);  // sample count
+  ASSERT_NE(snap[0].histogram, nullptr);
+  EXPECT_EQ(snap[0].histogram->count(), 2u);
+}
+
+TEST(MetricScope, PrefixesComposeThroughSubAndVc) {
+  sim::MetricsRegistry registry;
+  const sim::MetricScope root(registry, "station.0");
+  root.sub("nic.rx").counter("cells");
+  root.sub("nic.rx").vc(0, 31).counter("pdus");
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "station.0.nic.rx.cells");
+  EXPECT_EQ(snap[1].name, "station.0.nic.rx.vc.0.31.pdus");
+}
+
+TEST(MetricScope, ExposeStatSurfacesCountMeanMax) {
+  sim::MetricsRegistry registry;
+  sim::RunningStat stat;
+  sim::MetricScope(registry, "rx").expose_stat("pdu_latency_us", stat);
+  stat.add(10.0);
+  stat.add(30.0);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "rx.pdu_latency_us.count");
+  EXPECT_EQ(snap[0].value, 2.0);
+  EXPECT_EQ(snap[1].name, "rx.pdu_latency_us.max");
+  EXPECT_EQ(snap[1].value, 30.0);
+  EXPECT_EQ(snap[2].name, "rx.pdu_latency_us.mean");
+  EXPECT_EQ(snap[2].value, 20.0);
+}
+
+// One end-to-end scenario, metrics dumped as JSON. Two identical runs
+// must dump byte-identical text (sorted snapshot + deterministic
+// simulator); this is what lets benches diff telemetry across runs.
+std::string run_scenario_json() {
+  core::Testbed bed;
+  auto& a = bed.add_station({});
+  auto& b = bed.add_station({});
+  bed.connect(a, b);
+  a.nic().open_vc(kVc, aal::AalType::kAal5);
+  b.nic().open_vc(kVc, aal::AalType::kAal5);
+  for (int i = 0; i < 4; ++i) {
+    a.host().send(kVc, aal::AalType::kAal5,
+                  aal::make_pattern(1000 + 100 * i, i + 1));
+  }
+  bed.run_for(sim::milliseconds(10));
+  return bed.metrics().to_json();
+}
+
+TEST(MetricsRegistry, JsonDumpByteIdenticalAcrossIdenticalRuns) {
+  const std::string first = run_scenario_json();
+  const std::string second = run_scenario_json();
+  EXPECT_EQ(first, second);
+  // The tree covers the whole system, per-VC labels included.
+  EXPECT_NE(first.find("\"station.0.station.nic.tx.pdus_sent\":4"),
+            std::string::npos)
+      << first;
+  EXPECT_NE(first.find(".nic.tx.vc.0.31.cells\""), std::string::npos);
+  EXPECT_NE(first.find(".nic.rx.vc.0.31.pdus\""), std::string::npos);
+  EXPECT_NE(first.find("\"link.0.cells_in\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, TableRendersAndFiltersByPrefix) {
+  sim::MetricsRegistry registry;
+  registry.counter("a.x").add(1);
+  registry.counter("b.y").add(2);
+  const std::string all =
+      core::metrics_table(registry).to_string("metrics");
+  EXPECT_NE(all.find("a.x"), std::string::npos);
+  EXPECT_NE(all.find("b.y"), std::string::npos);
+  const std::string only_a =
+      core::metrics_table(registry, "a.").to_string("metrics");
+  EXPECT_NE(only_a.find("a.x"), std::string::npos);
+  EXPECT_EQ(only_a.find("b.y"), std::string::npos);
+}
+
+// --- CycleProfiler --------------------------------------------------
+
+TEST(CycleProfiler, PhaseRegistrationFindsOrCreates) {
+  sim::CycleProfiler p(25e6);
+  const auto a = p.phase("header build");
+  const auto b = p.phase("payload CRC");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(p.phase("header build"), a);  // find, not re-register
+  EXPECT_EQ(p.phases(), 2u);
+}
+
+TEST(CycleProfiler, StatsConvertTimeToCycles) {
+  sim::CycleProfiler p(25e6);  // 40 ns per cycle
+  const auto ph = p.phase("crc");
+  p.add(ph, sim::microseconds(4), 2);  // 100 cycles over 2 items
+  const auto stats = p.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "crc");
+  EXPECT_EQ(stats[0].items, 2u);
+  EXPECT_EQ(stats[0].total, sim::microseconds(4));
+  EXPECT_DOUBLE_EQ(stats[0].cycles, 100.0);
+  EXPECT_DOUBLE_EQ(stats[0].cycles_per_item, 50.0);
+  EXPECT_EQ(stats[0].time_per_item, sim::microseconds(2));
+  EXPECT_EQ(p.total(), sim::microseconds(4));
+}
+
+TEST(CycleProfiler, StatsKeepRegistrationOrder) {
+  // The cycle-budget table rows must follow pipeline order, not
+  // alphabetical order.
+  sim::CycleProfiler p(1e6);
+  p.phase("zeta first");
+  p.phase("alpha second");
+  const auto stats = p.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "zeta first");
+  EXPECT_EQ(stats[1].name, "alpha second");
+}
+
+TEST(CycleProfiler, ResetClearsTotalsKeepsPhases) {
+  sim::CycleProfiler p(1e6);
+  const auto ph = p.phase("x");
+  p.add(ph, 1000);
+  p.reset();
+  EXPECT_EQ(p.phases(), 1u);
+  EXPECT_EQ(p.total(), 0);
+  EXPECT_EQ(p.stats()[0].items, 0u);
+}
+
+TEST(CycleProfiler, RejectsNonPositiveClock) {
+  EXPECT_THROW(sim::CycleProfiler(0.0), std::invalid_argument);
+  EXPECT_THROW(sim::CycleProfiler(-25e6), std::invalid_argument);
+}
+
+// --- TimeWeightedStat -----------------------------------------------
+
+TEST(TimeWeightedStat, MeanIsReadOnlyAndRepeatable) {
+  sim::TimeWeightedStat s;
+  s.set(0, 2.0);
+  s.set(10, 4.0);
+  const sim::TimeWeightedStat& view = s;  // must compile against const
+  EXPECT_DOUBLE_EQ(view.mean(10), 2.0);
+  EXPECT_DOUBLE_EQ(view.mean(20), 3.0);  // extends arithmetically
+  EXPECT_DOUBLE_EQ(view.mean(20), 3.0);  // repeated read: same answer
+  EXPECT_DOUBLE_EQ(view.mean(10), 2.0);  // earlier read still intact
+}
+
+TEST(TimeWeightedStat, OutOfOrderReadClampsToFrontier) {
+  sim::TimeWeightedStat s;
+  s.set(0, 2.0);
+  s.set(10, 4.0);
+  // A reader with a stale clock (now=4 < last change at 10) must get
+  // the frontier mean, and must not corrupt later reads.
+  EXPECT_DOUBLE_EQ(s.mean(4), 2.0);
+  EXPECT_DOUBLE_EQ(s.mean(20), 3.0);
+}
+
+TEST(TimeWeightedStat, StaleWriteCannotMoveBooksBackwards) {
+  sim::TimeWeightedStat s;
+  s.set(0, 2.0);
+  s.set(10, 4.0);
+  s.set(5, 6.0);  // non-monotonic writer: takes effect at the frontier
+  EXPECT_DOUBLE_EQ(s.current(), 6.0);
+  // [0,10) at 2.0, [10,20) at 6.0.
+  EXPECT_DOUBLE_EQ(s.mean(20), 4.0);
+}
+
+TEST(TimeWeightedStat, AdvanceIntegratesWithoutChangingValue) {
+  sim::TimeWeightedStat s;
+  s.set(0, 3.0);
+  s.advance(10);
+  EXPECT_DOUBLE_EQ(s.current(), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(10), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+// --- Histogram percentile edges -------------------------------------
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  sim::Histogram h(1.0, 8);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 0.0);
+}
+
+TEST(Histogram, PercentileExtremes) {
+  sim::Histogram h(1.0, 10);
+  h.add(5.5);
+  // p=0 sits at the distribution floor; p=100 at the top edge of the
+  // bin holding the maximum.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 6.0);
+  // Out-of-range p clamps rather than throws.
+  EXPECT_DOUBLE_EQ(h.percentile(-5.0), h.percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.percentile(250.0), h.percentile(100.0));
+}
+
+TEST(Histogram, AllMassInOverflowReportsTopEdge) {
+  sim::Histogram h(1.0, 4);
+  h.add(10.0);
+  h.add(99.0);
+  h.add(1e9);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.overflow(), 3u);
+  // Every percentile saturates at the histogram's top edge — the
+  // honest answer when the distribution escaped the binned range.
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 4.0);
+}
+
+TEST(Histogram, SingleBinLinearInterpolation) {
+  sim::Histogram h(10.0, 10);
+  for (int i = 0; i < 4; ++i) h.add(1.0 + i);  // all land in bin 0
+  EXPECT_DOUBLE_EQ(h.percentile(25.0), 2.5);   // 1/4 through the bin
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 5.0);   // halfway through
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);  // bin top edge
+}
+
+// --- Priority-lane drop accounting (regression) ---------------------
+//
+// A full RX FIFO during a link-down alarm: the PHY's substituted AIS
+// cell takes the priority lane and is refused. The refusal must land in
+// its own book (priority_drops), emit a typed trace event, and keep the
+// auditor's conservation identities balanced.
+
+TEST(PriorityLane, FullRxFifoDuringLinkDownAlarmCountsSeparately) {
+  core::Testbed bed;
+  sim::TraceRing& ring = bed.tracer().ring(64);
+
+  core::StationConfig small;
+  small.name = "bob";
+  small.nic.rx.fifo_cells = 4;
+  auto& a = bed.add_station({});
+  auto& b = bed.add_station(small);
+  auto [ab, ba] = bed.connect(a, b);
+  (void)ba;
+  a.nic().open_vc(kVc, aal::AalType::kAal5);
+  b.nic().open_vc(kVc, aal::AalType::kAal5);
+
+  // Fill b's RX FIFO synchronously — the service engine never gets a
+  // chance to drain because the simulator clock is held still.
+  const auto cells = aal::aal5_segment(aal::make_pattern(400, 1), kVc);
+  ASSERT_GT(cells.size(), 4u);
+  for (const auto& cell : cells) {
+    net::WireCell w;
+    w.bytes = cell.serialize(atm::HeaderFormat::kUni);
+    b.nic().rx().receive_wire(w);
+  }
+  // (The engine grabs the first cell at push time, so drops are one shy
+  // of offered-minus-capacity; what matters is that the FIFO is full.)
+  ASSERT_TRUE(b.nic().rx().fifo().full());
+  const std::uint64_t data_drops = b.nic().rx().fifo().drops();
+  EXPECT_GT(data_drops, 0u);
+  EXPECT_EQ(b.nic().rx().fifo().priority_drops(), 0u);
+
+  // Loss of signal: the PHY substitutes one AIS cell per open VC, fed
+  // through the same receive path — and the FIFO is still full.
+  ab->set_down(true);
+  EXPECT_EQ(b.nic().ais_inserted(), 1u);
+  EXPECT_EQ(b.nic().rx().fifo().priority_drops(), 1u);
+  // The alarm loss did not leak into the data-loss book.
+  EXPECT_EQ(b.nic().rx().fifo().drops(), data_drops);
+
+  // The refusal is visible in the trace ring as a typed event carrying
+  // the occupancy at the drop, attributed to bob's RX FIFO.
+  std::size_t priority_events = 0;
+  ring.for_each([&](const sim::TraceEvent& ev) {
+    if (ev.id != sim::TraceEventId::kFifoPriorityDrop) return;
+    ++priority_events;
+    EXPECT_EQ(ev.a, 4u);  // occupancy == capacity at the refusal
+    const std::string& who = bed.tracer().source_name(ev.source);
+    EXPECT_NE(who.find("bob.nic.rx.fifo"), std::string::npos) << who;
+  });
+  EXPECT_EQ(priority_events, 1u);
+
+  // The separate book keeps the conservation identities balanced.
+  core::InvariantAuditor auditor;
+  auditor.audit_station(b);
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+
+  // The metrics tree exports the new book alongside the old one.
+  const std::string json = bed.metrics().to_json();
+  EXPECT_NE(json.find(".nic.rx.fifo.priority_drops\":1"),
+            std::string::npos)
+      << json;
+}
+
+}  // namespace
+}  // namespace hni
