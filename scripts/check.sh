@@ -11,9 +11,14 @@ cd "$(dirname "$0")/.."
 
 run_suite() {
   local build_dir="$1"; shift
+  local started built tested
+  started=$(date +%s)
   cmake -B "$build_dir" -S . "$@" > /dev/null
   cmake --build "$build_dir" -j "$(nproc)"
+  built=$(date +%s)
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+  tested=$(date +%s)
+  echo "-- ${build_dir}: build $((built - started))s, test $((tested - built))s, total $((tested - started))s"
 }
 
 mode="${1:-all}"

@@ -75,6 +75,16 @@ void InvariantAuditor::audit_hop(Station& tx, const net::Link& link,
             rx.nic().rx().cells_received(),
             "hop delivery conservation",
             who + "sent - lost - down_dropped + ais == received");
+
+  // Corruption accounting: the link applies its loss/down checks before
+  // the bit flip, so every header-corrupted cell reaches the receiver;
+  // and it flips at most one header bit per cell, so each such cell
+  // must be either HEC-corrected or HEC-discarded — no third fate.
+  expect_eq(rx.nic().rx().cells_hec_corrected() +
+                rx.nic().rx().cells_hec_discarded(),
+            link.cells_corrupted_header(),
+            "hop corruption accounting",
+            who + "hec_corrected + hec_discarded == header_corrupted");
 }
 
 std::string InvariantAuditor::report() const {

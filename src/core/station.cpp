@@ -4,6 +4,7 @@ namespace hni::core {
 
 Station::Station(sim::Simulator& sim, StationConfig config)
     : config_(std::move(config)),
+      sim_(sim),
       bus_(sim, config_.bus),
       memory_(config_.host_memory_bytes, config_.host_page_bytes),
       nic_(sim, bus_, memory_, config_.nic),

@@ -32,6 +32,7 @@ class Station {
   Station(sim::Simulator& sim, StationConfig config);
 
   const std::string& name() const { return config_.name; }
+  sim::Simulator& sim() { return sim_; }
   bus::Bus& bus() { return bus_; }
   bus::HostMemory& memory() { return memory_; }
   nic::Nic& nic() { return nic_; }
@@ -47,6 +48,7 @@ class Station {
 
  private:
   StationConfig config_;
+  sim::Simulator& sim_;
   bus::Bus bus_;
   bus::HostMemory memory_;
   nic::Nic nic_;

@@ -77,31 +77,41 @@ void Link::send_wire(WireCell wire) {
     }
     return;
   }
-  bool corrupted = false;
+  // Capture the header for tracing BEFORE any bit flips: the trace must
+  // report the cell's original VPI/VCI, not the garbled one.
+  atm::CellHeader pre_flip{};
+  const bool tracing = tracer_ && tracer_->enabled();
+  if (tracing) {
+    // Header decode only when someone is listening; the emit itself is
+    // a POD copy — no strings until Tracer::format().
+    pre_flip = atm::decode_header(
+        std::span<const std::uint8_t, 4>(wire.bytes.data(), 4),
+        atm::HeaderFormat::kUni);
+  }
+  bool header_hit = false;
+  bool payload_hit = false;
   if (loss_.header_bit_error_rate > 0.0 &&
       rng_.chance(loss_.header_bit_error_rate)) {
     const auto bit = rng_.uniform_int(0, 8 * atm::kHeaderSize - 1);
     wire.bytes[bit / 8] ^= static_cast<std::uint8_t>(0x80u >> (bit % 8));
-    corrupted = true;
+    header_hit = true;
   }
   if (loss_.payload_bit_error_rate > 0.0 &&
       rng_.chance(loss_.payload_bit_error_rate)) {
     const auto bit = rng_.uniform_int(8 * atm::kHeaderSize,
                                       8 * atm::kCellSize - 1);
     wire.bytes[bit / 8] ^= static_cast<std::uint8_t>(0x80u >> (bit % 8));
-    corrupted = true;
+    payload_hit = true;
   }
-  if (corrupted) corrupted_.add();
-  if (tracer_ && tracer_->enabled()) {
-    // Header decode only when someone is listening; the emit itself is
-    // a POD copy — no strings until Tracer::format().
-    const atm::CellHeader h = atm::decode_header(
-        std::span<const std::uint8_t, 4>(wire.bytes.data(), 4),
-        atm::HeaderFormat::kUni);
+  if (header_hit) corrupted_header_.add();
+  if (payload_hit) corrupted_payload_.add();
+  if (header_hit || payload_hit) corrupted_.add();
+  if (tracing) {
     tracer_->emit({sim_.now(),
-                   corrupted ? sim::TraceEventId::kLinkCellCorrupted
-                             : sim::TraceEventId::kLinkCellSent,
-                   source_, h.vc.vpi, h.vc.vci, wire.meta.seq});
+                   (header_hit || payload_hit)
+                       ? sim::TraceEventId::kLinkCellCorrupted
+                       : sim::TraceEventId::kLinkCellSent,
+                   source_, pre_flip.vc.vpi, pre_flip.vc.vci, wire.meta.seq});
   }
   if (!sink_) throw std::logic_error("Link: sink not set");
   sim::Time deliver_at = sim_.now() + delay_;

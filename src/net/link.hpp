@@ -100,6 +100,15 @@ class Link {
   std::uint64_t cells_in() const { return in_.value(); }
   std::uint64_t cells_lost() const { return lost_.value(); }
   std::uint64_t cells_corrupted() const { return corrupted_.value(); }
+  /// Cells whose header / payload took a bit flip (a cell can take both;
+  /// corrupted() counts it once, these count each region). The receiver
+  /// must account every header hit as HEC-corrected or HEC-discarded.
+  std::uint64_t cells_corrupted_header() const {
+    return corrupted_header_.value();
+  }
+  std::uint64_t cells_corrupted_payload() const {
+    return corrupted_payload_.value();
+  }
   /// Cells dropped because the link was administratively down.
   std::uint64_t cells_dropped_down() const { return down_drop_.value(); }
   /// Up->down transitions seen.
@@ -111,6 +120,8 @@ class Link {
     scope.expose("cells_in", in_);
     scope.expose("cells_lost", lost_);
     scope.expose("cells_corrupted", corrupted_);
+    scope.expose("cells_corrupted_header", corrupted_header_);
+    scope.expose("cells_corrupted_payload", corrupted_payload_);
     scope.expose("cells_dropped_down", down_drop_);
     scope.expose("flaps", flaps_);
   }
@@ -134,6 +145,8 @@ class Link {
   sim::Counter in_;
   sim::Counter lost_;
   sim::Counter corrupted_;
+  sim::Counter corrupted_header_;
+  sim::Counter corrupted_payload_;
   sim::Counter down_drop_;
   sim::Counter flaps_;
 };

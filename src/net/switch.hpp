@@ -71,6 +71,22 @@ class Switch {
   /// route existed. Subsequent cells on the VC count as unroutable.
   bool remove_route(std::size_t in_port, atm::VcId vc);
 
+  /// Whether (in_port, vc) has a route installed.
+  bool has_route(std::size_t in_port, atm::VcId vc) const {
+    return routes_.count(RouteKey{in_port, vc}) != 0;
+  }
+  std::size_t route_count() const { return routes_.size(); }
+
+  /// Visits every route as fn(in_port, in_vc, out_port, out_vc).
+  /// Iteration order is the hash map's — callers needing determinism
+  /// must collect and sort (the signaling agent's audit does).
+  template <typename Fn>
+  void for_each_route(Fn&& fn) const {
+    for (const auto& [key, route] : routes_) {
+      fn(key.port, key.vc, route.out_port, route.out_vc);
+    }
+  }
+
   /// Attaches the link leaving `out_port`.
   void attach_output(std::size_t out_port, Link& link);
 

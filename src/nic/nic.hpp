@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -53,6 +54,15 @@ class Nic {
   void open_vc(atm::VcId vc, aal::AalType aal) {
     rx_->open_vc(vc, aal);
     open_vcs_.push_back(vc);
+  }
+
+  /// Closes `vc`: tears down reassembly state and stops alarm insertion
+  /// for it (a closed VC must not receive AIS cells).
+  void close_vc(atm::VcId vc) {
+    rx_->close_vc(vc);
+    open_vcs_.erase(std::remove(open_vcs_.begin(), open_vcs_.end(), vc),
+                    open_vcs_.end());
+    rdi_until_.erase(vc);
   }
 
   /// Connects the transmit framer to an outgoing link and starts it.

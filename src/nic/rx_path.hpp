@@ -90,6 +90,16 @@ class RxPath {
   /// Opens a VC for reassembly with the given AAL.
   void open_vc(atm::VcId vc, aal::AalType aal);
   void close_vc(atm::VcId vc);
+  /// Whether `vc` is currently open (audit/reconciliation path).
+  bool vc_open(atm::VcId vc) const { return vcs_.contains(vc); }
+  std::size_t vcs_open() const { return vcs_.size(); }
+  /// Every open VC, for state reconciliation (cold path, allocates).
+  std::vector<atm::VcId> open_vc_ids() const {
+    std::vector<atm::VcId> out;
+    out.reserve(vcs_.size());
+    vcs_.for_each([&out](atm::VcId vc, const VcState&) { out.push_back(vc); });
+    return out;
+  }
 
   /// PHY entry point: connect a net::Link's sink here.
   void receive_wire(const net::WireCell& wire);

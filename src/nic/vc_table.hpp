@@ -68,6 +68,15 @@ class VcTable {
     return false;
   }
 
+  /// Membership test without probe accounting (audit/reconciliation
+  /// path — nobody gets charged engine cycles for bookkeeping reads).
+  bool contains(atm::VcId vc) const {
+    for (const auto& entry : buckets_[index(vc)]) {
+      if (entry.first == vc) return true;
+    }
+    return false;
+  }
+
   std::size_t size() const { return size_; }
   std::size_t bucket_count() const { return buckets_.size(); }
 
@@ -76,6 +85,13 @@ class VcTable {
   void for_each(Fn&& fn) {
     for (auto& chain : buckets_) {
       for (auto& entry : chain) fn(entry.first, entry.second);
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& chain : buckets_) {
+      for (const auto& entry : chain) fn(entry.first, entry.second);
     }
   }
 

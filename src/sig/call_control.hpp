@@ -13,17 +13,127 @@
 //   idle -> incoming (SETUP received)-> connected (CONNECT sent)
 //   connected -> releasing (RELEASE sent) -> idle (RELEASE COMPLETE)
 //   connected -> idle (RELEASE received; RELEASE COMPLETE sent)
+//
+// There is no SSCOP assured-mode layer underneath, so the signalling
+// channel loses messages whenever the substrate does. Survivability
+// comes from Q.2931-style protocol timers instead:
+//
+//   T303  SETUP sent, no answer     -> retransmit SETUP (bounded)
+//   T310  awaiting CONNECT overall  -> fail the call, RELEASE upstream
+//   T308  RELEASE sent, no complete -> retransmit RELEASE (bounded),
+//                                      then force-clear locally
+//
+// plus idempotent handling of the duplicates retransmission creates: a
+// re-received SETUP re-answers CONNECT instead of opening a second VC,
+// a RELEASE for an unknown call is still confirmed (the peer may be
+// retransmitting after we already cleared), and STATUS/RESTART let the
+// network's audit re-synchronize state after losses or agent failure.
 
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 
+#include "core/audit.hpp"
 #include "core/station.hpp"
 #include "sig/messages.hpp"
+#include "sim/random.hpp"
+#include "sim/telemetry/metrics.hpp"
+#include "sim/trace.hpp"
 
 namespace hni::sig {
+
+/// Protocol-timer policy. Defaults are sized for the simulated UNI: a
+/// clean setup round-trip is ~150 us, so retry intervals are a few
+/// round-trips and the overall deadline covers every bounded retry.
+struct CallControlConfig {
+  /// Master switch for all timers (the no-recovery ablation point):
+  /// false restores fire-and-forget signalling.
+  bool retransmit = true;
+  sim::Time t303 = sim::microseconds(600);  // SETUP retransmit interval
+  unsigned t303_retries = 4;
+  sim::Time t310 = sim::milliseconds(8);    // overall await-CONNECT deadline
+  sim::Time t308 = sim::microseconds(600);  // RELEASE retransmit interval
+  unsigned t308_retries = 4;
+};
+
+/// Fault-injection tap on a signalling sender: every outgoing message
+/// passes through apply(), which can drop, duplicate or delay it —
+/// deterministic one-shots for targeted tests, a seeded drop rate for
+/// chaos/bench runs. The default tap forwards everything untouched.
+class MessageTap {
+ public:
+  using SendFn = std::function<void(const Message&)>;
+
+  MessageTap(sim::Simulator& sim, std::uint64_t seed) : sim_(sim), rng_(seed) {}
+
+  /// Bernoulli loss applied to every message (the chaos/bench knob).
+  void set_drop_rate(double p) { drop_rate_ = p; }
+  double drop_rate() const { return drop_rate_; }
+
+  /// One-shot faults, consumed in order by subsequent sends.
+  void drop_next(unsigned n = 1) { drop_next_ += n; }
+  void duplicate_next(unsigned n = 1) { duplicate_next_ += n; }
+  void delay_next(unsigned n, sim::Time by) {
+    delay_next_ += n;
+    delay_by_ = by;
+  }
+
+  void apply(const Message& m, const SendFn& forward) {
+    if (drop_next_ > 0) {
+      --drop_next_;
+      dropped_.add();
+      return;
+    }
+    if (drop_rate_ > 0.0 && rng_.chance(drop_rate_)) {
+      dropped_.add();
+      return;
+    }
+    if (duplicate_next_ > 0) {
+      --duplicate_next_;
+      duplicated_.add();
+      forwarded_.add();
+      forward(m);
+      forward(m);
+      return;
+    }
+    if (delay_next_ > 0) {
+      --delay_next_;
+      delayed_.add();
+      sim_.after(delay_by_, [m, forward] { forward(m); });
+      return;
+    }
+    forwarded_.add();
+    forward(m);
+  }
+
+  std::uint64_t dropped() const { return dropped_.value(); }
+  std::uint64_t duplicated() const { return duplicated_.value(); }
+  std::uint64_t delayed() const { return delayed_.value(); }
+  std::uint64_t forwarded() const { return forwarded_.value(); }
+
+  void register_metrics(const sim::MetricScope& scope) const {
+    scope.expose("dropped", dropped_);
+    scope.expose("duplicated", duplicated_);
+    scope.expose("delayed", delayed_);
+    scope.expose("forwarded", forwarded_);
+  }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  double drop_rate_ = 0.0;
+  unsigned drop_next_ = 0;
+  unsigned duplicate_next_ = 0;
+  unsigned delay_next_ = 0;
+  sim::Time delay_by_ = 0;
+  sim::Counter dropped_;
+  sim::Counter duplicated_;
+  sim::Counter delayed_;
+  sim::Counter forwarded_;
+};
 
 class CallControl {
  public:
@@ -41,7 +151,10 @@ class CallControl {
   /// Offered an incoming call; return true to accept.
   using IncomingFn = std::function<bool(const CallInfo&)>;
 
-  CallControl(core::Station& station, std::uint16_t my_party);
+  CallControl(core::Station& station, std::uint16_t my_party,
+              CallControlConfig config = {}, sim::Tracer* tracer = nullptr,
+              std::optional<sim::MetricScope> metrics = std::nullopt,
+              std::uint64_t tap_seed = 1);
 
   std::uint16_t party() const { return party_; }
 
@@ -62,22 +175,45 @@ class CallControl {
   /// Initiates teardown of an established call.
   void release(std::uint32_t call_id, Cause cause = Cause::kNormal);
 
+  /// This endpoint's view of a call (kNull when unknown) — what a
+  /// STATUS reply reports.
+  CallState state_of(std::uint32_t call_id) const;
+
+  /// The outgoing-message fault tap (chaos/bench injection point).
+  MessageTap& tap() { return tap_; }
+
   std::size_t active_calls() const { return calls_.size(); }
-  std::uint64_t calls_placed() const { return placed_; }
-  std::uint64_t calls_connected() const { return connected_; }
-  std::uint64_t calls_failed() const { return failed_; }
+  /// Calls with an open data VC (connected or releasing).
+  std::size_t open_data_vcs() const;
+  std::uint64_t calls_placed() const { return placed_.value(); }
+  std::uint64_t calls_connected() const { return connected_.value(); }
+  std::uint64_t calls_failed() const { return failed_.value(); }
+  /// Messages retransmitted by T303/T308.
+  std::uint64_t retransmits() const { return retransmits_.value(); }
+  /// Timer expiries observed (every T303/T308/T310 firing that acted).
+  std::uint64_t timer_expiries() const { return timer_expiries_.value(); }
+  /// Calls cleared by recovery (T308 force-clear, STATUS resync,
+  /// RESTART, stale-incarnation replacement) rather than by the normal
+  /// release handshake.
+  std::uint64_t calls_reclaimed() const { return reclaimed_.value(); }
+  /// Signalling frames rejected by the decoder.
+  std::uint64_t malformed_frames() const { return malformed_.value(); }
+
+  /// Cross-checks this endpoint's call state against its NIC's VC
+  /// table: the signalling VC plus one open VC per data call, no more.
+  void audit_invariants(core::InvariantAuditor& auditor);
 
  private:
-  enum class State : std::uint8_t {
-    kCalling,
-    kConnected,
-    kReleasing,
-  };
   struct Call {
-    State state = State::kCalling;
+    CallState state = CallState::kCalling;
     CallInfo info;
     ConnectedFn on_connected;
     FailedFn on_failed;
+    bool vc_open = false;
+    Message pending;                  // message under timer supervision
+    unsigned retries = 0;
+    sim::EventHandle retry_timer;     // T303 (calling) / T308 (releasing)
+    sim::EventHandle deadline_timer;  // T310
   };
 
   void on_signaling_frame(aal::Bytes sdu);
@@ -85,20 +221,42 @@ class CallControl {
   void handle_connect(const Message& m);
   void handle_release(const Message& m);
   void handle_release_complete(const Message& m);
+  void handle_status_enquiry(const Message& m);
+  void handle_status(const Message& m);
+  void handle_restart(const Message& m);
   void send(const Message& m);
   void open_data_vc(const CallInfo& info);
   void close_data_vc(const CallInfo& info);
+  void arm_retry(std::uint32_t call_id, unsigned timer_no);
+  void on_retry_timer(std::uint32_t call_id, unsigned timer_no);
+  void on_t310(std::uint32_t call_id);
+  void cancel_timers(Call& call);
+  /// Removes the call and undoes its local state (timers, VC); invoked
+  /// by every recovery path. Does not notify — callers do.
+  Call clear_call(std::unordered_map<std::uint32_t, Call>::iterator it);
+  void count_failure(Cause cause);
+  void trace(sim::TraceEventId id, std::uint32_t a, std::uint32_t b,
+             std::uint64_t seq);
 
   core::Station& station_;
   std::uint16_t party_;
+  CallControlConfig config_;
+  sim::Tracer* tracer_;
+  std::uint16_t source_ = 0;
+  std::optional<sim::MetricScope> metrics_;
+  MessageTap tap_;
   std::uint32_t next_ref_ = 1;
   std::unordered_map<std::uint32_t, Call> calls_;
   IncomingFn incoming_;
   ConnectedFn incoming_connected_;
   ReleasedFn on_released_;
-  std::uint64_t placed_ = 0;
-  std::uint64_t connected_ = 0;
-  std::uint64_t failed_ = 0;
+  sim::Counter placed_;
+  sim::Counter connected_;
+  sim::Counter failed_;
+  sim::Counter retransmits_;
+  sim::Counter timer_expiries_;
+  sim::Counter reclaimed_;
+  sim::Counter malformed_;
 };
 
 }  // namespace hni::sig

@@ -13,7 +13,8 @@ constexpr std::size_t kWireSize = 2 +     // magic
                                   1 +     // aal
                                   8 +     // pcr (micro-cells/s as u64)
                                   2 + 2 + // assigned vpi, vci
-                                  1;      // cause
+                                  1 +     // cause
+                                  1;      // call state
 
 void put_u16(aal::Bytes& b, std::uint16_t v) {
   b.push_back(static_cast<std::uint8_t>(v));
@@ -55,17 +56,31 @@ aal::Bytes Message::encode() const {
   put_u16(b, assigned_vc.vpi);
   put_u16(b, assigned_vc.vci);
   b.push_back(static_cast<std::uint8_t>(cause));
+  b.push_back(static_cast<std::uint8_t>(call_state));
   return b;
 }
 
-std::optional<Message> Message::decode(const aal::Bytes& bytes) {
-  if (bytes.size() != kWireSize) return std::nullopt;
+DecodeResult decode_checked(const aal::Bytes& bytes) {
+  DecodeResult r;
+  if (bytes.size() != kWireSize) {
+    r.error = Cause::kInvalidMessage;
+    return r;
+  }
   const std::uint8_t* p = bytes.data();
-  if (get_u16(p) != kMagic) return std::nullopt;
+  if (get_u16(p) != kMagic) {
+    r.error = Cause::kInvalidMessage;
+    return r;
+  }
   p += 2;
-  Message m;
   const std::uint8_t type = *p++;
-  if (type < 1 || type > 4) return std::nullopt;
+  // The frame guard held, so the call reference is trustworthy even if
+  // the rest of the body is rejected — receivers answer STATUS with it.
+  r.call_id_hint = get_u32(p);
+  if (type < 1 || type > 8) {
+    r.error = Cause::kMessageTypeNonExistent;
+    return r;
+  }
+  Message m;
   m.type = static_cast<MessageType>(type);
   m.call_id = get_u32(p);
   p += 4;
@@ -74,7 +89,10 @@ std::optional<Message> Message::decode(const aal::Bytes& bytes) {
   m.called_party = get_u16(p);
   p += 2;
   const std::uint8_t aal = *p++;
-  if (aal > 2) return std::nullopt;
+  if (aal > 2) {
+    r.error = Cause::kInvalidContents;
+    return r;
+  }
   m.aal = static_cast<aal::AalType>(aal);
   m.pcr_cells_per_second = static_cast<double>(get_u64(p)) / 1e6;
   p += 8;
@@ -82,8 +100,19 @@ std::optional<Message> Message::decode(const aal::Bytes& bytes) {
   p += 2;
   m.assigned_vc.vci = get_u16(p);
   p += 2;
-  m.cause = static_cast<Cause>(*p);
-  return m;
+  m.cause = static_cast<Cause>(*p++);
+  const std::uint8_t state = *p;
+  if (state > 3) {
+    r.error = Cause::kInvalidContents;
+    return r;
+  }
+  m.call_state = static_cast<CallState>(state);
+  r.message = m;
+  return r;
+}
+
+std::optional<Message> Message::decode(const aal::Bytes& bytes) {
+  return decode_checked(bytes).message;
 }
 
 std::string_view to_string(MessageType type) {
@@ -96,6 +125,14 @@ std::string_view to_string(MessageType type) {
       return "RELEASE";
     case MessageType::kReleaseComplete:
       return "RELEASE-COMPLETE";
+    case MessageType::kStatusEnquiry:
+      return "STATUS-ENQUIRY";
+    case MessageType::kStatus:
+      return "STATUS";
+    case MessageType::kRestart:
+      return "RESTART";
+    case MessageType::kRestartAck:
+      return "RESTART-ACK";
   }
   return "?";
 }
@@ -112,6 +149,30 @@ std::string_view to_string(Cause cause) {
       return "call rejected";
     case Cause::kNetworkOutOfVcs:
       return "no VC available";
+    case Cause::kTemporaryFailure:
+      return "temporary failure";
+    case Cause::kInvalidMessage:
+      return "invalid message";
+    case Cause::kMessageTypeNonExistent:
+      return "message type non-existent";
+    case Cause::kInvalidContents:
+      return "invalid information element contents";
+    case Cause::kRecoveryOnTimerExpiry:
+      return "recovery on timer expiry";
+  }
+  return "?";
+}
+
+std::string_view to_string(CallState state) {
+  switch (state) {
+    case CallState::kNull:
+      return "null";
+    case CallState::kCalling:
+      return "calling";
+    case CallState::kConnected:
+      return "connected";
+    case CallState::kReleasing:
+      return "releasing";
   }
   return "?";
 }

@@ -2,19 +2,29 @@
 //
 // ATM is out-of-band signalled: connection control rides its own VC
 // (VPI 0 / VCI 5 at the UNI), carried here as AAL5 frames. The message
-// set is the minimal call-control vocabulary:
+// set is the call-control vocabulary plus the recovery vocabulary that
+// makes the protocol survivable over a lossy substrate:
 //
 //   SETUP            caller -> network -> callee   (open a call)
 //   CONNECT          callee -> network -> caller   (accept; VC assigned)
 //   RELEASE          either -> network -> peer     (tear down)
 //   RELEASE COMPLETE peer   -> network -> either   (teardown confirmed)
+//   STATUS ENQUIRY   network -> endpoint           (audit: "do you still
+//                                                   know call X?")
+//   STATUS           endpoint -> network           (reply: my state for X)
+//   RESTART          network -> endpoint           (agent lost its call
+//                                                   state; clear everything)
+//   RESTART ACK      endpoint -> network           (cleared)
 //
 // Simplifications vs. the real stack, documented per DESIGN.md: no
-// SSCOP assured-mode layer underneath (our signalling VC is clean),
-// addresses are 16-bit party numbers instead of NSAP/E.164, and the
-// traffic descriptor carries only a PCR. The wire format is explicit
-// little-endian serialization with a magic/length guard, so malformed
-// frames are rejected rather than misparsed.
+// SSCOP assured-mode layer underneath — instead the call-control layer
+// carries its own Q.2931-style timers (T303/T308/T310/T316) and the
+// agent runs a periodic status audit, which is how the protocol earns
+// loss tolerance. Addresses are 16-bit party numbers instead of
+// NSAP/E.164, and the traffic descriptor carries only a PCR. The wire
+// format is explicit little-endian serialization with a magic/length
+// guard; malformed frames are rejected with a diagnostic Cause, never
+// thrown on and never misparsed.
 
 #pragma once
 
@@ -34,15 +44,33 @@ enum class MessageType : std::uint8_t {
   kConnect = 2,
   kRelease = 3,
   kReleaseComplete = 4,
+  kStatusEnquiry = 5,
+  kStatus = 6,
+  kRestart = 7,
+  kRestartAck = 8,
 };
 
-/// Cause codes carried in RELEASE (a small subset of Q.850).
+/// Cause codes carried in RELEASE/STATUS (a small subset of Q.850).
 enum class Cause : std::uint8_t {
   kNormal = 16,
   kUserBusy = 17,
   kNoRouteToDestination = 3,
   kCallRejected = 21,
   kNetworkOutOfVcs = 35,
+  kTemporaryFailure = 41,          // agent restart / stale call cleared
+  kInvalidMessage = 95,            // bad magic / truncated / wrong length
+  kMessageTypeNonExistent = 97,    // frame valid, type unknown
+  kInvalidContents = 100,          // known type, out-of-range field
+  kRecoveryOnTimerExpiry = 102,    // T303/T308/T310 gave up, or audit reclaim
+};
+
+/// Endpoint call state as reported in STATUS (Q.2931 call-state IE,
+/// collapsed to the four states this protocol distinguishes).
+enum class CallState : std::uint8_t {
+  kNull = 0,       // no such call here
+  kCalling = 1,    // SETUP sent, awaiting CONNECT
+  kConnected = 2,  // active
+  kReleasing = 3,  // RELEASE sent, awaiting RELEASE COMPLETE
 };
 
 struct Message {
@@ -53,13 +81,26 @@ struct Message {
   aal::AalType aal = aal::AalType::kAal5;
   double pcr_cells_per_second = 0.0;  // 0 = best effort (no shaping/UPC)
   atm::VcId assigned_vc{};        // filled by the network on CONNECT
-  Cause cause = Cause::kNormal;   // meaningful in RELEASE*
+  Cause cause = Cause::kNormal;   // meaningful in RELEASE*/STATUS
+  CallState call_state = CallState::kNull;  // meaningful in STATUS
 
   aal::Bytes encode() const;
   static std::optional<Message> decode(const aal::Bytes& bytes);
 };
 
+/// Diagnosed decode: either a valid message, or the Cause a conforming
+/// implementation would report (never throws, regardless of input).
+/// When the frame guard held but the body was rejected, `call_id_hint`
+/// carries the call reference so the receiver can answer with STATUS.
+struct DecodeResult {
+  std::optional<Message> message;
+  Cause error = Cause::kNormal;      // meaningful when !message
+  std::uint32_t call_id_hint = 0;    // 0 when the header was unreadable
+};
+DecodeResult decode_checked(const aal::Bytes& bytes);
+
 std::string_view to_string(MessageType type);
 std::string_view to_string(Cause cause);
+std::string_view to_string(CallState state);
 
 }  // namespace hni::sig

@@ -1,5 +1,6 @@
 #include "sig/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace hni::sig {
@@ -7,7 +8,11 @@ namespace hni::sig {
 SignalingNetwork::SignalingNetwork(core::Testbed& bed, net::Switch& sw,
                                    std::size_t agent_port,
                                    SignalingConfig config)
-    : bed_(bed), sw_(sw), agent_port_(agent_port), config_(config) {
+    : bed_(bed),
+      sw_(sw),
+      agent_port_(agent_port),
+      config_(config),
+      tap_(bed.sim(), config.fault_seed) {
   core::StationConfig sc;
   sc.name = "call-agent";
   // The agent is a beefy dedicated server: give it headroom so call
@@ -17,6 +22,31 @@ SignalingNetwork::SignalingNetwork(core::Testbed& bed, net::Switch& sw,
   agent_ = &bed_.add_station(sc);
   bed_.connect_to_switch(*agent_, sw_, agent_port_);
   bed_.connect_from_switch(sw_, agent_port_, *agent_);
+
+  tracer_ = &bed_.tracer();
+  source_ = tracer_->intern("sig.agent");
+  const sim::MetricScope scope(bed_.metrics(), "sig.agent");
+  scope.expose("calls_routed", calls_routed_);
+  scope.expose("calls_refused", calls_refused_);
+  scope.expose("duplicate_setups", duplicate_setups_);
+  scope.expose("audit_ticks", audit_ticks_);
+  scope.expose("enquiries_sent", enquiries_);
+  scope.expose("calls_reclaimed", calls_reclaimed_);
+  scope.expose("vcis_reclaimed", vcis_reclaimed_);
+  scope.expose("routes_reclaimed", routes_reclaimed_);
+  scope.expose("restarts_sent", restarts_sent_);
+  scope.expose("restart_acks", restart_acks_);
+  scope.expose("malformed_frames", malformed_);
+  scope.gauge("active_calls",
+              [this] { return static_cast<double>(calls_.size()); });
+  scope.gauge("stranded_vcis",
+              [this] { return static_cast<double>(stranded_vcis()); });
+  tap_.register_metrics(scope.sub("tap"));
+}
+
+void SignalingNetwork::trace(sim::TraceEventId id, std::uint32_t a,
+                             std::uint32_t b, std::uint64_t seq) {
+  if (tracer_) tracer_->emit({bed_.sim().now(), id, source_, a, b, seq});
 }
 
 CallControl& SignalingNetwork::attach(core::Station& station,
@@ -40,7 +70,11 @@ CallControl& SignalingNetwork::attach(core::Station& station,
 
   endpoints_.push_back(Endpoint{port, party});
   next_vci_[port] = config_.first_data_vci;
-  controls_.push_back(std::make_unique<CallControl>(station, party));
+  controls_.push_back(std::make_unique<CallControl>(
+      station, party, config_.endpoint, tracer_,
+      sim::MetricScope(bed_.metrics(),
+                       "sig.endpoint." + std::to_string(party)),
+      config_.fault_seed * 7919 + party));
   return *controls_.back();
 }
 
@@ -68,16 +102,22 @@ std::optional<std::uint16_t> SignalingNetwork::allocate_vci(
 }
 
 void SignalingNetwork::free_vci(std::size_t port, std::uint16_t vci) {
-  free_vcis_[port].push_back(vci);
+  auto& free = free_vcis_[port];
+  // Reclamation paths can race the normal handshake; freeing twice
+  // would hand the same VCI to two calls.
+  if (std::find(free.begin(), free.end(), vci) != free.end()) return;
+  free.push_back(vci);
 }
 
 void SignalingNetwork::send_to_port(std::size_t port, const Message& m) {
-  agent_->host().send(agent_tx_vc(port), aal::AalType::kAal5, m.encode());
+  tap_.apply(m, [this, port](const Message& mm) {
+    agent_->host().send(agent_tx_vc(port), aal::AalType::kAal5, mm.encode());
+  });
 }
 
 void SignalingNetwork::refuse(std::size_t port, const Message& setup,
                               Cause cause) {
-  ++calls_refused_;
+  calls_refused_.add();
   Message m;
   m.type = MessageType::kRelease;
   m.call_id = setup.call_id;
@@ -86,20 +126,55 @@ void SignalingNetwork::refuse(std::size_t port, const Message& setup,
 }
 
 void SignalingNetwork::on_frame(std::size_t from_port, aal::Bytes sdu) {
-  const auto m = Message::decode(sdu);
-  if (!m) return;
-  switch (m->type) {
+  const DecodeResult r = decode_checked(sdu);
+  if (!r.message) {
+    malformed_.add();
+    trace(sim::TraceEventId::kSigMalformed,
+          static_cast<std::uint32_t>(r.error), from_port, r.call_id_hint);
+    if (r.error == Cause::kMessageTypeNonExistent) {
+      Message st;
+      st.type = MessageType::kStatus;
+      st.call_id = r.call_id_hint;
+      st.cause = r.error;
+      st.call_state = calls_.count(r.call_id_hint) != 0
+                          ? CallState::kConnected
+                          : CallState::kNull;
+      send_to_port(from_port, st);
+    }
+    return;
+  }
+  const Message& m = *r.message;
+  switch (m.type) {
     case MessageType::kSetup:
-      handle_setup(from_port, *m);
+      handle_setup(from_port, m);
       break;
     case MessageType::kConnect:
-      handle_connect(*m);
+      handle_connect(m);
       break;
     case MessageType::kRelease:
-      handle_release(from_port, *m);
+      handle_release(from_port, m);
       break;
     case MessageType::kReleaseComplete:
-      handle_release_complete(*m);
+      handle_release_complete(m);
+      break;
+    case MessageType::kStatus:
+      handle_status(m);
+      break;
+    case MessageType::kStatusEnquiry: {
+      // Endpoints don't normally enquire, but answering is cheap and
+      // keeps the protocol symmetric.
+      Message st;
+      st.type = MessageType::kStatus;
+      st.call_id = m.call_id;
+      st.call_state = calls_.count(m.call_id) != 0 ? CallState::kConnected
+                                                   : CallState::kNull;
+      send_to_port(from_port, st);
+      break;
+    }
+    case MessageType::kRestart:
+      break;  // only the network originates RESTART
+    case MessageType::kRestartAck:
+      handle_restart_ack(from_port);
       break;
   }
 }
@@ -111,8 +186,29 @@ void SignalingNetwork::handle_setup(std::size_t from_port,
     refuse(from_port, m, Cause::kNoRouteToDestination);
     return;
   }
-  if (calls_.count(m.call_id) != 0) {
-    refuse(from_port, m, Cause::kCallRejected);  // duplicate reference
+  auto it = calls_.find(m.call_id);
+  if (it != calls_.end()) {
+    // Endpoint retransmission (T303). Answer from the stored call —
+    // allocating again would leak the first pair of VCIs.
+    duplicate_setups_.add();
+    AgentCall& call = it->second;
+    if (call.routed) {
+      // The callee already answered; the lost leg was our CONNECT to
+      // the caller. Re-answer it directly.
+      Message connect;
+      connect.type = MessageType::kConnect;
+      connect.call_id = m.call_id;
+      connect.calling_party = call.callee_party;
+      connect.aal = m.aal;
+      connect.pcr_cells_per_second = call.pcr;
+      connect.assigned_vc = call.caller_vc;
+      send_to_port(call.caller_port, connect);
+    } else {
+      // Still waiting on the callee: the SETUP we forwarded was lost.
+      Message fwd = m;
+      fwd.assigned_vc = call.callee_vc;
+      send_to_port(call.callee_port, fwd);
+    }
     return;
   }
   const auto caller_vci = allocate_vci(from_port);
@@ -124,7 +220,7 @@ void SignalingNetwork::handle_setup(std::size_t from_port,
     return;
   }
 
-  CallState call;
+  AgentCall call;
   call.caller_port = from_port;
   call.callee_port = callee->port;
   call.caller_party = m.calling_party;
@@ -132,14 +228,16 @@ void SignalingNetwork::handle_setup(std::size_t from_port,
   call.caller_vc = {0, *caller_vci};
   call.callee_vc = {0, *callee_vci};
   call.pcr = m.pcr_cells_per_second;
+  call.created = bed_.sim().now();
   calls_.emplace(m.call_id, call);
+  ensure_audit_timer();
 
   Message fwd = m;
   fwd.assigned_vc = call.callee_vc;
   send_to_port(callee->port, fwd);
 }
 
-void SignalingNetwork::program_routes(const CallState& call) {
+void SignalingNetwork::program_routes(const AgentCall& call) {
   sw_.add_route(call.caller_port, call.caller_vc, call.callee_port,
                 call.callee_vc);
   sw_.add_route(call.callee_port, call.callee_vc, call.caller_port,
@@ -155,7 +253,7 @@ void SignalingNetwork::program_routes(const CallState& call) {
   }
 }
 
-void SignalingNetwork::remove_routes(const CallState& call) {
+void SignalingNetwork::remove_routes(const AgentCall& call) {
   sw_.remove_route(call.caller_port, call.caller_vc);
   sw_.remove_route(call.callee_port, call.callee_vc);
 }
@@ -163,11 +261,15 @@ void SignalingNetwork::remove_routes(const CallState& call) {
 void SignalingNetwork::handle_connect(const Message& m) {
   auto it = calls_.find(m.call_id);
   if (it == calls_.end()) return;
-  CallState& call = it->second;
-  program_routes(call);
-  call.routed = true;
-  ++calls_routed_;
-
+  AgentCall& call = it->second;
+  if (!call.routed) {
+    program_routes(call);
+    call.routed = true;
+    call.strikes = 0;
+    calls_routed_.add();
+  }
+  // Duplicate CONNECTs still answer the caller: its copy may be the
+  // one that was lost.
   Message fwd = m;
   fwd.assigned_vc = call.caller_vc;
   send_to_port(call.caller_port, fwd);
@@ -176,20 +278,33 @@ void SignalingNetwork::handle_connect(const Message& m) {
 void SignalingNetwork::handle_release(std::size_t from_port,
                                       const Message& m) {
   auto it = calls_.find(m.call_id);
-  if (it == calls_.end()) return;
-  CallState call = it->second;
+  if (it == calls_.end()) {
+    // Retransmitted RELEASE for a call already completed: confirm
+    // directly or the endpoint's T308 runs to exhaustion.
+    Message rc;
+    rc.type = MessageType::kReleaseComplete;
+    rc.call_id = m.call_id;
+    rc.calling_party = m.calling_party;
+    rc.cause = m.cause;
+    send_to_port(from_port, rc);
+    return;
+  }
+  AgentCall& call = it->second;
+  if (call.routed) {
+    remove_routes(call);
+    call.routed = false;
+  }
   // Relay to the peer leg; on its RELEASE COMPLETE we finish cleanup.
   const std::size_t peer_port = from_port == call.caller_port
                                     ? call.callee_port
                                     : call.caller_port;
-  if (call.routed) remove_routes(call);
   send_to_port(peer_port, m);
 }
 
 void SignalingNetwork::handle_release_complete(const Message& m) {
   auto it = calls_.find(m.call_id);
   if (it == calls_.end()) return;
-  CallState call = it->second;
+  AgentCall call = it->second;
   calls_.erase(it);
   free_vci(call.caller_port, call.caller_vc.vci);
   free_vci(call.callee_port, call.callee_vc.vci);
@@ -200,6 +315,267 @@ void SignalingNetwork::handle_release_complete(const Message& m) {
                                   ? call.callee_port
                                   : call.caller_port;
   send_to_port(to_port, m);
+}
+
+// --- status audit -----------------------------------------------------
+
+void SignalingNetwork::handle_status(const Message& m) {
+  auto it = calls_.find(m.call_id);
+  if (it == calls_.end()) return;
+  AgentCall& call = it->second;
+  if (call.enquiries_outstanding > 0) --call.enquiries_outstanding;
+  if (m.call_state == CallState::kNull) {
+    // An endpoint no longer knows a call we still carry: its state is
+    // authoritative (it owns the VC); reclaim ours.
+    reclaim_call(m.call_id, Cause::kTemporaryFailure);
+    return;
+  }
+  // Only a fully answered round clears suspicion — resetting on the
+  // first reply would let one live leg mask a dead one forever.
+  if (call.enquiries_outstanding == 0) call.strikes = 0;
+}
+
+void SignalingNetwork::ensure_audit_timer() {
+  // Armed only while there is something to audit, so a quiescent
+  // network leaves the event queue empty (sim.run() terminates).
+  if (audit_armed_ || config_.audit_period <= 0 || calls_.empty()) return;
+  audit_armed_ = true;
+  bed_.sim().after(config_.audit_period, [this] { audit_tick(); });
+}
+
+void SignalingNetwork::audit_tick() {
+  audit_armed_ = false;
+  audit_ticks_.add();
+  const sim::Time now = bed_.sim().now();
+
+  std::vector<std::uint32_t> ids;
+  ids.reserve(calls_.size());
+  for (const auto& [id, call] : calls_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  std::vector<std::uint32_t> to_reclaim;
+  for (const std::uint32_t id : ids) {
+    AgentCall& call = calls_.at(id);
+    // Grace period: a call younger than one audit round is still mid-
+    // handshake by design.
+    if (now - call.created < config_.audit_period) continue;
+    if (!call.routed) {
+      // Half-open far beyond any handshake latency: a lost message the
+      // endpoint timers failed to repair (or recovery is off there).
+      if (++call.strikes >= config_.audit_strikes) to_reclaim.push_back(id);
+      continue;
+    }
+    if (call.enquiries_outstanding > 0 &&
+        ++call.strikes >= config_.audit_strikes) {
+      // Both legs have ignored enquiries for several rounds.
+      to_reclaim.push_back(id);
+      continue;
+    }
+    // Verify both legs still know the call.
+    call.enquiries_outstanding = 2;
+    enquiries_.add(2);
+    Message enq;
+    enq.type = MessageType::kStatusEnquiry;
+    enq.call_id = id;
+    send_to_port(call.caller_port, enq);
+    send_to_port(call.callee_port, enq);
+  }
+  for (const std::uint32_t id : to_reclaim) {
+    reclaim_call(id, Cause::kRecoveryOnTimerExpiry);
+  }
+  reconcile_routes();
+  ensure_audit_timer();
+}
+
+void SignalingNetwork::reclaim_call(std::uint32_t call_id, Cause cause) {
+  auto it = calls_.find(call_id);
+  if (it == calls_.end()) return;
+  AgentCall call = it->second;
+  calls_.erase(it);
+  if (call.routed) {
+    remove_routes(call);
+    routes_reclaimed_.add(2);
+  }
+  free_vci(call.caller_port, call.caller_vc.vci);
+  free_vci(call.callee_port, call.callee_vc.vci);
+  vcis_reclaimed_.add(2);
+  calls_reclaimed_.add();
+  trace(sim::TraceEventId::kSigVcReclaimed,
+        static_cast<std::uint32_t>(call.caller_port), call.caller_vc.vci,
+        call_id);
+  trace(sim::TraceEventId::kSigVcReclaimed,
+        static_cast<std::uint32_t>(call.callee_port), call.callee_vc.vci,
+        call_id);
+  // Tell both endpoints to clear whatever they still hold. RELEASE for
+  // an unknown call is harmless (confirmed and forgotten).
+  Message rel;
+  rel.type = MessageType::kRelease;
+  rel.call_id = call_id;
+  rel.cause = cause;
+  send_to_port(call.caller_port, rel);
+  send_to_port(call.callee_port, rel);
+}
+
+bool SignalingNetwork::owns_route(std::size_t in_port, atm::VcId vc) const {
+  for (const auto& [id, call] : calls_) {
+    if ((call.caller_port == in_port && call.caller_vc == vc) ||
+        (call.callee_port == in_port && call.callee_vc == vc)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SignalingNetwork::reconcile_routes() {
+  // Any data route no active call owns is debris (typically post-crash:
+  // the call table died but the fabric kept forwarding). Collect, sort
+  // for determinism, remove. VCIs are not freed here — the allocator
+  // state is reconciled by the call-table paths, not the fabric sweep.
+  std::vector<std::pair<std::size_t, std::uint16_t>> stale;
+  sw_.for_each_route([this, &stale](std::size_t in_port, atm::VcId vc,
+                                    std::size_t, atm::VcId) {
+    if (in_port == agent_port_) return;
+    if (vc.vpi != 0 || vc.vci < config_.first_data_vci) return;
+    if (owns_route(in_port, vc)) return;
+    stale.emplace_back(in_port, vc.vci);
+  });
+  std::sort(stale.begin(), stale.end());
+  for (const auto& [port, vci] : stale) {
+    sw_.remove_route(port, atm::VcId{0, vci});
+    routes_reclaimed_.add();
+  }
+}
+
+// --- restart ----------------------------------------------------------
+
+void SignalingNetwork::crash_restart() {
+  // The agent process dies and restarts: volatile state (call table,
+  // VCI allocators, pending audits) is gone. Routes in the fabric and
+  // endpoint call state survived and must be reconciled.
+  calls_.clear();
+  free_vcis_.clear();
+  for (const auto& e : endpoints_) {
+    next_vci_[e.port] = config_.first_data_vci;
+  }
+  ++restart_instance_;
+  reconcile_routes();
+  std::vector<std::size_t> ports;
+  ports.reserve(endpoints_.size());
+  for (const auto& e : endpoints_) ports.push_back(e.port);
+  std::sort(ports.begin(), ports.end());
+  for (const std::size_t port : ports) {
+    RestartState& rs = restarts_[port];
+    bed_.sim().cancel(rs.timer);
+    rs.pending = true;
+    rs.attempts = 0;
+    send_restart(port);
+  }
+}
+
+void SignalingNetwork::send_restart(std::size_t port) {
+  RestartState& rs = restarts_[port];
+  if (!rs.pending) return;
+  if (rs.attempts > config_.t316_retries) {
+    // Endpoint unreachable; give up (the audit keeps the fabric clean).
+    rs.pending = false;
+    return;
+  }
+  ++rs.attempts;
+  restarts_sent_.add();
+  trace(sim::TraceEventId::kSigRestart, static_cast<std::uint32_t>(port),
+        rs.attempts, restart_instance_);
+  Message m;
+  m.type = MessageType::kRestart;
+  m.call_id = restart_instance_;
+  send_to_port(port, m);
+  rs.timer = bed_.sim().after(config_.t316, [this, port] {
+    auto it = restarts_.find(port);
+    if (it == restarts_.end() || !it->second.pending) return;
+    trace(sim::TraceEventId::kSigTimerExpiry, 316, 0, port);
+    send_restart(port);
+  });
+}
+
+void SignalingNetwork::handle_restart_ack(std::size_t from_port) {
+  auto it = restarts_.find(from_port);
+  if (it == restarts_.end() || !it->second.pending) return;
+  it->second.pending = false;
+  bed_.sim().cancel(it->second.timer);
+  restart_acks_.add();
+}
+
+// --- invariants -------------------------------------------------------
+
+std::size_t SignalingNetwork::stranded_vcis() const {
+  std::size_t stranded = 0;
+  for (const auto& e : endpoints_) {
+    const auto nit = next_vci_.find(e.port);
+    const std::uint16_t next =
+        nit == next_vci_.end() ? config_.first_data_vci : nit->second;
+    const auto fit = free_vcis_.find(e.port);
+    for (std::uint16_t vci = config_.first_data_vci; vci < next; ++vci) {
+      if (fit != free_vcis_.end() &&
+          std::find(fit->second.begin(), fit->second.end(), vci) !=
+              fit->second.end()) {
+        continue;
+      }
+      if (owns_route(e.port, atm::VcId{0, vci})) continue;
+      ++stranded;
+    }
+  }
+  return stranded;
+}
+
+std::size_t SignalingNetwork::stranded_routes() const {
+  std::size_t stale = 0;
+  sw_.for_each_route([this, &stale](std::size_t in_port, atm::VcId vc,
+                                    std::size_t, atm::VcId) {
+    if (in_port == agent_port_) return;
+    if (vc.vpi != 0 || vc.vci < config_.first_data_vci) return;
+    if (!owns_route(in_port, vc)) ++stale;
+  });
+  return stale;
+}
+
+void SignalingNetwork::audit_invariants(core::InvariantAuditor& auditor) {
+  // Every allocated VCI is owned by exactly one active call or sits on
+  // the free list.
+  for (const auto& e : endpoints_) {
+    const auto nit = next_vci_.find(e.port);
+    const std::uint64_t allocated =
+        nit == next_vci_.end()
+            ? 0
+            : static_cast<std::uint64_t>(nit->second - config_.first_data_vci);
+    const auto fit = free_vcis_.find(e.port);
+    const std::uint64_t free_count =
+        fit == free_vcis_.end() ? 0 : fit->second.size();
+    std::uint64_t legs = 0;
+    for (const auto& [id, call] : calls_) {
+      if (call.caller_port == e.port) ++legs;
+      if (call.callee_port == e.port) ++legs;
+    }
+    auditor.expect_eq(allocated, free_count + legs, "sig vci conservation",
+                      "port " + std::to_string(e.port) +
+                          ": allocated == free + active call legs");
+  }
+  // The switch carries exactly two data routes per routed call.
+  std::uint64_t routed = 0;
+  for (const auto& [id, call] : calls_) {
+    if (call.routed) ++routed;
+  }
+  std::uint64_t data_routes = 0;
+  sw_.for_each_route([this, &data_routes](std::size_t in_port, atm::VcId vc,
+                                          std::size_t, atm::VcId) {
+    if (in_port == agent_port_) return;
+    if (vc.vpi != 0 || vc.vci < config_.first_data_vci) return;
+    ++data_routes;
+  });
+  auditor.expect_eq(data_routes, 2 * routed, "sig route ownership",
+                    "switch data routes == 2 x routed calls");
+  // Each endpoint's NIC table matches its call-control state.
+  for (const auto& control : controls_) {
+    control->audit_invariants(auditor);
+  }
 }
 
 }  // namespace hni::sig

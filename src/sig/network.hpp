@@ -6,12 +6,28 @@
 //
 //   SETUP   : resolve the called party -> its port, allocate one VCI
 //             per leg, forward SETUP (with the callee's VC) to the
-//             callee;
+//             callee; a *duplicate* SETUP (endpoint retransmission)
+//             re-answers from the stored call instead of allocating
+//             a second pair of VCIs;
 //   CONNECT : program the switch's duplex route between the legs,
 //             install UPC policers when the call carries a traffic
 //             contract, forward CONNECT (with the caller's VC) to the
-//             caller;
-//   RELEASE : tear the routes down, free the VCIs, relay to the peer.
+//             caller — idempotently on duplicates;
+//   RELEASE : tear the routes down, relay to the peer; RELEASE for an
+//             unknown call is confirmed directly (the endpoint is
+//             retransmitting after completion);
+//   RELEASE COMPLETE: free the VCIs, finish the call.
+//
+// On top of the handshake the agent runs the robustness machinery:
+//
+//   * a periodic *status audit* that reconciles its call table against
+//     endpoint state (STATUS ENQUIRY / STATUS) and against the switch's
+//     route table, reclaiming half-open calls, stranded VCIs and stale
+//     routes after `audit_strikes` suspect rounds;
+//   * RESTART/RESTART-ACK with a T316 retransmit timer: after
+//     crash_restart() wipes the agent's volatile state, endpoints are
+//     told to clear everything and the fabric is swept of orphan
+//     routes.
 //
 // Everything — agent processing time, signalling transport, route
 // programming — happens through the same simulated substrate as user
@@ -39,6 +55,17 @@ struct SignalingConfig {
   std::size_t max_vcs_per_port = 256;
   /// CDVT granted by installed policers, as a multiple of the cell slot.
   double police_cdvt_slots = 10.0;
+  /// Timer/retransmission policy handed to every attached endpoint.
+  CallControlConfig endpoint{};
+  /// Status-audit cadence; 0 disables the audit (no reclamation).
+  sim::Time audit_period = sim::milliseconds(5);
+  /// Consecutive suspect audit rounds before a call is reclaimed.
+  unsigned audit_strikes = 2;
+  /// RESTART retransmit interval and retry bound (T316).
+  sim::Time t316 = sim::milliseconds(1);
+  unsigned t316_retries = 16;
+  /// Seed stream for the message taps (fault injection).
+  std::uint64_t fault_seed = 0x51C;
 };
 
 class SignalingNetwork {
@@ -55,16 +82,49 @@ class SignalingNetwork {
 
   core::Station& agent() { return *agent_; }
 
-  std::uint64_t calls_routed() const { return calls_routed_; }
-  std::uint64_t calls_refused() const { return calls_refused_; }
+  /// Simulates an agent process crash-and-restart: all volatile call
+  /// state (call table, VCI allocators) is lost. Recovery sweeps the
+  /// switch of orphan routes and sends RESTART to every endpoint,
+  /// retransmitting on T316 until each acknowledges.
+  void crash_restart();
+
+  /// The agent's outgoing-message fault tap (chaos injection point for
+  /// the agent->endpoint direction).
+  MessageTap& agent_tap() { return tap_; }
+
+  std::uint64_t calls_routed() const { return calls_routed_.value(); }
+  std::uint64_t calls_refused() const { return calls_refused_.value(); }
   std::size_t active_calls() const { return calls_.size(); }
+  std::uint64_t duplicate_setups() const { return duplicate_setups_.value(); }
+  std::uint64_t audit_ticks() const { return audit_ticks_.value(); }
+  std::uint64_t enquiries_sent() const { return enquiries_.value(); }
+  /// Calls reclaimed by the status audit (not via the handshake).
+  std::uint64_t calls_reclaimed() const { return calls_reclaimed_.value(); }
+  std::uint64_t vcis_reclaimed() const { return vcis_reclaimed_.value(); }
+  /// Stale switch routes removed by reconciliation.
+  std::uint64_t routes_reclaimed() const { return routes_reclaimed_.value(); }
+  std::uint64_t restarts_sent() const { return restarts_sent_.value(); }
+  std::uint64_t restart_acks() const { return restart_acks_.value(); }
+  std::uint64_t malformed_frames() const { return malformed_.value(); }
+
+  /// VCIs currently allocated but owned by no active call — the leak
+  /// the audit exists to drive to zero.
+  std::size_t stranded_vcis() const;
+  /// Data routes in the switch owned by no active call.
+  std::size_t stranded_routes() const;
+
+  /// Registers the signalling plane's conservation identities:
+  /// every allocated VCI is owned by exactly one active call or on the
+  /// free list; the switch carries exactly two data routes per routed
+  /// call; each endpoint's NIC table matches its call state.
+  void audit_invariants(core::InvariantAuditor& auditor);
 
  private:
   struct Endpoint {
     std::size_t port = 0;
     std::uint16_t party = 0;
   };
-  struct CallState {
+  struct AgentCall {
     std::size_t caller_port = 0;
     std::size_t callee_port = 0;
     std::uint16_t caller_party = 0;
@@ -73,6 +133,14 @@ class SignalingNetwork {
     atm::VcId callee_vc{};
     double pcr = 0.0;
     bool routed = false;
+    sim::Time created = 0;      // for the audit's grace period
+    unsigned strikes = 0;       // consecutive suspect audit rounds
+    unsigned enquiries_outstanding = 0;
+  };
+  struct RestartState {
+    bool pending = false;
+    unsigned attempts = 0;
+    sim::EventHandle timer;
   };
 
   atm::VcId agent_tx_vc(std::size_t port) const {
@@ -87,26 +155,51 @@ class SignalingNetwork {
   void handle_connect(const Message& m);
   void handle_release(std::size_t from_port, const Message& m);
   void handle_release_complete(const Message& m);
+  void handle_status(const Message& m);
+  void handle_restart_ack(std::size_t from_port);
   void send_to_port(std::size_t port, const Message& m);
   void refuse(std::size_t port, const Message& setup, Cause cause);
   std::optional<std::uint16_t> allocate_vci(std::size_t port);
   void free_vci(std::size_t port, std::uint16_t vci);
-  void program_routes(const CallState& call);
-  void remove_routes(const CallState& call);
+  void program_routes(const AgentCall& call);
+  void remove_routes(const AgentCall& call);
   const Endpoint* endpoint_by_party(std::uint16_t party) const;
+  bool owns_route(std::size_t in_port, atm::VcId vc) const;
+  void audit_tick();
+  void ensure_audit_timer();
+  void reclaim_call(std::uint32_t call_id, Cause cause);
+  void reconcile_routes();
+  void send_restart(std::size_t port);
+  void trace(sim::TraceEventId id, std::uint32_t a, std::uint32_t b,
+             std::uint64_t seq);
 
   core::Testbed& bed_;
   net::Switch& sw_;
   std::size_t agent_port_;
   SignalingConfig config_;
   core::Station* agent_ = nullptr;
+  sim::Tracer* tracer_ = nullptr;
+  std::uint16_t source_ = 0;
+  MessageTap tap_;
   std::vector<Endpoint> endpoints_;
   std::vector<std::unique_ptr<CallControl>> controls_;
-  std::unordered_map<std::uint32_t, CallState> calls_;
+  std::unordered_map<std::uint32_t, AgentCall> calls_;
   std::unordered_map<std::size_t, std::vector<std::uint16_t>> free_vcis_;
   std::unordered_map<std::size_t, std::uint16_t> next_vci_;
-  std::uint64_t calls_routed_ = 0;
-  std::uint64_t calls_refused_ = 0;
+  std::unordered_map<std::size_t, RestartState> restarts_;
+  bool audit_armed_ = false;
+  std::uint32_t restart_instance_ = 0;
+  sim::Counter calls_routed_;
+  sim::Counter calls_refused_;
+  sim::Counter duplicate_setups_;
+  sim::Counter audit_ticks_;
+  sim::Counter enquiries_;
+  sim::Counter calls_reclaimed_;
+  sim::Counter vcis_reclaimed_;
+  sim::Counter routes_reclaimed_;
+  sim::Counter restarts_sent_;
+  sim::Counter restart_acks_;
+  sim::Counter malformed_;
 };
 
 }  // namespace hni::sig

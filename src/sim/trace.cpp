@@ -30,6 +30,27 @@ std::string Tracer::format(const TraceEvent& ev) const {
       out += "control cell DROPPED (fifo full, depth=" +
              std::to_string(ev.a) + ")";
       break;
+    case TraceEventId::kSigRetransmit:
+      out += "sig RETRANSMIT type=" + std::to_string(ev.a) + " retry=" +
+             std::to_string(ev.b) + " call=" + std::to_string(ev.seq);
+      break;
+    case TraceEventId::kSigTimerExpiry:
+      out += "sig T" + std::to_string(ev.a) +
+             " EXPIRED call=" + std::to_string(ev.seq);
+      break;
+    case TraceEventId::kSigVcReclaimed:
+      out += "sig VC RECLAIMED port=" + std::to_string(ev.a) +
+             " vci=" + std::to_string(ev.b) +
+             " call=" + std::to_string(ev.seq);
+      break;
+    case TraceEventId::kSigRestart:
+      out += "sig RESTART port=" + std::to_string(ev.a) + " attempt=" +
+             std::to_string(ev.b);
+      break;
+    case TraceEventId::kSigMalformed:
+      out += "sig MALFORMED cause=" + std::to_string(ev.a) +
+             " call=" + std::to_string(ev.seq);
+      break;
     case TraceEventId::kUser:
       out += "user event a=" + std::to_string(ev.a) +
              " b=" + std::to_string(ev.b);

@@ -34,6 +34,11 @@ enum class TraceEventId : std::uint16_t {
   kLinkUp,
   kLinkDown,
   kFifoPriorityDrop,     // a = fifo occupancy at the drop
+  kSigRetransmit,        // a = message type, b = retry #, seq = call id
+  kSigTimerExpiry,       // a = timer number (303/308/310/316), seq = call id
+  kSigVcReclaimed,       // a = port, b = vci, seq = call id
+  kSigRestart,           // a = port, b = attempt #
+  kSigMalformed,         // a = cause code, seq = call id hint
   kUser,                 // free for tests/tools; payload uninterpreted
 };
 

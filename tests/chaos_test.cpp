@@ -15,12 +15,15 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <string>
 
 #include "core/audit.hpp"
 #include "core/testbed.hpp"
 #include "net/traffic.hpp"
+#include "sig/network.hpp"
 #include "sim/fault.hpp"
+#include "sim/random.hpp"
 
 namespace hni {
 namespace {
@@ -162,6 +165,183 @@ TEST(Chaos, DifferentSeedDifferentSchedule) {
   const ChaosOutcome first = run_chaos(3003, true);
   const ChaosOutcome second = run_chaos(3004, true);
   EXPECT_NE(first.fault_log, second.fault_log);
+}
+
+// --- Control-plane chaos -------------------------------------------
+//
+// The same discipline applied to signalling: call churn under seeded
+// message loss, duplication, delay and agent crash-restarts. With the
+// recovery machinery on (protocol timers + status audit) the network
+// side must end the storm with zero active calls, zero stranded VCIs
+// and zero stranded routes; the ablation (timers and audit off) leaks
+// half-open state under the very same fault schedule.
+
+struct SigChaosOutcome {
+  std::string fault_log;
+  std::uint64_t placed = 0;
+  std::uint64_t connected = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t reclaimed = 0;
+  std::uint64_t restarts_sent = 0;
+  std::uint64_t tap_dropped = 0;
+  std::size_t net_active = 0;
+  std::size_t endpoint_active = 0;
+  std::size_t stranded_vcis = 0;
+  std::size_t stranded_routes = 0;
+  bool audit_ok = false;
+  std::string audit_report;
+};
+
+SigChaosOutcome run_sig_chaos(std::uint64_t seed, bool recovery) {
+  sig::SignalingConfig cfg;
+  cfg.fault_seed = seed * 31 + 7;
+  if (!recovery) {
+    cfg.endpoint.retransmit = false;  // no T303/T310/T308
+    cfg.audit_period = 0;             // no status audit, no reclamation
+  }
+
+  core::Testbed bed;
+  auto& sw = bed.add_switch(
+      {.ports = 4, .queue_cells = 512, .clp_threshold = 512});
+  auto& alice = bed.add_station({.name = "alice"});
+  auto& bob = bed.add_station({.name = "bob"});
+  auto& carol = bed.add_station({.name = "carol"});
+  sig::SignalingNetwork net(bed, sw, /*agent_port=*/3, cfg);
+  auto& cc_alice = net.attach(alice, 0, 1);
+  auto& cc_bob = net.attach(bob, 1, 2);
+  auto& cc_carol = net.attach(carol, 2, 3);
+  auto accept_all = [](const sig::CallControl::CallInfo&) { return true; };
+  cc_bob.set_incoming(accept_all);
+  cc_carol.set_incoming(accept_all);
+
+  // Baseline signalling loss on every sender for the whole run, on top
+  // of the injector's scheduled bursts.
+  cc_alice.tap().set_drop_rate(0.03);
+  cc_bob.tap().set_drop_rate(0.03);
+  cc_carol.tap().set_drop_rate(0.03);
+  net.agent_tap().set_drop_rate(0.03);
+
+  // Call churn: a new call every 250 us, held ~1 ms, then released —
+  // several calls are always mid-handshake when a fault lands.
+  sim::Rng churn(seed ^ 0xC0FFEE);
+  int to_place = 96;
+  std::function<void()> place = [&] {
+    if (to_place-- <= 0) return;
+    const std::uint16_t callee = churn.chance(0.5) ? 2 : 3;
+    cc_alice.place_call(
+        callee, aal::AalType::kAal5, 0.0,
+        [&](const sig::CallControl::CallInfo& info) {
+          const std::uint32_t id = info.call_id;
+          bed.sim().after(sim::milliseconds(1),
+                          [&, id] { cc_alice.release(id); });
+        });
+    bed.sim().after(sim::microseconds(250), place);
+  };
+  bed.sim().after(sim::milliseconds(1), place);
+
+  sim::FaultInjector inj(bed.sim(), seed);
+  inj.register_point("sig.alice.drop", [&](const sim::FaultEvent& e) {
+    if (e.phase == sim::FaultPhase::kBegin) {
+      cc_alice.tap().drop_next(static_cast<unsigned>(e.magnitude));
+    }
+  }, /*default_magnitude=*/2.0);
+  inj.register_point("sig.bob.drop", [&](const sim::FaultEvent& e) {
+    if (e.phase == sim::FaultPhase::kBegin) {
+      cc_bob.tap().drop_next(static_cast<unsigned>(e.magnitude));
+    }
+  }, 2.0);
+  inj.register_point("sig.agent.drop", [&](const sim::FaultEvent& e) {
+    if (e.phase == sim::FaultPhase::kBegin) {
+      net.agent_tap().drop_next(static_cast<unsigned>(e.magnitude));
+    }
+  }, 2.0);
+  inj.register_point("sig.alice.dup", [&](const sim::FaultEvent& e) {
+    if (e.phase == sim::FaultPhase::kBegin) cc_alice.tap().duplicate_next(1);
+  });
+  inj.register_point("sig.agent.delay", [&](const sim::FaultEvent& e) {
+    if (e.phase == sim::FaultPhase::kBegin) {
+      net.agent_tap().delay_next(1, e.duration);
+    }
+  });
+  inj.register_point("agent.crash", [&](const sim::FaultEvent& e) {
+    if (e.phase == sim::FaultPhase::kBegin) net.crash_restart();
+  });
+  inj.chaos(/*start=*/sim::milliseconds(2), /*horizon=*/sim::milliseconds(20),
+            /*count=*/24, /*mean_duration=*/sim::microseconds(200));
+
+  // Churn ends ~25 ms in; run far past it so bounded retransmissions
+  // settle and the audit gets many rounds to reclaim what the losses
+  // half-opened.
+  bed.run_for(sim::milliseconds(80));
+
+  SigChaosOutcome out;
+  out.fault_log = inj.log_string();
+  out.placed = cc_alice.calls_placed();
+  out.connected = cc_alice.calls_connected();
+  out.retransmits = cc_alice.retransmits() + cc_bob.retransmits() +
+                    cc_carol.retransmits();
+  out.reclaimed = net.calls_reclaimed() + cc_alice.calls_reclaimed() +
+                  cc_bob.calls_reclaimed() + cc_carol.calls_reclaimed();
+  out.restarts_sent = net.restarts_sent();
+  out.tap_dropped = cc_alice.tap().dropped() + cc_bob.tap().dropped() +
+                    cc_carol.tap().dropped() + net.agent_tap().dropped();
+  out.net_active = net.active_calls();
+  out.endpoint_active = cc_alice.active_calls() + cc_bob.active_calls() +
+                        cc_carol.active_calls();
+  out.stranded_vcis = net.stranded_vcis();
+  out.stranded_routes = net.stranded_routes();
+  auto audit = bed.audit(/*include_hops=*/true);
+  net.audit_invariants(audit);
+  out.audit_ok = audit.ok();
+  out.audit_report = audit.report();
+  return out;
+}
+
+TEST(SigChaos, SignalingSoakLeavesNothingStranded) {
+  const SigChaosOutcome out = run_sig_chaos(/*seed=*/4004, /*recovery=*/true);
+
+  // The storm was real: messages died, timers fired, the audit and the
+  // restart machinery all did work.
+  EXPECT_EQ(out.placed, 96u);
+  EXPECT_GT(out.tap_dropped, 0u);
+  EXPECT_GT(out.retransmits, 0u);
+  EXPECT_GT(out.connected, 0u);
+
+  // And the control plane came out clean: no half-open calls at the
+  // agent, no VCI or route leaked, every conservation book balanced.
+  EXPECT_EQ(out.net_active, 0u);
+  EXPECT_EQ(out.stranded_vcis, 0u);
+  EXPECT_EQ(out.stranded_routes, 0u);
+  EXPECT_TRUE(out.audit_ok) << out.audit_report;
+}
+
+TEST(SigChaos, SameSeedSameScheduleSameBooks) {
+  const SigChaosOutcome first = run_sig_chaos(5005, true);
+  const SigChaosOutcome second = run_sig_chaos(5005, true);
+
+  EXPECT_EQ(first.fault_log, second.fault_log);
+  EXPECT_EQ(first.connected, second.connected);
+  EXPECT_EQ(first.retransmits, second.retransmits);
+  EXPECT_EQ(first.reclaimed, second.reclaimed);
+  EXPECT_EQ(first.restarts_sent, second.restarts_sent);
+  EXPECT_EQ(first.tap_dropped, second.tap_dropped);
+  EXPECT_EQ(first.endpoint_active, second.endpoint_active);
+}
+
+TEST(SigChaos, RecoveryOffLeaksHalfOpenState) {
+  const SigChaosOutcome with = run_sig_chaos(4004, /*recovery=*/true);
+  const SigChaosOutcome without = run_sig_chaos(4004, /*recovery=*/false);
+
+  // Same scheduled fault storm either way.
+  EXPECT_EQ(with.fault_log, without.fault_log);
+
+  // Without timers and audit, lost handshake messages strand state
+  // that nothing ever cleans up; with them the network side is empty.
+  EXPECT_EQ(with.net_active, 0u);
+  EXPECT_GT(without.net_active + without.endpoint_active, 0u)
+      << "ablation lost nothing — the storm was too gentle to matter";
+  EXPECT_LT(without.connected, without.placed);
+  EXPECT_GT(with.connected, without.connected);
 }
 
 TEST(Chaos, RecoveryOffMeasurablyDegradesGoodput) {
