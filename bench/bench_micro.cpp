@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <functional>
+
 #include "aal/aal34.hpp"
 #include "aal/aal5.hpp"
 #include "atm/crc.hpp"
@@ -78,7 +81,55 @@ static void BM_Aal34SegmentReassemble(benchmark::State& state) {
 }
 BENCHMARK(BM_Aal34SegmentReassemble)->Arg(512)->Arg(9180);
 
+namespace {
+
+// The kernel's idiomatic client: a small trivially copyable functor,
+// the shape every hot-path call site produces ([this, cell] captures).
+// This is the perf-gate metric — scripts/check.sh --bench-compare
+// reads its items_per_second out of BENCH_kernel.json.
+struct ChainEvent {
+  sim::Simulator* sim;
+  std::uint64_t* count;
+  std::uint64_t limit;
+  void operator()() {
+    if (++*count < limit) sim->after(1, ChainEvent{sim, count, limit});
+  }
+};
+
+// A self-rescheduling timer that stops once the shared budget runs out
+// — used to exercise the kernel with a deep, populated heap.
+struct TimerEvent {
+  sim::Simulator* sim;
+  std::uint64_t* budget;
+  void operator()() {
+    if (*budget > 0) {
+      --*budget;
+      sim->after(100, TimerEvent{sim, budget});
+    }
+  }
+};
+
+}  // namespace
+
 static void BM_SimulatorEventThroughput(benchmark::State& state) {
+  constexpr std::uint64_t kEvents = 10000;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t count = 0;
+    sim.after(1, ChainEvent{&sim, &count, kEvents});
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kEvents));
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+// The pre-overhaul shape: closures wrapped in std::function (copied,
+// heap-allocated). Kept as a reference point for what call sites that
+// can't use a plain functor pay.
+static void BM_SimulatorEventThroughputStdFunction(
+    benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;
     int count = 0;
@@ -92,7 +143,56 @@ static void BM_SimulatorEventThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           10000);
 }
-BENCHMARK(BM_SimulatorEventThroughput);
+BENCHMARK(BM_SimulatorEventThroughputStdFunction);
+
+// Event throughput with `depth` concurrent self-rescheduling timers —
+// the heap shape of the scale scenarios (one timer per VC / link /
+// engine) rather than a single chain.
+static void BM_SimulatorPopulatedHeap(benchmark::State& state) {
+  const auto depth = static_cast<std::uint64_t>(state.range(0));
+  constexpr std::uint64_t kBudget = 100000;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t budget = kBudget;
+    for (std::uint64_t i = 0; i < depth; ++i) {
+      sim.at(static_cast<sim::Time>(i + 1), TimerEvent{&sim, &budget});
+    }
+    sim.run();
+    fired += sim.events_fired();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+}
+BENCHMARK(BM_SimulatorPopulatedHeap)->Arg(256)->Arg(4096);
+
+// Schedule-then-cancel churn: every fired event schedules a decoy and
+// a successor, then cancels the decoy — the shaper-wakeup / signaling-
+// timer pattern. Measures O(1) cancel plus lazy stale-node skimming.
+static void BM_SimulatorCancelChurn(benchmark::State& state) {
+  struct ChurnEvent {
+    sim::Simulator* sim;
+    std::uint64_t* count;
+    std::uint64_t limit;
+    void operator()() {
+      if (++*count >= limit) return;
+      const sim::EventHandle decoy =
+          sim->after(2, ChurnEvent{sim, count, limit});
+      sim->after(1, ChurnEvent{sim, count, limit});
+      sim->cancel(decoy);
+    }
+  };
+  constexpr std::uint64_t kEvents = 10000;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t count = 0;
+    sim.after(1, ChurnEvent{&sim, &count, kEvents});
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kEvents));
+}
+BENCHMARK(BM_SimulatorCancelChurn);
 
 static void BM_CellSerializeRoundtrip(benchmark::State& state) {
   atm::Cell cell;

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a google-benchmark JSON run against a
+committed baseline.
+
+Usage:
+  bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+
+For every benchmark present in the baseline, the candidate must reach at
+least (1 - threshold) of the baseline's throughput. Throughput is
+items_per_second when the benchmark reports it, else 1/real_time.
+Aggregate ("median" preferred, then "mean") rows are used when the run
+has repetitions; raw single-run rows otherwise. A benchmark that exists
+in the baseline but not in the candidate fails the gate: silently
+dropping a measurement is how regressions hide.
+
+Exit status: 0 = no regression, 1 = regression or missing benchmark,
+2 = usage / unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path):
+    """Returns {benchmark name: throughput} for one JSON file."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    raw, aggregates = {}, {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") not in ("median", "mean"):
+                continue
+            name = b["run_name"]
+            # Median wins over mean when both are present.
+            if name in aggregates and b["aggregate_name"] == "mean":
+                continue
+            aggregates[name] = rate_of(b)
+        else:
+            name = b.get("run_name", b["name"])
+            # Repetitions of one benchmark: keep the best (noise on a
+            # shared machine only ever subtracts).
+            raw[name] = max(raw.get(name, 0.0), rate_of(b))
+    return {**raw, **aggregates}
+
+
+def rate_of(bench):
+    if "items_per_second" in bench:
+        return float(bench["items_per_second"])
+    rt = float(bench.get("real_time", 0.0))
+    return 1e9 / rt if rt > 0 else 0.0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max tolerated fractional regression (default 0.15)")
+    args = ap.parse_args()
+
+    base = load_rates(args.baseline)
+    cand = load_rates(args.candidate)
+    if not base:
+        print(f"bench_compare: no benchmarks in {args.baseline}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    failures = 0
+    width = max(len(n) for n in base)
+    print(f"{'benchmark':<{width}}  {'baseline':>12} {'candidate':>12} "
+          f"{'ratio':>7}  verdict")
+    for name in sorted(base):
+        if name not in cand:
+            print(f"{name:<{width}}  {base[name]:12.3e} {'—':>12} {'—':>7}"
+                  f"  MISSING")
+            failures += 1
+            continue
+        ratio = cand[name] / base[name] if base[name] > 0 else float("inf")
+        ok = ratio >= 1.0 - args.threshold
+        verdict = "ok" if ok else f"REGRESSED (> {args.threshold:.0%})"
+        print(f"{name:<{width}}  {base[name]:12.3e} {cand[name]:12.3e} "
+              f"{ratio:7.2f}  {verdict}")
+        failures += 0 if ok else 1
+
+    if failures:
+        print(f"bench_compare: {failures} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%} of baseline", file=sys.stderr)
+        return 1
+    print("bench_compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,22 @@
 # retry, reset) are exactly where lifetime bugs hide; the sanitized pass
 # makes the chaos soak count as a memory test too.
 #
-# Usage: scripts/check.sh [--plain-only|--sanitize-only]
+# Usage: scripts/check.sh [--plain-only|--sanitize-only|--bench-compare]
+#
+# --bench-compare is the perf-regression gate: it builds the plain tree,
+# re-runs the event-kernel microbenchmarks, and compares them against
+# the committed baseline (bench/baselines/BENCH_kernel.json) with
+# scripts/bench_compare.py. A >15% throughput drop fails. The threshold
+# is overridable via HNI_BENCH_THRESHOLD (CI runners are not the
+# baseline machine, so CI uses a looser bound to catch only structural
+# regressions, not host lottery). Also smoke-runs the P1 scale bench,
+# whose exit code asserts the invariant audit at 2048-VC scale.
+#
+# Refreshing the baseline after an intentional perf change:
+#   ./build/bench/bench_micro --benchmark_filter='BM_Simulator' \
+#     --benchmark_repetitions=5 \
+#     --benchmark_out=bench/baselines/BENCH_kernel.json \
+#     --benchmark_out_format=json
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,6 +37,20 @@ run_suite() {
 }
 
 mode="${1:-all}"
+
+if [[ "$mode" == "--bench-compare" ]]; then
+  echo "== perf gate: event-kernel benchmarks vs committed baseline =="
+  cmake -B build -S . > /dev/null
+  cmake --build build -j "$(nproc)" --target bench_micro bench_p1_kernel_scale
+  ./build/bench/bench_micro --benchmark_filter='BM_Simulator' \
+    --benchmark_repetitions=3 \
+    --benchmark_out=build/BENCH_kernel.json --benchmark_out_format=json
+  python3 scripts/bench_compare.py bench/baselines/BENCH_kernel.json \
+    build/BENCH_kernel.json --threshold "${HNI_BENCH_THRESHOLD:-0.15}"
+  ./build/bench/bench_p1_kernel_scale --smoke
+  echo "check.sh: perf gate passed"
+  exit 0
+fi
 
 if [[ "$mode" != "--sanitize-only" ]]; then
   echo "== tier-1: plain =="

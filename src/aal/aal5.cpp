@@ -52,7 +52,13 @@ std::vector<atm::Cell> aal5_segment(const Bytes& sdu, atm::VcId vc,
 std::optional<Aal5Reassembler::Delivery> Aal5Reassembler::push(
     const atm::Cell& cell) {
   if (!atm::pti_is_user_data(cell.header.pti)) return std::nullopt;  // OAM
-  if (buffer_.empty()) first_cell_time_ = cell.meta.created;
+  if (buffer_.empty()) {
+    first_cell_time_ = cell.meta.created;
+    // Reserve the full admissible PDU on the first cell: one
+    // allocation per PDU instead of a doubling reallocation every few
+    // cells — the mid-PDU cell path must stay off the allocator.
+    buffer_.reserve(aal5_cell_count(config_.max_sdu) * atm::kPayloadSize);
+  }
   buffer_.insert(buffer_.end(), cell.payload.begin(), cell.payload.end());
   ++cells_in_pdu_;
 

@@ -9,10 +9,10 @@
 
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -21,42 +21,49 @@
 
 namespace hni::nic {
 
+// Storage is a preallocated ring over the (bounded) capacity rather
+// than a deque: a deque allocates/frees a chunk every few cells as the
+// window slides, which would be the last remaining per-cell allocation
+// on the steady-state datapath (asserted by kernel_zeroalloc_test).
 template <typename T>
 class CellFifo {
  public:
   CellFifo(sim::Simulator& sim, std::size_t capacity)
-      : sim_(sim), capacity_(capacity) {}
+      : sim_(sim), capacity_(capacity), buf_(capacity) {}
 
   /// Enqueues at the *front* (priority lane for control cells; the
   /// next pop returns it). Same capacity rules as push(), but a full
   /// FIFO counts the loss as a *priority* drop: an AIS/RDI cell
   /// vanishing must stay distinguishable from data loss.
   bool push_front(T item) {
-    if (queue_.size() >= capacity_) {
+    if (count_ >= capacity_) {
       priority_drops_.add();
       if (tracer_) {
         tracer_->emit({sim_.now(), sim::TraceEventId::kFifoPriorityDrop,
                        trace_source_,
-                       static_cast<std::uint32_t>(queue_.size()), 0, 0});
+                       static_cast<std::uint32_t>(count_), 0, 0});
       }
       return false;
     }
     pushes_.add();
-    queue_.push_front(std::move(item));
-    depth_.set(sim_.now(), static_cast<double>(queue_.size()));
+    head_ = head_ == 0 ? capacity_ - 1 : head_ - 1;
+    buf_[head_] = std::move(item);
+    ++count_;
+    depth_.set(sim_.now(), static_cast<double>(count_));
     if (on_push_) on_push_();
     return true;
   }
 
   /// Attempts to enqueue; returns false (and counts a drop) when full.
   bool push(T item) {
-    if (queue_.size() >= capacity_) {
+    if (count_ >= capacity_) {
       drops_.add();
       return false;
     }
     pushes_.add();
-    queue_.push_back(std::move(item));
-    depth_.set(sim_.now(), static_cast<double>(queue_.size()));
+    buf_[wrap(head_ + count_)] = std::move(item);
+    ++count_;
+    depth_.set(sim_.now(), static_cast<double>(count_));
     if (on_push_) on_push_();
     return true;
   }
@@ -64,14 +71,16 @@ class CellFifo {
   /// Removes the oldest element, if any. At most one queued space
   /// waiter is released per pop.
   std::optional<T> pop() {
-    if (queue_.empty()) return std::nullopt;
-    T item = std::move(queue_.front());
-    queue_.pop_front();
+    if (count_ == 0) return std::nullopt;
+    T item = std::move(buf_[head_]);
+    head_ = wrap(head_ + 1);
+    --count_;
     pops_.add();
-    depth_.set(sim_.now(), static_cast<double>(queue_.size()));
-    if (!space_waiters_.empty()) {
-      auto cb = std::move(space_waiters_.front());
-      space_waiters_.pop_front();
+    depth_.set(sim_.now(), static_cast<double>(count_));
+    if (waiter_count_ > 0) {
+      sim::Action cb = std::move(waiters_[waiter_head_]);
+      waiter_head_ = wrap_waiter(waiter_head_ + 1);
+      --waiter_count_;
       cb();
     }
     return item;
@@ -88,14 +97,18 @@ class CellFifo {
   }
 
   /// One-shot producer backpressure: `cb` fires after a future pop
-  /// frees a slot (FIFO order among waiters).
-  void wait_space(std::function<void()> cb) {
-    space_waiters_.push_back(std::move(cb));
+  /// frees a slot (FIFO order among waiters). Waiters live in their own
+  /// small ring: a line-rate producer arms one per cell, so a deque
+  /// here would be a per-few-cells chunk allocation.
+  void wait_space(sim::Action cb) {
+    if (waiter_count_ == waiters_.size()) grow_waiters();
+    waiters_[wrap_waiter(waiter_head_ + waiter_count_)] = std::move(cb);
+    ++waiter_count_;
   }
 
-  bool empty() const { return queue_.empty(); }
-  bool full() const { return queue_.size() >= capacity_; }
-  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ >= capacity_; }
+  std::size_t size() const { return count_; }
   std::size_t capacity() const { return capacity_; }
 
   /// Data cells (push) refused by a full FIFO.
@@ -125,9 +138,28 @@ class CellFifo {
   }
 
  private:
+  std::size_t wrap(std::size_t i) const {
+    return i >= capacity_ ? i - capacity_ : i;
+  }
+  std::size_t wrap_waiter(std::size_t i) const {
+    return i >= waiters_.size() ? i - waiters_.size() : i;
+  }
+
+  void grow_waiters() {
+    std::vector<sim::Action> bigger(
+        waiters_.empty() ? 4 : waiters_.size() * 2);
+    for (std::size_t i = 0; i < waiter_count_; ++i) {
+      bigger[i] = std::move(waiters_[wrap_waiter(waiter_head_ + i)]);
+    }
+    waiters_ = std::move(bigger);
+    waiter_head_ = 0;
+  }
+
   sim::Simulator& sim_;
   std::size_t capacity_;
-  std::deque<T> queue_;
+  std::vector<T> buf_;  // ring: [head_, head_ + count_)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   sim::Counter drops_;
   sim::Counter priority_drops_;
   sim::Counter pushes_;
@@ -136,7 +168,9 @@ class CellFifo {
   sim::Tracer* tracer_ = nullptr;
   std::uint16_t trace_source_ = 0;
   std::function<void()> on_push_;
-  std::deque<std::function<void()>> space_waiters_;
+  std::vector<sim::Action> waiters_;  // ring: [waiter_head_, +count)
+  std::size_t waiter_head_ = 0;
+  std::size_t waiter_count_ = 0;
 };
 
 }  // namespace hni::nic

@@ -31,7 +31,9 @@ struct EngineConfig {
 
 class Engine {
  public:
-  using Done = std::function<void()>;
+  // sim::Action rather than std::function: completions capture whole
+  // cells on the per-cell path, which must not allocate per work item.
+  using Done = sim::Action;
 
   Engine(sim::Simulator& sim, EngineConfig config);
 

@@ -1,0 +1,144 @@
+// Small-buffer-optimized callable for the event kernel.
+//
+// The steady-state cell path schedules one closure per cell (link
+// delivery, FIFO service, engine completion, shaper timers); wrapping
+// those in std::function costs a heap allocation whenever the capture
+// exceeds its tiny inline buffer — which a captured atm::Cell always
+// does. sim::Action gives the kernel a move-only callable with an
+// inline buffer sized for the hot-path closures (`this` + a full cell
+// with metadata), so the per-cell path never touches the allocator.
+// Oversized or alignment-exotic callables transparently fall back to
+// the heap, preserving std::function's generality for cold paths.
+
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hni::sim {
+
+class Action {
+ public:
+  /// Inline capture capacity. Sized so `[this, cell]` and
+  /// `[this, wire]` (a 53-octet wire cell plus simulation metadata)
+  /// stay inline; sizeof(Action) stays at two cache lines.
+  static constexpr std::size_t kInlineSize = 104;
+
+  Action() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Action> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  Action(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    emplace(std::forward<F>(f));
+  }
+
+  Action(Action&& other) noexcept : ops_(other.ops_) {
+    if (ops_) {
+      relocate_from(other);
+    }
+  }
+
+  Action& operator=(Action&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_) {
+        relocate_from(other);
+      }
+    }
+    return *this;
+  }
+
+  Action(const Action&) = delete;
+  Action& operator=(const Action&) = delete;
+
+  ~Action() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Invokes the stored callable. Precondition: *this holds one.
+  void operator()() { ops_->invoke(buf_); }
+
+  /// Destroys the stored callable, leaving *this empty.
+  void reset() noexcept {
+    if (ops_) {
+      if (ops_->destroy) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// Constructs a callable directly into *this (which must be empty),
+  /// skipping the intermediate Action a converting constructor plus
+  /// move would cost. The kernel's scheduling fast path.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Action> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  void emplace(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    // Move-constructs dst's payload from src's and destroys src's.
+    // Null when a fixed-size memcpy of the whole buffer relocates
+    // correctly (trivially copyable payloads — the hot-path closures);
+    // the inline copy beats an indirect call.
+    void (*relocate)(void* dst, void* src) noexcept;
+    // Null for trivially destructible payloads.
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void invoke(void* self) { (*static_cast<Fn*>(self))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    }
+    static constexpr bool kTrivialRelocate =
+        std::is_trivially_copyable_v<Fn> &&
+        std::is_trivially_destructible_v<Fn>;
+    static void destroy(void* self) noexcept {
+      static_cast<Fn*>(self)->~Fn();
+    }
+    static constexpr Ops ops{
+        &invoke, kTrivialRelocate ? nullptr : &relocate,
+        std::is_trivially_destructible_v<Fn> ? nullptr : &destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn*& ptr(void* self) { return *static_cast<Fn**>(self); }
+    static void invoke(void* self) { (*ptr(self))(); }
+    static void destroy(void* self) noexcept { delete ptr(self); }
+    // The stored pointer relocates by memcpy.
+    static constexpr Ops ops{&invoke, nullptr, &destroy};
+  };
+
+  void relocate_from(Action& other) noexcept {
+    if (ops_->relocate) {
+      ops_->relocate(buf_, other.buf_);
+    } else {
+      __builtin_memcpy(buf_, other.buf_, kInlineSize);
+    }
+    other.ops_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hni::sim

@@ -6,80 +6,130 @@
 
 namespace hni::sim {
 
-EventHandle Simulator::at(Time when, Action action) {
-  if (when < now_) {
-    throw std::logic_error("Simulator::at: scheduling into the past");
+void Simulator::throw_past() {
+  throw std::logic_error("Simulator::at: scheduling into the past");
+}
+
+detail::EventSlot* Simulator::grow_slots() {
+  if (chunk_fill_ == kChunkSize) {
+    chunks_.push_back(std::make_unique<detail::EventSlot[]>(kChunkSize));
+    chunk_fill_ = 0;
   }
-  const std::uint64_t id = next_seq_;
-  queue_.push(Entry{when, next_seq_, id, std::move(action)});
-  ++next_seq_;
-  return EventHandle{id};
+  return &chunks_.back()[chunk_fill_++];
 }
 
-bool Simulator::cancel(EventHandle handle) {
-  if (!handle.valid()) return false;
-  // An id is pending iff it was issued, has not fired, and is not already
-  // cancelled. Fired ids are < next_seq_ too, so verify lazily: record the
-  // id and let pop_next() drop it; report success only if it was pending.
-  // Pending ids are exactly those still in the queue; we cannot probe the
-  // priority queue, so track cancellations and trust callers to cancel
-  // only handles they own.
-  auto [it, inserted] = cancelled_ids_.insert(handle.id_);
-  (void)it;
-  if (inserted) ++cancelled_;
-  return inserted;
-}
-
-bool Simulator::pop_next(Entry& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; move via const_cast is the standard
-    // idiom for move-out-then-pop of non-copyable payloads.
-    Entry& top = const_cast<Entry&>(queue_.top());
-    Entry entry = std::move(top);
-    queue_.pop();
-    auto it = cancelled_ids_.find(entry.id);
-    if (it != cancelled_ids_.end()) {
-      cancelled_ids_.erase(it);
-      --cancelled_;
-      continue;
+void Simulator::heap_pop_root() {
+  const std::size_t n = heap_.size() - 1;
+  if (n == 0) {  // drained: skip the (stack-bounced) 32-byte copy
+    heap_.pop_back();
+    return;
+  }
+  const Node last = heap_.back();
+  heap_.pop_back();
+  // Percolate the hole down, then drop `last` in.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
     }
-    out = std::move(entry);
-    return true;
+    if (!before(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+bool Simulator::skim_stale() {
+  while (!heap_.empty()) {
+    const Node& root = heap_.front();
+    if (root.slot->gen == root.gen) return true;
+    heap_pop_root();
+    --stale_;
   }
   return false;
 }
 
-bool Simulator::step() {
-  Entry entry;
-  if (!pop_next(entry)) return false;
-  assert(entry.when >= now_);
-  now_ = entry.when;
+void Simulator::fire_root() {
+  detail::EventSlot* slot = heap_.front().slot;
+  const Time when = heap_.front().when;
+  assert(when >= now_);
+  // Move the callable out and release the slot *before* invoking: the
+  // handle dies (gen bump) before user code runs, a cancel() of the
+  // firing event from inside its own callback is a no-op, and a
+  // self-rescheduling callback immediately reuses this same — cache-
+  // hot — slot from the freelist head.
+  Action action = std::move(slot->action);  // leaves the slot empty
+  slot->gen++;
+  slot->next_free = free_head_;
+  free_head_ = slot;
+  heap_pop_root();
+  now_ = when;
   ++fired_;
-  entry.action();
+  action();
+}
+
+bool Simulator::step() {
+  if (!skim_stale()) return false;
+  fire_root();
   return true;
 }
 
 std::uint64_t Simulator::run() {
+  // Fused skim + fire: one root load, one slot dereference per event.
+  // See fire_root() for the generation / freelist ordering commentary.
   std::uint64_t n = 0;
-  while (step()) ++n;
+  while (!heap_.empty()) {
+    // Scalar field loads: copying the whole 32-byte Node makes the
+    // compiler bounce it through a stack slot on the critical path.
+    detail::EventSlot* slot = heap_.front().slot;
+    const Time when = heap_.front().when;
+    if (slot->gen != heap_.front().gen) {  // cancelled: drop the node
+      heap_pop_root();
+      --stale_;
+      continue;
+    }
+    assert(when >= now_);
+    Action action = std::move(slot->action);
+    slot->gen++;
+    slot->next_free = free_head_;
+    free_head_ = slot;
+    heap_pop_root();
+    now_ = when;
+    ++fired_;
+    action();
+    ++n;
+  }
   return n;
 }
 
 std::uint64_t Simulator::run_until(Time deadline) {
   std::uint64_t n = 0;
-  while (true) {
-    Entry entry;
-    if (!pop_next(entry)) break;
-    if (entry.when > deadline) {
-      // Put it back (cheap: re-push preserves when/seq ordering).
-      queue_.push(std::move(entry));
+  while (!heap_.empty()) {
+    detail::EventSlot* slot = heap_.front().slot;
+    const Time when = heap_.front().when;
+    if (slot->gen != heap_.front().gen) {
+      heap_pop_root();
+      --stale_;
+      continue;
+    }
+    if (when > deadline) {
       now_ = deadline;
       return n;
     }
-    now_ = entry.when;
+    assert(when >= now_);
+    Action action = std::move(slot->action);
+    slot->gen++;
+    slot->next_free = free_head_;
+    free_head_ = slot;
+    heap_pop_root();
+    now_ = when;
     ++fired_;
+    action();
     ++n;
-    entry.action();
   }
   if (now_ < deadline) now_ = deadline;
   return n;

@@ -8,18 +8,44 @@
 // Components hold a reference to the Simulator and call `at()`/`after()`
 // to schedule work. The kernel is deliberately minimal: no processes, no
 // channels — those live in the domain libraries built on top.
+//
+// Implementation: a cache-friendly implicit 4-ary min-heap of 32-byte
+// nodes (when, seq, slot*, gen) ordered by (when, seq), over a chunked
+// freelist arena of generation-tagged slots holding the callables
+// (sim::Action, small-buffer-optimized). Chunking keeps slot addresses
+// stable, so nodes and handles point at slots directly — no index
+// arithmetic on the hot path. The steady-state cell path — schedule,
+// fire, reschedule — touches no allocator once the arena and heap are
+// warm, and
+// cancellation is O(1): bump the slot's generation and let the stale
+// heap node fall out lazily at pop time. The (time, insertion-seq)
+// ordering contract is identical to the original std::priority_queue
+// kernel, so same-seed runs stay byte-identical.
 
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
+#include "sim/action.hpp"
 #include "sim/time.hpp"
 
 namespace hni::sim {
+
+namespace detail {
+
+// Arena slot. `gen` increments whenever the slot empties (fire or
+// cancel), invalidating outstanding handles and stale heap nodes.
+// A handle could alias only after 2^32 reuses of one slot — beyond
+// any simulation's event count between cancel and fire.
+struct EventSlot {
+  Action action;
+  std::uint32_t gen = 0;
+  EventSlot* next_free = nullptr;
+};
+
+}  // namespace detail
 
 /// Handle to a scheduled event; allows cancellation.
 class EventHandle {
@@ -27,18 +53,23 @@ class EventHandle {
   EventHandle() = default;
 
   /// True if this handle refers to an event (which may have fired).
-  bool valid() const { return id_ != 0; }
+  bool valid() const { return slot_ != nullptr; }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::uint64_t id) : id_(id) {}
-  std::uint64_t id_ = 0;
+  EventHandle(detail::EventSlot* slot, std::uint32_t gen)
+      : slot_(slot), gen_(gen) {}
+  // Slots live for the Simulator's lifetime, so the pointer stays
+  // dereferenceable; the generation decides whether it still refers
+  // to a pending event.
+  detail::EventSlot* slot_ = nullptr;
+  std::uint32_t gen_ = 0;
 };
 
 /// The event-driven simulation engine.
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = sim::Action;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -47,17 +78,43 @@ class Simulator {
   /// Current simulated time.
   Time now() const { return now_; }
 
-  /// Schedules `action` at absolute time `when` (must be >= now()).
-  EventHandle at(Time when, Action action);
-
-  /// Schedules `action` `delay` after the current time.
-  EventHandle after(Time delay, Action action) {
-    return at(now_ + delay, std::move(action));
+  /// Schedules a callable at absolute time `when` (must be >= now()).
+  /// The fast path: the callable is constructed directly into its
+  /// arena slot, no intermediate Action.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Action>)
+  EventHandle at(Time when, F&& f) {
+    detail::EventSlot* s = prepare(when);
+    s->action.emplace(std::forward<F>(f));
+    return commit(when, s);
   }
 
-  /// Cancels a pending event. Cancelling an already-fired or invalid
-  /// handle is a harmless no-op. Returns true if an event was cancelled.
-  bool cancel(EventHandle handle);
+  /// Schedules an already-wrapped Action.
+  EventHandle at(Time when, Action action) {
+    detail::EventSlot* s = prepare(when);
+    s->action = std::move(action);
+    return commit(when, s);
+  }
+
+  /// Schedules `delay` after the current time.
+  template <typename F>
+  EventHandle after(Time delay, F&& f) {
+    return at(now_ + delay, std::forward<F>(f));
+  }
+
+  /// Cancels a pending event in O(1). Cancelling an already-fired or
+  /// invalid handle is a harmless no-op. Returns true iff a pending
+  /// event was cancelled.
+  bool cancel(EventHandle handle) {
+    // Generation mismatch means the event already fired or was
+    // cancelled (the slot may have been reused since); both no-ops.
+    if (handle.slot_ == nullptr || handle.slot_->gen != handle.gen_) {
+      return false;
+    }
+    release_slot(handle.slot_);
+    ++stale_;  // its heap node falls out lazily at pop time
+    return true;
+  }
 
   /// Runs until the queue is empty. Returns the number of events fired.
   std::uint64_t run();
@@ -71,33 +128,85 @@ class Simulator {
   bool step();
 
   /// Number of events currently pending.
-  std::size_t pending() const { return queue_.size() - cancelled_; }
+  std::size_t pending() const { return heap_.size() - stale_; }
 
   /// Total events fired since construction.
   std::uint64_t events_fired() const { return fired_; }
 
  private:
-  struct Entry {
+  // Heap node: everything ordering needs plus the slot — the callable
+  // stays put in its slot so sift operations move 32 bytes, not the
+  // capture buffer.
+  struct Node {
     Time when;
-    std::uint64_t seq;  // tie-break: FIFO among equal times
-    std::uint64_t id;
-    Action action;
+    std::uint64_t seq;        // tie-break: FIFO among equal times
+    detail::EventSlot* slot;  // stable address into the chunked arena
+    std::uint32_t gen;        // matches the slot's gen while pending
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+
+  static bool before(const Node& a, const Node& b) {
+    return a.when < b.when || (a.when == b.when && a.seq < b.seq);
+  }
+
+  // at() fast path, split so the callable-emplace sits between them:
+  // prepare() validates and picks a slot, commit() pushes the heap
+  // node and mints the handle.
+  detail::EventSlot* prepare(Time when) {
+    if (when < now_) {
+      throw_past();  // out-of-line: keeps the hot path branch cheap
     }
-  };
+    return acquire_slot();
+  }
+  EventHandle commit(Time when, detail::EventSlot* s) {
+    const std::uint32_t gen = s->gen;
+    heap_push(Node{when, next_seq_++, s, gen});
+    return EventHandle{s, gen};
+  }
 
-  bool pop_next(Entry& out);
+  detail::EventSlot* acquire_slot() {
+    if (free_head_ != nullptr) {
+      detail::EventSlot* s = free_head_;
+      free_head_ = s->next_free;
+      return s;
+    }
+    return grow_slots();
+  }
+  void release_slot(detail::EventSlot* s) {
+    s->action.reset();
+    s->gen++;  // outstanding handles and heap nodes go stale here
+    s->next_free = free_head_;
+    free_head_ = s;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<std::uint64_t> cancelled_ids_;
+  void heap_push(const Node& n) {
+    std::size_t i = heap_.size();
+    heap_.push_back(n);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  [[noreturn]] static void throw_past();
+  detail::EventSlot* grow_slots();
+  void heap_pop_root();
+  bool skim_stale();  // drop cancelled root nodes; false when empty
+  void fire_root();
+
+  static constexpr std::uint32_t kChunkSize = 512;  // slots per chunk
+
+  std::vector<Node> heap_;
+  // Fixed-size chunks give slots stable addresses: growing the arena
+  // mid-callback cannot move live slots, so callables run in place.
+  std::vector<std::unique_ptr<detail::EventSlot[]>> chunks_;
+  std::uint32_t chunk_fill_ = kChunkSize;  // slots used in chunks_.back()
+  detail::EventSlot* free_head_ = nullptr;
+  std::size_t stale_ = 0;  // cancelled nodes still in the heap
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
-  std::size_t cancelled_ = 0;
 };
 
 }  // namespace hni::sim

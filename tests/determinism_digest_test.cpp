@@ -1,0 +1,223 @@
+// Golden-determinism digests: same-seed scenarios must stay
+// byte-identical across kernel changes.
+//
+// Each canonical scenario runs with the tracer armed; every trace
+// event (the full wire-level event order) and a telemetry snapshot are
+// folded into a single FNV-1a digest. The digest is compared against a
+// committed golden file in tests/golden/ — any change to event
+// ordering, loss draws, or counter arithmetic shows up as a digest
+// mismatch, which is exactly the alarm we want when touching the event
+// kernel: the (time, insertion-seq) contract makes these bytes part of
+// the public behaviour.
+//
+// Regenerating (only after an *intentional* behaviour change, with the
+// diff reviewed):
+//
+//   HNI_UPDATE_GOLDEN=1 ./build/tests/determinism_digest_test
+//
+// then commit the rewritten tests/golden/*.digest files.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "core/testbed.hpp"
+#include "net/traffic.hpp"
+
+#ifndef HNI_GOLDEN_DIR
+#error "HNI_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace hni {
+namespace {
+
+// --- FNV-1a 64-bit over typed words ---------------------------------
+
+class Digest {
+ public:
+  void fold(std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (word >> (8 * i)) & 0xFF;
+      hash_ *= 0x100000001B3ull;
+    }
+  }
+  void fold_double(double value) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    __builtin_memcpy(&bits, &value, sizeof(bits));
+    fold(bits);
+  }
+  void fold_string(const std::string& s) {
+    for (const char c : s) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 0x100000001B3ull;
+    }
+  }
+
+  std::string hex() const {
+    std::ostringstream out;
+    out << "fnv1a64:" << std::hex;
+    out.width(16);
+    out.fill('0');
+    out << hash_;
+    return out.str();
+  }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
+void fold_trace(Digest& d, const std::vector<sim::TraceEvent>& events) {
+  d.fold(events.size());
+  for (const sim::TraceEvent& ev : events) {
+    d.fold(static_cast<std::uint64_t>(ev.when));
+    d.fold(static_cast<std::uint64_t>(ev.id) << 32 |
+           static_cast<std::uint64_t>(ev.source));
+    d.fold(static_cast<std::uint64_t>(ev.a) << 32 |
+           static_cast<std::uint64_t>(ev.b));
+    d.fold(ev.seq);
+  }
+}
+
+// --- Canonical scenarios --------------------------------------------
+//
+// Both arm the testbed tracer, run a P2P workload, and digest the
+// complete trace stream + the full telemetry snapshot + the kernel's
+// own books. Parameters are frozen: changing them invalidates the
+// goldens by design.
+
+struct ScenarioOutput {
+  std::string digest;
+  std::uint64_t trace_events = 0;
+  std::uint64_t kernel_events = 0;
+};
+
+ScenarioOutput run_canonical(const char* name) {
+  core::Testbed bed;
+  std::vector<sim::TraceEvent> trace;
+  bed.tracer().collect_into(trace);
+
+  core::StationConfig sc;
+  sc.name = "tx";
+  core::Station& a = bed.add_station(sc);
+  sc.name = "rx";
+  core::Station& b = bed.add_station(sc);
+
+  const atm::VcId vc{0, 100};
+  net::SduSource::Config traffic;
+  net::LossModel loss;
+  const bool lossy = std::string(name) == "p2p-lossy-poisson";
+  if (lossy) {
+    // Scenario 1: Poisson arrivals over a bursty-loss, jittery link.
+    traffic.mode = net::SduSource::Mode::kPoisson;
+    traffic.sdu_bytes = 2000;
+    traffic.interval = sim::microseconds(300);
+    traffic.seed = 7;
+    loss.cell_loss_rate = 0.001;
+    loss.mean_burst_cells = 3.0;
+    loss.cdv_jitter = sim::microseconds(2);
+  } else {
+    // Scenario 2: CBR over a clean link — pure FIFO-ordering workload.
+    traffic.mode = net::SduSource::Mode::kCbr;
+    traffic.sdu_bytes = 4096;
+    traffic.interval = sim::microseconds(500);
+    traffic.seed = 11;
+  }
+  bed.connect(a, b, loss, sim::microseconds(5));
+  a.nic().open_vc(vc, aal::AalType::kAal5);
+  b.nic().open_vc(vc, aal::AalType::kAal5);
+
+  std::uint64_t received = 0;
+  std::uint64_t pattern_failures = 0;
+  b.host().set_rx_handler([&](aal::Bytes sdu, const host::RxInfo&) {
+    ++received;
+    if (!aal::verify_pattern(sdu)) ++pattern_failures;
+  });
+  net::SduSource source(bed.sim(), traffic, [&](aal::Bytes sdu) {
+    return a.host().send(vc, aal::AalType::kAal5, std::move(sdu));
+  });
+  a.host().set_tx_ready([&source] { source.notify_ready(); });
+  source.start();
+  bed.run_for(sim::milliseconds(10));
+
+  Digest d;
+  fold_trace(d, trace);
+  // Telemetry snapshot: every counter and gauge in the scenario, in
+  // registration order, names included (a renamed or vanished
+  // instrument is a behaviour change too).
+  d.fold_string(bed.metrics().to_json());
+  // Kernel books and endpoint truths.
+  d.fold(bed.sim().events_fired());
+  d.fold(static_cast<std::uint64_t>(bed.now()));
+  d.fold(received);
+  d.fold(pattern_failures);
+
+  ScenarioOutput out;
+  out.digest = d.hex();
+  out.trace_events = trace.size();
+  out.kernel_events = bed.sim().events_fired();
+  return out;
+}
+
+// --- Golden-file plumbing -------------------------------------------
+
+std::string golden_path(const std::string& name) {
+  return std::string(HNI_GOLDEN_DIR) + "/" + name + ".digest";
+}
+
+std::string read_golden(const std::string& name) {
+  std::ifstream in(golden_path(name));
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+bool update_mode() {
+  const char* env = std::getenv("HNI_UPDATE_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+void check_scenario(const char* name) {
+  const ScenarioOutput first = run_canonical(name);
+  const ScenarioOutput second = run_canonical(name);
+
+  // In-process reproducibility: two same-seed runs, byte-identical
+  // trace + telemetry, independent of any committed file.
+  ASSERT_EQ(first.digest, second.digest)
+      << "scenario '" << name << "' is not deterministic in-process";
+  ASSERT_GT(first.trace_events, 0u) << "tracer captured nothing";
+
+  if (update_mode()) {
+    std::ofstream out(golden_path(name));
+    out << first.digest << "\n";
+    ASSERT_TRUE(out.good()) << "failed writing " << golden_path(name);
+    GTEST_LOG_(INFO) << "updated golden for " << name << ": "
+                     << first.digest;
+    return;
+  }
+  const std::string golden = read_golden(name);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << golden_path(name)
+      << " — run with HNI_UPDATE_GOLDEN=1 to create it";
+  EXPECT_EQ(first.digest, golden)
+      << "scenario '" << name << "' diverged from the committed golden "
+      << "digest. If this change is intentional, regenerate with\n"
+      << "  HNI_UPDATE_GOLDEN=1 ./build/tests/determinism_digest_test\n"
+      << "and commit the new tests/golden/" << name << ".digest";
+}
+
+TEST(GoldenDeterminism, P2pLossyPoisson) {
+  check_scenario("p2p-lossy-poisson");
+}
+
+TEST(GoldenDeterminism, P2pCleanCbr) { check_scenario("p2p-clean-cbr"); }
+
+}  // namespace
+}  // namespace hni

@@ -1,0 +1,293 @@
+// Scheduler property/stress tests: the rebuilt event kernel against a
+// naive reference scheduler.
+//
+// The reference keeps every scheduled event in a flat vector and fires
+// by an explicit stable (when, insertion-seq) sort — obviously correct,
+// hopelessly slow. Randomized interleavings of at/after/cancel/
+// run_until must produce identical firing order, identical cancel
+// verdicts, and identical pending() accounting on both. This is the
+// contract the golden-determinism digests (determinism_digest_test)
+// rest on: any divergence here is a byte-identity break waiting to
+// happen in a full scenario.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace hni {
+namespace {
+
+// Naive reference: fire order recomputed from scratch by stable sort.
+class ReferenceScheduler {
+ public:
+  // Returns an index usable with cancel().
+  std::size_t schedule(sim::Time when, int id) {
+    events_.push_back(Ev{when, next_seq_++, id, false, false});
+    return events_.size() - 1;
+  }
+
+  bool cancel(std::size_t idx) {
+    Ev& ev = events_[idx];
+    if (ev.cancelled || ev.fired) return false;
+    ev.cancelled = true;
+    return true;
+  }
+
+  // Fires everything due at or before `deadline`, oldest (when, seq)
+  // first; returns the fired ids in order.
+  std::vector<int> run_until(sim::Time deadline) {
+    std::vector<std::size_t> due;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      const Ev& ev = events_[i];
+      if (!ev.cancelled && !ev.fired && ev.when <= deadline) {
+        due.push_back(i);
+      }
+    }
+    std::sort(due.begin(), due.end(), [&](std::size_t a, std::size_t b) {
+      const Ev& ea = events_[a];
+      const Ev& eb = events_[b];
+      return ea.when < eb.when || (ea.when == eb.when && ea.seq < eb.seq);
+    });
+    std::vector<int> order;
+    order.reserve(due.size());
+    for (std::size_t i : due) {
+      events_[i].fired = true;
+      order.push_back(events_[i].id);
+    }
+    return order;
+  }
+
+  std::size_t pending() const {
+    std::size_t n = 0;
+    for (const Ev& ev : events_) {
+      if (!ev.cancelled && !ev.fired) ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Ev {
+    sim::Time when;
+    std::uint64_t seq;
+    int id;
+    bool cancelled;
+    bool fired;
+  };
+  std::vector<Ev> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+// One randomized episode: phases of {schedule burst, random cancels,
+// run_until a random deadline}, comparing kernel and reference at
+// every step. Small time range so ties are common.
+void run_episode(std::uint32_t seed) {
+  SCOPED_TRACE(testing::Message() << "seed=" << seed);
+  std::mt19937 rng(seed);
+  sim::Simulator sim;
+  ReferenceScheduler ref;
+  std::vector<int> fired;  // ids, in kernel firing order
+
+  struct Live {
+    sim::EventHandle handle;
+    std::size_t ref_idx;
+  };
+  std::vector<Live> issued;  // every handle ever issued, fired or not
+
+  int next_id = 0;
+  std::uniform_int_distribution<int> burst(1, 40);
+  std::uniform_int_distribution<sim::Time> offset(0, 25);  // ties galore
+  std::uniform_int_distribution<sim::Time> step(1, 30);
+
+  for (int phase = 0; phase < 60; ++phase) {
+    // Schedule a burst at random offsets from now (0 included: events
+    // at the current instant must still fire, after already-queued
+    // events of the same timestamp).
+    const int n = burst(rng);
+    for (int i = 0; i < n; ++i) {
+      const sim::Time when = sim.now() + offset(rng);
+      const int id = next_id++;
+      const sim::EventHandle h = sim.at(when, [&fired, id] {
+        fired.push_back(id);
+      });
+      EXPECT_TRUE(h.valid());
+      issued.push_back({h, ref.schedule(when, id)});
+    }
+    ASSERT_EQ(sim.pending(), ref.pending());
+
+    // Random cancels over the full issued history: pending events must
+    // report true exactly once; fired or already-cancelled ones false.
+    std::uniform_int_distribution<std::size_t> pick(0, issued.size() - 1);
+    const int cancels = burst(rng) / 4;
+    for (int i = 0; i < cancels; ++i) {
+      const Live& victim = issued[pick(rng)];
+      const bool expect = ref.cancel(victim.ref_idx);
+      EXPECT_EQ(sim.cancel(victim.handle), expect);
+    }
+    ASSERT_EQ(sim.pending(), ref.pending());
+
+    // Advance. Events at exactly the deadline fire; later ones do not.
+    const sim::Time deadline = sim.now() + step(rng);
+    const std::size_t before = fired.size();
+    const std::uint64_t fired_by_kernel = sim.run_until(deadline);
+    const std::vector<int> expected = ref.run_until(deadline);
+    EXPECT_EQ(fired_by_kernel, expected.size());
+    ASSERT_EQ(fired.size() - before, expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(fired[before + i], expected[i])
+          << "divergent firing order at position " << before + i;
+    }
+    EXPECT_EQ(sim.now(), deadline);
+    ASSERT_EQ(sim.pending(), ref.pending());
+  }
+
+  // Drain: everything still pending fires in reference order.
+  const std::size_t before = fired.size();
+  sim.run();
+  const std::vector<int> rest = ref.run_until(
+      std::numeric_limits<sim::Time>::max());
+  ASSERT_EQ(fired.size() - before, rest.size());
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    ASSERT_EQ(fired[before + i], rest[i]);
+  }
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(ref.pending(), 0u);
+}
+
+TEST(SimKernelProperty, RandomizedAgainstReference) {
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    run_episode(seed);
+  }
+}
+
+TEST(SimKernelProperty, FifoTieBreakSurvivesInterleavedCancels) {
+  sim::Simulator sim;
+  std::vector<int> order;
+  std::vector<sim::EventHandle> handles;
+  // 16 events, all at t=5; cancel every third one after the fact.
+  for (int i = 0; i < 16; ++i) {
+    handles.push_back(sim.at(5, [&order, i] { order.push_back(i); }));
+  }
+  std::vector<int> expected;
+  for (int i = 0; i < 16; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_TRUE(sim.cancel(handles[static_cast<std::size_t>(i)]));
+    } else {
+      expected.push_back(i);
+    }
+  }
+  sim.run();
+  EXPECT_EQ(order, expected);  // insertion order among survivors
+}
+
+TEST(SimKernelProperty, CancelAfterFireIsNoOpAndKeepsBooks) {
+  sim::Simulator sim;
+  int fired = 0;
+  const sim::EventHandle h = sim.at(1, [&fired] { ++fired; });
+  sim.at(2, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run_until(1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  // The handle's event already fired: cancel must refuse and must not
+  // disturb the pending count of the unrelated survivor.
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimKernelProperty, CancelledHandleStaysDeadAfterSlotReuse) {
+  sim::Simulator sim;
+  int fired = 0;
+  const sim::EventHandle h = sim.at(1, [&fired] { ++fired; });
+  EXPECT_TRUE(sim.cancel(h));
+  // The freed slot is immediately reused by the next schedule; the old
+  // handle must not be able to cancel the new tenant.
+  sim.at(2, [&fired] { fired += 10; });
+  EXPECT_FALSE(sim.cancel(h));
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SimKernelProperty, RunUntilFiresDeadlineEventsExactly) {
+  sim::Simulator sim;
+  std::vector<int> order;
+  sim.at(10, [&order] { order.push_back(1); });
+  sim.at(10, [&order] { order.push_back(2); });
+  sim.at(11, [&order] { order.push_back(3); });
+  EXPECT_EQ(sim.run_until(10), 2u);  // both t==deadline events fire
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 10);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.run_until(11), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimKernelProperty, CallbackSchedulingKeepsSeqOrder) {
+  // An event firing at time T that schedules another event at the same
+  // T gets a later insertion seq: it must run after everything already
+  // queued for T, including events inserted before it.
+  sim::Simulator sim;
+  std::vector<int> order;
+  sim.at(5, [&] {
+    order.push_back(1);
+    sim.at(5, [&order] { order.push_back(4); });
+  });
+  sim.at(5, [&order] { order.push_back(2); });
+  sim.at(5, [&order] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(SimKernelProperty, CallbackCancellingPendingEventWorks) {
+  sim::Simulator sim;
+  std::vector<int> order;
+  sim::EventHandle victim = sim.at(7, [&order] { order.push_back(99); });
+  sim.at(5, [&] {
+    order.push_back(1);
+    EXPECT_TRUE(sim.cancel(victim));
+  });
+  sim.at(9, [&order] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimKernelProperty, DeepRandomChurnKeepsPendingExact) {
+  // Heavy cancel churn forces slot reuse and stale-node skimming; the
+  // pending() identity must hold through all of it.
+  std::mt19937 rng(0xC0FFEE);
+  sim::Simulator sim;
+  ReferenceScheduler ref;
+  std::vector<std::pair<sim::EventHandle, std::size_t>> live;
+  std::uniform_int_distribution<sim::Time> offset(1, 8);
+  int fired_count = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const sim::Time when = sim.now() + offset(rng);
+    live.emplace_back(sim.at(when, [&fired_count] { ++fired_count; }),
+                      ref.schedule(when, 0));
+    if (live.size() > 4 && rng() % 2 == 0) {
+      const std::size_t idx = rng() % live.size();
+      EXPECT_EQ(sim.cancel(live[idx].first), ref.cancel(live[idx].second));
+    }
+    if (rng() % 4 == 0) {
+      const sim::Time deadline = sim.now() + offset(rng);
+      const auto fired_ref = ref.run_until(deadline);
+      EXPECT_EQ(sim.run_until(deadline), fired_ref.size());
+    }
+    ASSERT_EQ(sim.pending(), ref.pending());
+  }
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace hni
