@@ -1,11 +1,14 @@
 // F5 — Receive-side cost vs number of concurrent VCs.
 //
 // The reassembly engine must find per-VC state for every cell. With a
-// CAM the lookup is constant; in software it is a hash probe whose
-// chain length grows with the active-VC population. This bench drives
+// CAM the lookup is constant; in software it is a hash probe charged
+// per displacement. The VC table is now a growing open-addressing
+// (robin-hood) hash — cfg.vc_buckets merely pre-sizes it — so the
+// software column measures the true residual probe cost at each
+// population rather than a configured chain length. This bench drives
 // the RX path directly with line-rate interleaved traffic across N VCs
 // and reports measured instructions per cell and loss onset, CAM vs
-// hash, for a fixed (64-bucket) lookup table.
+// hash. (Bench P2 sweeps the table itself to millions of entries.)
 
 #include <cstdio>
 

@@ -1,0 +1,281 @@
+// P2 — VC-state scalability: the data plane from 2k to 1M connections.
+//
+// The paper's interface assumes a CAM assist for per-VC lookup; the
+// software path must hold its own as the connection table grows. This
+// bench populates a 4-port switch with N routed+policed VCs (VPI
+// extends the space past the 16-bit VCI), then drives a paced cell
+// stream across a bounded hot set of flows strided through the full
+// population (so probes walk the real index at every N) and reports:
+//
+//   * events/s — wall-clock kernel throughput while forwarding. With
+//     the open-addressing table this should be flat in N; the old
+//     node-based maps bent it downward by 2k VCs.
+//   * bytes/VC — steady-state footprint of the per-VC state (index +
+//     pooled records), from Switch::vc_state_bytes().
+//
+// The exit code enforces the acceptance criteria, so CI can run the
+// smoke rows as a regression gate:
+//   * the largest row's events/s must stay within 20% of the smallest's
+//     (lookup cost flat in N), and
+//   * every row must stay under 128 bytes/VC.
+//
+//   bench_p2_vc_scale                 full sweep (2k -> 1M VCs)
+//   bench_p2_vc_scale --smoke         2k + 16k rows (CI-sized)
+//   bench_p2_vc_scale [--smoke] --json OUT.json
+//                                     also write google-benchmark-style
+//                                     JSON for scripts/bench_compare.py
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "net/switch.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hni;
+
+namespace {
+
+constexpr std::size_t kPorts = 4;
+// Active flows per row. Bounded (and small enough to stay cache-warm
+// in steady state) so the sweep isolates what the table controls —
+// probe displacement and index behaviour as N grows — from DRAM
+// capacity misses, which hit any structure once the *hot* set itself
+// outgrows the cache. The sampled flows stride the full population, so
+// at 1M VCs the probes walk the real 2^21-slot index, not a dense
+// corner of it.
+constexpr std::size_t kSampleCap = 256;
+constexpr double kMinRatio = 0.8;          // largest vs smallest events/s
+constexpr double kMaxBytesPerVc = 128.0;
+
+// VC i of N: spread across ports, then across VPIs (the 16-bit VCI
+// alone cannot address 1M connections).
+atm::VcId vc_of(std::size_t i) {
+  const std::size_t rest = i / kPorts;
+  return atm::VcId{static_cast<std::uint16_t>(rest >> 16),
+                   static_cast<std::uint16_t>(rest & 0xFFFF)};
+}
+std::size_t port_of(std::size_t i) { return i % kPorts; }
+
+struct Result {
+  std::size_t vcs = 0;
+  double setup_s = 0;       // route+policer installation wall time
+  double wall_s = 0;        // drive-phase wall time
+  std::uint64_t events = 0;
+  std::uint64_t cells = 0;
+  double events_per_s = 0;
+  double bytes_per_vc = 0;
+  bool conserved = false;   // switch books balance after the run
+};
+
+Result run(std::size_t vcs, std::size_t cells_per_port) {
+  sim::Simulator sim;
+  net::SwitchConfig cfg;
+  cfg.ports = kPorts;
+  cfg.port_rate = atm::sts3c();
+  net::Switch sw(sim, cfg);
+
+  const auto setup_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < vcs; ++i) {
+    const atm::VcId vc = vc_of(i);
+    sw.add_route(port_of(i), vc, port_of(i), vc);
+    // A non-binding policer (PCR far above the line) keeps the UPC
+    // branch on the measured path without perturbing the stream.
+    sw.add_policer(port_of(i), vc, 1e12, 0, net::Switch::PoliceAction::kDrop);
+  }
+  const auto setup_end = std::chrono::steady_clock::now();
+
+  // Pre-serialize one wire cell per sampled VC: the drive loop measures
+  // the switch (lookup, police, queue, serve), not cell encoding.
+  const std::size_t sample = std::min(vcs, kSampleCap);
+  const std::size_t stride = vcs / sample;
+  std::vector<net::WireCell> cells(sample);
+  std::vector<std::size_t> in_port(sample);
+  for (std::size_t s = 0; s < sample; ++s) {
+    // Snap the strided index to port s % kPorts so every input port
+    // carries exactly a quarter of the sample, whatever the stride
+    // (vcs is a multiple of kPorts in every row, so i stays in range).
+    const std::size_t base = s * stride;
+    const std::size_t i = (base - base % kPorts + s % kPorts) % vcs;
+    atm::Cell cell;
+    cell.header.vc = vc_of(i);
+    cells[s].bytes = cell.serialize(atm::HeaderFormat::kUni);
+    in_port[s] = port_of(i);
+  }
+
+  // One injector per port, paced at the port's service rate: queues
+  // stay shallow and every injected cell is forwarded by run's end.
+  const sim::Time slot = cfg.port_rate.cell_slot();
+  std::uint64_t injected = 0;
+  for (std::size_t p = 0; p < kPorts; ++p) {
+    // Port p owns the sample entries with in_port == p (round-robin by
+    // construction: s % kPorts == p when stride keeps port alignment —
+    // filter explicitly to stay correct for any stride).
+    auto lane = std::make_shared<std::vector<std::size_t>>();
+    for (std::size_t s = 0; s < sample; ++s) {
+      if (in_port[s] == p) lane->push_back(s);
+    }
+    if (lane->empty()) continue;
+    auto tick = std::make_shared<std::function<void(std::size_t)>>();
+    *tick = [&, lane, tick, p](std::size_t n) {
+      if (n >= cells_per_port) return;
+      const std::size_t s = (*lane)[n % lane->size()];
+      sw.receive(p, cells[s]);
+      ++injected;
+      sim.after(slot, [tick, n] { (*tick)(n + 1); });
+    };
+    sim.after(slot * static_cast<sim::Time>(p + 1) / kPorts,
+              [tick] { (*tick)(0); });
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  sim.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  Result r;
+  r.vcs = vcs;
+  r.setup_s = std::chrono::duration<double>(setup_end - setup_start).count();
+  r.wall_s = std::chrono::duration<double>(wall_end - wall_start).count();
+  r.events = sim.events_fired();
+  r.cells = injected;
+  r.events_per_s = static_cast<double>(r.events) / r.wall_s;
+  r.bytes_per_vc =
+      static_cast<double>(sw.vc_state_bytes()) / static_cast<double>(vcs);
+  // Paced injection below the overflow point: every cell must have been
+  // forwarded — anything dropped, unroutable or policed means the table
+  // lost a connection's state.
+  r.conserved = sw.cells_forwarded() == injected &&
+                sw.cells_unroutable() == 0 && sw.cells_policed_dropped() == 0;
+  return r;
+}
+
+void write_json(const char* path, const std::vector<Result>& results) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "P2: cannot write %s\n", path);
+    std::exit(2);
+  }
+  std::fprintf(f, "{\n  \"context\": {\"executable\": "
+                  "\"bench_p2_vc_scale\"},\n  \"benchmarks\": [\n");
+  bool first = true;
+  for (const Result& r : results) {
+    if (!first) std::fprintf(f, ",\n");
+    first = false;
+    // Higher-is-better throughput row...
+    std::fprintf(f,
+                 "    {\"name\": \"p2_vc_scale/%zu\", \"run_type\": "
+                 "\"iteration\", \"items_per_second\": %.1f, "
+                 "\"real_time\": %.1f, \"time_unit\": \"ns\"},\n",
+                 r.vcs, r.events_per_s, r.wall_s * 1e9);
+    // ...and a lower-is-better memory row (bench_compare.py inverts
+    // the comparison when it sees lower_is_better).
+    std::fprintf(f,
+                 "    {\"name\": \"p2_vc_scale/%zu/bytes_per_vc\", "
+                 "\"run_type\": \"iteration\", \"lower_is_better\": true, "
+                 "\"value\": %.2f, \"real_time\": %.2f, "
+                 "\"time_unit\": \"ns\"}",
+                 r.vcs, r.bytes_per_vc, r.bytes_per_vc);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  std::printf("P2: VC-state scale — 4-port switch, routed+policed VCs, "
+              "paced cells across a bounded %zu-flow hot set\n",
+              kSampleCap);
+
+  // Enough cells per row that wall time is measurement, not noise: a
+  // row runs a few hundred ms even at full kernel speed.
+  std::vector<std::size_t> rows;
+  std::size_t cells_per_port;
+  if (smoke) {
+    rows = {2048, 16384};
+    cells_per_port = 500000;
+  } else {
+    rows = {2048, 16384, 131072, 1048576};
+    cells_per_port = 1000000;
+  }
+
+  // Best of several repetitions per row: on a shared machine noise only
+  // ever subtracts from throughput, so max is the honest estimator —
+  // and the first round doubles as cache/branch warmup. Rounds are
+  // interleaved across rows (2k, 16k, ... then again) so a noisy
+  // stretch of wall time degrades one rep of each row instead of every
+  // rep of one row.
+  constexpr int kReps = 4;
+  std::vector<Result> results(rows.size());
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Result r = run(rows[i], cells_per_port);
+      if (rep == 0 ||
+          (r.conserved && r.events_per_s > results[i].events_per_s)) {
+        results[i] = r;
+      }
+    }
+  }
+
+  core::Table t({"VCs", "setup s", "wall s", "events", "events/s (M)",
+                 "cells", "bytes/VC", "books"});
+  for (const Result& r : results) {
+    t.add_row({core::Table::integer(r.vcs), core::Table::num(r.setup_s, 2),
+               core::Table::num(r.wall_s, 2), core::Table::integer(r.events),
+               core::Table::num(r.events_per_s / 1e6, 2),
+               core::Table::integer(r.cells),
+               core::Table::num(r.bytes_per_vc, 1),
+               r.conserved ? "ok" : "FAIL"});
+  }
+  t.print("P2: data-plane cost vs connection count (events/s is "
+          "wall-clock)");
+
+  if (json_path != nullptr) write_json(json_path, results);
+
+  // Acceptance: flat lookup cost and bounded footprint, enforced so a
+  // regression fails the build rather than restyling a table.
+  bool ok = true;
+  for (const Result& r : results) {
+    if (!r.conserved) {
+      std::fprintf(stderr, "P2: FAIL %zu VCs: switch books unbalanced\n",
+                   r.vcs);
+      ok = false;
+    }
+    if (r.bytes_per_vc >= kMaxBytesPerVc) {
+      std::fprintf(stderr, "P2: FAIL %zu VCs: %.1f bytes/VC (cap %.0f)\n",
+                   r.vcs, r.bytes_per_vc, kMaxBytesPerVc);
+      ok = false;
+    }
+  }
+  const double small = results.front().events_per_s;
+  const double large = results.back().events_per_s;
+  if (large < kMinRatio * small) {
+    std::fprintf(stderr,
+                 "P2: FAIL %zu VCs runs at %.2fM events/s vs %.2fM at %zu "
+                 "VCs (floor %.0f%%)\n",
+                 results.back().vcs, large / 1e6, small / 1e6,
+                 results.front().vcs, kMinRatio * 100);
+    ok = false;
+  }
+  std::printf("\nReading: events/s flat in N means per-cell VC lookup is "
+              "O(1) at scale\n(robin-hood probes stay near home); bytes/VC "
+              "is the whole table's footprint —\nindex slots plus "
+              "arena-pooled route+policer+frame records.\n");
+  return ok ? 0 : 1;
+}

@@ -13,6 +13,11 @@ has repetitions; raw single-run rows otherwise. A benchmark that exists
 in the baseline but not in the candidate fails the gate: silently
 dropping a measurement is how regressions hide.
 
+Entries carrying "lower_is_better": true (e.g. bench_p2's bytes_per_vc
+rows) gate the other direction: the candidate's "value" (falling back
+to real_time) must not exceed baseline / (1 - threshold) — memory-per-VC
+growth fails the gate the same way a throughput drop does.
+
 Exit status: 0 = no regression, 1 = regression or missing benchmark,
 2 = usage / unreadable input.
 """
@@ -23,7 +28,9 @@ import sys
 
 
 def load_rates(path):
-    """Returns {benchmark name: throughput} for one JSON file."""
+    """Returns {benchmark name: score} for one JSON file, where score is
+    a higher-is-better throughput — lower-is-better entries are stored
+    as their reciprocal so one comparison rule covers both."""
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -50,6 +57,9 @@ def load_rates(path):
 
 
 def rate_of(bench):
+    if bench.get("lower_is_better"):
+        value = float(bench.get("value", bench.get("real_time", 0.0)))
+        return 1.0 / value if value > 0 else 0.0
     if "items_per_second" in bench:
         return float(bench["items_per_second"])
     rt = float(bench.get("real_time", 0.0))

@@ -13,7 +13,9 @@
 # is overridable via HNI_BENCH_THRESHOLD (CI runners are not the
 # baseline machine, so CI uses a looser bound to catch only structural
 # regressions, not host lottery). Also smoke-runs the P1 scale bench,
-# whose exit code asserts the invariant audit at 2048-VC scale.
+# whose exit code asserts the invariant audit at 2048-VC scale, and the
+# P2 VC-scale bench, comparing its events/s and bytes/VC against
+# bench/baselines/BENCH_vcscale.json (bytes/VC gates lower-is-better).
 #
 # Refreshing the baseline after an intentional perf change:
 #   ./build/bench/bench_micro --benchmark_filter='BM_Simulator' \
@@ -41,13 +43,16 @@ mode="${1:-all}"
 if [[ "$mode" == "--bench-compare" ]]; then
   echo "== perf gate: event-kernel benchmarks vs committed baseline =="
   cmake -B build -S . > /dev/null
-  cmake --build build -j "$(nproc)" --target bench_micro bench_p1_kernel_scale
+  cmake --build build -j "$(nproc)" --target bench_micro bench_p1_kernel_scale bench_p2_vc_scale
   ./build/bench/bench_micro --benchmark_filter='BM_Simulator' \
     --benchmark_repetitions=3 \
     --benchmark_out=build/BENCH_kernel.json --benchmark_out_format=json
   python3 scripts/bench_compare.py bench/baselines/BENCH_kernel.json \
     build/BENCH_kernel.json --threshold "${HNI_BENCH_THRESHOLD:-0.15}"
   ./build/bench/bench_p1_kernel_scale --smoke
+  ./build/bench/bench_p2_vc_scale --smoke --json build/BENCH_vcscale.json
+  python3 scripts/bench_compare.py bench/baselines/BENCH_vcscale.json \
+    build/BENCH_vcscale.json --threshold "${HNI_BENCH_THRESHOLD:-0.15}"
   echo "check.sh: perf gate passed"
   exit 0
 fi

@@ -36,6 +36,31 @@ struct VcId {
   std::string to_string() const;
 };
 
+/// Widest VPI either header format carries (12 bits at the NNI).
+inline constexpr std::uint16_t kMaxUniVpi = 0xFF;
+inline constexpr std::uint16_t kMaxNniVpi = 0xFFF;
+
+/// Packs a VC into the canonical 32-bit label every per-VC table keys
+/// on: VPI in the high half, VCI in the low. The static_asserts pin the
+/// field widths — if VcId is ever widened (a >16-bit VPI, say), packing
+/// fails to compile instead of silently truncating the high bits, which
+/// is exactly the bug a 12-bit NNI VPI would otherwise hit.
+constexpr std::uint32_t vc_label(const VcId& vc) {
+  static_assert(sizeof(vc.vpi) * 8 <= 16,
+                "VPI no longer fits the label's high half");
+  static_assert(sizeof(vc.vci) * 8 <= 16,
+                "VCI no longer fits the label's low half");
+  static_assert(kMaxNniVpi <= 0xFFFF, "NNI VPI exceeds the packed field");
+  return (static_cast<std::uint32_t>(vc.vpi) << 16) |
+         static_cast<std::uint32_t>(vc.vci);
+}
+
+/// Inverse of vc_label (the packing is bijective).
+constexpr VcId vc_from_label(std::uint32_t label) {
+  return VcId{static_cast<std::uint16_t>(label >> 16),
+              static_cast<std::uint16_t>(label & 0xFFFF)};
+}
+
 /// Payload Type Indicator values (I.361). Bit 2 = AUU ("end of AAL5
 /// frame" when set on user data), bit 1 = congestion experienced,
 /// bit 3 distinguishes OAM from user cells.
@@ -110,7 +135,6 @@ struct Cell {
 template <>
 struct std::hash<hni::atm::VcId> {
   std::size_t operator()(const hni::atm::VcId& vc) const noexcept {
-    return std::hash<std::uint32_t>{}(
-        (static_cast<std::uint32_t>(vc.vpi) << 16) | vc.vci);
+    return std::hash<std::uint32_t>{}(hni::atm::vc_label(vc));
   }
 };

@@ -12,6 +12,16 @@ void InvariantAuditor::expect_eq(std::uint64_t lhs, std::uint64_t rhs,
                   " != " + std::to_string(rhs) + ")"});
 }
 
+void InvariantAuditor::expect_le(std::uint64_t lhs, std::uint64_t rhs,
+                                 const std::string& check,
+                                 const std::string& detail) {
+  ++checks_;
+  if (lhs <= rhs) return;
+  violations_.push_back(
+      {check, detail + " (" + std::to_string(lhs) + " > " +
+                  std::to_string(rhs) + ")"});
+}
+
 void InvariantAuditor::audit_station(Station& s) {
   const std::string who = s.name() + ": ";
   nic::RxPath& rx = s.nic().rx();
@@ -56,6 +66,21 @@ void InvariantAuditor::audit_station(Station& s) {
   expect_eq(tx.fifo().pushes(), tx.fifo().pops() + tx.fifo().size(),
             "tx-fifo resident conservation",
             who + "accepted == removed + resident");
+
+  // OAM loopback books: every request sent either completed, was
+  // abandoned when its VC closed, or is still outstanding. An entry
+  // that survives its VC (the old tag-only table could not be swept)
+  // unbalances this identity.
+  expect_eq(s.nic().loopbacks_sent(),
+            s.nic().loopbacks_completed() + s.nic().loopbacks_abandoned() +
+                s.nic().loopbacks_outstanding(),
+            "oam loopback conservation",
+            who + "sent == completed + abandoned + outstanding");
+
+  // RDI pause state is per *open* VC: close_vc clears the hold, so the
+  // pending set can never outgrow the connections that exist.
+  expect_le(s.nic().rdi_pending(), s.nic().open_vc_count(),
+            "oam rdi-pending bound", who + "rdi_pending <= open VCs");
 }
 
 void InvariantAuditor::audit_hop(Station& tx, const net::Link& link,

@@ -41,6 +41,12 @@ class InvariantAuditor {
   void expect_eq(std::uint64_t lhs, std::uint64_t rhs,
                  const std::string& check, const std::string& detail);
 
+  /// Records an upper-bound check (lhs <= rhs); an excess becomes a
+  /// violation. For books that bound rather than balance — e.g. paused
+  /// VCs can never outnumber open VCs.
+  void expect_le(std::uint64_t lhs, std::uint64_t rhs,
+                 const std::string& check, const std::string& detail);
+
   /// Audits one station's always-true identities (valid at any time).
   void audit_station(Station& s);
 

@@ -15,26 +15,50 @@ Switch::Switch(sim::Simulator& sim, SwitchConfig config)
   }
 }
 
+std::uint32_t Switch::route_label(std::size_t port, atm::VcId vc) {
+  if (port > 0xFF) throw std::out_of_range("Switch: port exceeds label");
+  if (vc.vpi > atm::kMaxUniVpi) {
+    throw std::out_of_range("Switch: VPI exceeds UNI label width");
+  }
+  return (static_cast<std::uint32_t>(port) << 24) |
+         (static_cast<std::uint32_t>(vc.vpi) << 16) |
+         static_cast<std::uint32_t>(vc.vci);
+}
+
 void Switch::add_route(std::size_t in_port, atm::VcId vc,
                        std::size_t out_port, atm::VcId out_vc) {
   if (in_port >= config_.ports || out_port >= config_.ports) {
     throw std::out_of_range("Switch: port index");
   }
-  routes_[RouteKey{in_port, vc}] = Route{out_port, out_vc};
+  auto [entry, inserted] = vcs_.try_emplace(route_label(in_port, vc));
+  if (!entry->has_route) ++route_count_;
+  entry->has_route = true;
+  entry->out_port = static_cast<std::uint32_t>(out_port);
+  entry->out_vc = out_vc;
+  entry->frame = FrameState{};
 }
 
 void Switch::add_policer(std::size_t in_port, atm::VcId vc,
                          double pcr_cells_per_second, sim::Time cdvt,
                          PoliceAction action) {
   if (in_port >= config_.ports) throw std::out_of_range("Switch: port");
-  policers_.insert_or_assign(
-      RouteKey{in_port, vc},
-      Policer{atm::Gcra::for_pcr(pcr_cells_per_second, cdvt), action});
+  auto [entry, inserted] = vcs_.try_emplace(route_label(in_port, vc));
+  entry->has_policer = true;
+  entry->police = atm::Gcra::for_pcr(pcr_cells_per_second, cdvt);
+  entry->police_action = action;
 }
 
 bool Switch::remove_route(std::size_t in_port, atm::VcId vc) {
-  policers_.erase(RouteKey{in_port, vc});
-  return routes_.erase(RouteKey{in_port, vc}) > 0;
+  // The whole record — route, policer, frame-discard state — dies with
+  // the connection (keeping frame state alive for a removed route was a
+  // slow leak: nothing could ever clear it again).
+  const std::uint32_t label = route_label(in_port, vc);
+  const auto found = vcs_.find(label);
+  if (found.value == nullptr) return false;
+  const bool had_route = found.value->has_route;
+  vcs_.erase(label);
+  if (had_route) --route_count_;
+  return had_route;
 }
 
 void Switch::attach_output(std::size_t out_port, Link& link) {
@@ -59,33 +83,32 @@ void Switch::receive(std::size_t in_port, const WireCell& wire) {
   atm::CellHeader h = atm::decode_header(
       std::span<const std::uint8_t, 4>(cell.bytes.data(), 4),
       atm::HeaderFormat::kUni);
-  const auto it = routes_.find(RouteKey{in_port, h.vc});
-  if (it == routes_.end()) {
+  // One probe fetches the whole per-VC record: route, policer and
+  // frame-discard state live in the same pooled entry.
+  VcEntry* entry = vcs_.find(route_label(in_port, h.vc)).value;
+  if (entry == nullptr || !entry->has_route) {
     unroutable_.add();
     return;
   }
 
   // Usage parameter control: non-conforming cells are dropped or tagged
   // discard-eligible before they reach the output queue.
-  if (auto pit = policers_.find(RouteKey{in_port, h.vc});
-      pit != policers_.end()) {
-    if (!pit->second.gcra.police(sim_.now())) {
-      if (pit->second.action == PoliceAction::kDrop) {
-        policed_drop_.add();
-        return;
-      }
-      policed_tag_.add();
-      h.clp = true;
+  if (entry->has_policer && !entry->police.police(sim_.now())) {
+    if (entry->police_action == PoliceAction::kDrop) {
+      policed_drop_.add();
+      return;
     }
+    policed_tag_.add();
+    h.clp = true;
   }
 
-  OutputPort& out = outputs_[it->second.out_port];
+  OutputPort& out = outputs_[entry->out_port];
 
   // Frame-aware discard (EPD/PPD) for AAL5 traffic.
   const bool user_data = atm::pti_is_user_data(h.pti);
   const bool last_of_pdu = atm::pti_auu(h.pti);
   if (config_.epd_threshold > 0 && user_data) {
-    FrameState& fs = frames_[RouteKey{in_port, h.vc}];
+    FrameState& fs = entry->frame;
     if (fs.discard == FrameState::Discard::kWholePdu) {
       // EPD in progress: consume everything through the final cell.
       epd_drop_.add();
@@ -142,15 +165,16 @@ void Switch::receive(std::size_t in_port, const WireCell& wire) {
   }
 
   // Translate the VC and restamp the HEC.
-  h.vc = it->second.out_vc;
+  h.vc = entry->out_vc;
   atm::encode_header(h, atm::HeaderFormat::kUni,
                      std::span<std::uint8_t, 4>(cell.bytes.data(), 4));
   cell.bytes[4] = atm::hec_compute(
       std::span<const std::uint8_t, 4>(cell.bytes.data(), 4));
 
+  const std::size_t out_port = entry->out_port;
   out.queue.push_back(std::move(cell));
   out.depth.set(sim_.now(), static_cast<double>(out.queue.size()));
-  if (!out.serving) serve(it->second.out_port);
+  if (!out.serving) serve(out_port);
 }
 
 void Switch::serve(std::size_t out_port) {

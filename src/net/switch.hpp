@@ -14,7 +14,6 @@
 #include <deque>
 #include <optional>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "atm/cell.hpp"
@@ -22,6 +21,7 @@
 #include "atm/gcra.hpp"
 #include "atm/phy.hpp"
 #include "net/link.hpp"
+#include "sim/flat_table.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
@@ -73,18 +73,28 @@ class Switch {
 
   /// Whether (in_port, vc) has a route installed.
   bool has_route(std::size_t in_port, atm::VcId vc) const {
-    return routes_.count(RouteKey{in_port, vc}) != 0;
+    const auto found = vcs_.find(route_label(in_port, vc));
+    return found.value != nullptr && found.value->has_route;
   }
-  std::size_t route_count() const { return routes_.size(); }
+  std::size_t route_count() const { return route_count_; }
 
-  /// Visits every route as fn(in_port, in_vc, out_port, out_vc).
-  /// Iteration order is the hash map's — callers needing determinism
-  /// must collect and sort (the signaling agent's audit does).
+  /// Steady-state bytes the per-VC state (index + pooled records)
+  /// occupies — bench P2's bytes/VC column.
+  std::size_t vc_state_bytes() const { return vcs_.memory_bytes(); }
+
+  /// Visits every route as fn(in_port, in_vc, out_port, out_vc), in
+  /// ascending (in_port, vpi, vci) order — audit iteration stays
+  /// byte-deterministic however the table was populated. The callback
+  /// may add or remove routes (mutations do not disturb the walk).
   template <typename Fn>
-  void for_each_route(Fn&& fn) const {
-    for (const auto& [key, route] : routes_) {
-      fn(key.port, key.vc, route.out_port, route.out_vc);
-    }
+  void for_each_route(Fn&& fn) {
+    vcs_.for_each_sorted([&fn](std::uint32_t label, VcEntry& e) {
+      if (!e.has_route) return;
+      fn(static_cast<std::size_t>(label >> 24),
+         atm::VcId{static_cast<std::uint16_t>((label >> 16) & 0xFF),
+                   static_cast<std::uint16_t>(label & 0xFFFF)},
+         e.out_port, e.out_vc);
+    });
   }
 
   /// Attaches the link leaving `out_port`.
@@ -134,24 +144,6 @@ class Switch {
   }
 
  private:
-  struct RouteKey {
-    std::size_t port;
-    atm::VcId vc;
-    friend bool operator==(const RouteKey&, const RouteKey&) = default;
-  };
-  struct RouteKeyHash {
-    std::size_t operator()(const RouteKey& k) const noexcept {
-      return std::hash<atm::VcId>{}(k.vc) * 1315423911u ^ k.port;
-    }
-  };
-  struct Route {
-    std::size_t out_port;
-    atm::VcId out_vc;
-  };
-  struct Policer {
-    atm::Gcra gcra;
-    PoliceAction action;
-  };
   /// Frame-aware discard state per (in_port, vc), AAL5 framing.
   struct FrameState {
     bool mid_pdu = false;      // a PDU is in progress (first cell seen)
@@ -161,6 +153,17 @@ class Switch {
       kTail,       // PPD: drop the rest but forward the final cell
     } discard = Discard::kNone;
   };
+  /// Everything the data plane needs for one (in_port, vc), in one
+  /// pooled record: a cell pays exactly one table probe, not three.
+  struct VcEntry {
+    std::uint32_t out_port = 0;
+    atm::VcId out_vc{};
+    atm::Gcra police{0, 0};
+    PoliceAction police_action = PoliceAction::kDrop;
+    bool has_route = false;
+    bool has_policer = false;
+    FrameState frame;
+  };
   struct OutputPort {
     std::deque<WireCell> queue;
     Link* link = nullptr;
@@ -168,13 +171,19 @@ class Switch {
     sim::TimeWeightedStat depth;
   };
 
+  /// Packs (in_port, vpi, vci) into the 32-bit table label:
+  /// port(8) | vpi(8) | vci(16). The forwarding plane parses headers
+  /// as UNI, so the VPI always fits 8 bits here; out-of-range values
+  /// (a would-be 12-bit NNI VPI, a port beyond 255) throw rather than
+  /// aliasing another connection's state.
+  static std::uint32_t route_label(std::size_t port, atm::VcId vc);
+
   void serve(std::size_t out_port);
 
   sim::Simulator& sim_;
   SwitchConfig config_;
-  std::unordered_map<RouteKey, Route, RouteKeyHash> routes_;
-  std::unordered_map<RouteKey, Policer, RouteKeyHash> policers_;
-  std::unordered_map<RouteKey, FrameState, RouteKeyHash> frames_;
+  sim::FlatMap<std::uint32_t, VcEntry> vcs_;
+  std::size_t route_count_ = 0;
   std::vector<OutputPort> outputs_;
   std::vector<atm::HecReceiver> hec_;  // one per input port
   sim::Counter forwarded_;

@@ -3,7 +3,7 @@
 namespace hni::nic {
 
 bool BoardMemory::add_cell(std::uint64_t chain) {
-  Chain& c = chains_[chain];
+  Chain& c = *chains_.try_emplace(chain).first;
   if (c.containers == 0 || c.cells_in_tail == config_.cells_per_container) {
     if (in_use_ >= effective_containers()) {
       failures_.add();
@@ -25,17 +25,17 @@ void BoardMemory::set_capacity_limit(std::size_t containers) {
 }
 
 void BoardMemory::release(std::uint64_t chain) {
-  auto it = chains_.find(chain);
-  if (it == chains_.end()) return;
-  in_use_ -= it->second.containers;
-  released_.add(it->second.containers);
+  const Chain* c = chains_.find(chain).value;
+  if (c == nullptr) return;
+  in_use_ -= c->containers;
+  released_.add(c->containers);
   usage_.set(sim_.now(), static_cast<double>(in_use_));
-  chains_.erase(it);
+  chains_.erase(chain);
 }
 
 std::size_t BoardMemory::chain_containers(std::uint64_t chain) const {
-  const auto it = chains_.find(chain);
-  return it == chains_.end() ? 0 : it->second.containers;
+  const Chain* c = chains_.find(chain).value;
+  return c == nullptr ? 0 : c->containers;
 }
 
 }  // namespace hni::nic

@@ -15,9 +15,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "atm/cell.hpp"
+#include "sim/flat_table.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
@@ -88,7 +88,10 @@ class BoardMemory {
 
   sim::Simulator& sim_;
   BoardMemoryConfig config_;
-  std::unordered_map<std::uint64_t, Chain> chains_;
+  // Open-addressing map: the RX path touches a chain per cell, so the
+  // lookup shares the data plane's cache-compact table (arena-pooled,
+  // erase leaves no tombstones under per-PDU churn).
+  sim::FlatMap<std::uint64_t, Chain> chains_;
   std::size_t in_use_ = 0;
   std::size_t limit_ = static_cast<std::size_t>(-1);
   sim::TimeWeightedStat usage_;

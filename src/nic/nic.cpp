@@ -13,9 +13,32 @@ Nic::Nic(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
       [this](atm::VcId vc, const atm::OamCell& oam) { on_oam(vc, oam); });
 }
 
+void Nic::close_vc(atm::VcId vc) {
+  rx_->close_vc(vc);
+  open_vcs_.erase(std::remove(open_vcs_.begin(), open_vcs_.end(), vc),
+                  open_vcs_.end());
+  // Abandon loopbacks the closed VC will never answer. Sorted walk so
+  // the sweep order (and the books it feeds) is byte-deterministic.
+  std::vector<std::uint64_t> stale;
+  outstanding_loopbacks_.for_each_sorted(
+      [&](std::uint64_t tag, const PendingLoopback& p) {
+        if (p.vc == vc) stale.push_back(tag);
+      });
+  for (const std::uint64_t tag : stale) {
+    outstanding_loopbacks_.erase(tag);
+    ++loopbacks_abandoned_;
+  }
+  // Clear a standing RDI pause: the hold timer keys off rdi_until_, so
+  // without this a VC closed while paused would leave its label in the
+  // table and the TX lane frozen if the VC is ever reopened.
+  if (rdi_until_.erase(atm::vc_label(vc)) && tx_->vc_paused(vc)) {
+    tx_->resume_vc(vc);
+  }
+}
+
 void Nic::send_loopback(atm::VcId vc, std::uint64_t tag) {
   ++loopbacks_sent_;
-  outstanding_loopbacks_[tag] = sim_->now();
+  outstanding_loopbacks_.insert(tag, PendingLoopback{vc, sim_->now()});
   atm::OamCell oam;
   oam.function = atm::OamFunction::kLoopbackRequest;
   oam.tag = tag;
@@ -35,10 +58,11 @@ void Nic::on_oam(atm::VcId vc, const atm::OamCell& oam) {
       break;
     }
     case atm::OamFunction::kLoopbackResponse: {
-      auto it = outstanding_loopbacks_.find(oam.tag);
-      if (it == outstanding_loopbacks_.end()) break;
-      const sim::Time rtt = sim_->now() - it->second;
-      outstanding_loopbacks_.erase(it);
+      const PendingLoopback* pending =
+          outstanding_loopbacks_.find(oam.tag).value;
+      if (pending == nullptr) break;
+      const sim::Time rtt = sim_->now() - pending->sent;
+      outstanding_loopbacks_.erase(oam.tag);
       ++loopbacks_completed_;
       if (loopback_handler_) loopback_handler_(vc, oam.tag, rtt);
       break;
@@ -60,8 +84,8 @@ void Nic::on_oam(atm::VcId vc, const atm::OamCell& oam) {
       // cells into a dead path. Each RDI extends the hold; the VC
       // resumes rdi_hold after the indications stop.
       ++rdi_received_;
-      const bool first = rdi_until_.find(vc) == rdi_until_.end();
-      rdi_until_[vc] = sim_->now() + config_.rdi_hold;
+      auto [deadline, first] = rdi_until_.try_emplace(atm::vc_label(vc));
+      *deadline = sim_->now() + config_.rdi_hold;
       tx_->pause_vc(vc);
       if (first) schedule_rdi_resume(vc);
       break;
@@ -101,14 +125,14 @@ void Nic::insert_ais() {
 }
 
 void Nic::schedule_rdi_resume(atm::VcId vc) {
-  auto it = rdi_until_.find(vc);
-  if (it == rdi_until_.end()) return;
-  sim_->at(it->second, [this, vc] {
-    auto at = rdi_until_.find(vc);
-    if (at == rdi_until_.end()) return;
-    if (sim_->now() >= at->second) {
+  const sim::Time* until = rdi_until_.find(atm::vc_label(vc)).value;
+  if (until == nullptr) return;
+  sim_->at(*until, [this, vc] {
+    const sim::Time* at = rdi_until_.find(atm::vc_label(vc)).value;
+    if (at == nullptr) return;  // cleared meanwhile (e.g. VC closed)
+    if (sim_->now() >= *at) {
       // No RDI for a full hold interval: the defect cleared.
-      rdi_until_.erase(at);
+      rdi_until_.erase(atm::vc_label(vc));
       tx_->resume_vc(vc);
     } else {
       schedule_rdi_resume(vc);  // hold was extended by a newer RDI

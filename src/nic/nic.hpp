@@ -9,11 +9,11 @@
 
 #include <algorithm>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "nic/rx_path.hpp"
 #include "nic/tx_path.hpp"
+#include "sim/flat_table.hpp"
 
 namespace hni::nic {
 
@@ -56,14 +56,11 @@ class Nic {
     open_vcs_.push_back(vc);
   }
 
-  /// Closes `vc`: tears down reassembly state and stops alarm insertion
-  /// for it (a closed VC must not receive AIS cells).
-  void close_vc(atm::VcId vc) {
-    rx_->close_vc(vc);
-    open_vcs_.erase(std::remove(open_vcs_.begin(), open_vcs_.end(), vc),
-                    open_vcs_.end());
-    rdi_until_.erase(vc);
-  }
+  /// Closes `vc`: tears down reassembly state, stops alarm insertion
+  /// for it (a closed VC must not receive AIS cells), abandons any
+  /// loopback still outstanding on it, and clears a standing RDI pause
+  /// — per-VC fault state must not outlive the connection.
+  void close_vc(atm::VcId vc);
 
   /// Connects the transmit framer to an outgoing link and starts it.
   void attach_tx(net::Link& link);
@@ -87,6 +84,16 @@ class Nic {
   std::uint64_t loopbacks_sent() const { return loopbacks_sent_; }
   std::uint64_t loopbacks_answered() const { return loopbacks_answered_; }
   std::uint64_t loopbacks_completed() const { return loopbacks_completed_; }
+  /// Requests abandoned because their VC closed before the reply came.
+  std::uint64_t loopbacks_abandoned() const { return loopbacks_abandoned_; }
+  /// Requests still awaiting a reply. Conservation (the auditor checks
+  /// it): sent == completed + abandoned + outstanding.
+  std::size_t loopbacks_outstanding() const {
+    return outstanding_loopbacks_.size();
+  }
+  /// VCs currently held in RDI pause; never exceeds the open VC count.
+  std::size_t rdi_pending() const { return rdi_until_.size(); }
+  std::size_t open_vc_count() const { return open_vcs_.size(); }
 
   // --- alarm statistics -----------------------------------------------
   /// Loss-of-signal currently standing on the receive link.
@@ -120,6 +127,14 @@ class Nic {
   }
 
  private:
+  /// A loopback awaiting its reply. Tagged with the VC so close_vc can
+  /// sweep the requests a dying connection will never answer (keyed by
+  /// tag alone, the old table could not find them — they leaked).
+  struct PendingLoopback {
+    atm::VcId vc{};
+    sim::Time sent = 0;
+  };
+
   void on_oam(atm::VcId vc, const atm::OamCell& oam);
   void on_link_state(bool down);
   void insert_ais();
@@ -130,15 +145,17 @@ class Nic {
   std::unique_ptr<TxPath> tx_;
   std::unique_ptr<RxPath> rx_;
   LoopbackHandler loopback_handler_;
-  std::unordered_map<std::uint64_t, sim::Time> outstanding_loopbacks_;
+  sim::FlatMap<std::uint64_t, PendingLoopback> outstanding_loopbacks_;
   std::uint64_t loopbacks_sent_ = 0;
   std::uint64_t loopbacks_answered_ = 0;
   std::uint64_t loopbacks_completed_ = 0;
+  std::uint64_t loopbacks_abandoned_ = 0;
 
   std::vector<atm::VcId> open_vcs_;
   bool los_ = false;
   std::uint64_t ais_epoch_ = 0;  // invalidates stale AIS timers
-  std::unordered_map<atm::VcId, sim::Time> rdi_until_;
+  // RDI hold deadline per paused VC, keyed on the packed VC label.
+  sim::FlatMap<std::uint32_t, sim::Time> rdi_until_;
   std::uint64_t los_events_ = 0;
   std::uint64_t ais_inserted_ = 0;
   std::uint64_t ais_received_ = 0;

@@ -45,12 +45,12 @@ TxPath::TxPath(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
 }
 
 TxPath::VcState& TxPath::state_for(atm::VcId vc) {
-  auto [it, inserted] = vcs_.try_emplace(vc);
+  auto [state, inserted] = vcs_.try_emplace(atm::vc_label(vc));
   if (inserted) {
     rr_.push_back(vc);
-    attach_vc_metrics(vc, it->second);
+    attach_vc_metrics(vc, *state);
   }
-  return it->second;
+  return *state;
 }
 
 void TxPath::attach_vc_metrics(atm::VcId vc, VcState& vs) {
@@ -71,7 +71,9 @@ void TxPath::register_metrics(const sim::MetricScope& scope) {
   engine_.register_metrics(scope.sub("engine"));
   fifo_.register_metrics(scope.sub("fifo"));
   dma_.register_metrics(scope.sub("dma"));
-  for (auto& [vc, vs] : vcs_) attach_vc_metrics(vc, vs);
+  vcs_.for_each([this](std::uint32_t label, VcState& vs) {
+    attach_vc_metrics(atm::vc_from_label(label), vs);
+  });
 }
 
 bool TxPath::post(TxDescriptor descriptor) {
@@ -103,8 +105,8 @@ void TxPath::resume_vc(atm::VcId vc) {
 }
 
 bool TxPath::vc_paused(atm::VcId vc) const {
-  auto it = vcs_.find(vc);
-  return it != vcs_.end() && it->second.paused;
+  const VcState* vs = vcs_.find(atm::vc_label(vc)).value;
+  return vs != nullptr && vs->paused;
 }
 
 void TxPath::unwedge_engine() {
@@ -117,19 +119,20 @@ void TxPath::unwedge_engine() {
 bool TxPath::has_runnable_work() const {
   if (!control_.empty()) return true;
   const sim::Time now = sim_.now();
-  for (const auto& [vc, vs] : vcs_) {
-    if (vs.paused || vs.queue.empty()) continue;
-    if (vs.shaper && !vs.shaper->conforms(now)) continue;
+  if (vcs_.any_of([now](std::uint32_t, const VcState& vs) {
+        if (vs.paused || vs.queue.empty()) return false;
+        if (vs.shaper && !vs.shaper->conforms(now)) return false;
+        return true;
+      })) {
     return true;
   }
   // A stageable descriptor waiting while the staging pipeline sits idle
   // also counts: a wedge can strand work before it reaches a VC queue.
   if (staging_inflight_ == 0 && staged_count_ < config_.staged_pdus) {
     for (const auto& d : ring_) {
-      auto it = vcs_.find(d.vc);
-      const bool paused = it != vcs_.end() && it->second.paused;
-      const std::size_t queued =
-          it != vcs_.end() ? it->second.queue.size() : 0;
+      const VcState* vs = vcs_.find(atm::vc_label(d.vc)).value;
+      const bool paused = vs != nullptr && vs->paused;
+      const std::size_t queued = vs != nullptr ? vs->queue.size() : 0;
       if (!paused && staging_vcs_.count(d.vc) == 0 &&
           queued < config_.staged_per_vc) {
         return true;
@@ -281,7 +284,7 @@ void TxPath::schedule_emission() {
   sim::Time earliest = sim::kTimeNever;
   for (std::size_t i = 0; i < rr_.size(); ++i) {
     const std::size_t idx = (rr_pos_ + i) % rr_.size();
-    VcState& vs = vcs_.at(rr_[idx]);
+    VcState& vs = vc_state(rr_[idx]);
     if (vs.queue.empty() || vs.paused) continue;
     if (vs.shaper && !vs.shaper->conforms(now)) {
       earliest = std::min(earliest, vs.shaper->eligible_at());
@@ -306,7 +309,7 @@ void TxPath::schedule_emission() {
 
 void TxPath::emit_one(atm::VcId vc) {
   emit_busy_ = true;
-  VcState& vs = vcs_.at(vc);
+  VcState& vs = vc_state(vc);
   StagedPdu& pdu = vs.queue.front();
   const TxDescriptor& d = pdu.descriptor;
   const std::size_t next = pdu.next;
@@ -329,7 +332,7 @@ void TxPath::emit_one(atm::VcId vc) {
       config_.dma_mode == TxDmaMode::kPerCell && dma_len > 0;
 
   auto push_cell = [this, vc]() mutable {
-    VcState& vs = vcs_.at(vc);
+    VcState& vs = vc_state(vc);
     StagedPdu& pdu = vs.queue.front();
     atm::Cell cell = pdu.cells[pdu.next];
     cell.meta.created = sim_.now();
@@ -375,7 +378,7 @@ void TxPath::emit_one(atm::VcId vc) {
               [this, vc] {
                 // Mid-PDU DMA gave up: the rest of this PDU can never
                 // be cut — abandon it and move the scheduler along.
-                VcState& vs = vcs_.at(vc);
+                VcState& vs = vc_state(vc);
                 TxDescriptor done = std::move(vs.queue.front().descriptor);
                 vs.queue.pop_front();
                 --staged_count_;

@@ -39,7 +39,6 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -51,6 +50,7 @@
 #include "nic/watchdog.hpp"
 #include "proc/engine.hpp"
 #include "proc/firmware.hpp"
+#include "sim/flat_table.hpp"
 
 namespace hni::nic {
 
@@ -193,6 +193,11 @@ class TxPath {
   void schedule_emission();
   void emit_one(atm::VcId vc);
   VcState& state_for(atm::VcId vc);
+  /// Lookup for a VC known to exist (the rr_ rotation only holds VCs
+  /// state_for has created; entries are never erased).
+  VcState& vc_state(atm::VcId vc) {
+    return *vcs_.find(atm::vc_label(vc)).value;
+  }
 
   sim::Simulator& sim_;
   bus::HostMemory& memory_;
@@ -206,7 +211,10 @@ class TxPath {
   std::deque<TxDescriptor> ring_;
   std::deque<atm::Cell> control_;  // OAM/RM cells awaiting emission
 
-  std::unordered_map<atm::VcId, VcState> vcs_;
+  // Per-VC emission state, keyed on the packed 32-bit VC label.
+  // Arena-pooled: VcState addresses are stable across inserts, so the
+  // emission path can hold a reference across engine callbacks.
+  sim::FlatMap<std::uint32_t, VcState> vcs_;
   std::vector<atm::VcId> rr_;   // all VCs ever seen, rotation order
   std::size_t rr_pos_ = 0;
   std::size_t staged_count_ = 0;

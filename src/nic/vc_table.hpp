@@ -2,106 +2,81 @@
 //
 // The receive engine must map each arriving cell's VPI/VCI to its
 // reassembly state. The paper's design point is a CAM assist (constant
-// time); the software alternative is an open hash whose probe count
-// grows with the number of active VCs — the difference is exactly what
-// bench F5 measures. This table is a real open hash: lookups report how
-// many extra probes the search performed so the engine can be charged
-// faithfully.
+// time); the software alternative is a hash whose probe count the
+// engine is charged for. This table is a real open-addressing
+// (robin-hood) hash over the packed 32-bit VC label — power-of-two
+// capacity, splitmix64-mixed, tombstone-free erase — so lookups report
+// their true displacement and the software path stays near-constant
+// even at very large VC populations (bench F5 measures the residue;
+// bench P2 sweeps the population). State records are pooled in a slot
+// arena: a State* stays valid across unrelated inserts and erases.
 
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <utility>
-#include <vector>
 
 #include "atm/cell.hpp"
+#include "sim/flat_table.hpp"
 
 namespace hni::nic {
 
 template <typename State>
 class VcTable {
  public:
-  explicit VcTable(std::size_t buckets = 64) : buckets_(buckets) {}
+  /// `expected` pre-sizes the index; the table grows past it on demand
+  /// (the old fixed-bucket behaviour made probe cost a config knob —
+  /// now it is a measurement).
+  explicit VcTable(std::size_t expected = 64) : map_(expected) {}
 
   struct Found {
     State* state = nullptr;
-    std::uint32_t extra_probes = 0;  // chain hops beyond the first slot
+    std::uint32_t extra_probes = 0;  // displacement beyond the home slot
   };
 
-  /// Inserts (or replaces) state for `vc`.
+  /// Inserts (or replaces) state for `vc`. The reference is
+  /// arena-stable until the VC is erased.
   State& insert(atm::VcId vc, State state) {
-    auto& chain = buckets_[index(vc)];
-    for (auto& entry : chain) {
-      if (entry.first == vc) {
-        entry.second = std::move(state);
-        return entry.second;
-      }
-    }
-    chain.emplace_back(vc, std::move(state));
-    ++size_;
-    return chain.back().second;
+    return map_.insert(atm::vc_label(vc), std::move(state));
   }
 
-  /// Looks up `vc`, reporting chain probes.
+  /// Looks up `vc`, reporting probe displacement for engine charging.
   Found find(atm::VcId vc) {
-    auto& chain = buckets_[index(vc)];
-    for (std::size_t i = 0; i < chain.size(); ++i) {
-      if (chain[i].first == vc) {
-        return Found{&chain[i].second, static_cast<std::uint32_t>(i)};
-      }
-    }
-    return Found{nullptr,
-                 static_cast<std::uint32_t>(chain.empty() ? 0
-                                                          : chain.size() - 1)};
+    const auto f = map_.find(atm::vc_label(vc));
+    return Found{f.value, f.extra_probes};
   }
 
-  bool erase(atm::VcId vc) {
-    auto& chain = buckets_[index(vc)];
-    for (auto it = chain.begin(); it != chain.end(); ++it) {
-      if (it->first == vc) {
-        chain.erase(it);
-        --size_;
-        return true;
-      }
-    }
-    return false;
-  }
+  bool erase(atm::VcId vc) { return map_.erase(atm::vc_label(vc)); }
 
   /// Membership test without probe accounting (audit/reconciliation
   /// path — nobody gets charged engine cycles for bookkeeping reads).
   bool contains(atm::VcId vc) const {
-    for (const auto& entry : buckets_[index(vc)]) {
-      if (entry.first == vc) return true;
-    }
-    return false;
+    return map_.contains(atm::vc_label(vc));
   }
 
-  std::size_t size() const { return size_; }
-  std::size_t bucket_count() const { return buckets_.size(); }
+  std::size_t size() const { return map_.size(); }
+  std::size_t index_capacity() const { return map_.index_capacity(); }
+  /// Steady-state bytes the table occupies (index + pooled records).
+  std::size_t memory_bytes() const { return map_.memory_bytes(); }
 
-  /// Visits every (vc, state) pair.
+  /// Visits every (vc, state) pair in slot order (deterministic for a
+  /// same-seed run). The callback must not mutate the table.
   template <typename Fn>
   void for_each(Fn&& fn) {
-    for (auto& chain : buckets_) {
-      for (auto& entry : chain) fn(entry.first, entry.second);
-    }
+    map_.for_each([&fn](std::uint32_t label, State& s) {
+      fn(atm::vc_from_label(label), s);
+    });
   }
 
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& chain : buckets_) {
-      for (const auto& entry : chain) fn(entry.first, entry.second);
-    }
+    map_.for_each([&fn](std::uint32_t label, const State& s) {
+      fn(atm::vc_from_label(label), s);
+    });
   }
 
  private:
-  std::size_t index(atm::VcId vc) const {
-    return std::hash<atm::VcId>{}(vc) % buckets_.size();
-  }
-
-  std::vector<std::vector<std::pair<atm::VcId, State>>> buckets_;
-  std::size_t size_ = 0;
+  sim::FlatMap<std::uint32_t, State> map_;
 };
 
 }  // namespace hni::nic

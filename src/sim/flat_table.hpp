@@ -1,0 +1,373 @@
+// Cache-compact per-connection state storage: open-addressing index +
+// chunked slot arena.
+//
+// The data plane looks up per-VC state on every cell; at millions of
+// VCs a node-based map spends the cell budget chasing pointers and the
+// allocator. This header provides the two pieces the hot paths share:
+//
+//   * SlotArena<T> — chunked object pool handing out stable 32-bit
+//     handles. Chunks are fixed-size, so records never move once
+//     allocated: a pointer obtained from a lookup stays valid across
+//     any number of unrelated inserts (only erasing *that* record
+//     invalidates it). Freed slots go on an intrusive freelist and are
+//     reused, so steady-state churn allocates nothing.
+//
+//   * FlatMap<Key, T> — robin-hood linear-probing hash index from a
+//     packed integer label to an arena handle. Power-of-two capacity,
+//     strong 64-bit finalizer (splitmix64) so sequential VCI/port
+//     allocation cannot probe-cluster, and backward-shift deletion —
+//     no tombstones, so probe distances never rot under churn. The
+//     index slot is 12-16 bytes; at the 7/8 load ceiling the whole
+//     structure costs well under 128 bytes per entry for typical
+//     per-VC records.
+//
+// Iteration comes in two flavours with different contracts:
+//   * for_each / any_of: slot order (hash order). Deterministic for a
+//     same-seed run but not sorted; the table must not be mutated from
+//     inside the callback.
+//   * for_each_sorted: ascending key order via a key snapshot, for
+//     byte-deterministic audits and snapshots. The callback may erase
+//     entries (including the current one) and insert new ones; erased
+//     entries are skipped, entries inserted during the walk are not
+//     visited.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace hni::sim {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mixer. Every bit of
+/// the input affects every bit of the output, so keys differing only
+/// in high bits (the port field of a packed route label) land in
+/// unrelated buckets.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Chunked object pool with stable addresses and 32-bit handles.
+template <typename T>
+class SlotArena {
+ public:
+  static constexpr std::uint32_t kNullHandle = 0xFFFFFFFFu;
+
+  SlotArena() = default;
+  SlotArena(const SlotArena&) = delete;
+  SlotArena& operator=(const SlotArena&) = delete;
+  SlotArena(SlotArena&&) = default;
+  SlotArena& operator=(SlotArena&&) = default;
+  ~SlotArena() { clear(); }
+
+  /// Constructs a T in a free slot and returns its handle.
+  template <typename... Args>
+  std::uint32_t alloc(Args&&... args) {
+    if (free_head_ == kNullHandle) grow();
+    const std::uint32_t h = free_head_;
+    Slot& s = slot(h);
+    // Construct before unlinking: a throwing constructor leaves the
+    // freelist (and the arena's books) untouched.
+    ::new (static_cast<void*>(s.storage)) T(std::forward<Args>(args)...);
+    free_head_ = s.next_free;
+    s.live = true;
+    ++size_;
+    return h;
+  }
+
+  /// Destroys the record and recycles its slot.
+  void free(std::uint32_t h) {
+    Slot& s = slot(h);
+    get(s)->~T();
+    s.live = false;
+    s.next_free = free_head_;
+    free_head_ = h;
+    --size_;
+  }
+
+  T& operator[](std::uint32_t h) { return *get(slot(h)); }
+  const T& operator[](std::uint32_t h) const { return *get(slot(h)); }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return chunks_.size() << kChunkShift; }
+
+  /// Bytes held by the arena (capacity, not just live records).
+  std::size_t memory_bytes() const {
+    return chunks_.size() * (std::size_t{1} << kChunkShift) * sizeof(Slot);
+  }
+
+  void clear() {
+    for (auto& chunk : chunks_) {
+      for (std::uint32_t i = 0; i < kChunkSlots; ++i) {
+        if (chunk[i].live) {
+          get(chunk[i])->~T();
+          chunk[i].live = false;
+        }
+      }
+    }
+    chunks_.clear();
+    free_head_ = kNullHandle;
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::uint32_t kChunkShift = 8;  // 256 slots per chunk
+  static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSlots - 1;
+
+  struct Slot {
+    alignas(T) unsigned char storage[sizeof(T)];
+    std::uint32_t next_free = kNullHandle;
+    bool live = false;
+  };
+
+  Slot& slot(std::uint32_t h) { return chunks_[h >> kChunkShift][h & kChunkMask]; }
+  const Slot& slot(std::uint32_t h) const {
+    return chunks_[h >> kChunkShift][h & kChunkMask];
+  }
+  static T* get(Slot& s) { return std::launder(reinterpret_cast<T*>(s.storage)); }
+  static const T* get(const Slot& s) {
+    return std::launder(reinterpret_cast<const T*>(s.storage));
+  }
+
+  void grow() {
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(chunks_.size()) << kChunkShift;
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+    // Thread the new slots in ascending handle order so allocation
+    // order (and therefore any handle-ordered walk) is deterministic.
+    Slot* chunk = chunks_.back().get();
+    for (std::uint32_t i = kChunkSlots; i-- > 0;) {
+      chunk[i].next_free = free_head_;
+      free_head_ = base + i;
+    }
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t free_head_ = kNullHandle;
+  std::size_t size_ = 0;
+};
+
+/// Open-addressing map from a packed integer key to an arena-pooled
+/// record. See the file comment for the iteration contracts.
+template <typename Key, typename T>
+class FlatMap {
+  static_assert(std::is_integral_v<Key> && sizeof(Key) <= 8,
+                "FlatMap keys are packed integer labels");
+
+ public:
+  struct Found {
+    T* value = nullptr;
+    std::uint32_t extra_probes = 0;  // displacement from the home slot
+  };
+
+  /// `expected` sizes the initial index so that many inserts need no
+  /// rehash; the table still grows past it on demand.
+  explicit FlatMap(std::size_t expected = 0) {
+    if (expected > 0) rehash(index_capacity_for(expected));
+  }
+
+  /// Inserts, or replaces the existing record. The returned reference
+  /// is arena-stable: later inserts never move it.
+  T& insert(Key key, T value) {
+    auto [ptr, inserted] = try_emplace(key, std::move(value));
+    if (!inserted) *ptr = std::move(value);
+    return *ptr;
+  }
+
+  /// Emplaces if absent; returns (record, inserted). The record pointer
+  /// is stable until that key is erased.
+  template <typename... Args>
+  std::pair<T*, bool> try_emplace(Key key, Args&&... args) {
+    if (index_.empty() || (size_ + 1) * 8 > index_.size() * 7) {
+      rehash(index_.empty() ? kMinCapacity : index_.size() * 2);
+    }
+    if (T* existing = find(key).value) return {existing, false};
+    const std::uint32_t handle = arena_.alloc(std::forward<Args>(args)...);
+    place(key, handle);
+    ++size_;
+    return {&arena_[handle], true};
+  }
+
+  Found find(Key key) {
+    const ConstFound f = std::as_const(*this).find(key);
+    return Found{const_cast<T*>(f.value), f.extra_probes};
+  }
+
+  struct ConstFound {
+    const T* value = nullptr;
+    std::uint32_t extra_probes = 0;
+  };
+  ConstFound find(Key key) const {
+    if (index_.empty()) return {};
+    std::size_t i = home(key);
+    for (std::uint8_t d1 = 1;; ++d1, i = (i + 1) & mask_) {
+      const IndexSlot& s = index_[i];
+      // An empty slot, or one holding an entry closer to its own home
+      // than we are to ours, proves the key is absent (robin-hood
+      // invariant) — no tombstone scanning, bounded miss cost.
+      if (s.dist1 < d1) return {};
+      if (s.dist1 == d1 && s.key == key) {
+        return {&arena_[s.handle],
+                static_cast<std::uint32_t>(d1 - 1)};
+      }
+    }
+  }
+
+  bool contains(Key key) const { return find(key).value != nullptr; }
+
+  bool erase(Key key) {
+    if (index_.empty()) return false;
+    std::size_t i = home(key);
+    for (std::uint8_t d1 = 1;; ++d1, i = (i + 1) & mask_) {
+      IndexSlot& s = index_[i];
+      if (s.dist1 < d1) return false;
+      if (s.dist1 == d1 && s.key == key) break;
+    }
+    arena_.free(index_[i].handle);
+    // Backward-shift deletion: slide the rest of the cluster one slot
+    // toward home. Leaves no tombstones, so probe distances stay tight
+    // no matter how much churn the table has seen.
+    std::size_t j = (i + 1) & mask_;
+    while (index_[j].dist1 > 1) {
+      index_[i] = index_[j];
+      --index_[i].dist1;
+      i = j;
+      j = (j + 1) & mask_;
+    }
+    index_[i].dist1 = 0;
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t index_capacity() const { return index_.size(); }
+
+  /// Bytes held: index array plus arena chunks. This is capacity, the
+  /// honest steady-state footprint per entry.
+  std::size_t memory_bytes() const {
+    return index_.capacity() * sizeof(IndexSlot) + arena_.memory_bytes();
+  }
+
+  /// Slot-order walk (hash order; deterministic for a same-seed run).
+  /// The callback must not mutate the table.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (const IndexSlot& s : index_) {
+      if (s.dist1 != 0) fn(s.key, arena_[s.handle]);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const IndexSlot& s : index_) {
+      if (s.dist1 != 0) fn(s.key, arena_[s.handle]);
+    }
+  }
+
+  /// Slot-order early-exit scan: true iff fn returned true for some
+  /// entry. The callback must not mutate the table.
+  template <typename Fn>
+  bool any_of(Fn&& fn) const {
+    for (const IndexSlot& s : index_) {
+      if (s.dist1 != 0 && fn(s.key, arena_[s.handle])) return true;
+    }
+    return false;
+  }
+
+  /// Ascending-key walk over a snapshot — byte-deterministic however
+  /// the table was populated. The callback may erase entries (they are
+  /// skipped if already gone) and insert new ones (not visited).
+  template <typename Fn>
+  void for_each_sorted(Fn&& fn) {
+    std::vector<Key> keys;
+    keys.reserve(size_);
+    for (const IndexSlot& s : index_) {
+      if (s.dist1 != 0) keys.push_back(s.key);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (const Key key : keys) {
+      if (T* value = find(key).value) fn(key, *value);
+    }
+  }
+
+  void clear() {
+    index_.clear();
+    arena_.clear();
+    size_ = 0;
+    mask_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;  // power of two
+
+  // dist1 = probe distance + 1; 0 marks an empty slot, so a key of 0
+  // (a valid packed label) needs no sentinel.
+  struct IndexSlot {
+    Key key = 0;
+    std::uint32_t handle = 0;
+    std::uint8_t dist1 = 0;
+  };
+
+  static std::size_t index_capacity_for(std::size_t entries) {
+    std::size_t cap = kMinCapacity;
+    while (entries * 8 > cap * 7) cap *= 2;
+    return cap;
+  }
+
+  std::size_t home(Key key) const {
+    return static_cast<std::size_t>(
+               mix64(static_cast<std::uint64_t>(key))) &
+           mask_;
+  }
+
+  /// Robin-hood insert of an index entry (key must be absent).
+  void place(Key key, std::uint32_t handle) {
+    IndexSlot incoming{key, handle, 1};
+    std::size_t i = home(key);
+    for (;; i = (i + 1) & mask_) {
+      IndexSlot& s = index_[i];
+      if (s.dist1 == 0) {
+        s = incoming;
+        return;
+      }
+      if (incoming.dist1 == kMaxDist1) {
+        // Pathological clustering (cannot happen with the 64-bit mixer
+        // below the load ceiling, but growth restores the invariant
+        // regardless of the key distribution). Checked before the swap
+        // so no stored displacement ever reaches the cap — probe loops
+        // terminate within a uint8 distance.
+        rehash(index_.size() * 2);
+        place(incoming.key, incoming.handle);
+        return;
+      }
+      if (s.dist1 < incoming.dist1) std::swap(s, incoming);
+      ++incoming.dist1;
+    }
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<IndexSlot> old = std::move(index_);
+    index_.assign(new_capacity, IndexSlot{});
+    mask_ = new_capacity - 1;
+    for (const IndexSlot& s : old) {
+      if (s.dist1 != 0) place(s.key, s.handle);
+    }
+  }
+
+  static constexpr std::uint8_t kMaxDist1 = 255;
+
+  std::vector<IndexSlot> index_;
+  SlotArena<T> arena_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace hni::sim

@@ -108,6 +108,34 @@ TEST(VcId, HashSpreadsVpiAndVci) {
   EXPECT_NE(h1, h2);
 }
 
+TEST(VcId, LabelPacksVpiAndVciLosslessly) {
+  // The packed 32-bit label is the data plane's key; VPI and VCI must
+  // each keep their full field width. Boundary values for both header
+  // formats: UNI VPI tops out at 255, NNI at 4095, VCI at 65535.
+  const VcId cases[] = {
+      {0, 0},           {0, 1},           {1, 0},
+      {kMaxUniVpi, 0},  {kMaxUniVpi, 0xFFFF},
+      {kMaxNniVpi, 0},  {kMaxNniVpi, 0xFFFF},
+      {0, 0xFFFF},      {kMaxUniVpi + 1, 1},
+  };
+  for (const VcId& vc : cases) {
+    const std::uint32_t label = vc_label(vc);
+    EXPECT_EQ(vc_from_label(label), vc) << vc.to_string();
+    EXPECT_EQ(label >> 16, vc.vpi) << vc.to_string();
+    EXPECT_EQ(label & 0xFFFFu, vc.vci) << vc.to_string();
+  }
+}
+
+TEST(VcId, LabelsDistinctAcrossFieldBoundaries) {
+  // The classic packing bug: vpi and vci folding into the same bits so
+  // {1,0} and {0,65536-ish} alias. Adjacent boundary pairs must map to
+  // distinct labels.
+  EXPECT_NE(vc_label({1, 0}), vc_label({0, 1}));
+  EXPECT_NE(vc_label({1, 0}), vc_label({0, 0xFFFF}));
+  EXPECT_NE(vc_label({kMaxUniVpi, 0xFFFF}), vc_label({kMaxUniVpi + 1, 0}));
+  EXPECT_NE(vc_label({kMaxNniVpi, 0}), vc_label({kMaxNniVpi - 1, 0xFFFF}));
+}
+
 // Exhaustive-ish roundtrip sweep across the field space.
 struct HeaderCase {
   std::uint8_t gfc;

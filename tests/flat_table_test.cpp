@@ -1,0 +1,235 @@
+// Tests for the cache-compact VC state layer (sim/flat_table.hpp):
+// randomized differential testing against std::unordered_map, the
+// iteration contracts (sorted walk tolerates erase/insert), memory
+// bounds under churn, probe-distribution regressions for the key
+// patterns the data plane actually produces, and SlotArena lifetime.
+
+#include "sim/flat_table.hpp"
+
+#include <cstdint>
+#include <random>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hni::sim {
+namespace {
+
+TEST(Mix64, AvalanchesLowAndHighBits) {
+  // Keys differing in a single bit — low (vci) or high (port field of
+  // a packed route label) — must land far apart.
+  std::set<std::uint64_t> outs;
+  for (int bit = 0; bit < 32; ++bit) {
+    outs.insert(mix64(std::uint64_t{1} << bit));
+  }
+  outs.insert(mix64(0));
+  EXPECT_EQ(outs.size(), 33u);  // no two single-bit keys collide
+}
+
+TEST(SlotArena, HandlesAreStableAndReused) {
+  SlotArena<std::string> arena;
+  const std::uint32_t a = arena.alloc("alpha");
+  const std::uint32_t b = arena.alloc("beta");
+  std::string* pa = &arena[a];
+  // Growth (many more allocations) must not move existing records.
+  std::vector<std::uint32_t> rest;
+  for (int i = 0; i < 1000; ++i) rest.push_back(arena.alloc("x"));
+  EXPECT_EQ(&arena[a], pa);
+  EXPECT_EQ(arena[a], "alpha");
+  // A freed slot is recycled before any new chunk is touched.
+  arena.free(b);
+  const std::size_t cap_before = arena.capacity();
+  const std::uint32_t c = arena.alloc("gamma");
+  EXPECT_EQ(c, b);
+  EXPECT_EQ(arena.capacity(), cap_before);
+  EXPECT_EQ(arena[c], "gamma");
+  EXPECT_EQ(arena.size(), 1002u);
+}
+
+TEST(SlotArena, ClearDestroysLiveRecordsOnly) {
+  // shared_ptr use-counts observe destructor calls: after free + clear
+  // every record must have been destroyed exactly once.
+  auto tracker = std::make_shared<int>(42);
+  SlotArena<std::shared_ptr<int>> arena;
+  const std::uint32_t a = arena.alloc(tracker);
+  arena.alloc(tracker);
+  arena.alloc(tracker);
+  EXPECT_EQ(tracker.use_count(), 4);
+  arena.free(a);
+  EXPECT_EQ(tracker.use_count(), 3);
+  arena.clear();
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(FlatMap, DifferentialAgainstUnorderedMap) {
+  // Randomized op-for-op comparison with the reference container,
+  // including a deliberately adversarial key range (dense sequential
+  // labels, exactly what VC allocation produces).
+  std::mt19937 rng(20260808);
+  FlatMap<std::uint32_t, std::uint64_t> map;
+  std::unordered_map<std::uint32_t, std::uint64_t> ref;
+  std::uniform_int_distribution<std::uint32_t> key_dist(0, 4095);
+  std::uniform_int_distribution<int> op_dist(0, 99);
+  for (int step = 0; step < 200000; ++step) {
+    const std::uint32_t key = key_dist(rng);
+    const int op = op_dist(rng);
+    if (op < 50) {  // insert-or-assign
+      const std::uint64_t value = rng();
+      map.insert(key, value);
+      ref[key] = value;
+    } else if (op < 75) {  // erase
+      EXPECT_EQ(map.erase(key), ref.erase(key) > 0) << "step " << step;
+    } else {  // find
+      auto it = ref.find(key);
+      const std::uint64_t* found = map.find(key).value;
+      if (it == ref.end()) {
+        EXPECT_EQ(found, nullptr) << "step " << step << " key " << key;
+      } else {
+        ASSERT_NE(found, nullptr) << "step " << step << " key " << key;
+        EXPECT_EQ(*found, it->second) << "step " << step;
+      }
+    }
+    EXPECT_EQ(map.size(), ref.size());
+  }
+  // Full sweep at the end: contents identical both ways.
+  for (const auto& [k, v] : ref) {
+    const std::uint64_t* found = map.find(k).value;
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, v);
+  }
+  std::size_t visited = 0;
+  map.for_each([&](std::uint32_t k, std::uint64_t& v) {
+    ++visited;
+    auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatMap, TryEmplaceSemantics) {
+  FlatMap<std::uint32_t, int> map;
+  auto [p1, inserted1] = map.try_emplace(7, 1);
+  EXPECT_TRUE(inserted1);
+  EXPECT_EQ(*p1, 1);
+  auto [p2, inserted2] = map.try_emplace(7, 2);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(p2, p1);
+  EXPECT_EQ(*p2, 1);  // existing record untouched
+  map.insert(7, 3);
+  EXPECT_EQ(*p1, 3);  // insert replaces in place — pointer still valid
+}
+
+TEST(FlatMap, RecordPointersSurviveUnrelatedChurn) {
+  FlatMap<std::uint32_t, std::uint64_t> map;
+  map.insert(42, 4242);
+  std::uint64_t* p = map.find(42).value;
+  ASSERT_NE(p, nullptr);
+  // Thousands of unrelated inserts and erases force many index rehashes
+  // and arena growth; the record must not move.
+  for (std::uint32_t i = 0; i < 5000; ++i) map.insert(1000 + i, i);
+  for (std::uint32_t i = 0; i < 5000; i += 2) map.erase(1000 + i);
+  EXPECT_EQ(map.find(42).value, p);
+  EXPECT_EQ(*p, 4242u);
+}
+
+TEST(FlatMap, SortedWalkIsAscendingAndTolerantOfErase) {
+  FlatMap<std::uint32_t, int> map;
+  for (std::uint32_t i = 0; i < 1000; ++i) map.insert(i * 7, 0);
+  // Erase every third entry (including the current one) mid-walk, and
+  // insert new entries; the walk must visit the surviving snapshot in
+  // ascending order exactly once and never the new entries.
+  std::vector<std::uint32_t> visited;
+  map.for_each_sorted([&](std::uint32_t key, int&) {
+    visited.push_back(key);
+    if (key % 3 == 0) map.erase(key);    // sometimes erase *this* entry
+    map.erase(key + 7);                  // erase the next snapshot key
+    map.insert(1'000'000 + key, 1);      // never visited
+  });
+  // Every visit kills its successor, so the walk lands on exactly every
+  // other snapshot key, in ascending order, and never on an insertion
+  // made during the walk.
+  ASSERT_EQ(visited.size(), 500u);
+  for (std::size_t i = 0; i < visited.size(); ++i) {
+    EXPECT_EQ(visited[i], static_cast<std::uint32_t>(i * 14));
+  }
+}
+
+TEST(FlatMap, MemoryStaysBoundedUnderChurn) {
+  // A window of 4k live entries churned 100k times: capacity must
+  // reflect the window, not the total insert count (backward-shift
+  // delete leaves no tombstones to rot the index; freed arena slots
+  // are recycled).
+  FlatMap<std::uint32_t, std::uint64_t> map;
+  constexpr std::uint32_t kWindow = 4096;
+  for (std::uint32_t i = 0; i < 100'000; ++i) {
+    map.insert(i, i);
+    if (i >= kWindow) map.erase(i - kWindow);
+  }
+  EXPECT_EQ(map.size(), kWindow);
+  // 7/8 ceiling on a power-of-two index: 4096 live entries need at
+  // most an 8192-slot index; the arena at most the window plus one
+  // chunk of slack.
+  EXPECT_LE(map.index_capacity(), 8192u);
+  const std::size_t bytes_per_entry = map.memory_bytes() / map.size();
+  EXPECT_LT(bytes_per_entry, 128u);
+}
+
+TEST(FlatMap, ProbeDistributionForSequentialLabels) {
+  // Regression for the weak-combiner bug: the old route key hash
+  // (hash(vc) * 1315423911 ^ port) clustered sequential (port, vci)
+  // labels. The splitmix64-mixed table must keep the *mean* probe
+  // displacement near zero and the max small for exactly that pattern.
+  FlatMap<std::uint32_t, int> map;
+  std::vector<std::uint32_t> labels;
+  for (std::uint32_t port = 0; port < 4; ++port) {
+    for (std::uint32_t vci = 32; vci < 8224; ++vci) {
+      labels.push_back((port << 24) | vci);
+    }
+  }
+  for (const std::uint32_t label : labels) map.insert(label, 0);
+  std::uint64_t total_probes = 0;
+  std::uint32_t max_probes = 0;
+  for (const std::uint32_t label : labels) {
+    const auto found = map.find(label);
+    ASSERT_NE(found.value, nullptr);
+    total_probes += found.extra_probes;
+    max_probes = std::max(max_probes, found.extra_probes);
+  }
+  const double mean = static_cast<double>(total_probes) /
+                      static_cast<double>(labels.size());
+  EXPECT_LT(mean, 1.5) << "sequential labels are probe-clustering";
+  EXPECT_LE(max_probes, 16u);
+}
+
+TEST(FlatMap, ZeroKeyIsAnOrdinaryKey) {
+  // dist1 (not a key sentinel) marks empty slots, so label 0 — VC 0/0,
+  // a real identifier — must behave like any other key.
+  FlatMap<std::uint32_t, int> map;
+  EXPECT_EQ(map.find(0).value, nullptr);
+  map.insert(0, 99);
+  ASSERT_NE(map.find(0).value, nullptr);
+  EXPECT_EQ(*map.find(0).value, 99);
+  EXPECT_TRUE(map.erase(0));
+  EXPECT_EQ(map.find(0).value, nullptr);
+}
+
+TEST(FlatMap, GrowsFromEmptyAndClears) {
+  FlatMap<std::uint64_t, int> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(1).value, nullptr);
+  EXPECT_FALSE(map.erase(1));
+  for (std::uint64_t i = 0; i < 100; ++i) map.insert(i << 32 | i, 1);
+  EXPECT_EQ(map.size(), 100u);
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(42).value, nullptr);
+  map.insert(7, 7);  // usable again after clear
+  EXPECT_EQ(*map.find(7).value, 7);
+}
+
+}  // namespace
+}  // namespace hni::sim

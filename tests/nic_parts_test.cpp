@@ -156,19 +156,34 @@ TEST(VcTable, InsertReplacesExisting) {
   EXPECT_EQ(*t.find({1, 1}).state, 7);
 }
 
-TEST(VcTable, ProbeCountGrowsWithCollisions) {
-  // One bucket forces every entry onto one chain.
+TEST(VcTable, ProbeCountStaysBoundedAsTableGrows) {
+  // The old fixed-bucket table turned probe cost into a config knob
+  // (N entries on one chain -> N-1 probes). The robin-hood table grows
+  // itself and keeps displacement near-constant: even starting from the
+  // smallest index, thousands of sequential VCIs (the adversarial
+  // allocation pattern) must stay within a handful of extra probes.
   VcTable<int> t(1);
-  for (std::uint16_t i = 0; i < 8; ++i) {
-    t.insert({0, i}, i);
+  constexpr std::uint16_t kVcs = 4096;
+  for (std::uint32_t i = 0; i < kVcs; ++i) {
+    t.insert({static_cast<std::uint16_t>(i >> 12),
+              static_cast<std::uint16_t>(i & 0xFFF)},
+             static_cast<int>(i));
   }
   std::uint32_t max_probes = 0;
-  for (std::uint16_t i = 0; i < 8; ++i) {
-    auto f = t.find({0, i});
+  for (std::uint32_t i = 0; i < kVcs; ++i) {
+    auto f = t.find({static_cast<std::uint16_t>(i >> 12),
+                     static_cast<std::uint16_t>(i & 0xFFF)});
     ASSERT_NE(f.state, nullptr);
     max_probes = std::max(max_probes, f.extra_probes);
   }
-  EXPECT_EQ(max_probes, 7u);
+  // Robin-hood at a 7/8 load ceiling keeps the expected maximum probe
+  // length O(log n); 16 is far above anything a healthy mixer produces.
+  EXPECT_LE(max_probes, 16u);
+  // A lone entry always sits at home: the engine charge for the common
+  // small-population case is exactly the CAM-assist baseline.
+  VcTable<int> one;
+  one.insert({0, 100}, 1);
+  EXPECT_EQ(one.find({0, 100}).extra_probes, 0u);
 }
 
 TEST(VcTable, ForEachVisitsAll) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "atm/oam.hpp"
+#include "core/audit.hpp"
 #include "core/testbed.hpp"
 
 namespace hni {
@@ -81,6 +82,81 @@ TEST(Loopback, RoundTripAcrossTestbed) {
   // RTT at least two propagation delays, plus slots and engine work.
   EXPECT_GE(rtt, sim::microseconds(100));
   EXPECT_LE(rtt, sim::microseconds(150));
+}
+
+TEST(Loopback, CloseVcSweepsOutstandingRequests) {
+  // Regression: outstanding loopbacks were keyed by tag alone, so a
+  // closing VC could not find its pending requests — they sat in the
+  // table forever and the books never balanced. close_vc now abandons
+  // them, and a reply arriving after the close is ignored.
+  core::Testbed bed;
+  auto& a = bed.add_station({});
+  auto& b = bed.add_station({});
+  bed.connect(a, b, {}, sim::microseconds(50));
+  const atm::VcId other{0, 71};
+  a.nic().open_vc(kVc, aal::AalType::kAal5);
+  a.nic().open_vc(other, aal::AalType::kAal5);
+  b.nic().open_vc(kVc, aal::AalType::kAal5);
+  b.nic().open_vc(other, aal::AalType::kAal5);
+
+  std::size_t completions = 0;
+  a.nic().set_loopback_handler(
+      [&](atm::VcId, std::uint64_t, sim::Time) { ++completions; });
+  a.nic().send_loopback(kVc, 1);
+  a.nic().send_loopback(kVc, 2);
+  a.nic().send_loopback(other, 3);
+  EXPECT_EQ(a.nic().loopbacks_outstanding(), 3u);
+
+  // Close before any reply can make the ~100us round trip: only the
+  // closing VC's requests are abandoned, the other VC's completes.
+  a.nic().close_vc(kVc);
+  EXPECT_EQ(a.nic().loopbacks_abandoned(), 2u);
+  EXPECT_EQ(a.nic().loopbacks_outstanding(), 1u);
+  bed.run_for(sim::milliseconds(5));
+
+  EXPECT_EQ(completions, 1u);  // late replies for tags 1 and 2 ignored
+  EXPECT_EQ(a.nic().loopbacks_completed(), 1u);
+  EXPECT_EQ(a.nic().loopbacks_outstanding(), 0u);
+
+  // The conservation identity the auditor now enforces:
+  // sent == completed + abandoned + outstanding.
+  core::InvariantAuditor auditor;
+  auditor.audit_station(a);
+  auditor.audit_station(b);
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+}
+
+TEST(Rdi, CloseVcClearsStandingPause) {
+  // Regression: a VC closed while RDI-paused left its hold entry and a
+  // frozen TX lane behind; reopening the VC started life paused.
+  core::Testbed bed;
+  auto& a = bed.add_station({});
+  auto& b = bed.add_station({});
+  bed.connect(a, b, {}, sim::microseconds(50));
+  a.nic().open_vc(kVc, aal::AalType::kAal5);
+  b.nic().open_vc(kVc, aal::AalType::kAal5);
+
+  // The far end reports a remote defect on the VC.
+  atm::OamCell rdi;
+  rdi.function = atm::OamFunction::kRdi;
+  b.nic().tx().inject_cell(rdi.to_cell(kVc));
+  bed.run_for(sim::milliseconds(1));
+  ASSERT_EQ(a.nic().rdi_received(), 1u);
+  ASSERT_TRUE(a.nic().tx().vc_paused(kVc));
+  EXPECT_EQ(a.nic().rdi_pending(), 1u);
+
+  a.nic().close_vc(kVc);
+  EXPECT_EQ(a.nic().rdi_pending(), 0u);
+  EXPECT_FALSE(a.nic().tx().vc_paused(kVc));
+
+  // The rdi_pending <= open VCs bound the auditor checks.
+  core::InvariantAuditor auditor;
+  auditor.audit_station(a);
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+
+  // The stale hold timer that fires later must not resurrect the pause.
+  bed.run_for(a.nic().config().rdi_hold + sim::milliseconds(3));
+  EXPECT_FALSE(a.nic().tx().vc_paused(kVc));
 }
 
 TEST(Loopback, WorksWhileUserDataFlows) {
