@@ -1,0 +1,404 @@
+// R3 — Robustness: graceful degradation under sustained overload.
+//
+// The overload-control plane assembled in this series — per-VC output
+// queues with round-robin service, color-aware WRED over UPC's kTag
+// verdict, EPD/PPD frame shedding, EFCI marking closed into a backward
+// RM throttle loop at the endpoints, and CAC at the signalling agent —
+// exists so the fabric degrades *gracefully*: offered load far past
+// capacity should cost the excess, not the carried traffic.
+//
+// Scenario: six sources (2 CBR contracted+shaped, 2 VBR on/off policed
+// kTag, 2 UBR Poisson elastic) share one STS-3c output port; shares at
+// 1x sum to the port's AAL5 goodput ceiling (~135.1 Mb/s at 9180-byte
+// PDUs). The offered-load multiplier sweeps 0.5x -> 4x with the plane
+// ON and OFF (shared-FIFO tail drop, no WRED/EFCI/EPD, loop disabled —
+// the pre-series switch). A separate mini-scenario exercises CAC:
+// committed-capacity refusal and endpoint retry-with-backoff.
+//
+// The exit code enforces the acceptance criteria:
+//   * plane ON:  goodput at 4x >= 85% of goodput at 1x (no collapse);
+//   * plane OFF: goodput at 4x <  50% of goodput at 1x (the ablation
+//     reproduces congestion collapse);
+//   * every run's conservation identities balance (stations, hops,
+//     switch queue stage) and the CAC scenario strands nothing.
+//
+//   bench_r3_overload                  full sweep (0.5x -> 4x)
+//   bench_r3_overload --smoke          1x + 4x rows (CI-sized)
+//   bench_r3_overload [--smoke] --json OUT.json
+//                                      google-benchmark-style JSON for
+//                                      scripts/bench_compare.py
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/testbed.hpp"
+#include "net/traffic.hpp"
+#include "sig/network.hpp"
+
+using namespace hni;
+
+namespace {
+
+constexpr std::size_t kSources = 6;
+constexpr std::size_t kSinkPort = kSources;  // output port under stress
+constexpr std::size_t kPduBytes = 9180;
+constexpr double kPduBits = kPduBytes * 8.0;
+// AAL5 goodput ceiling of an STS-3c port at 9180-byte PDUs (192 cells
+// carry 9216 payload bytes of which 9180 are SDU).
+constexpr double kCeilingBps = 135.1e6;
+constexpr double kRetainOn = 0.85;   // 4x goodput vs 1x, plane on
+constexpr double kCollapseOff = 0.5; // 4x goodput vs 1x, plane off
+
+enum class Class { kCbr, kVbr, kUbr };
+
+struct SourceSpec {
+  Class cls;
+  double share;  // of the port ceiling, at 1x
+};
+
+constexpr SourceSpec kMix[kSources] = {
+    {Class::kCbr, 0.15}, {Class::kCbr, 0.15}, {Class::kVbr, 0.20},
+    {Class::kVbr, 0.10}, {Class::kUbr, 0.20}, {Class::kUbr, 0.20},
+};
+
+struct Outcome {
+  double load = 0;
+  bool plane_on = false;
+  double goodput_mbps = 0;
+  std::size_t delivered = 0;
+  std::size_t errored = 0;
+  std::uint64_t epd_pdus = 0;
+  std::uint64_t wred_drops = 0;
+  std::uint64_t wred_clp = 0;
+  std::uint64_t efci_marks = 0;
+  std::uint64_t rm_sent = 0;
+  std::uint64_t throttles = 0;
+  std::uint64_t overflow = 0;
+  bool books_ok = false;
+};
+
+Outcome run(double load, bool plane_on, sim::Time window) {
+  core::Testbed bed;
+  net::SwitchConfig sc;
+  sc.ports = kSources + 1;
+  sc.queue_cells = 1024;
+  sc.clp_threshold = 896;
+  if (plane_on) {
+    sc.epd_threshold = 512;
+    sc.efci_threshold = 192;
+    sc.scheduler = net::SwitchScheduler::kRoundRobin;
+    sc.wred.enabled = true;
+    sc.wred.min_cells = 600;  // untagged band above EPD: frames shed first
+    sc.wred.max_cells = 1024;
+    sc.wred.max_p = 0.05;
+    sc.wred.clp1_min_cells = 256;  // tagged band: UPC's kTag bites here
+    sc.wred.clp1_max_cells = 512;
+    sc.wred.clp1_max_p = 1.0;
+  }
+  auto& sw = bed.add_switch(sc);
+
+  core::StationConfig stc;
+  stc.nic.congestion.enabled = plane_on;
+  std::vector<core::Station*> sources;
+  for (std::size_t i = 0; i < kSources; ++i) {
+    stc.name = "src" + std::to_string(i);
+    sources.push_back(&bed.add_station(stc));
+  }
+  stc.name = "sink";
+  auto& sink = bed.add_station(stc);
+
+  // Duplex wiring: forward data to the sink, reverse path for the
+  // sink's backward RM cells. Upstream CDV jitter as in bench A5.
+  net::LossModel jitter;
+  jitter.cdv_jitter = sim::microseconds(6);
+  const double port_cells = sc.port_rate.cells_per_second();
+  for (std::size_t i = 0; i < kSources; ++i) {
+    const atm::VcId vc{0, static_cast<std::uint16_t>(10 + i)};
+    bed.connect_to_switch(*sources[i], sw, i, jitter);
+    bed.connect_from_switch(sw, i, *sources[i]);
+    sw.add_route(i, vc, kSinkPort, vc);
+    sw.add_route(kSinkPort, vc, i, vc);
+    sources[i]->nic().open_vc(vc, aal::AalType::kAal5);
+    sink.nic().open_vc(vc, aal::AalType::kAal5);
+    const SourceSpec& spec = kMix[i];
+    if (spec.cls == Class::kCbr) {
+      // Contracted: shaped at the source (5% scheduling headroom); the
+      // closed loop leaves contracted VCs alone by design.
+      sources[i]->nic().tx().set_shaper(vc, 1.05 * spec.share * port_cells,
+                                        sim::microseconds(3));
+    } else if (spec.cls == Class::kVbr) {
+      // Policed kTag at 1.3x the mean rate: bursts beyond the envelope
+      // ride on as discard-eligible and die first under pressure.
+      sw.add_policer(i, vc, 1.3 * spec.share * port_cells,
+                     10 * sc.port_rate.cell_slot(),
+                     net::Switch::PoliceAction::kTag);
+    }
+  }
+  bed.connect_to_switch(sink, sw, kSinkPort);
+  bed.connect_from_switch(sw, kSinkPort, sink);
+
+  std::uint64_t bytes = 0;
+  std::size_t delivered = 0;
+  sink.host().set_rx_handler([&](aal::Bytes s, const host::RxInfo&) {
+    ++delivered;
+    bytes += s.size();
+  });
+
+  std::vector<std::shared_ptr<net::SduSource>> gens;
+  for (std::size_t i = 0; i < kSources; ++i) {
+    const atm::VcId vc{0, static_cast<std::uint16_t>(10 + i)};
+    const SourceSpec& spec = kMix[i];
+    // Mean interarrival for this source's scaled share of the ceiling.
+    const double rate_bps = spec.share * kCeilingBps * load;
+    const sim::Time mean_gap = static_cast<sim::Time>(
+        kPduBits / rate_bps * static_cast<double>(sim::kSecond));
+    net::SduSource::Config cfg;
+    cfg.sdu_bytes = kPduBytes;
+    cfg.count = 0;
+    cfg.seed = 0xB0 + i;
+    switch (spec.cls) {
+      case Class::kCbr:
+        cfg.mode = net::SduSource::Mode::kCbr;
+        cfg.interval = mean_gap;
+        break;
+      case Class::kVbr:
+        // 50% duty on/off: on-phase spacing at half the mean gap.
+        cfg.mode = net::SduSource::Mode::kOnOff;
+        cfg.interval = mean_gap / 2;
+        cfg.mean_on = sim::milliseconds(2);
+        cfg.mean_off = sim::milliseconds(2);
+        break;
+      case Class::kUbr:
+        cfg.mode = net::SduSource::Mode::kPoisson;
+        cfg.interval = mean_gap;
+        break;
+    }
+    core::Station* st = sources[i];
+    gens.push_back(std::make_shared<net::SduSource>(
+        bed.sim(), cfg, [st, vc](aal::Bytes sdu) {
+          return st->host().send(vc, aal::AalType::kAal5, std::move(sdu));
+        }));
+    gens.back()->start();
+  }
+
+  bed.run_for(window);
+  for (auto& g : gens) g->stop();
+
+  Outcome o;
+  o.load = load;
+  o.plane_on = plane_on;
+  o.goodput_mbps =
+      static_cast<double>(bytes) * 8.0 / sim::to_seconds(window) / 1e6;
+  o.delivered = delivered;
+  o.errored = sink.nic().rx().pdus_errored();
+  o.epd_pdus = sw.pdus_epd_discarded();
+  o.wred_drops = sw.cells_wred_dropped();
+  o.wred_clp = sw.cells_wred_dropped_clp();
+  o.efci_marks = sw.cells_efci_marked();
+  o.rm_sent = sink.nic().rm_cells_sent();
+  o.overflow = sw.cells_dropped_overflow();
+  for (core::Station* s : sources) {
+    o.throttles += s->nic().congestion_throttle_events();
+  }
+  // Drain, then the full conservation audit — stations, wire hops and
+  // the switch queue-stage identity all balance or the row fails.
+  bed.run_for(sim::milliseconds(200));
+  auto auditor = bed.audit(/*include_hops=*/true);
+  o.books_ok = auditor.ok();
+  if (!o.books_ok) std::fputs(auditor.report().c_str(), stderr);
+  return o;
+}
+
+// --- CAC mini-scenario ------------------------------------------------
+
+struct CacOutcome {
+  std::uint64_t refusals = 0;
+  std::uint64_t backoff_retries = 0;
+  bool retried_call_connected = false;
+  std::size_t stranded = 0;
+  bool books_ok = false;
+};
+
+CacOutcome run_cac() {
+  core::Testbed bed;
+  auto& sw = bed.add_switch(
+      {.ports = 4, .queue_cells = 512, .clp_threshold = 512});
+  auto& alice = bed.add_station({.name = "alice"});
+  auto& bob = bed.add_station({.name = "bob"});
+  auto& carol = bed.add_station({.name = "carol"});
+  sig::SignalingConfig cfg;
+  cfg.cac_utilization = 0.5;
+  cfg.endpoint.setup_retry_limit = 4;
+  cfg.endpoint.setup_retry_backoff = sim::milliseconds(2);
+  sig::SignalingNetwork net(bed, sw, /*agent_port=*/3, cfg);
+  auto& cc_alice = net.attach(alice, 0, 1);
+  auto& cc_bob = net.attach(bob, 1, 2);
+  auto& cc_carol = net.attach(carol, 2, 3);
+  cc_bob.set_incoming([](const sig::CallControl::CallInfo&) {
+    return true;
+  });
+
+  // Alice's contract saturates bob's committed budget; carol is
+  // refused, backs off, and succeeds once alice releases.
+  const double pcr = 100000.0;
+  std::uint32_t first = 0;
+  cc_alice.place_call(2, aal::AalType::kAal5, pcr,
+                      [&](const sig::CallControl::CallInfo& i) {
+                        first = i.call_id;
+                      });
+  bed.run_for(sim::milliseconds(5));
+  CacOutcome o;
+  cc_carol.place_call(2, aal::AalType::kAal5, pcr,
+                      [&](const sig::CallControl::CallInfo&) {
+                        o.retried_call_connected = true;
+                      });
+  bed.sim().after(sim::milliseconds(3),
+                  [&] { cc_alice.release(first); });
+  bed.run_for(sim::milliseconds(40));
+
+  o.refusals = net.calls_refused_cac();
+  o.backoff_retries = cc_carol.setup_backoff_retries();
+  o.stranded = net.stranded_vcis() + net.stranded_routes();
+  auto auditor = bed.audit(/*include_hops=*/false);
+  net.audit_invariants(auditor);
+  o.books_ok = auditor.ok();
+  if (!o.books_ok) std::fputs(auditor.report().c_str(), stderr);
+  return o;
+}
+
+void write_json(const char* path, double g1, double g4) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "R3: cannot write %s\n", path);
+    std::exit(2);
+  }
+  std::fprintf(f, "{\n  \"context\": {\"executable\": "
+                  "\"bench_r3_overload\"},\n  \"benchmarks\": [\n");
+  std::fprintf(f,
+               "    {\"name\": \"r3_overload/goodput_1x\", \"run_type\": "
+               "\"iteration\", \"items_per_second\": %.3f, "
+               "\"real_time\": %.1f, \"time_unit\": \"ns\"},\n",
+               g1, 1e9 / g1);
+  std::fprintf(f,
+               "    {\"name\": \"r3_overload/goodput_4x\", \"run_type\": "
+               "\"iteration\", \"items_per_second\": %.3f, "
+               "\"real_time\": %.1f, \"time_unit\": \"ns\"},\n",
+               g4, 1e9 / g4);
+  std::fprintf(f,
+               "    {\"name\": \"r3_overload/retention_4x\", \"run_type\": "
+               "\"iteration\", \"items_per_second\": %.4f, "
+               "\"real_time\": %.1f, \"time_unit\": \"ns\"}\n",
+               g4 / g1, 1e9);
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  std::printf("R3: graceful degradation — 6 sources (CBR/VBR/UBR mix) "
+              "into one STS-3c port,\noffered load sweep with the "
+              "overload-control plane ON vs OFF (tail-drop FIFO "
+              "ablation)\n");
+
+  const sim::Time window =
+      smoke ? sim::milliseconds(100) : sim::milliseconds(200);
+  const std::vector<double> loads =
+      smoke ? std::vector<double>{1.0, 4.0}
+            : std::vector<double>{0.5, 1.0, 2.0, 4.0};
+
+  core::Table t({"plane", "load", "goodput Mb/s", "PDUs intact",
+                 "PDUs damaged", "EPD PDUs", "WRED cells (tagged)",
+                 "EFCI marks", "RM cells", "throttles", "overflow",
+                 "books"});
+  double g_on[2] = {0, 0};   // goodput at 1x / 4x, plane on
+  double g_off[2] = {0, 0};  // same, plane off
+  bool books_ok = true;
+  for (const bool plane_on : {true, false}) {
+    for (const double load : loads) {
+      const Outcome o = run(load, plane_on, window);
+      books_ok = books_ok && o.books_ok;
+      if (load == 1.0) (plane_on ? g_on : g_off)[0] = o.goodput_mbps;
+      if (load == 4.0) (plane_on ? g_on : g_off)[1] = o.goodput_mbps;
+      t.add_row({plane_on ? "on" : "off", core::Table::num(load, 1),
+                 core::Table::num(o.goodput_mbps, 1),
+                 core::Table::integer(o.delivered),
+                 core::Table::integer(o.errored),
+                 core::Table::integer(o.epd_pdus),
+                 core::Table::integer(o.wred_drops) + " (" +
+                     core::Table::integer(o.wred_clp) + ")",
+                 core::Table::integer(o.efci_marks),
+                 core::Table::integer(o.rm_sent),
+                 core::Table::integer(o.throttles),
+                 core::Table::integer(o.overflow),
+                 o.books_ok ? "ok" : "FAIL"});
+    }
+  }
+  t.print("R3: goodput vs offered load (ceiling ~135.1 Mb/s)");
+
+  const CacOutcome cac = run_cac();
+  std::printf("\nCAC: %llu refusals, %llu backoff retries, retried call "
+              "%s, %zu stranded resources, books %s\n",
+              static_cast<unsigned long long>(cac.refusals),
+              static_cast<unsigned long long>(cac.backoff_retries),
+              cac.retried_call_connected ? "connected" : "STRANDED",
+              cac.stranded, cac.books_ok ? "ok" : "FAIL");
+
+  if (json_path != nullptr) write_json(json_path, g_on[0], g_on[1]);
+
+  // Acceptance, enforced by exit code.
+  bool ok = true;
+  if (g_on[1] < kRetainOn * g_on[0]) {
+    std::fprintf(stderr,
+                 "R3: FAIL plane on: goodput at 4x (%.1f) below %.0f%% of "
+                 "1x (%.1f)\n",
+                 g_on[1], kRetainOn * 100, g_on[0]);
+    ok = false;
+  }
+  if (g_off[1] >= kCollapseOff * g_off[0]) {
+    std::fprintf(stderr,
+                 "R3: FAIL plane off: goodput at 4x (%.1f) did not "
+                 "collapse below %.0f%% of 1x (%.1f)\n",
+                 g_off[1], kCollapseOff * 100, g_off[0]);
+    ok = false;
+  }
+  if (!books_ok) {
+    std::fprintf(stderr, "R3: FAIL conservation identities violated\n");
+    ok = false;
+  }
+  if (cac.refusals == 0 || !cac.retried_call_connected ||
+      cac.stranded != 0 || !cac.books_ok) {
+    std::fprintf(stderr, "R3: FAIL CAC scenario (refusals=%llu "
+                 "connected=%d stranded=%zu books=%d)\n",
+                 static_cast<unsigned long long>(cac.refusals),
+                 cac.retried_call_connected ? 1 : 0, cac.stranded,
+                 cac.books_ok ? 1 : 0);
+    ok = false;
+  }
+
+  std::printf(
+      "\nReading: with the plane on, overload costs only the excess — "
+      "EPD sheds whole frames,\nWRED spends the UPC-tagged VBR bursts "
+      "first, round-robin service isolates the CBR\ncontracts, and the "
+      "EFCI->RM loop walks the elastic sources down to the fair "
+      "share.\nWith it off, interleaved tail-drop losses damage nearly "
+      "every admitted PDU and\ngoodput collapses while the port stays "
+      "'busy'. CAC closes the control side:\noversubscription is "
+      "refused at SETUP with cause 47 and retry-with-backoff finds\n"
+      "freed capacity without stranding anything.\n");
+  return ok ? 0 : 1;
+}

@@ -13,9 +13,13 @@
 # is overridable via HNI_BENCH_THRESHOLD (CI runners are not the
 # baseline machine, so CI uses a looser bound to catch only structural
 # regressions, not host lottery). Also smoke-runs the P1 scale bench,
-# whose exit code asserts the invariant audit at 2048-VC scale, and the
+# whose exit code asserts the invariant audit at 2048-VC scale, the
 # P2 VC-scale bench, comparing its events/s and bytes/VC against
-# bench/baselines/BENCH_vcscale.json (bytes/VC gates lower-is-better).
+# bench/baselines/BENCH_vcscale.json (bytes/VC gates lower-is-better),
+# and the R3 overload bench, whose exit code asserts graceful
+# degradation (goodput at 4x >= 85% of 1x with the overload plane on,
+# collapse with it off) and whose goodput/retention rows gate against
+# bench/baselines/BENCH_overload.json.
 #
 # Refreshing the baseline after an intentional perf change:
 #   ./build/bench/bench_micro --benchmark_filter='BM_Simulator' \
@@ -43,7 +47,7 @@ mode="${1:-all}"
 if [[ "$mode" == "--bench-compare" ]]; then
   echo "== perf gate: event-kernel benchmarks vs committed baseline =="
   cmake -B build -S . > /dev/null
-  cmake --build build -j "$(nproc)" --target bench_micro bench_p1_kernel_scale bench_p2_vc_scale
+  cmake --build build -j "$(nproc)" --target bench_micro bench_p1_kernel_scale bench_p2_vc_scale bench_r3_overload
   ./build/bench/bench_micro --benchmark_filter='BM_Simulator' \
     --benchmark_repetitions=3 \
     --benchmark_out=build/BENCH_kernel.json --benchmark_out_format=json
@@ -53,6 +57,9 @@ if [[ "$mode" == "--bench-compare" ]]; then
   ./build/bench/bench_p2_vc_scale --smoke --json build/BENCH_vcscale.json
   python3 scripts/bench_compare.py bench/baselines/BENCH_vcscale.json \
     build/BENCH_vcscale.json --threshold "${HNI_BENCH_THRESHOLD:-0.15}"
+  ./build/bench/bench_r3_overload --smoke --json build/BENCH_overload.json
+  python3 scripts/bench_compare.py bench/baselines/BENCH_overload.json \
+    build/BENCH_overload.json --threshold "${HNI_BENCH_THRESHOLD:-0.15}"
   echo "check.sh: perf gate passed"
   exit 0
 fi

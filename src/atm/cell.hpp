@@ -86,6 +86,22 @@ constexpr bool pti_auu(Pti pti) {
   return pti_is_user_data(pti) && (static_cast<std::uint8_t>(pti) & 0b001);
 }
 
+/// True when a user-data cell carries the EFCI congestion-experienced
+/// mark (a congested queue on the path set it).
+constexpr bool pti_efci(Pti pti) {
+  return pti_is_user_data(pti) &&
+         (static_cast<std::uint8_t>(pti) & 0b010) != 0;
+}
+
+/// The congestion-marked variant of a user-data codepoint; the AUU
+/// (end-of-PDU) bit is preserved. Non-user-data codepoints pass through
+/// unchanged.
+constexpr Pti pti_with_efci(Pti pti) {
+  return pti_is_user_data(pti)
+             ? static_cast<Pti>(static_cast<std::uint8_t>(pti) | 0b010)
+             : pti;
+}
+
 /// Header format selector.
 enum class HeaderFormat : std::uint8_t { kUni, kNni };
 

@@ -112,6 +112,34 @@ void InvariantAuditor::audit_hop(Station& tx, const net::Link& link,
             who + "hec_corrected + hec_discarded == header_corrupted");
 }
 
+void InvariantAuditor::audit_switch(const net::Switch& sw,
+                                    const std::string& name) {
+  const std::string who = name + ": ";
+
+  // Receive stage: every cell that arrived was discarded by HEC, had no
+  // route, died at the policer, or was offered to the queue stage.
+  expect_eq(sw.cells_received(),
+            sw.cells_hec_discarded() + sw.cells_unroutable() +
+                sw.cells_policed_dropped() + sw.cells_queue_offered(),
+            "switch receive conservation",
+            who + "received == hec + unroutable + policed + offered");
+
+  // Queue stage: everything offered was forwarded, dropped by exactly
+  // one discard mechanism, or is still resident in an output pool.
+  expect_eq(sw.cells_queue_offered(),
+            sw.cells_forwarded() + sw.cells_dropped_overflow() +
+                sw.cells_dropped_clp() + sw.cells_epd_dropped() +
+                sw.cells_ppd_dropped() + sw.cells_wred_dropped() +
+                sw.cells_queued(),
+            "switch queue-stage conservation",
+            who + "offered == forwarded + overflow + clp + epd + ppd + "
+                  "wred + resident");
+
+  // Color accounting: WRED's tagged-drop book is a subset of its total.
+  expect_le(sw.cells_wred_dropped_clp(), sw.cells_wred_dropped(),
+            "switch wred color bound", who + "wred_clp <= wred_total");
+}
+
 std::string InvariantAuditor::report() const {
   if (violations_.empty()) {
     return "invariant audit: " + std::to_string(checks_) + " checks, ok\n";

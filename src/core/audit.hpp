@@ -27,6 +27,7 @@
 
 #include "core/station.hpp"
 #include "net/link.hpp"
+#include "net/switch.hpp"
 
 namespace hni::core {
 
@@ -53,6 +54,12 @@ class InvariantAuditor {
   /// Audits a simplex wire hop tx -> link -> rx. Only valid once the
   /// simulator has run dry: cells in flight are on nobody's books.
   void audit_hop(Station& tx, const net::Link& link, Station& rx);
+
+  /// Audits a switch's receive and queue-stage conservation identities.
+  /// Both hold at any instant (the switch counts a cell forwarded the
+  /// moment the scheduler commits it to an output slot), but Testbed
+  /// runs this alongside the quiescent hop audit.
+  void audit_switch(const net::Switch& sw, const std::string& name);
 
   bool ok() const { return violations_.empty(); }
   std::size_t checks_run() const { return checks_; }

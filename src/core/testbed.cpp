@@ -20,6 +20,9 @@ InvariantAuditor Testbed::audit(bool include_hops) {
     for (const Hop& hop : hops_) {
       auditor.audit_hop(*hop.tx, *hop.link, *hop.rx);
     }
+    for (std::size_t i = 0; i < switches_.size(); ++i) {
+      auditor.audit_switch(*switches_[i], "switch." + std::to_string(i));
+    }
   }
   return auditor;
 }
@@ -68,8 +71,10 @@ std::pair<net::Link*, net::Link*> Testbed::connect(Station& a, Station& b,
 net::Switch& Testbed::add_switch(net::SwitchConfig config) {
   if (!config.clock_ppm) config.clock_ppm = ppm_rng_.normal(0.0, 20.0);
   switches_.push_back(std::make_unique<net::Switch>(sim_, config));
-  switches_.back()->register_metrics(sim::MetricScope(
-      metrics_, "switch." + std::to_string(switches_.size() - 1)));
+  const std::string idx = std::to_string(switches_.size() - 1);
+  switches_.back()->register_metrics(
+      sim::MetricScope(metrics_, "switch." + idx));
+  switches_.back()->set_tracer(&tracer_, "switch." + idx);
   return *switches_.back();
 }
 

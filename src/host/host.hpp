@@ -85,6 +85,15 @@ class Host {
   /// Receive pages currently posted (available to the NIC).
   std::size_t rx_pages_posted() const { return rx_pages_available_; }
 
+  /// Congestion visibility: the last TX rate factor the NIC's
+  /// closed-loop controller reported for `vc` (1.0 = never squeezed).
+  double tx_rate_factor(atm::VcId vc) const {
+    const auto it = rate_factors_.find(vc);
+    return it != rate_factors_.end() ? it->second : 1.0;
+  }
+  /// Throttle/recovery events the NIC reported to this host.
+  std::uint64_t congestion_events() const { return congestion_events_.value(); }
+
  private:
   void on_tx_complete(const nic::TxDescriptor& d);
   void on_rx(nic::RxDelivery d);
@@ -102,12 +111,15 @@ class Host {
   std::size_t rx_pages_available_ = 0;
   // Descriptors accepted by the host but refused by a full NIC ring.
   std::deque<nic::TxDescriptor> backlog_;
+  // Last-reported TX rate factor per VC (congestion visibility).
+  std::unordered_map<atm::VcId, double> rate_factors_;
 
   sim::Counter sent_;
   sim::Counter received_;
   sim::Counter bytes_tx_;
   sim::Counter bytes_rx_;
   sim::Counter interrupts_;
+  sim::Counter congestion_events_;
 };
 
 }  // namespace hni::host

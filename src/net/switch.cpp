@@ -6,12 +6,18 @@ namespace hni::net {
 
 Switch::Switch(sim::Simulator& sim, SwitchConfig config)
     : sim_(sim), config_(config), outputs_(config.ports),
-      hec_(config.ports) {
+      hec_(config.ports), wred_rng_(config.wred.seed) {
   if (config_.ports == 0 || config_.queue_cells == 0) {
     throw std::invalid_argument("Switch: ports and queue must be nonzero");
   }
   if (config_.clp_threshold > config_.queue_cells) {
     config_.clp_threshold = config_.queue_cells;
+  }
+  slot_ = config_.port_rate.cell_slot();
+  if (config_.clock_ppm) {
+    slot_ = static_cast<sim::Time>(static_cast<double>(slot_) *
+                                       (1.0 + *config_.clock_ppm * 1e-6) +
+                                   0.5);
   }
 }
 
@@ -65,7 +71,20 @@ void Switch::attach_output(std::size_t out_port, Link& link) {
   outputs_.at(out_port).link = &link;
 }
 
+bool Switch::wred_decides_drop(std::size_t occupancy, bool tagged) {
+  const WredConfig& w = config_.wred;
+  const std::size_t lo = tagged ? w.clp1_min_cells : w.min_cells;
+  const std::size_t hi = tagged ? w.clp1_max_cells : w.max_cells;
+  if (hi == 0 || occupancy < lo) return false;   // band disabled or idle
+  if (occupancy >= hi) return true;              // past the band: shed
+  const double max_p = tagged ? w.clp1_max_p : w.max_p;
+  const double p = max_p * static_cast<double>(occupancy - lo) /
+                   static_cast<double>(hi - lo);
+  return wred_rng_.chance(p);
+}
+
 void Switch::receive(std::size_t in_port, const WireCell& wire) {
+  received_.add();
   // Validate/correct the header before trusting the VCI.
   WireCell cell = wire;
   auto header = std::span<std::uint8_t, 4>(cell.bytes.data(), 4);
@@ -102,12 +121,18 @@ void Switch::receive(std::size_t in_port, const WireCell& wire) {
     h.clp = true;
   }
 
+  // From here the cell is in the output queue stage; every path below
+  // must land in exactly one of {forwarded, overflow, clp, epd, ppd,
+  // wred} or stay resident — audit_switch balances these books.
+  queue_offered_.add();
   OutputPort& out = outputs_[entry->out_port];
 
   // Frame-aware discard (EPD/PPD) for AAL5 traffic.
   const bool user_data = atm::pti_is_user_data(h.pti);
   const bool last_of_pdu = atm::pti_auu(h.pti);
-  if (config_.epd_threshold > 0 && user_data) {
+  const bool frame_aware = config_.epd_threshold > 0 && user_data;
+  bool fresh_pdu = false;  // this cell opens a new PDU on a frame-aware VC
+  if (frame_aware) {
     FrameState& fs = entry->frame;
     if (fs.discard == FrameState::Discard::kWholePdu) {
       // EPD in progress: consume everything through the final cell.
@@ -131,8 +156,8 @@ void Switch::receive(std::size_t in_port, const WireCell& wire) {
       // fall through: the final cell is forwarded (queue permitting)
     } else if (!fs.mid_pdu) {
       // First cell of a fresh PDU: admit whole PDUs only while the
-      // queue is below the EPD threshold.
-      if (out.queue.size() >= config_.epd_threshold) {
+      // pool is below the EPD threshold.
+      if (out.occupancy >= config_.epd_threshold) {
         epd_drop_.add();
         epd_pdus_.add();
         if (!last_of_pdu) {
@@ -141,27 +166,64 @@ void Switch::receive(std::size_t in_port, const WireCell& wire) {
         }
         return;
       }
+      fresh_pdu = true;
       fs.mid_pdu = true;
     }
     if (last_of_pdu) fs.mid_pdu = false;
+  }
 
-    if (out.queue.size() >= config_.queue_cells) {
-      // Overflow mid-PDU despite EPD: shed this cell and the PDU's
-      // remainder (PPD).
-      dropped_.add();
-      if (!last_of_pdu) {
-        fs.discard = FrameState::Discard::kTail;
-        fs.mid_pdu = true;
-      }
-      return;
+  // Color-aware random early discard. Tagged cells are tried per cell
+  // (their lower band is what makes UPC's kTag consequential); untagged
+  // frame-aware traffic is tried once per PDU, at its first cell, so a
+  // WRED verdict sheds a whole frame via the EPD machinery instead of
+  // sprinkling mid-PDU losses.
+  if (config_.wred.enabled && user_data &&
+      (h.clp || !frame_aware || fresh_pdu) &&
+      wred_decides_drop(out.occupancy, h.clp)) {
+    wred_drop_.add();
+    if (h.clp) wred_drop_clp_.add();
+    if (tracer_) {
+      tracer_->emit({sim_.now(), sim::TraceEventId::kSwitchWredDrop,
+                     trace_source_, static_cast<std::uint32_t>(entry->out_port),
+                     h.clp ? 1u : 0u, cell.meta.seq});
     }
-  } else if (out.queue.size() >= config_.queue_cells) {
-    dropped_.add();
+    if (frame_aware && !last_of_pdu) {
+      // Extend the verdict over the rest of the frame: a dropped first
+      // cell kills the whole PDU; a dropped tagged mid-PDU cell leaves
+      // a damaged frame whose remainder is useless (PPD).
+      entry->frame.discard = fresh_pdu ? FrameState::Discard::kWholePdu
+                                       : FrameState::Discard::kTail;
+      entry->frame.mid_pdu = true;
+    }
     return;
   }
-  if (h.clp && out.queue.size() >= config_.clp_threshold) {
+
+  if (out.occupancy >= config_.queue_cells) {
+    // Shared pool exhausted: tail drop (and, mid-PDU on a frame-aware
+    // VC, shed the PDU's remainder too).
+    dropped_.add();
+    if (frame_aware && !last_of_pdu) {
+      entry->frame.discard = FrameState::Discard::kTail;
+      entry->frame.mid_pdu = true;
+    }
+    return;
+  }
+  if (h.clp && out.occupancy >= config_.clp_threshold) {
     clp_dropped_.add();
     return;
+  }
+
+  // Survivor. Mark EFCI once the pool is past the congestion threshold
+  // — the forward signal the endpoints' closed loop feeds on.
+  if (config_.efci_threshold > 0 && user_data &&
+      out.occupancy >= config_.efci_threshold) {
+    h.pti = atm::pti_with_efci(h.pti);
+    efci_marked_.add();
+    if (tracer_) {
+      tracer_->emit({sim_.now(), sim::TraceEventId::kSwitchEfciMark,
+                     trace_source_, static_cast<std::uint32_t>(entry->out_port),
+                     atm::vc_label(entry->out_vc), cell.meta.seq});
+    }
   }
 
   // Translate the VC and restamp the HEC.
@@ -172,33 +234,56 @@ void Switch::receive(std::size_t in_port, const WireCell& wire) {
       std::span<const std::uint8_t, 4>(cell.bytes.data(), 4));
 
   const std::size_t out_port = entry->out_port;
-  out.queue.push_back(std::move(cell));
-  out.depth.set(sim_.now(), static_cast<double>(out.queue.size()));
+  if (config_.scheduler == SwitchScheduler::kFifo) {
+    out.fifo.push_back(std::move(cell));
+  } else {
+    auto [vq, inserted] =
+        out.queues.try_emplace(atm::vc_label(entry->out_vc));
+    if (vq->cells.empty()) out.order.push_back(vq);  // now active
+    vq->cells.push_back(std::move(cell));
+  }
+  ++out.occupancy;
+  out.depth.set(sim_.now(), static_cast<double>(out.occupancy));
   if (!out.serving) serve(out_port);
 }
 
 void Switch::serve(std::size_t out_port) {
   OutputPort& out = outputs_[out_port];
-  if (out.queue.empty()) {
+  if (out.occupancy == 0) {
     out.serving = false;
     return;
   }
   out.serving = true;
-  WireCell cell = std::move(out.queue.front());
-  out.queue.pop_front();
-  out.depth.set(sim_.now(), static_cast<double>(out.queue.size()));
-  sim::Time slot = config_.port_rate.cell_slot();
-  if (config_.clock_ppm) {
-    slot = static_cast<sim::Time>(static_cast<double>(slot) *
-                                      (1.0 + *config_.clock_ppm * 1e-6) +
-                                  0.5);
+  WireCell cell;
+  if (config_.scheduler == SwitchScheduler::kFifo) {
+    cell = std::move(out.fifo.front());
+    out.fifo.pop_front();
+  } else {
+    VcQueue* vq = out.order.front();
+    out.order.pop_front();
+    cell = std::move(vq->cells.front());
+    vq->cells.pop_front();
+    if (!vq->cells.empty()) {
+      out.order.push_back(vq);  // still active: back of the ring
+    }
   }
-  sim_.after(slot, [this, out_port, cell = std::move(cell)]() mutable {
+  --out.occupancy;
+  out.depth.set(sim_.now(), static_cast<double>(out.occupancy));
+  // The cell is committed to its output slot here, so count it now:
+  // the queue-stage books (offered == forwarded + drops + resident)
+  // then balance at any instant, not only at quiescence.
+  forwarded_.add();
+  sim_.after(slot_, [this, out_port, cell = std::move(cell)]() mutable {
     OutputPort& out = outputs_[out_port];
-    forwarded_.add();
     if (out.link != nullptr) out.link->send_wire(std::move(cell));
     serve(out_port);
   });
+}
+
+std::size_t Switch::cells_queued() const {
+  std::size_t total = 0;
+  for (const OutputPort& out : outputs_) total += out.occupancy;
+  return total;
 }
 
 double Switch::mean_queue_depth(std::size_t out_port) const {

@@ -1,12 +1,26 @@
 // Output-buffered ATM switch.
 //
 // Minimal but real: per-input VC translation (the (port, VPI/VCI) ->
-// (port', VPI'/VCI') map every ATM switch maintains), per-output FIFO
-// queues of bounded depth with tail drop (CLP-eligible cells dropped
-// first at a configurable threshold — the standard CLP usage), and an
-// output scheduler that serves one cell per output slot at the port's
-// line rate. This is enough substrate to create the congestion losses
-// and multiplexing jitter the host interface must live with.
+// (port', VPI'/VCI') map every ATM switch maintains), per-VC output
+// queues drawing on a shared per-port buffer pool of bounded depth, and
+// an output scheduler that serves one cell per output slot at the
+// port's line rate (global-FIFO or per-VC round-robin service order).
+// This is enough substrate to create the congestion losses and
+// multiplexing jitter the host interface must live with.
+//
+// The discard/overload plane, in the order a cell meets it:
+//
+//   HEC --> route lookup --> UPC (drop/tag) --> EPD/PPD --> WRED
+//       --> pool overflow --> CLP threshold --> EFCI mark --> enqueue
+//
+// * EPD/PPD shed whole AAL5 frames once the pool passes epd_threshold.
+// * WRED sheds early and probabilistically as occupancy climbs, with a
+//   lower threshold band for CLP-tagged cells so UPC's kTag verdict is
+//   consequential: tagged traffic dies first under pressure.
+// * EFCI marks surviving user-data cells once occupancy passes
+//   efci_threshold — the forward congestion signal endpoints close the
+//   loop on (nic::Nic turns observed marks into backward RM cells that
+//   throttle the source).
 
 #pragma once
 
@@ -14,6 +28,7 @@
 #include <deque>
 #include <optional>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "atm/cell.hpp"
@@ -22,19 +37,46 @@
 #include "atm/phy.hpp"
 #include "net/link.hpp"
 #include "sim/flat_table.hpp"
+#include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace.hpp"
 
 namespace hni::net {
 
+/// Service order across the per-VC queues of one output port.
+enum class SwitchScheduler : std::uint8_t {
+  kFifo,        // global arrival order (classic shared FIFO behaviour)
+  kRoundRobin,  // one cell per active VC per turn (no head-of-line
+                // capture by a bursty connection)
+};
+
+/// WRED-style early discard on the shared output pool. Tagged (CLP=1)
+/// cells use the clp1_* band, which sits below the untagged band, so
+/// discard-eligible traffic absorbs the early losses. Drop probability
+/// ramps linearly from 0 at min_cells to max_p at max_cells (and is 1
+/// beyond max_cells). Decisions use the instantaneous pool occupancy —
+/// "WRED-style", not a literal EWMA RED — and a seeded deterministic
+/// RNG so runs replay exactly.
+struct WredConfig {
+  bool enabled = false;
+  std::size_t min_cells = 0;
+  std::size_t max_cells = 0;
+  double max_p = 0.1;
+  std::size_t clp1_min_cells = 0;
+  std::size_t clp1_max_cells = 0;
+  double clp1_max_p = 1.0;
+  std::uint64_t seed = 0xEC4;
+};
+
 struct SwitchConfig {
   std::size_t ports = 2;
-  std::size_t queue_cells = 128;   // per-output buffer, in cells
-  /// Queue depth at and beyond which CLP=1 cells are dropped (<= queue_cells).
+  std::size_t queue_cells = 128;   // per-output shared pool, in cells
+  /// Pool depth at and beyond which CLP=1 cells are dropped (<= queue_cells).
   std::size_t clp_threshold = 128;
   atm::LineRate port_rate = atm::sts3c();
   /// Early Packet Discard: when the *first* cell of an AAL5 PDU arrives
-  /// with the output queue at or beyond this depth, the whole PDU is
+  /// with the output pool at or beyond this depth, the whole PDU is
   /// discarded instead of shedding random cells from many PDUs. Partial
   /// Packet Discard engages automatically after any mid-PDU loss: the
   /// rest of the damaged PDU is dropped (its final cell is forwarded so
@@ -42,6 +84,14 @@ struct SwitchConfig {
   /// 0 disables frame-aware discard. AAL5 VCs only (uses the PTI AUU
   /// end-of-PDU bit); leave disabled on AAL3/4 paths.
   std::size_t epd_threshold = 0;
+  /// Service order across per-VC output queues. kFifo reproduces the
+  /// historical shared-FIFO switch exactly.
+  SwitchScheduler scheduler = SwitchScheduler::kFifo;
+  /// Color-aware random early discard (see WredConfig).
+  WredConfig wred{};
+  /// Pool depth at and beyond which surviving user-data cells get the
+  /// EFCI congestion mark (PTI bit 0b010). 0 disables marking.
+  std::size_t efci_threshold = 0;
   /// Output clock oscillator offset in ppm; nullopt lets core::Testbed
   /// assign a realistic random value.
   std::optional<double> clock_ppm{};
@@ -104,6 +154,7 @@ class Switch {
   /// to this via a lambda).
   void receive(std::size_t in_port, const WireCell& wire);
 
+  std::uint64_t cells_received() const { return received_.value(); }
   std::uint64_t cells_forwarded() const { return forwarded_.value(); }
   std::uint64_t cells_dropped_overflow() const { return dropped_.value(); }
   std::uint64_t cells_dropped_clp() const { return clp_dropped_.value(); }
@@ -114,16 +165,33 @@ class Switch {
   std::uint64_t cells_epd_dropped() const { return epd_drop_.value(); }
   std::uint64_t pdus_epd_discarded() const { return epd_pdus_.value(); }
   std::uint64_t cells_ppd_dropped() const { return ppd_drop_.value(); }
+  /// Cells that cleared HEC, routing and UPC — everything offered to
+  /// the output queue stage. The queue-stage conservation identity
+  /// (core::InvariantAuditor::audit_switch) balances this against the
+  /// forwarded + per-cause discard counters + resident cells.
+  std::uint64_t cells_queue_offered() const { return queue_offered_.value(); }
+  std::uint64_t cells_wred_dropped() const { return wred_drop_.value(); }
+  std::uint64_t cells_wred_dropped_clp() const {
+    return wred_drop_clp_.value();
+  }
+  std::uint64_t cells_efci_marked() const { return efci_marked_.value(); }
+  /// Cells currently resident across all output pools.
+  std::size_t cells_queued() const;
+  /// Current occupancy of one output port's shared pool.
+  std::size_t queue_occupancy(std::size_t out_port) const {
+    return outputs_.at(out_port).occupancy;
+  }
 
   const SwitchConfig& config() const { return config_; }
 
-  /// Time-average and max depth of an output queue.
+  /// Time-average and max depth of an output pool.
   double mean_queue_depth(std::size_t out_port) const;
   double max_queue_depth(std::size_t out_port) const;
 
   /// Surfaces the switch's books (plus per-port queue-depth gauges)
   /// under `scope`.
   void register_metrics(const sim::MetricScope& scope) const {
+    scope.expose("cells_received", received_);
     scope.expose("cells_forwarded", forwarded_);
     scope.expose("cells_dropped_overflow", dropped_);
     scope.expose("cells_dropped_clp", clp_dropped_);
@@ -134,6 +202,10 @@ class Switch {
     scope.expose("cells_epd_dropped", epd_drop_);
     scope.expose("pdus_epd_discarded", epd_pdus_);
     scope.expose("cells_ppd_dropped", ppd_drop_);
+    scope.expose("cells_queue_offered", queue_offered_);
+    scope.expose("cells_wred_dropped", wred_drop_);
+    scope.expose("cells_wred_dropped_clp", wred_drop_clp_);
+    scope.expose("cells_efci_marked", efci_marked_);
     for (std::size_t p = 0; p < config_.ports; ++p) {
       const sim::MetricScope port = scope.sub("port." + std::to_string(p));
       port.gauge("queue_depth_mean",
@@ -141,6 +213,13 @@ class Switch {
       port.gauge("queue_depth_max",
                  [this, p] { return max_queue_depth(p); });
     }
+  }
+
+  /// Attaches a tracer: EFCI marks and WRED drops emit typed events
+  /// tagged `name`.
+  void set_tracer(sim::Tracer* tracer, const std::string& name) {
+    tracer_ = tracer;
+    trace_source_ = tracer ? tracer->intern(name) : 0;
   }
 
  private:
@@ -164,8 +243,24 @@ class Switch {
     bool has_policer = false;
     FrameState frame;
   };
+  /// One (translated) VC's cells awaiting service on an output port.
+  struct VcQueue {
+    std::deque<WireCell> cells;
+  };
   struct OutputPort {
-    std::deque<WireCell> queue;
+    /// kFifo service structure: the historical shared FIFO, literally —
+    /// one deque of cells in arrival order, so the default scheduler
+    /// pays nothing for the per-VC machinery it doesn't use.
+    std::deque<WireCell> fifo;
+    /// kRoundRobin: per-VC queues keyed on the *outgoing* VC label, all
+    /// drawing on the shared `occupancy` pool bounded by queue_cells,
+    /// plus the active ring (one entry per non-empty VC queue). Ring
+    /// tickets are arena pointers — queue records are never erased, so
+    /// they stay valid across inserts and the scheduler pays no table
+    /// probe per served cell.
+    sim::FlatMap<std::uint32_t, VcQueue> queues;
+    std::deque<VcQueue*> order;
+    std::size_t occupancy = 0;
     Link* link = nullptr;
     bool serving = false;
     sim::TimeWeightedStat depth;
@@ -178,14 +273,21 @@ class Switch {
   /// aliasing another connection's state.
   static std::uint32_t route_label(std::size_t port, atm::VcId vc);
 
+  /// One WRED trial against the band for `tagged` at `occupancy`.
+  bool wred_decides_drop(std::size_t occupancy, bool tagged);
   void serve(std::size_t out_port);
 
   sim::Simulator& sim_;
   SwitchConfig config_;
+  sim::Time slot_;  // output cell slot, clock_ppm applied once
   sim::FlatMap<std::uint32_t, VcEntry> vcs_;
   std::size_t route_count_ = 0;
   std::vector<OutputPort> outputs_;
   std::vector<atm::HecReceiver> hec_;  // one per input port
+  sim::Rng wred_rng_;
+  sim::Tracer* tracer_ = nullptr;
+  std::uint16_t trace_source_ = 0;
+  sim::Counter received_;
   sim::Counter forwarded_;
   sim::Counter dropped_;
   sim::Counter clp_dropped_;
@@ -196,6 +298,10 @@ class Switch {
   sim::Counter epd_drop_;
   sim::Counter epd_pdus_;
   sim::Counter ppd_drop_;
+  sim::Counter queue_offered_;
+  sim::Counter wred_drop_;
+  sim::Counter wred_drop_clp_;
+  sim::Counter efci_marked_;
 };
 
 }  // namespace hni::net

@@ -11,6 +11,102 @@ Nic::Nic(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
                                  config_.rx);
   rx_->set_oam_handler(
       [this](atm::VcId vc, const atm::OamCell& oam) { on_oam(vc, oam); });
+  rx_->set_rm_handler(
+      [this](atm::VcId vc, const atm::Cell& c) { on_rm(vc, c); });
+  rx_->set_efci_observer([this](atm::VcId vc) { on_efci(vc); });
+}
+
+namespace {
+// Backward resource-management cell (ABR-flavoured): payload[0] is the
+// RM protocol id, payload[1] carries the CI (congestion indication)
+// flag in bit 0.
+constexpr std::uint8_t kRmProtocolId = 1;
+constexpr std::uint8_t kRmCongestionFlag = 0x01;
+
+atm::Cell make_rm_cell(atm::VcId vc, bool congestion) {
+  atm::Cell c;
+  c.header.vc = vc;
+  c.header.pti = atm::Pti::kResourceMgmt;
+  c.payload[0] = kRmProtocolId;
+  c.payload[1] = congestion ? kRmCongestionFlag : 0;
+  return c;
+}
+}  // namespace
+
+void Nic::on_efci(atm::VcId vc) {
+  const CongestionControlConfig& cc = config_.congestion;
+  if (!cc.enabled) return;
+  auto [st, inserted] = congestion_.try_emplace(atm::vc_label(vc));
+  const sim::Time now = sim_->now();
+  if (inserted || now - st->window_start > cc.window) {
+    // A stale window's marks do not accumulate: sustained congestion,
+    // not a lone straggler cell, is what triggers feedback.
+    st->window_start = now;
+    st->marks = 0;
+  }
+  ++st->marks;
+  if (st->marks < cc.marks_per_rm) return;
+  if (st->rm_ever_sent && now - st->last_rm_sent < cc.rm_min_gap) return;
+  st->marks = 0;
+  st->window_start = now;
+  st->rm_ever_sent = true;
+  st->last_rm_sent = now;
+  ++rm_sent_;
+  // Backward RM on the same VC: the network's reverse route carries it
+  // to the source, whose RX path hands it to on_rm there.
+  tx_->inject_cell(make_rm_cell(vc, true));
+}
+
+void Nic::on_rm(atm::VcId vc, const atm::Cell& cell) {
+  ++rm_received_;
+  const CongestionControlConfig& cc = config_.congestion;
+  if (!cc.enabled) return;
+  if (cell.payload[0] != kRmProtocolId) return;
+  if ((cell.payload[1] & kRmCongestionFlag) == 0) return;
+  // Contracted VCs are not throttled: their PCR is an admission-time
+  // commitment (CAC already sized the network for it); the elastic
+  // best-effort traffic is what backs off.
+  if (tx_->has_contract(vc)) return;
+  auto [st, inserted] = congestion_.try_emplace(atm::vc_label(vc));
+  st->last_congestion = sim_->now();
+  const double next =
+      std::max(cc.min_rate_factor, st->rate_factor * cc.decrease);
+  if (next < st->rate_factor) {
+    st->rate_factor = next;
+    ++throttle_events_;
+    tx_->set_rate_factor(vc, next);
+    if (congestion_handler_) congestion_handler_(vc, next);
+  }
+  if (!st->recovery_armed) {
+    st->recovery_armed = true;
+    schedule_recovery(vc);
+  }
+}
+
+void Nic::schedule_recovery(atm::VcId vc) {
+  sim_->after(config_.congestion.recovery_period, [this, vc] {
+    CongestionVc* st = congestion_.find(atm::vc_label(vc)).value;
+    if (st == nullptr) return;  // VC closed meanwhile
+    const CongestionControlConfig& cc = config_.congestion;
+    if (sim_->now() - st->last_congestion < cc.recovery_period) {
+      // Congestion refreshed the quiet timer: try again later.
+      schedule_recovery(vc);
+      return;
+    }
+    if (st->rate_factor >= 1.0) {
+      st->recovery_armed = false;
+      return;
+    }
+    st->rate_factor = std::min(1.0, st->rate_factor * cc.increase);
+    ++recoveries_;
+    tx_->set_rate_factor(vc, st->rate_factor);
+    if (congestion_handler_) congestion_handler_(vc, st->rate_factor);
+    if (st->rate_factor >= 1.0) {
+      st->recovery_armed = false;
+      return;
+    }
+    schedule_recovery(vc);
+  });
 }
 
 void Nic::close_vc(atm::VcId vc) {
@@ -33,6 +129,11 @@ void Nic::close_vc(atm::VcId vc) {
   // table and the TX lane frozen if the VC is ever reopened.
   if (rdi_until_.erase(atm::vc_label(vc)) && tx_->vc_paused(vc)) {
     tx_->resume_vc(vc);
+  }
+  // Congestion state dies with the connection; a lingering throttle
+  // must not slow the VC if it is ever reopened.
+  if (congestion_.erase(atm::vc_label(vc))) {
+    tx_->set_rate_factor(vc, 1.0);
   }
 }
 

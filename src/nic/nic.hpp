@@ -17,6 +17,26 @@
 
 namespace hni::nic {
 
+/// Closed-loop congestion control: EFCI marks observed on RX turn into
+/// backward RM cells; RM cells received on TX VCs throttle the source
+/// multiplicatively and recover after a quiet period. Disabled by
+/// default — the overload plane is opt-in (bench_r3 is the consumer).
+struct CongestionControlConfig {
+  bool enabled = false;
+  /// EFCI marks on a VC within `window` that trigger one backward RM.
+  std::uint32_t marks_per_rm = 8;
+  sim::Time window = sim::microseconds(250);
+  /// Minimum gap between RM cells per VC (paces the backward stream).
+  sim::Time rm_min_gap = sim::microseconds(250);
+  /// Multiplicative decrease applied per congestion RM received.
+  double decrease = 0.75;
+  /// Multiplicative increase applied per quiet recovery period.
+  double increase = 1.5;
+  double min_rate_factor = 1.0 / 64;
+  /// RM-free time on a throttled VC before the rate steps back up.
+  sim::Time recovery_period = sim::milliseconds(1);
+};
+
 struct NicConfig {
   TxPathConfig tx{};
   RxPathConfig rx{};
@@ -31,6 +51,8 @@ struct NicConfig {
   /// An RDI-paused VC resumes this long after the last RDI cell —
   /// alarm clears when the defect indications stop arriving.
   sim::Time rdi_hold = sim::milliseconds(2);
+  /// Closed-loop EFCI/RM congestion control (off by default).
+  CongestionControlConfig congestion{};
 
   /// Applies one engine clock to both sides (convenience for sweeps).
   NicConfig& with_clock(double hz) {
@@ -105,6 +127,28 @@ class Nic {
   std::uint64_t rdi_sent() const { return rdi_sent_; }
   std::uint64_t rdi_received() const { return rdi_received_; }
 
+  // --- congestion control (EFCI -> RM -> throttle) --------------------
+  /// Fires whenever a VC's TX rate factor changes (throttle or
+  /// recovery); the Host surfaces this to applications.
+  using CongestionHandler = std::function<void(atm::VcId, double)>;
+  void set_congestion_handler(CongestionHandler handler) {
+    congestion_handler_ = std::move(handler);
+  }
+  /// Backward RM cells this NIC generated from observed EFCI marks.
+  std::uint64_t rm_cells_sent() const { return rm_sent_; }
+  /// RM cells received and handled by the controller.
+  std::uint64_t rm_cells_received() const { return rm_received_; }
+  /// Times a congestion RM tightened a VC's rate factor.
+  std::uint64_t congestion_throttle_events() const {
+    return throttle_events_;
+  }
+  /// Quiet-period steps that loosened a throttle back toward 1.0.
+  std::uint64_t congestion_recoveries() const { return recoveries_; }
+  /// The TX rate factor currently applied to `vc` (1.0 = unthrottled).
+  double vc_rate_factor(atm::VcId vc) const {
+    return tx_->rate_factor(vc);
+  }
+
   const NicConfig& config() const { return config_; }
 
   /// Surfaces both paths' books plus the NIC's OAM/alarm statistics
@@ -124,6 +168,14 @@ class Nic {
               [this] { return static_cast<double>(rdi_received_); });
     oam.gauge("loopbacks_completed",
               [this] { return static_cast<double>(loopbacks_completed_); });
+    const sim::MetricScope cong = scope.sub("congestion");
+    cong.gauge("rm_sent", [this] { return static_cast<double>(rm_sent_); });
+    cong.gauge("rm_received",
+               [this] { return static_cast<double>(rm_received_); });
+    cong.gauge("throttle_events",
+               [this] { return static_cast<double>(throttle_events_); });
+    cong.gauge("recoveries",
+               [this] { return static_cast<double>(recoveries_); });
   }
 
  private:
@@ -135,7 +187,25 @@ class Nic {
     sim::Time sent = 0;
   };
 
+  /// Per-VC congestion-control state, shared between the receiver role
+  /// (EFCI observation -> RM generation) and the sender role (RM
+  /// reception -> throttle) since a duplex VC plays both.
+  struct CongestionVc {
+    // receiver side
+    std::uint32_t marks = 0;          // EFCI marks in the current window
+    sim::Time window_start = 0;
+    sim::Time last_rm_sent = 0;
+    bool rm_ever_sent = false;
+    // sender side
+    double rate_factor = 1.0;
+    sim::Time last_congestion = 0;
+    bool recovery_armed = false;      // a recovery timer is pending
+  };
+
   void on_oam(atm::VcId vc, const atm::OamCell& oam);
+  void on_efci(atm::VcId vc);
+  void on_rm(atm::VcId vc, const atm::Cell& cell);
+  void schedule_recovery(atm::VcId vc);
   void on_link_state(bool down);
   void insert_ais();
   void schedule_rdi_resume(atm::VcId vc);
@@ -161,6 +231,14 @@ class Nic {
   std::uint64_t ais_received_ = 0;
   std::uint64_t rdi_sent_ = 0;
   std::uint64_t rdi_received_ = 0;
+
+  // Congestion-control state, keyed on the packed VC label.
+  sim::FlatMap<std::uint32_t, CongestionVc> congestion_;
+  CongestionHandler congestion_handler_;
+  std::uint64_t rm_sent_ = 0;
+  std::uint64_t rm_received_ = 0;
+  std::uint64_t throttle_events_ = 0;
+  std::uint64_t recoveries_ = 0;
 };
 
 }  // namespace hni::nic

@@ -72,6 +72,7 @@ void RxPath::attach_vc_metrics(atm::VcId vc, VcState& vs) {
   const sim::MetricScope scope = metrics_->vc(vc.vpi, vc.vci);
   vs.m_cells = &scope.counter("cells");
   vs.m_pdus = &scope.counter("pdus");
+  vs.m_efci = &scope.counter("cells_efci_marked");
 }
 
 void RxPath::register_metrics(const sim::MetricScope& scope) {
@@ -91,6 +92,8 @@ void RxPath::register_metrics(const sim::MetricScope& scope) {
   scope.expose("pdus_aborted", aborted_);
   scope.expose("oam_cells", oam_cells_);
   scope.expose("oam_cells_bad", oam_bad_);
+  scope.expose("cells_efci_marked", efci_marked_);
+  scope.expose("rm_cells", rm_cells_);
   scope.expose_stat("pdu_latency_us", latency_us_);
   scope.gauge("board_containers_in_use",
               [this] { return static_cast<double>(board_.containers_in_use()); });
@@ -189,6 +192,19 @@ void RxPath::service() {
 
   VcState& state = *found.state;
 
+  // Resource-management cells: congestion feedback, neither OAM nor
+  // reassembly. Charged like an OAM cell (same control-plane budget).
+  if (cell->header.pti == atm::Pti::kResourceMgmt) {
+    atm::Cell c = std::move(*cell);
+    engine_.execute(ph_oam_, firmware_.rx.oam_cell, [this, c = std::move(c)] {
+      rm_cells_.add();
+      if (rm_handler_) rm_handler_(c.header.vc, c);
+      engine_busy_ = false;
+      service();
+    });
+    return;
+  }
+
   // OAM cells: fault-management handling, no reassembly involvement.
   if (!atm::pti_is_user_data(cell->header.pti)) {
     atm::Cell c = std::move(*cell);
@@ -258,6 +274,14 @@ void RxPath::process_cell(atm::Cell cell, VcState& state) {
   const atm::VcId vc = cell.header.vc;
   state.last_activity = sim_.now();
   if (state.m_cells) state.m_cells->add();
+
+  // EFCI: a congested queue upstream marked this cell. Count it and
+  // tell the congestion controller before reassembly touches the cell.
+  if (atm::pti_efci(cell.header.pti)) {
+    efci_marked_.add();
+    if (state.m_efci) state.m_efci->add();
+    if (efci_observer_) efci_observer_(vc);
+  }
 
   // Board memory accounting: one cell appended to this VC's chain.
   if (!board_.add_cell(chain_key(vc))) {

@@ -145,6 +145,18 @@ class RxPath {
     oam_handler_ = std::move(handler);
   }
 
+  /// Receives resource-management cells (PTI 0b110) arriving on open
+  /// VCs — the Nic's congestion controller closes the EFCI loop here.
+  using RmHandler = std::function<void(atm::VcId, const atm::Cell&)>;
+  void set_rm_handler(RmHandler handler) { rm_handler_ = std::move(handler); }
+
+  /// Fires once per user-data cell observed with the EFCI congestion
+  /// mark (after the reassembly engine has accepted the cell).
+  using EfciObserver = std::function<void(atm::VcId)>;
+  void set_efci_observer(EfciObserver observer) {
+    efci_observer_ = std::move(observer);
+  }
+
   InterruptController& interrupts() { return interrupts_; }
   const InterruptController& interrupts() const { return interrupts_; }
   const proc::Engine& engine() const { return engine_; }
@@ -167,6 +179,10 @@ class RxPath {
   }
   std::uint64_t oam_cells_received() const { return oam_cells_.value(); }
   std::uint64_t oam_cells_bad() const { return oam_bad_.value(); }
+  /// User-data cells that arrived carrying the EFCI congestion mark.
+  std::uint64_t cells_efci_marked() const { return efci_marked_.value(); }
+  /// Resource-management cells handed to the RM handler.
+  std::uint64_t rm_cells_received() const { return rm_cells_.value(); }
   /// Partial PDUs abandoned by the reassembly-timeout sweep.
   std::uint64_t pdus_timed_out() const { return timeouts_.value(); }
   /// Partial PDUs aborted by an engine reset (watchdog recovery).
@@ -205,6 +221,7 @@ class RxPath {
     // Per-VC instruments (registry-owned; null until metrics attach).
     sim::Counter* m_cells = nullptr;
     sim::Counter* m_pdus = nullptr;
+    sim::Counter* m_efci = nullptr;
   };
 
   void attach_vc_metrics(atm::VcId vc, VcState& vs);
@@ -236,6 +253,8 @@ class RxPath {
   BufferAllocator alloc_;
   BufferReleaser release_;
   OamHandler oam_handler_;
+  RmHandler rm_handler_;
+  EfciObserver efci_observer_;
   std::unique_ptr<Watchdog> watchdog_;
   bool engine_busy_ = false;
   bool wedged_ = false;
@@ -259,6 +278,8 @@ class RxPath {
   sim::Counter host_buffer_drop_;
   sim::Counter oam_cells_;
   sim::Counter oam_bad_;
+  sim::Counter efci_marked_;
+  sim::Counter rm_cells_;
   sim::Counter timeouts_;
   sim::Counter aborted_;
   sim::Counter dma_drop_;

@@ -147,12 +147,39 @@ void TxPath::inject_cell(atm::Cell cell) {
   schedule_emission();
 }
 
-void TxPath::set_shaper(atm::VcId vc, double pcr_cells_per_second,
-                        sim::Time cdvt) {
-  state_for(vc).shaper = atm::Gcra::for_pcr(pcr_cells_per_second, cdvt);
+void TxPath::apply_shaper(VcState& vs) {
+  if (vs.contract_pcr <= 0.0 && vs.rate_factor >= 1.0) {
+    vs.shaper.reset();  // no contract, no throttle: unshaped
+    return;
+  }
+  const double base = vs.contract_pcr > 0.0
+                          ? vs.contract_pcr
+                          : framer_.rate().cells_per_second();
+  vs.shaper = atm::Gcra::for_pcr(base * vs.rate_factor, vs.contract_cdvt);
 }
 
-void TxPath::clear_shaper(atm::VcId vc) { state_for(vc).shaper.reset(); }
+void TxPath::set_shaper(atm::VcId vc, double pcr_cells_per_second,
+                        sim::Time cdvt) {
+  VcState& vs = state_for(vc);
+  vs.contract_pcr = pcr_cells_per_second;
+  vs.contract_cdvt = cdvt;
+  apply_shaper(vs);
+}
+
+void TxPath::clear_shaper(atm::VcId vc) {
+  VcState& vs = state_for(vc);
+  vs.contract_pcr = 0.0;
+  vs.contract_cdvt = 0;
+  apply_shaper(vs);
+}
+
+void TxPath::set_rate_factor(atm::VcId vc, double factor) {
+  VcState& vs = state_for(vc);
+  vs.rate_factor = std::clamp(factor, 1.0 / 1024, 1.0);
+  apply_shaper(vs);
+  // A loosened throttle may make a blocked VC eligible right now.
+  schedule_emission();
+}
 
 // Staging pipeline: the engine prefetches a descriptor and runs its DMA
 // while already-staged PDUs drain through the FIFO — double buffering,

@@ -107,11 +107,28 @@ class TxPath {
   /// take priority over user data and are never shaped.
   void inject_cell(atm::Cell cell);
 
-  /// Paces `vc` to a peak cell rate (cells/second) with the given CDVT.
-  /// Applies to cells emitted from now on.
+  /// Paces `vc` to a peak cell rate (cells/second) with the given CDVT
+  /// — the VC's traffic contract. Applies to cells emitted from now on.
   void set_shaper(atm::VcId vc, double pcr_cells_per_second,
                   sim::Time cdvt = 0);
   void clear_shaper(atm::VcId vc);
+  /// Whether `vc` has a traffic contract (a set_shaper PCR) installed.
+  bool has_contract(atm::VcId vc) const {
+    const VcState* vs = vcs_.find(atm::vc_label(vc)).value;
+    return vs != nullptr && vs->contract_pcr > 0.0;
+  }
+
+  /// Congestion throttle: scales `vc`'s emission rate to `factor` of
+  /// its base rate (the contract PCR if one is set, the line's cell
+  /// rate otherwise). 1.0 removes the throttle; values are clamped to
+  /// [1/1024, 1]. Orthogonal to set_shaper — the contract survives and
+  /// is re-applied when the factor returns to 1.
+  void set_rate_factor(atm::VcId vc, double factor);
+  /// The current throttle factor (1.0 when none is installed).
+  double rate_factor(atm::VcId vc) const {
+    const VcState* vs = vcs_.find(atm::vc_label(vc)).value;
+    return vs != nullptr ? vs->rate_factor : 1.0;
+  }
 
   // --- fault management -------------------------------------------------
   /// Pauses `vc` (remote defect, e.g. an RDI alarm): already-staged
@@ -173,6 +190,9 @@ class TxPath {
   struct VcState {
     std::deque<StagedPdu> queue;
     std::optional<atm::Gcra> shaper;
+    double contract_pcr = 0.0;     // traffic contract (0 = none)
+    sim::Time contract_cdvt = 0;
+    double rate_factor = 1.0;      // congestion throttle multiplier
     bool paused = false;  // remote defect: hold emission, shed posts
     // Per-VC instruments (registry-owned; null until metrics attach).
     sim::Counter* m_cells = nullptr;
@@ -180,6 +200,10 @@ class TxPath {
   };
 
   void attach_vc_metrics(atm::VcId vc, VcState& vs);
+
+  /// Rebuilds a VC's GCRA from its contract and throttle factor (an
+  /// unthrottled, uncontracted VC runs unshaped).
+  void apply_shaper(VcState& vs);
 
   /// Unblocked work exists (what the watchdog calls "pending"): control
   /// cells, or staged cells on a VC that is neither paused nor

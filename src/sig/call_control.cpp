@@ -24,6 +24,7 @@ CallControl::CallControl(core::Station& station, std::uint16_t my_party,
     metrics_->expose("calls_connected", connected_);
     metrics_->expose("calls_failed", failed_);
     metrics_->expose("retransmits", retransmits_);
+    metrics_->expose("setup_backoff_retries", backoffs_);
     metrics_->expose("timer_expiries", timer_expiries_);
     metrics_->expose("calls_reclaimed", reclaimed_);
     metrics_->expose("malformed_frames", malformed_);
@@ -158,8 +159,10 @@ void CallControl::close_data_vc(const CallInfo& info) {
 void CallControl::cancel_timers(Call& call) {
   station_.sim().cancel(call.retry_timer);
   station_.sim().cancel(call.deadline_timer);
+  station_.sim().cancel(call.backoff_timer);
   call.retry_timer = {};
   call.deadline_timer = {};
+  call.backoff_timer = {};
 }
 
 CallControl::Call CallControl::clear_call(
@@ -235,6 +238,23 @@ void CallControl::on_t310(std::uint32_t call_id) {
   m.cause = Cause::kRecoveryOnTimerExpiry;
   send(m);
   if (dead.on_failed) dead.on_failed(call_id, Cause::kRecoveryOnTimerExpiry);
+}
+
+void CallControl::retry_setup(std::uint32_t call_id) {
+  auto it = calls_.find(call_id);
+  if (it == calls_.end() || it->second.state != CallState::kCalling) return;
+  Call& call = it->second;
+  call.backoff_timer = {};
+  backoffs_.add();
+  trace(sim::TraceEventId::kSigRetransmit,
+        static_cast<std::uint32_t>(call.pending.type), call.setup_attempts,
+        call_id);
+  send(call.pending);
+  if (config_.retransmit) {
+    arm_retry(call_id, 303);
+    call.deadline_timer = station_.sim().after(
+        config_.t310, [this, call_id] { on_t310(call_id); });
+  }
 }
 
 // --- message handling -------------------------------------------------
@@ -375,6 +395,22 @@ void CallControl::handle_release(const Message& m) {
   auto it = calls_.find(m.call_id);
   if (it == calls_.end()) return;
   const bool was_calling = it->second.state == CallState::kCalling;
+  if (was_calling && m.cause == Cause::kResourceUnavailable &&
+      it->second.setup_attempts < config_.setup_retry_limit) {
+    // CAC refusal: capacity may free as other calls release, so back
+    // off and retry instead of failing. The refusal left no state at
+    // the network (admission precedes VC allocation), so re-sending
+    // the same SETUP under the same reference is clean.
+    Call& call = it->second;
+    cancel_timers(call);
+    call.retries = 0;
+    const unsigned attempt = ++call.setup_attempts;
+    const sim::Time wait = config_.setup_retry_backoff << (attempt - 1);
+    const std::uint32_t id = m.call_id;
+    call.backoff_timer =
+        station_.sim().after(wait, [this, id] { retry_setup(id); });
+    return;
+  }
   Call call = clear_call(it);
   if (was_calling) {
     // Our SETUP was refused (by the callee or the network).

@@ -57,6 +57,12 @@ struct CallControlConfig {
   sim::Time t310 = sim::milliseconds(8);    // overall await-CONNECT deadline
   sim::Time t308 = sim::microseconds(600);  // RELEASE retransmit interval
   unsigned t308_retries = 4;
+  /// Retry-with-backoff for SETUPs the network refuses for lack of
+  /// resources (CAC). 0 disables: the refusal fails the call at once.
+  /// Each attempt doubles the wait, so capacity freed by a released
+  /// call is found without hammering the signalling channel.
+  unsigned setup_retry_limit = 0;
+  sim::Time setup_retry_backoff = sim::milliseconds(2);
 };
 
 /// Fault-injection tap on a signalling sender: every outgoing message
@@ -190,6 +196,8 @@ class CallControl {
   std::uint64_t calls_failed() const { return failed_.value(); }
   /// Messages retransmitted by T303/T308.
   std::uint64_t retransmits() const { return retransmits_.value(); }
+  /// SETUPs re-sent after a CAC resource-unavailable refusal.
+  std::uint64_t setup_backoff_retries() const { return backoffs_.value(); }
   /// Timer expiries observed (every T303/T308/T310 firing that acted).
   std::uint64_t timer_expiries() const { return timer_expiries_.value(); }
   /// Calls cleared by recovery (T308 force-clear, STATUS resync,
@@ -212,8 +220,10 @@ class CallControl {
     bool vc_open = false;
     Message pending;                  // message under timer supervision
     unsigned retries = 0;
+    unsigned setup_attempts = 0;      // CAC-refusal backoff rounds used
     sim::EventHandle retry_timer;     // T303 (calling) / T308 (releasing)
     sim::EventHandle deadline_timer;  // T310
+    sim::EventHandle backoff_timer;   // CAC-refusal retry wait
   };
 
   void on_signaling_frame(aal::Bytes sdu);
@@ -229,6 +239,7 @@ class CallControl {
   void close_data_vc(const CallInfo& info);
   void arm_retry(std::uint32_t call_id, unsigned timer_no);
   void on_retry_timer(std::uint32_t call_id, unsigned timer_no);
+  void retry_setup(std::uint32_t call_id);
   void on_t310(std::uint32_t call_id);
   void cancel_timers(Call& call);
   /// Removes the call and undoes its local state (timers, VC); invoked
@@ -254,6 +265,7 @@ class CallControl {
   sim::Counter connected_;
   sim::Counter failed_;
   sim::Counter retransmits_;
+  sim::Counter backoffs_;
   sim::Counter timer_expiries_;
   sim::Counter reclaimed_;
   sim::Counter malformed_;

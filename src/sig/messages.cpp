@@ -151,6 +151,8 @@ std::string_view to_string(Cause cause) {
       return "no VC available";
     case Cause::kTemporaryFailure:
       return "temporary failure";
+    case Cause::kResourceUnavailable:
+      return "resource unavailable, unspecified";
     case Cause::kInvalidMessage:
       return "invalid message";
     case Cause::kMessageTypeNonExistent:

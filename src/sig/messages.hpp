@@ -58,6 +58,7 @@ enum class Cause : std::uint8_t {
   kCallRejected = 21,
   kNetworkOutOfVcs = 35,
   kTemporaryFailure = 41,          // agent restart / stale call cleared
+  kResourceUnavailable = 47,       // CAC: committed capacity exhausted
   kInvalidMessage = 95,            // bad magic / truncated / wrong length
   kMessageTypeNonExistent = 97,    // frame valid, type unknown
   kInvalidContents = 100,          // known type, out-of-range field

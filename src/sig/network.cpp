@@ -1,6 +1,7 @@
 #include "sig/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace hni::sig {
@@ -28,6 +29,7 @@ SignalingNetwork::SignalingNetwork(core::Testbed& bed, net::Switch& sw,
   const sim::MetricScope scope(bed_.metrics(), "sig.agent");
   scope.expose("calls_routed", calls_routed_);
   scope.expose("calls_refused", calls_refused_);
+  scope.expose("calls_refused_cac", calls_refused_cac_);
   scope.expose("duplicate_setups", duplicate_setups_);
   scope.expose("audit_ticks", audit_ticks_);
   scope.expose("enquiries_sent", enquiries_);
@@ -107,6 +109,43 @@ void SignalingNetwork::free_vci(std::size_t port, std::uint16_t vci) {
   // would hand the same VCI to two calls.
   if (std::find(free.begin(), free.end(), vci) != free.end()) return;
   free.push_back(vci);
+}
+
+// --- admission control ------------------------------------------------
+
+bool SignalingNetwork::cac_admits(std::size_t caller_port,
+                                  std::size_t callee_port,
+                                  double pcr) const {
+  if (config_.cac_utilization <= 0.0 || pcr <= 0.0) return true;
+  const double limit =
+      config_.cac_utilization * sw_.config().port_rate.cells_per_second();
+  // Both legs must fit. A self-call (both legs on one port) commits
+  // that port twice, so the check mirrors the commit.
+  const double caller_need =
+      committed_pcr(caller_port) + (caller_port == callee_port ? 2 : 1) * pcr;
+  if (caller_need > limit) return false;
+  if (caller_port != callee_port &&
+      committed_pcr(callee_port) + pcr > limit) {
+    return false;
+  }
+  return true;
+}
+
+void SignalingNetwork::cac_commit(AgentCall& call) {
+  if (config_.cac_utilization <= 0.0 || call.pcr <= 0.0) return;
+  committed_pcr_[call.caller_port] += call.pcr;
+  committed_pcr_[call.callee_port] += call.pcr;
+  call.cac_committed = true;
+}
+
+void SignalingNetwork::cac_release(const AgentCall& call) {
+  if (!call.cac_committed) return;
+  for (const std::size_t port : {call.caller_port, call.callee_port}) {
+    auto it = committed_pcr_.find(port);
+    if (it == committed_pcr_.end()) continue;
+    it->second -= call.pcr;
+    if (it->second < 1e-9) it->second = 0.0;  // swallow float drift
+  }
 }
 
 void SignalingNetwork::send_to_port(std::size_t port, const Message& m) {
@@ -211,6 +250,16 @@ void SignalingNetwork::handle_setup(std::size_t from_port,
     }
     return;
   }
+  // Admission control precedes VC allocation, so a refusal leaves zero
+  // agent state: the endpoint can retry the same reference cleanly.
+  if (!cac_admits(from_port, callee->port, m.pcr_cells_per_second)) {
+    calls_refused_cac_.add();
+    trace(sim::TraceEventId::kSigCacRefusal,
+          static_cast<std::uint32_t>(from_port),
+          static_cast<std::uint32_t>(callee->port), m.call_id);
+    refuse(from_port, m, Cause::kResourceUnavailable);
+    return;
+  }
   const auto caller_vci = allocate_vci(from_port);
   const auto callee_vci = allocate_vci(callee->port);
   if (!caller_vci || !callee_vci) {
@@ -229,6 +278,7 @@ void SignalingNetwork::handle_setup(std::size_t from_port,
   call.callee_vc = {0, *callee_vci};
   call.pcr = m.pcr_cells_per_second;
   call.created = bed_.sim().now();
+  cac_commit(call);
   calls_.emplace(m.call_id, call);
   ensure_audit_timer();
 
@@ -306,6 +356,7 @@ void SignalingNetwork::handle_release_complete(const Message& m) {
   if (it == calls_.end()) return;
   AgentCall call = it->second;
   calls_.erase(it);
+  cac_release(call);
   free_vci(call.caller_port, call.caller_vc.vci);
   free_vci(call.callee_port, call.callee_vc.vci);
   // Forward the completion to the release initiator: it is the leg that
@@ -392,6 +443,7 @@ void SignalingNetwork::reclaim_call(std::uint32_t call_id, Cause cause) {
   if (it == calls_.end()) return;
   AgentCall call = it->second;
   calls_.erase(it);
+  cac_release(call);
   if (call.routed) {
     remove_routes(call);
     routes_reclaimed_.add(2);
@@ -454,6 +506,9 @@ void SignalingNetwork::crash_restart() {
   // endpoint call state survived and must be reconciled.
   calls_.clear();
   free_vcis_.clear();
+  // The CAC books are volatile too: with no calls there is no committed
+  // capacity, and re-admission rebuilds them from live SETUPs.
+  committed_pcr_.clear();
   for (const auto& e : endpoints_) {
     next_vci_[e.port] = config_.first_data_vci;
   }
@@ -572,6 +627,24 @@ void SignalingNetwork::audit_invariants(core::InvariantAuditor& auditor) {
   });
   auditor.expect_eq(data_routes, 2 * routed, "sig route ownership",
                     "switch data routes == 2 x routed calls");
+  // CAC books balance: the committed capacity per port equals the sum
+  // of the PCRs of the admitted calls with a leg there — nothing leaks
+  // when calls release, reclaim or the agent restarts. Compared at
+  // whole-cells/s granularity to shrug off float summation order.
+  for (const auto& e : endpoints_) {
+    double expected = 0.0;
+    for (const auto& [id, call] : calls_) {
+      if (!call.cac_committed) continue;
+      if (call.caller_port == e.port) expected += call.pcr;
+      if (call.callee_port == e.port) expected += call.pcr;
+    }
+    auditor.expect_eq(
+        static_cast<std::uint64_t>(std::llround(committed_pcr(e.port))),
+        static_cast<std::uint64_t>(std::llround(expected)),
+        "sig cac books",
+        "port " + std::to_string(e.port) +
+            ": committed PCR == sum of admitted call legs");
+  }
   // Each endpoint's NIC table matches its call-control state.
   for (const auto& control : controls_) {
     control->audit_invariants(auditor);

@@ -64,6 +64,13 @@ struct SignalingConfig {
   /// RESTART retransmit interval and retry bound (T316).
   sim::Time t316 = sim::milliseconds(1);
   unsigned t316_retries = 16;
+  /// Connection admission control: fraction of each output port's line
+  /// rate the agent will commit to contracted (PCR > 0) calls. A SETUP
+  /// whose PCR would push either leg's committed capacity past
+  /// `cac_utilization * port_rate` is refused with
+  /// Cause::kResourceUnavailable. 0 disables admission control
+  /// (every call is admitted, the pre-CAC behaviour).
+  double cac_utilization = 0.0;
   /// Seed stream for the message taps (fault injection).
   std::uint64_t fault_seed = 0x51C;
 };
@@ -94,6 +101,15 @@ class SignalingNetwork {
 
   std::uint64_t calls_routed() const { return calls_routed_.value(); }
   std::uint64_t calls_refused() const { return calls_refused_.value(); }
+  /// SETUPs refused by admission control specifically.
+  std::uint64_t calls_refused_cac() const {
+    return calls_refused_cac_.value();
+  }
+  /// PCR (cells/s) currently committed to admitted calls on `port`.
+  double committed_pcr(std::size_t port) const {
+    const auto it = committed_pcr_.find(port);
+    return it != committed_pcr_.end() ? it->second : 0.0;
+  }
   std::size_t active_calls() const { return calls_.size(); }
   std::uint64_t duplicate_setups() const { return duplicate_setups_.value(); }
   std::uint64_t audit_ticks() const { return audit_ticks_.value(); }
@@ -133,6 +149,7 @@ class SignalingNetwork {
     atm::VcId callee_vc{};
     double pcr = 0.0;
     bool routed = false;
+    bool cac_committed = false;  // pcr is counted in the CAC books
     sim::Time created = 0;      // for the audit's grace period
     unsigned strikes = 0;       // consecutive suspect audit rounds
     unsigned enquiries_outstanding = 0;
@@ -161,6 +178,10 @@ class SignalingNetwork {
   void refuse(std::size_t port, const Message& setup, Cause cause);
   std::optional<std::uint16_t> allocate_vci(std::size_t port);
   void free_vci(std::size_t port, std::uint16_t vci);
+  bool cac_admits(std::size_t caller_port, std::size_t callee_port,
+                  double pcr) const;
+  void cac_commit(AgentCall& call);
+  void cac_release(const AgentCall& call);
   void program_routes(const AgentCall& call);
   void remove_routes(const AgentCall& call);
   const Endpoint* endpoint_by_party(std::uint16_t party) const;
@@ -186,11 +207,14 @@ class SignalingNetwork {
   std::unordered_map<std::uint32_t, AgentCall> calls_;
   std::unordered_map<std::size_t, std::vector<std::uint16_t>> free_vcis_;
   std::unordered_map<std::size_t, std::uint16_t> next_vci_;
+  // CAC books: PCR committed per output port to admitted calls.
+  std::unordered_map<std::size_t, double> committed_pcr_;
   std::unordered_map<std::size_t, RestartState> restarts_;
   bool audit_armed_ = false;
   std::uint32_t restart_instance_ = 0;
   sim::Counter calls_routed_;
   sim::Counter calls_refused_;
+  sim::Counter calls_refused_cac_;
   sim::Counter duplicate_setups_;
   sim::Counter audit_ticks_;
   sim::Counter enquiries_;

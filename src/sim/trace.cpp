@@ -51,6 +51,18 @@ std::string Tracer::format(const TraceEvent& ev) const {
       out += "sig MALFORMED cause=" + std::to_string(ev.a) +
              " call=" + std::to_string(ev.seq);
       break;
+    case TraceEventId::kSigCacRefusal:
+      out += "sig CAC REFUSED ports=" + std::to_string(ev.a) + "->" +
+             std::to_string(ev.b) + " call=" + std::to_string(ev.seq);
+      break;
+    case TraceEventId::kSwitchEfciMark:
+      out += seq + " EFCI MARKED port=" + std::to_string(ev.a) +
+             " vc_label=" + std::to_string(ev.b);
+      break;
+    case TraceEventId::kSwitchWredDrop:
+      out += seq + " WRED DROPPED port=" + std::to_string(ev.a) +
+             (ev.b != 0 ? " (tagged)" : "");
+      break;
     case TraceEventId::kUser:
       out += "user event a=" + std::to_string(ev.a) +
              " b=" + std::to_string(ev.b);

@@ -39,6 +39,9 @@ enum class TraceEventId : std::uint16_t {
   kSigVcReclaimed,       // a = port, b = vci, seq = call id
   kSigRestart,           // a = port, b = attempt #
   kSigMalformed,         // a = cause code, seq = call id hint
+  kSigCacRefusal,        // a = caller port, b = callee port, seq = call id
+  kSwitchEfciMark,       // a = out port, b = vc label, seq
+  kSwitchWredDrop,       // a = out port, b = 1 if CLP-tagged, seq
   kUser,                 // free for tests/tools; payload uninterpreted
 };
 

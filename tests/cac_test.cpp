@@ -1,0 +1,227 @@
+// Connection admission control tests: the call agent's committed-
+// capacity books, resource-unavailable refusals, endpoint
+// retry-with-backoff, and reconciliation across agent crash-restart.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "sig/network.hpp"
+
+namespace hni {
+namespace {
+
+using sig::Cause;
+
+// Three endpoints + agent on a 4-port switch (ports: alice 0, bob 1,
+// carol 2, agent 3), mirroring sig_test's scenario but with CAC armed.
+struct CacBed {
+  core::Testbed bed;
+  net::Switch& sw;
+  core::Station& alice;
+  core::Station& bob;
+  core::Station& carol;
+  sig::SignalingNetwork net;
+  sig::CallControl& cc_alice;
+  sig::CallControl& cc_bob;
+  sig::CallControl& cc_carol;
+
+  explicit CacBed(sig::SignalingConfig cfg)
+      : sw(bed.add_switch({.ports = 4,
+                           .queue_cells = 512,
+                           .clp_threshold = 512})),
+        alice(bed.add_station({.name = "alice"})),
+        bob(bed.add_station({.name = "bob"})),
+        carol(bed.add_station({.name = "carol"})),
+        net(bed, sw, /*agent_port=*/3, cfg),
+        cc_alice(net.attach(alice, 0, 1)),
+        cc_bob(net.attach(bob, 1, 2)),
+        cc_carol(net.attach(carol, 2, 3)) {
+    cc_bob.set_incoming([](const sig::CallControl::CallInfo&) {
+      return true;
+    });
+  }
+
+  void expect_books_balanced() {
+    auto auditor = bed.audit(/*include_hops=*/false);
+    net.audit_invariants(auditor);
+    EXPECT_TRUE(auditor.ok()) << auditor.report();
+  }
+};
+
+sig::SignalingConfig half_port_cac() {
+  sig::SignalingConfig cfg;
+  cfg.cac_utilization = 0.5;  // sts3c: ~176.6 kcells/s committable
+  return cfg;
+}
+
+TEST(Cac, OversubscribedSetupRefusedWithResourceUnavailable) {
+  CacBed s(half_port_cac());
+  const double pcr = 100000.0;  // two of these exceed the 50% budget
+
+  bool first_up = false;
+  s.cc_alice.place_call(2, aal::AalType::kAal5, pcr,
+                        [&](const sig::CallControl::CallInfo&) {
+                          first_up = true;
+                        });
+  s.bed.run_for(sim::milliseconds(5));
+  ASSERT_TRUE(first_up);
+  EXPECT_DOUBLE_EQ(s.net.committed_pcr(0), pcr);  // alice's leg
+  EXPECT_DOUBLE_EQ(s.net.committed_pcr(1), pcr);  // bob's leg
+
+  // Bob's port can't carry a second 100k contract.
+  std::optional<Cause> cause;
+  s.cc_carol.place_call(
+      2, aal::AalType::kAal5, pcr,
+      [](const sig::CallControl::CallInfo&) { FAIL() << "admitted?"; },
+      [&](std::uint32_t, Cause c) { cause = c; });
+  s.bed.run_for(sim::milliseconds(5));
+  ASSERT_TRUE(cause.has_value());
+  EXPECT_EQ(*cause, Cause::kResourceUnavailable);
+  EXPECT_EQ(s.net.calls_refused_cac(), 1u);
+  // The refusal left no state behind: books unchanged, nothing stranded.
+  EXPECT_DOUBLE_EQ(s.net.committed_pcr(1), pcr);
+  EXPECT_DOUBLE_EQ(s.net.committed_pcr(2), 0.0);
+  EXPECT_EQ(s.net.stranded_vcis(), 0u);
+  EXPECT_EQ(s.cc_carol.active_calls(), 0u);
+  s.expect_books_balanced();
+}
+
+TEST(Cac, BestEffortCallsBypassAdmission) {
+  CacBed s(half_port_cac());
+  // Saturate bob's committed capacity...
+  bool up = false;
+  s.cc_alice.place_call(2, aal::AalType::kAal5, 176000.0,
+                        [&](const sig::CallControl::CallInfo&) {
+                          up = true;
+                        });
+  s.bed.run_for(sim::milliseconds(5));
+  ASSERT_TRUE(up);
+  // ...and a PCR-less (best effort) call still gets through: CAC only
+  // polices contracted capacity.
+  bool be_up = false;
+  s.cc_carol.place_call(2, aal::AalType::kAal5, 0.0,
+                        [&](const sig::CallControl::CallInfo&) {
+                          be_up = true;
+                        });
+  s.bed.run_for(sim::milliseconds(5));
+  EXPECT_TRUE(be_up);
+  EXPECT_EQ(s.net.calls_refused_cac(), 0u);
+  s.expect_books_balanced();
+}
+
+TEST(Cac, BackoffRetrySucceedsWhenCapacityFrees) {
+  sig::SignalingConfig cfg = half_port_cac();
+  cfg.endpoint.setup_retry_limit = 4;
+  cfg.endpoint.setup_retry_backoff = sim::milliseconds(2);
+  CacBed s(cfg);
+  const double pcr = 100000.0;
+
+  std::optional<sig::CallControl::CallInfo> first;
+  s.cc_alice.place_call(2, aal::AalType::kAal5, pcr,
+                        [&](const sig::CallControl::CallInfo& i) {
+                          first = i;
+                        });
+  s.bed.run_for(sim::milliseconds(5));
+  ASSERT_TRUE(first.has_value());
+
+  // Carol's SETUP is refused now, but retries on a doubling backoff.
+  bool carol_up = false;
+  bool carol_failed = false;
+  s.cc_carol.place_call(
+      2, aal::AalType::kAal5, pcr,
+      [&](const sig::CallControl::CallInfo&) { carol_up = true; },
+      [&](std::uint32_t, Cause) { carol_failed = true; });
+  // Free the capacity while carol is backing off.
+  s.bed.sim().after(sim::milliseconds(3), [&] {
+    s.cc_alice.release(first->call_id);
+  });
+  s.bed.run_for(sim::milliseconds(40));
+
+  EXPECT_TRUE(carol_up) << "retry-with-backoff left the call stranded";
+  EXPECT_FALSE(carol_failed);
+  EXPECT_GE(s.cc_carol.setup_backoff_retries(), 1u);
+  EXPECT_GE(s.net.calls_refused_cac(), 1u);
+  // Alice's contract released, carol's committed: one call's worth.
+  EXPECT_DOUBLE_EQ(s.net.committed_pcr(1), pcr);
+  EXPECT_DOUBLE_EQ(s.net.committed_pcr(0), 0.0);
+  EXPECT_EQ(s.net.stranded_vcis(), 0u);
+  s.expect_books_balanced();
+}
+
+TEST(Cac, BackoffExhaustionFailsCleanly) {
+  sig::SignalingConfig cfg = half_port_cac();
+  cfg.endpoint.setup_retry_limit = 2;
+  cfg.endpoint.setup_retry_backoff = sim::milliseconds(1);
+  CacBed s(cfg);
+  const double pcr = 150000.0;
+
+  bool up = false;
+  s.cc_alice.place_call(2, aal::AalType::kAal5, pcr,
+                        [&](const sig::CallControl::CallInfo&) {
+                          up = true;
+                        });
+  s.bed.run_for(sim::milliseconds(5));
+  ASSERT_TRUE(up);
+
+  // Nobody releases: carol's retries all hit the same wall and the
+  // call fails with the CAC cause — cleanly, nothing half-open.
+  std::optional<Cause> cause;
+  s.cc_carol.place_call(
+      2, aal::AalType::kAal5, pcr,
+      [](const sig::CallControl::CallInfo&) { FAIL() << "admitted?"; },
+      [&](std::uint32_t, Cause c) { cause = c; });
+  s.bed.run_for(sim::milliseconds(40));
+
+  ASSERT_TRUE(cause.has_value());
+  EXPECT_EQ(*cause, Cause::kResourceUnavailable);
+  EXPECT_EQ(s.cc_carol.setup_backoff_retries(), 2u);
+  EXPECT_EQ(s.net.calls_refused_cac(), 3u);  // initial + both retries
+  EXPECT_EQ(s.cc_carol.active_calls(), 0u);
+  EXPECT_EQ(s.net.active_calls(), 1u);
+  EXPECT_EQ(s.net.stranded_vcis(), 0u);
+  s.expect_books_balanced();
+}
+
+TEST(Cac, CrashRestartReconcilesCommittedCapacity) {
+  sig::SignalingConfig cfg = half_port_cac();
+  CacBed s(cfg);
+  s.cc_carol.set_incoming([](const sig::CallControl::CallInfo&) {
+    return true;
+  });
+
+  bool up1 = false, up2 = false;
+  s.cc_alice.place_call(2, aal::AalType::kAal5, 80000.0,
+                        [&](const sig::CallControl::CallInfo&) {
+                          up1 = true;
+                        });
+  s.cc_alice.place_call(3, aal::AalType::kAal5, 60000.0,
+                        [&](const sig::CallControl::CallInfo&) {
+                          up2 = true;
+                        });
+  s.bed.run_for(sim::milliseconds(5));
+  ASSERT_TRUE(up1 && up2);
+  EXPECT_DOUBLE_EQ(s.net.committed_pcr(0), 140000.0);
+
+  // The agent dies. Its volatile books die with it; endpoints are told
+  // to clear, and the committed capacity must read zero — not the
+  // pre-crash phantom that would refuse every future call.
+  s.net.crash_restart();
+  EXPECT_DOUBLE_EQ(s.net.committed_pcr(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.net.committed_pcr(1), 0.0);
+  s.bed.run_for(sim::milliseconds(20));  // RESTART handshake settles
+
+  // Post-recovery the full budget is available again.
+  bool up3 = false;
+  s.cc_carol.place_call(2, aal::AalType::kAal5, 170000.0,
+                        [&](const sig::CallControl::CallInfo&) {
+                          up3 = true;
+                        });
+  s.bed.run_for(sim::milliseconds(5));
+  EXPECT_TRUE(up3);
+  EXPECT_EQ(s.net.calls_refused_cac(), 0u);
+  s.expect_books_balanced();
+}
+
+}  // namespace
+}  // namespace hni
