@@ -1,0 +1,502 @@
+// R4 — Fairness: who gets the port when everybody wants it.
+//
+// The traffic-management plane finished in this series — DWRR service
+// weights at the output queues, trTCM two-rate metering at UPC, and an
+// ERICA-style explicit-rate loop stamping backward RM cells — exists
+// so that *shares* under overload are a configured policy, not an
+// accident of arrival timing. This benchmark measures the shares.
+//
+// Scenarios (all into one STS-3c output port):
+//
+//   abr-equal   four ABR sources, each offering 0.5x the port's AAL5
+//               ceiling (2x overload total), equal DWRR weights, the
+//               ERICA loop closed end to end (EFCI -> RM at the sink,
+//               ER stamped at the switch, shaper convergence at the
+//               sources). Acceptance: Jain's fairness index across the
+//               four delivered rates >= 0.95.
+//
+//   dwrr-w124   three backlogged flows with DWRR weights {1, 2, 4} and
+//               *equal* offered loads (2x total), per-VC buffer
+//               accounting on (vc_epd_cells / vc_queue_cells) so each
+//               queue stays backlogged without crowding the shared
+//               pool. Acceptance: every delivered share within 10% of
+//               its weight fraction — the shares come from the grants,
+//               not from the offered mix.
+//
+//   rr-ablation the same offers under plain round-robin. The weight-4
+//               flow collapses toward an equal split — evidence that
+//               the DWRR grants, not the offered-load mix, set the
+//               shares. Acceptance: its goodput <= 85% of what DWRR
+//               delivers it.
+//
+//   mix-2x      the full service-class mix at 2x: a shaped CBR
+//               contract (weight 2), an on/off VBR flow metered by
+//               trTCM (green passes, yellow tags CLP, red dies at
+//               UPC), two ABR and two UBR elastic flows. Acceptance:
+//               the CBR contract keeps >= 85% of its share, all three
+//               meter colors are exercised, books balance.
+//
+//   bench_r4_fairness                  full run (250 ms windows)
+//   bench_r4_fairness --smoke          100 ms windows (CI-sized)
+//   bench_r4_fairness [--smoke] --json OUT.json
+//                                      google-benchmark-style JSON for
+//                                      scripts/bench_compare.py (the
+//                                      Jain rows carry higher_is_better
+//                                      values)
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/testbed.hpp"
+#include "net/switch.hpp"
+#include "net/traffic.hpp"
+
+using namespace hni;
+
+namespace {
+
+constexpr std::size_t kPduBytes = 9180;
+constexpr double kPduBits = kPduBytes * 8.0;
+// AAL5 goodput ceiling of an STS-3c port at 9180-byte PDUs.
+constexpr double kCeilingBps = 135.1e6;
+
+constexpr double kJainFloor = 0.95;     // abr-equal acceptance
+constexpr double kShareTolerance = 0.10; // dwrr-w124 acceptance
+constexpr double kAblationCap = 0.85;   // rr w4 vs dwrr w4
+constexpr double kCbrProtection = 0.85; // mix: CBR keeps its contract
+
+enum class Class {
+  kCbrContract,  // shaped at the source to its contract; weight > 1
+  kVbrMetered,   // on/off, trTCM meter at UPC (CIR = contract)
+  kAbr,          // Poisson elastic, ERICA explicit-rate participant
+  kUbr,          // Poisson elastic, CI-feedback only
+  kBacklog,      // CBR-spaced open loop, no shaper: keeps its per-VC
+                 //   queue backlogged so DWRR grants set its share
+};
+
+struct FlowSpec {
+  Class cls;
+  double offered;        // fraction of the ceiling offered
+  double contract = 0;   // CBR shaper rate / VBR CIR, as a fraction
+  std::uint32_t weight = 1;
+};
+
+struct Scenario {
+  const char* name;
+  std::vector<FlowSpec> flows;
+  net::SwitchScheduler scheduler = net::SwitchScheduler::kDwrr;
+  bool abr_loop = false;  // ERICA at the switch + explicit-rate at NICs
+  /// Per-VC buffer accounting instead of the shared-pool plane: the
+  /// shared EPD/WRED thresholds are off, each VC gated and capped on
+  /// its own queue, so scheduler grants alone decide delivered shares.
+  bool per_vc_books = false;
+};
+
+struct Outcome {
+  std::vector<double> goodput_bps;  // per flow
+  double total_mbps = 0;
+  double jain = 0;           // over raw per-flow rates
+  double jain_weighted = 0;  // over weight-normalised rates
+  double max_share_err = 0;  // vs weight fractions, relative
+  std::uint64_t er_stamped = 0;
+  std::uint64_t meter_green = 0;
+  std::uint64_t meter_yellow = 0;
+  std::uint64_t meter_red = 0;
+  std::uint64_t epd_pdus = 0;
+  std::uint64_t overflow = 0;
+  std::uint64_t throttles = 0;
+  bool books_ok = false;
+};
+
+double jain_index(const std::vector<double>& xs) {
+  double sum = 0, sq = 0;
+  for (double x : xs) {
+    sum += x;
+    sq += x * x;
+  }
+  if (sq <= 0) return 0;
+  return sum * sum / (static_cast<double>(xs.size()) * sq);
+}
+
+Outcome run(const Scenario& sc, sim::Time window) {
+  const std::size_t n = sc.flows.size();
+  const std::size_t sink_port = n;
+
+  core::Testbed bed;
+  net::SwitchConfig swc;
+  swc.ports = n + 1;
+  swc.queue_cells = 1024;
+  swc.clp_threshold = 896;
+  swc.scheduler = sc.scheduler;
+  if (sc.per_vc_books) {
+    // Per-VC accounting: EPD-gate each fresh frame on the VC's own
+    // queue once it holds a full 192-cell PDU plus slack (so a slow
+    // flow keeps a standing backlog between service turns instead of
+    // starving), hard-cap residency one PDU past the gate (admitted
+    // frames never overrun mid-PDU), and size the pool above the sum
+    // of the caps so only the per-VC books ever bind.
+    swc.vc_epd_cells = 256;
+    swc.vc_queue_cells = 512;
+    swc.queue_cells = 2048;
+    swc.clp_threshold = 2048;
+  } else {
+    swc.epd_threshold = 512;
+    swc.wred.enabled = true;
+    swc.wred.min_cells = 600;
+    swc.wred.max_cells = 1024;
+    swc.wred.max_p = 0.05;
+    swc.wred.clp1_min_cells = 256;  // tagged band: trTCM yellow dies first
+    swc.wred.clp1_max_cells = 512;
+    swc.wred.clp1_max_p = 1.0;
+  }
+  if (sc.abr_loop) {
+    swc.efci_threshold = 192;
+    swc.abr.enabled = true;
+  }
+  auto& sw = bed.add_switch(swc);
+
+  core::StationConfig stc;
+  stc.nic.congestion.enabled = sc.abr_loop;
+  stc.nic.congestion.explicit_rate = sc.abr_loop;
+  std::vector<core::Station*> sources;
+  for (std::size_t i = 0; i < n; ++i) {
+    stc.name = "src" + std::to_string(i);
+    sources.push_back(&bed.add_station(stc));
+  }
+  stc.name = "sink";
+  auto& sink = bed.add_station(stc);
+
+  net::LossModel jitter;
+  jitter.cdv_jitter = sim::microseconds(6);
+  const double port_cells = swc.port_rate.cells_per_second();
+  for (std::size_t i = 0; i < n; ++i) {
+    const atm::VcId vc{0, static_cast<std::uint16_t>(10 + i)};
+    const FlowSpec& f = sc.flows[i];
+    bed.connect_to_switch(*sources[i], sw, i, jitter);
+    bed.connect_from_switch(sw, i, *sources[i]);
+    sw.add_route(i, vc, sink_port, vc, f.weight, f.cls == Class::kAbr);
+    sw.add_route(sink_port, vc, i, vc);  // backward RM path
+    sources[i]->nic().open_vc(vc, aal::AalType::kAal5);
+    sink.nic().open_vc(vc, aal::AalType::kAal5);
+    if (f.cls == Class::kCbrContract) {
+      sources[i]->nic().tx().set_shaper(vc, 1.05 * f.contract * port_cells,
+                                        sim::microseconds(3));
+    } else if (f.cls == Class::kVbrMetered) {
+      atm::TrTcmConfig m;
+      m.cir_cells_per_second = f.contract * port_cells;
+      m.pir_cells_per_second = 1.3 * f.offered * port_cells;
+      m.cbs_cells = 50;
+      m.pbs_cells = 200;
+      sw.add_meter(i, vc, m);
+    }
+  }
+  bed.connect_to_switch(sink, sw, sink_port);
+  bed.connect_from_switch(sw, sink_port, sink);
+
+  std::vector<std::uint64_t> bytes(n, 0);
+  sink.host().set_rx_handler([&](aal::Bytes s, const host::RxInfo& info) {
+    const std::size_t i = static_cast<std::size_t>(info.vc.vci) - 10;
+    if (i < n) bytes[i] += s.size();
+  });
+
+  std::vector<std::shared_ptr<net::SduSource>> gens;
+  for (std::size_t i = 0; i < n; ++i) {
+    const atm::VcId vc{0, static_cast<std::uint16_t>(10 + i)};
+    const FlowSpec& f = sc.flows[i];
+    const double rate_bps = f.offered * kCeilingBps;
+    const sim::Time mean_gap = static_cast<sim::Time>(
+        kPduBits / rate_bps * static_cast<double>(sim::kSecond));
+    net::SduSource::Config cfg;
+    cfg.sdu_bytes = kPduBytes;
+    cfg.count = 0;
+    cfg.seed = 0xF4 + i;
+    switch (f.cls) {
+      case Class::kCbrContract:
+        cfg.mode = net::SduSource::Mode::kCbr;
+        cfg.interval = mean_gap;
+        break;
+      case Class::kVbrMetered:
+        cfg.mode = net::SduSource::Mode::kOnOff;  // 50% duty
+        cfg.interval = mean_gap / 2;
+        cfg.mean_on = sim::milliseconds(2);
+        cfg.mean_off = sim::milliseconds(2);
+        break;
+      case Class::kAbr:
+      case Class::kUbr:
+        cfg.mode = net::SduSource::Mode::kPoisson;
+        cfg.interval = mean_gap;
+        break;
+      case Class::kBacklog:
+        // Deterministic spacing keeps the per-VC queue backlogged
+        // without Poisson counting noise; a small per-flow detune
+        // breaks the rational phase locking that synchronised CBR
+        // periods would otherwise develop against the EPD gate.
+        cfg.mode = net::SduSource::Mode::kCbr;
+        cfg.interval =
+            static_cast<sim::Time>(static_cast<double>(mean_gap) *
+                                   (1.0 + 0.0137 * static_cast<double>(i)));
+        break;
+    }
+    core::Station* st = sources[i];
+    gens.push_back(std::make_shared<net::SduSource>(
+        bed.sim(), cfg, [st, vc](aal::Bytes sdu) {
+          return st->host().send(vc, aal::AalType::kAal5, std::move(sdu));
+        }));
+    gens.back()->start();
+  }
+
+  bed.run_for(window);
+  // Snapshot at the window edge: deliveries during the drain below
+  // (source NIC/host backlogs emptying at an uncontended port) are not
+  // "goodput under overload" and would inflate every rate.
+  const std::vector<std::uint64_t> window_bytes = bytes;
+  for (auto& g : gens) g->stop();
+  // Let the queues drain, then audit the books.
+  bed.run_for(sim::milliseconds(200));
+
+  Outcome o;
+  const double secs = sim::to_seconds(window);
+  double weight_sum = 0;
+  for (const FlowSpec& f : sc.flows) weight_sum += f.weight;
+  std::vector<double> normalised;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double bps = static_cast<double>(window_bytes[i]) * 8.0 / secs;
+    o.goodput_bps.push_back(bps);
+    o.total_mbps += bps / 1e6;
+    normalised.push_back(bps / sc.flows[i].weight);
+  }
+  o.jain = jain_index(o.goodput_bps);
+  o.jain_weighted = jain_index(normalised);
+  const double total =
+      o.total_mbps > 0 ? o.total_mbps * 1e6 : 1.0;  // avoid 0/0
+  for (std::size_t i = 0; i < n; ++i) {
+    const double target = sc.flows[i].weight / weight_sum;
+    const double got = o.goodput_bps[i] / total;
+    const double err = target > 0 ? std::abs(got - target) / target : 0;
+    o.max_share_err = std::max(o.max_share_err, err);
+  }
+  o.er_stamped = sw.rm_cells_er_stamped();
+  o.meter_green = sw.cells_meter_green();
+  o.meter_yellow = sw.cells_meter_yellow();
+  o.meter_red = sw.cells_meter_red();
+  o.epd_pdus = sw.pdus_epd_discarded();
+  o.overflow = sw.cells_dropped_overflow();
+  for (core::Station* s : sources) {
+    o.throttles += s->nic().congestion_throttle_events();
+  }
+  auto auditor = bed.audit(/*include_hops=*/true);
+  o.books_ok = auditor.ok();
+  if (!o.books_ok) std::fputs(auditor.report().c_str(), stderr);
+  return o;
+}
+
+void write_json(const char* path, double jain_abr, double jain_weighted,
+                double mix_mbps) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "R4: cannot write %s\n", path);
+    std::exit(2);
+  }
+  std::fprintf(f, "{\n  \"context\": {\"executable\": "
+                  "\"bench_r4_fairness\"},\n  \"benchmarks\": [\n");
+  std::fprintf(f,
+               "    {\"name\": \"r4_fairness/jain_abr_2x\", \"run_type\": "
+               "\"iteration\", \"higher_is_better\": true, "
+               "\"value\": %.4f, \"time_unit\": \"ns\"},\n",
+               jain_abr);
+  std::fprintf(f,
+               "    {\"name\": \"r4_fairness/jain_weighted_dwrr\", "
+               "\"run_type\": \"iteration\", \"higher_is_better\": true, "
+               "\"value\": %.4f, \"time_unit\": \"ns\"},\n",
+               jain_weighted);
+  std::fprintf(f,
+               "    {\"name\": \"r4_fairness/goodput_mix_2x\", "
+               "\"run_type\": \"iteration\", \"items_per_second\": %.3f, "
+               "\"real_time\": %.1f, \"time_unit\": \"ns\"}\n",
+               mix_mbps, 1e9 / mix_mbps);
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+std::string per_flow(const Outcome& o) {
+  std::string s;
+  for (std::size_t i = 0; i < o.goodput_bps.size(); ++i) {
+    if (i != 0) s += "/";
+    s += core::Table::num(o.goodput_bps[i] / 1e6, 1);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  std::printf("R4: fairness — DWRR weights, trTCM metering and the ERICA "
+              "explicit-rate loop\nsharing one STS-3c port under "
+              "overload (ceiling ~135.1 Mb/s)\n");
+
+  // The weighted shares are measured in whole 9180-byte PDUs; the
+  // window must hold enough of the weight-1 flow's frames that the
+  // in-flight backlog at the window edge is measurement noise, not a
+  // share shift.
+  const sim::Time window =
+      smoke ? sim::milliseconds(200) : sim::milliseconds(500);
+
+  // Four equal ABR sources at 2x overload: the ERICA loop must walk
+  // each down to the same fair share.
+  Scenario abr_equal{"abr-equal",
+                     {{Class::kAbr, 0.5},
+                      {Class::kAbr, 0.5},
+                      {Class::kAbr, 0.5},
+                      {Class::kAbr, 0.5}},
+                     net::SwitchScheduler::kDwrr,
+                     /*abr_loop=*/true};
+
+  // Weighted backlogged flows at *equal* offered loads (2x total):
+  // with per-VC buffer accounting every queue stays backlogged, so the
+  // delivered shares can only come from the DWRR grants. Each offer
+  // (0.667x) exceeds the largest weighted share (4/7 = 0.571x).
+  Scenario dwrr_w124{"dwrr-w124",
+                     {{Class::kBacklog, 2.0 / 3, 0, 1},
+                      {Class::kBacklog, 2.0 / 3, 0, 2},
+                      {Class::kBacklog, 2.0 / 3, 0, 4}},
+                     net::SwitchScheduler::kDwrr,
+                     /*abr_loop=*/false,
+                     /*per_vc_books=*/true};
+  Scenario rr_ablation = dwrr_w124;
+  rr_ablation.name = "rr-ablation";
+  rr_ablation.scheduler = net::SwitchScheduler::kRoundRobin;
+
+  // The full service-class mix at 2x offered load.
+  Scenario mix{"mix-2x",
+               {{Class::kCbrContract, 0.30, 0.15, 2},
+                {Class::kVbrMetered, 0.40, 0.20, 1},
+                {Class::kAbr, 0.35},
+                {Class::kAbr, 0.35},
+                {Class::kUbr, 0.30},
+                {Class::kUbr, 0.30}},
+               net::SwitchScheduler::kDwrr,
+               /*abr_loop=*/true};
+
+  core::Table t({"scenario", "sched", "goodput Mb/s (per flow)", "total",
+                 "Jain", "Jain/w", "share err", "ER stamps",
+                 "meter g/y/r", "EPD", "throttles", "books"});
+  std::vector<std::pair<const Scenario*, Outcome>> rows;
+  for (const Scenario* sc :
+       {&abr_equal, &dwrr_w124, &rr_ablation, &mix}) {
+    Outcome o = run(*sc, window);
+    t.add_row({sc->name,
+               sc->scheduler == net::SwitchScheduler::kDwrr ? "dwrr" : "rr",
+               per_flow(o), core::Table::num(o.total_mbps, 1),
+               core::Table::num(o.jain, 3),
+               core::Table::num(o.jain_weighted, 3),
+               core::Table::num(o.max_share_err * 100, 1) + "%",
+               core::Table::integer(o.er_stamped),
+               core::Table::integer(o.meter_green) + "/" +
+                   core::Table::integer(o.meter_yellow) + "/" +
+                   core::Table::integer(o.meter_red),
+               core::Table::integer(o.epd_pdus),
+               core::Table::integer(o.throttles),
+               o.books_ok ? "ok" : "FAIL"});
+    rows.emplace_back(sc, std::move(o));
+  }
+  t.print("R4: delivered shares under overload");
+
+  const Outcome& abr = rows[0].second;
+  const Outcome& dwrr = rows[1].second;
+  const Outcome& rr = rows[2].second;
+  const Outcome& mixed = rows[3].second;
+
+  const double dwrr_w4 = dwrr.goodput_bps[2];
+  const double rr_w4 = rr.goodput_bps[2];
+  const double cbr_contract_bps = 0.15 * kCeilingBps;
+  std::printf("\nweighted detail: w4 flow gets %.1f Mb/s under DWRR vs "
+              "%.1f Mb/s under RR (%.0f%%);\nCBR contract in the mix "
+              "delivered %.1f of %.1f Mb/s (%.0f%%)\n",
+              dwrr_w4 / 1e6, rr_w4 / 1e6,
+              dwrr_w4 > 0 ? 100 * rr_w4 / dwrr_w4 : 0,
+              mixed.goodput_bps[0] / 1e6, cbr_contract_bps / 1e6,
+              100 * mixed.goodput_bps[0] / cbr_contract_bps);
+
+  if (json_path != nullptr) {
+    write_json(json_path, abr.jain, dwrr.jain_weighted, mixed.total_mbps);
+  }
+
+  // Acceptance, enforced by exit code.
+  bool ok = true;
+  if (abr.jain < kJainFloor) {
+    std::fprintf(stderr,
+                 "R4: FAIL abr-equal: Jain %.3f below %.2f at 2x overload\n",
+                 abr.jain, kJainFloor);
+    ok = false;
+  }
+  if (abr.er_stamped == 0 || abr.throttles == 0) {
+    std::fprintf(stderr, "R4: FAIL abr-equal: explicit-rate loop never "
+                 "engaged (stamps=%llu throttles=%llu)\n",
+                 static_cast<unsigned long long>(abr.er_stamped),
+                 static_cast<unsigned long long>(abr.throttles));
+    ok = false;
+  }
+  if (dwrr.max_share_err > kShareTolerance) {
+    std::fprintf(stderr,
+                 "R4: FAIL dwrr-w124: share error %.1f%% exceeds %.0f%%\n",
+                 dwrr.max_share_err * 100, kShareTolerance * 100);
+    ok = false;
+  }
+  if (rr_w4 > kAblationCap * dwrr_w4) {
+    std::fprintf(stderr,
+                 "R4: FAIL rr-ablation: w4 kept %.1f Mb/s under RR vs "
+                 "%.1f under DWRR — weights had no effect to ablate\n",
+                 rr_w4 / 1e6, dwrr_w4 / 1e6);
+    ok = false;
+  }
+  if (mixed.goodput_bps[0] < kCbrProtection * cbr_contract_bps) {
+    std::fprintf(stderr,
+                 "R4: FAIL mix-2x: CBR contract kept %.1f Mb/s, below "
+                 "%.0f%% of %.1f\n",
+                 mixed.goodput_bps[0] / 1e6, kCbrProtection * 100,
+                 cbr_contract_bps / 1e6);
+    ok = false;
+  }
+  if (mixed.meter_yellow == 0 || mixed.meter_red == 0 ||
+      mixed.meter_green == 0) {
+    std::fprintf(stderr, "R4: FAIL mix-2x: trTCM colors not all "
+                 "exercised (g=%llu y=%llu r=%llu)\n",
+                 static_cast<unsigned long long>(mixed.meter_green),
+                 static_cast<unsigned long long>(mixed.meter_yellow),
+                 static_cast<unsigned long long>(mixed.meter_red));
+    ok = false;
+  }
+  for (const auto& [sc, o] : rows) {
+    if (!o.books_ok) {
+      std::fprintf(stderr, "R4: FAIL %s: conservation identities "
+                   "violated\n", sc->name);
+      ok = false;
+    }
+  }
+
+  std::printf(
+      "\nReading: the ERICA loop converges four greedy ABR sources to "
+      "equal shares of the\nport (Jain %.3f); DWRR turns configured "
+      "weights into delivered shares (max error\n%.1f%%) where plain "
+      "round-robin flattens them; and in the full mix the shaped CBR\n"
+      "contract rides through 2x overload while trTCM spends the VBR "
+      "flow's excess as\ntagged-then-shed yellow and discards its red "
+      "outright.\n",
+      abr.jain, dwrr.max_share_err * 100);
+  return ok ? 0 : 1;
+}

@@ -18,6 +18,11 @@ rows) gate the other direction: the candidate's "value" (falling back
 to real_time) must not exceed baseline / (1 - threshold) — memory-per-VC
 growth fails the gate the same way a throughput drop does.
 
+Entries carrying "higher_is_better": true (e.g. bench_r4's Jain
+fairness-index rows) are plain scores, not rates: the "value" field is
+compared directly, so a fairness index slipping more than the threshold
+below its baseline fails the gate.
+
 Exit status: 0 = no regression, 1 = regression or missing benchmark,
 2 = usage / unreadable input.
 """
@@ -60,6 +65,10 @@ def rate_of(bench):
     if bench.get("lower_is_better"):
         value = float(bench.get("value", bench.get("real_time", 0.0)))
         return 1.0 / value if value > 0 else 0.0
+    if bench.get("higher_is_better"):
+        # A direct score (fairness index, retention ratio): no rate
+        # reconstruction, the value itself is the figure of merit.
+        return float(bench.get("value", 0.0))
     if "items_per_second" in bench:
         return float(bench["items_per_second"])
     rt = float(bench.get("real_time", 0.0))

@@ -19,7 +19,10 @@
 # and the R3 overload bench, whose exit code asserts graceful
 # degradation (goodput at 4x >= 85% of 1x with the overload plane on,
 # collapse with it off) and whose goodput/retention rows gate against
-# bench/baselines/BENCH_overload.json.
+# bench/baselines/BENCH_overload.json, and the R4 fairness bench, whose
+# exit code asserts Jain >= 0.95 for equal-weight ABR at 2x overload
+# and DWRR shares within 10% of their weights, with its Jain rows
+# gating (higher_is_better) against bench/baselines/BENCH_fairness.json.
 #
 # Refreshing the baseline after an intentional perf change:
 #   ./build/bench/bench_micro --benchmark_filter='BM_Simulator' \
@@ -47,7 +50,7 @@ mode="${1:-all}"
 if [[ "$mode" == "--bench-compare" ]]; then
   echo "== perf gate: event-kernel benchmarks vs committed baseline =="
   cmake -B build -S . > /dev/null
-  cmake --build build -j "$(nproc)" --target bench_micro bench_p1_kernel_scale bench_p2_vc_scale bench_r3_overload
+  cmake --build build -j "$(nproc)" --target bench_micro bench_p1_kernel_scale bench_p2_vc_scale bench_r3_overload bench_r4_fairness
   ./build/bench/bench_micro --benchmark_filter='BM_Simulator' \
     --benchmark_repetitions=3 \
     --benchmark_out=build/BENCH_kernel.json --benchmark_out_format=json
@@ -60,6 +63,9 @@ if [[ "$mode" == "--bench-compare" ]]; then
   ./build/bench/bench_r3_overload --smoke --json build/BENCH_overload.json
   python3 scripts/bench_compare.py bench/baselines/BENCH_overload.json \
     build/BENCH_overload.json --threshold "${HNI_BENCH_THRESHOLD:-0.15}"
+  ./build/bench/bench_r4_fairness --smoke --json build/BENCH_fairness.json
+  python3 scripts/bench_compare.py bench/baselines/BENCH_fairness.json \
+    build/BENCH_fairness.json --threshold "${HNI_BENCH_THRESHOLD:-0.15}"
   echo "check.sh: perf gate passed"
   exit 0
 fi

@@ -1,0 +1,50 @@
+// ABR resource-management cell payload layout.
+//
+// A pared-down ATM Forum TM 4.0 RM cell: the PTI already says
+// "resource management" (0b110); the payload carries a protocol id, a
+// flag byte, and an explicit rate. Endpoints generate *backward* RM
+// cells (BN set) from observed EFCI marks; switches running the ERICA
+// loop stamp the max-min fair explicit rate into backward RM cells as
+// they pass, each switch taking the min with what is already there, so
+// the source sees the tightest bottleneck on the path.
+//
+//   payload[0]     protocol id (1)
+//   payload[1]     flags: bit0 CI (congestion indication),
+//                         bit1 BN (backward RM cell)
+//   payload[2..5]  explicit rate, cells/second, u32 little-endian;
+//                  0xFFFFFFFF means "no limit stamped yet"
+
+#pragma once
+
+#include <cstdint>
+
+namespace hni::atm {
+
+inline constexpr std::uint8_t kRmProtocolId = 1;
+inline constexpr std::uint8_t kRmFlagCi = 0x01;
+inline constexpr std::uint8_t kRmFlagBackward = 0x02;
+inline constexpr std::uint32_t kRmErUnlimited = 0xFFFF'FFFFu;
+
+inline bool rm_is_protocol(const std::uint8_t* payload) {
+  return payload[0] == kRmProtocolId;
+}
+inline std::uint8_t rm_flags(const std::uint8_t* payload) {
+  return payload[1];
+}
+inline void rm_set_flags(std::uint8_t* payload, std::uint8_t flags) {
+  payload[1] = flags;
+}
+inline std::uint32_t rm_explicit_rate(const std::uint8_t* payload) {
+  return static_cast<std::uint32_t>(payload[2]) |
+         (static_cast<std::uint32_t>(payload[3]) << 8) |
+         (static_cast<std::uint32_t>(payload[4]) << 16) |
+         (static_cast<std::uint32_t>(payload[5]) << 24);
+}
+inline void rm_set_explicit_rate(std::uint8_t* payload, std::uint32_t er) {
+  payload[2] = static_cast<std::uint8_t>(er);
+  payload[3] = static_cast<std::uint8_t>(er >> 8);
+  payload[4] = static_cast<std::uint8_t>(er >> 16);
+  payload[5] = static_cast<std::uint8_t>(er >> 24);
+}
+
+}  // namespace hni::atm

@@ -128,16 +128,33 @@ void InvariantAuditor::audit_switch(const net::Switch& sw,
   // one discard mechanism, or is still resident in an output pool.
   expect_eq(sw.cells_queue_offered(),
             sw.cells_forwarded() + sw.cells_dropped_overflow() +
-                sw.cells_dropped_clp() + sw.cells_epd_dropped() +
-                sw.cells_ppd_dropped() + sw.cells_wred_dropped() +
-                sw.cells_queued(),
+                sw.cells_dropped_vc_limit() + sw.cells_dropped_clp() +
+                sw.cells_epd_dropped() + sw.cells_ppd_dropped() +
+                sw.cells_wred_dropped() + sw.cells_queued(),
             "switch queue-stage conservation",
-            who + "offered == forwarded + overflow + clp + epd + ppd + "
-                  "wred + resident");
+            who + "offered == forwarded + overflow + vc_limit + clp + "
+                  "epd + ppd + wred + resident");
 
   // Color accounting: WRED's tagged-drop book is a subset of its total.
   expect_le(sw.cells_wred_dropped_clp(), sw.cells_wred_dropped(),
             "switch wred color bound", who + "wred_clp <= wred_total");
+
+  // Meter color conservation: every cell a trTCM meter saw got exactly
+  // one color.
+  expect_eq(sw.cells_metered(),
+            sw.cells_meter_green() + sw.cells_meter_yellow() +
+                sw.cells_meter_red(),
+            "switch meter color conservation",
+            who + "metered == green + yellow + red");
+  // Meter verdicts land in the UPC books: yellow tags, red drops.
+  expect_le(sw.cells_meter_yellow(), sw.cells_policed_tagged(),
+            "switch meter tag bound", who + "meter_yellow <= policed_tag");
+  expect_le(sw.cells_meter_red(), sw.cells_policed_dropped(),
+            "switch meter drop bound", who + "meter_red <= policed_drop");
+  // Purged-on-close cells are a sub-book of the overflow drops they are
+  // accounted under.
+  expect_le(sw.cells_purged_on_close(), sw.cells_dropped_overflow(),
+            "switch purge bound", who + "purged_on_close <= overflow");
 }
 
 std::string InvariantAuditor::report() const {

@@ -10,17 +10,30 @@
 //
 // The discard/overload plane, in the order a cell meets it:
 //
-//   HEC --> route lookup --> UPC (drop/tag) --> EPD/PPD --> WRED
-//       --> pool overflow --> CLP threshold --> EFCI mark --> enqueue
+//   HEC --> route lookup --> ER stamp (backward RM) --> UPC
+//       (GCRA drop/tag or trTCM green/yellow/red) --> EPD/PPD (pool or
+//       per-VC gate) --> WRED --> per-VC residency cap --> pool
+//       overflow --> CLP threshold --> EFCI mark --> enqueue
 //
+// * UPC is either the classic single-GCRA policer or a trTCM two-rate
+//   meter (atm::TrTcm): green passes, yellow tags CLP=1, red drops.
 // * EPD/PPD shed whole AAL5 frames once the pool passes epd_threshold.
 // * WRED sheds early and probabilistically as occupancy climbs, with a
-//   lower threshold band for CLP-tagged cells so UPC's kTag verdict is
+//   lower threshold band for CLP-tagged cells so UPC's tag verdict is
 //   consequential: tagged traffic dies first under pressure.
 // * EFCI marks surviving user-data cells once occupancy passes
 //   efci_threshold — the forward congestion signal endpoints close the
 //   loop on (nic::Nic turns observed marks into backward RM cells that
 //   throttle the source).
+// * Control cells (OAM and RM, PTI 0b1xx) are exempt from WRED, the
+//   CLP threshold and EFCI, and draw on a small reserved headroom above
+//   the shared pool — the congestion signal must not be discarded or
+//   mutated by the congestion it measures.
+// * With abr.enabled the switch runs an ERICA-style explicit-rate loop:
+//   per-port input rate and ABR share are measured over fixed windows,
+//   and backward RM cells are stamped with min(carried ER, max(fair
+//   share, vc_rate / load_factor)) so sources converge to max-min fair
+//   rates instead of oscillating on binary CI feedback.
 
 #pragma once
 
@@ -34,6 +47,7 @@
 #include "atm/cell.hpp"
 #include "atm/hec.hpp"
 #include "atm/gcra.hpp"
+#include "atm/meter.hpp"
 #include "atm/phy.hpp"
 #include "net/link.hpp"
 #include "sim/flat_table.hpp"
@@ -49,13 +63,18 @@ enum class SwitchScheduler : std::uint8_t {
   kFifo,        // global arrival order (classic shared FIFO behaviour)
   kRoundRobin,  // one cell per active VC per turn (no head-of-line
                 // capture by a bursty connection)
+  kDwrr,        // deficit-weighted round robin: each active VC gets a
+                // per-round grant of `weight` cells (sch_dwrr-style
+                // deficit counters), so service shares track the
+                // configured weights instead of 1/N
 };
 
 /// WRED-style early discard on the shared output pool. Tagged (CLP=1)
 /// cells use the clp1_* band, which sits below the untagged band, so
 /// discard-eligible traffic absorbs the early losses. Drop probability
-/// ramps linearly from 0 at min_cells to max_p at max_cells (and is 1
-/// beyond max_cells). Decisions use the instantaneous pool occupancy —
+/// ramps linearly from 0 at min_cells, reaching exactly max_p at
+/// max_cells; only beyond max_cells does the verdict become a forced
+/// drop with no RNG draw. Decisions use the instantaneous pool occupancy —
 /// "WRED-style", not a literal EWMA RED — and a seeded deterministic
 /// RNG so runs replay exactly.
 struct WredConfig {
@@ -84,6 +103,19 @@ struct SwitchConfig {
   /// 0 disables frame-aware discard. AAL5 VCs only (uses the PTI AUU
   /// end-of-PDU bit); leave disabled on AAL3/4 paths.
   std::size_t epd_threshold = 0;
+  /// Per-VC buffer accounting at the per-VC output queues (kRoundRobin
+  /// and kDwrr only — kFifo has no per-VC queues and ignores both).
+  /// vc_epd_cells: a fresh AAL5 PDU is EPD-discarded when its own VC's
+  /// output queue already holds this many cells. vc_queue_cells: hard
+  /// cap on one VC's pool residency; cells beyond it are dropped
+  /// (cells_dropped_vc_limit) and, mid-PDU on a frame-aware VC, the
+  /// damaged remainder is shed via PPD. Bounding each connection's
+  /// claim on the shared pool is what makes the DWRR weights govern
+  /// *delivered* shares: without it a slow VC's standing backlog fills
+  /// the pool and gates every other VC's admission at the shared
+  /// thresholds. 0 disables either check.
+  std::size_t vc_epd_cells = 0;
+  std::size_t vc_queue_cells = 0;
   /// Service order across per-VC output queues. kFifo reproduces the
   /// historical shared-FIFO switch exactly.
   SwitchScheduler scheduler = SwitchScheduler::kFifo;
@@ -92,6 +124,22 @@ struct SwitchConfig {
   /// Pool depth at and beyond which surviving user-data cells get the
   /// EFCI congestion mark (PTI bit 0b010). 0 disables marking.
   std::size_t efci_threshold = 0;
+  /// Reserved headroom above queue_cells that only control cells
+  /// (OAM/RM) may draw on — the closed-loop congestion signal survives
+  /// a saturated pool instead of being tail-dropped by the very
+  /// congestion it reports. 0 gives control cells no protection.
+  std::size_t control_reserve_cells = 8;
+  /// ERICA-style explicit-rate ABR loop (see AbrConfig).
+  struct AbrConfig {
+    bool enabled = false;
+    /// Fraction of the port rate ERICA aims to fill; the slack absorbs
+    /// measurement noise so queues drain instead of sitting full.
+    double target_utilization = 0.9;
+    /// Measurement window: per-port input rate, ABR share and per-VC
+    /// rates are averaged over this interval (advanced lazily on
+    /// arrivals — no standing timer, so idle runs still drain).
+    sim::Time interval = sim::milliseconds(1);
+  } abr{};
   /// Output clock oscillator offset in ppm; nullopt lets core::Testbed
   /// assign a realistic random value.
   std::optional<double> clock_ppm{};
@@ -101,9 +149,13 @@ class Switch {
  public:
   Switch(sim::Simulator& sim, SwitchConfig config);
 
-  /// Routes (in_port, vc) to (out_port, out_vc).
+  /// Routes (in_port, vc) to (out_port, out_vc). `weight` is the VC's
+  /// DWRR service weight on the output port (cells granted per
+  /// scheduling round; ignored by kFifo/kRoundRobin). `abr` marks the
+  /// VC as rate-adaptive for the ERICA explicit-rate loop.
   void add_route(std::size_t in_port, atm::VcId vc, std::size_t out_port,
-                 atm::VcId out_vc);
+                 atm::VcId out_vc, std::uint32_t weight = 1,
+                 bool abr = false);
 
   /// What UPC does with a non-conforming cell.
   enum class PoliceAction : std::uint8_t {
@@ -117,8 +169,22 @@ class Switch {
                    double pcr_cells_per_second, sim::Time cdvt,
                    PoliceAction action);
 
-  /// Tears down a route (and its policer, if any). Returns true if a
-  /// route existed. Subsequent cells on the VC count as unroutable.
+  /// Installs a trTCM two-rate meter on (in_port, vc), replacing any
+  /// single-GCRA policer there: green cells pass, yellow cells are
+  /// tagged CLP=1 (counted in cells_policed_tagged, so WRED's lower
+  /// band sheds them first), red cells are dropped (counted in
+  /// cells_policed_dropped). The per-color books satisfy the meter
+  /// conservation identity offered == green + yellow + red.
+  void add_meter(std::size_t in_port, atm::VcId vc,
+                 const atm::TrTcmConfig& meter);
+
+  /// Tears down a route (and its policer/meter, if any). Cells of the
+  /// closed VC still resident in a per-VC output queue are purged —
+  /// counted as overflow drops so the queue-stage conservation identity
+  /// keeps balancing — and the queue's active-ring ticket is retired
+  /// with the record (no stale ring entry, no dangling arena pointer).
+  /// Returns true if a route existed. Subsequent cells on the VC count
+  /// as unroutable.
   bool remove_route(std::size_t in_port, atm::VcId vc);
 
   /// Whether (in_port, vc) has a route installed.
@@ -158,6 +224,10 @@ class Switch {
   std::uint64_t cells_forwarded() const { return forwarded_.value(); }
   std::uint64_t cells_dropped_overflow() const { return dropped_.value(); }
   std::uint64_t cells_dropped_clp() const { return clp_dropped_.value(); }
+  /// Cells dropped at the per-VC residency cap (vc_queue_cells).
+  std::uint64_t cells_dropped_vc_limit() const {
+    return vc_limit_drop_.value();
+  }
   std::uint64_t cells_unroutable() const { return unroutable_.value(); }
   std::uint64_t cells_hec_discarded() const { return hec_discard_.value(); }
   std::uint64_t cells_policed_dropped() const { return policed_drop_.value(); }
@@ -175,6 +245,17 @@ class Switch {
     return wred_drop_clp_.value();
   }
   std::uint64_t cells_efci_marked() const { return efci_marked_.value(); }
+  /// trTCM books. Offered counts every cell a meter saw; the colors
+  /// partition it exactly (offered == green + yellow + red).
+  std::uint64_t cells_metered() const { return metered_.value(); }
+  std::uint64_t cells_meter_green() const { return meter_green_.value(); }
+  std::uint64_t cells_meter_yellow() const { return meter_yellow_.value(); }
+  std::uint64_t cells_meter_red() const { return meter_red_.value(); }
+  /// Resident cells purged by remove_route (a sub-book of
+  /// cells_dropped_overflow, where they are also counted).
+  std::uint64_t cells_purged_on_close() const { return purged_close_.value(); }
+  /// Backward RM cells whose explicit-rate field this switch tightened.
+  std::uint64_t rm_cells_er_stamped() const { return er_stamped_.value(); }
   /// Cells currently resident across all output pools.
   std::size_t cells_queued() const;
   /// Current occupancy of one output port's shared pool.
@@ -195,6 +276,7 @@ class Switch {
     scope.expose("cells_forwarded", forwarded_);
     scope.expose("cells_dropped_overflow", dropped_);
     scope.expose("cells_dropped_clp", clp_dropped_);
+    scope.expose("cells_dropped_vc_limit", vc_limit_drop_);
     scope.expose("cells_unroutable", unroutable_);
     scope.expose("cells_hec_discarded", hec_discard_);
     scope.expose("cells_policed_dropped", policed_drop_);
@@ -206,6 +288,12 @@ class Switch {
     scope.expose("cells_wred_dropped", wred_drop_);
     scope.expose("cells_wred_dropped_clp", wred_drop_clp_);
     scope.expose("cells_efci_marked", efci_marked_);
+    scope.expose("cells_metered", metered_);
+    scope.expose("cells_meter_green", meter_green_);
+    scope.expose("cells_meter_yellow", meter_yellow_);
+    scope.expose("cells_meter_red", meter_red_);
+    scope.expose("cells_purged_on_close", purged_close_);
+    scope.expose("rm_cells_er_stamped", er_stamped_);
     for (std::size_t p = 0; p < config_.ports; ++p) {
       const sim::MetricScope port = scope.sub("port." + std::to_string(p));
       port.gauge("queue_depth_mean",
@@ -232,38 +320,69 @@ class Switch {
       kTail,       // PPD: drop the rest but forward the final cell
     } discard = Discard::kNone;
   };
+  /// UPC discipline installed on a label. The three mutually exclusive
+  /// policing states (single GCRA dropping, single GCRA tagging, trTCM
+  /// meter) collapse into one byte so the hot per-VC record stays at
+  /// 40 bytes — bench P2's bytes/VC budget is paid per cell, per probe.
+  /// kTrTcm's bucket state lives out-of-line in meters_ (VBR VCs are
+  /// sparse; the common probe must not carry their buckets).
+  enum class Upc : std::uint8_t { kNone, kGcraDrop, kGcraTag, kTrTcm };
   /// Everything the data plane needs for one (in_port, vc), in one
   /// pooled record: a cell pays exactly one table probe, not three.
   struct VcEntry {
     std::uint32_t out_port = 0;
     atm::VcId out_vc{};
     atm::Gcra police{0, 0};
-    PoliceAction police_action = PoliceAction::kDrop;
+    Upc upc = Upc::kNone;
     bool has_route = false;
-    bool has_policer = false;
+    /// The VC adapts to explicit-rate feedback (ERICA measures it and
+    /// stamps its backward RM cells).
+    bool abr = false;
     FrameState frame;
+    /// DWRR service weight on the output port (cells per round).
+    std::uint16_t weight = 1;
   };
   /// One (translated) VC's cells awaiting service on an output port.
   struct VcQueue {
     std::deque<WireCell> cells;
+    std::uint32_t weight = 1;   // refreshed from the route on enqueue
+    std::uint32_t deficit = 0;  // DWRR: cells left in the current grant
+  };
+  /// ERICA measurement state for one output port. Windows advance
+  /// lazily on arrivals (no standing timer); the finalized snapshot is
+  /// what backward RM stamping reads.
+  struct AbrMeasure {
+    sim::Time window_start = 0;
+    std::uint64_t total_cells = 0;  // everything offered to this port
+    std::uint64_t abr_cells = 0;    // the ABR-classified share
+    sim::FlatMap<std::uint32_t, std::uint64_t> per_vc;  // by out-vc label
+    // Finalized snapshot of the last completed window:
+    bool valid = false;
+    double abr_capacity = 0.0;  // cells/s left for ABR after other load
+    double fair_share = 0.0;    // abr_capacity / active ABR VCs
+    double load_factor = 0.0;   // ABR input rate / abr_capacity
+    sim::FlatMap<std::uint32_t, double> vc_rate;  // cells/s by label
   };
   struct OutputPort {
     /// kFifo service structure: the historical shared FIFO, literally —
     /// one deque of cells in arrival order, so the default scheduler
     /// pays nothing for the per-VC machinery it doesn't use.
     std::deque<WireCell> fifo;
-    /// kRoundRobin: per-VC queues keyed on the *outgoing* VC label, all
-    /// drawing on the shared `occupancy` pool bounded by queue_cells,
-    /// plus the active ring (one entry per non-empty VC queue). Ring
-    /// tickets are arena pointers — queue records are never erased, so
-    /// they stay valid across inserts and the scheduler pays no table
-    /// probe per served cell.
+    /// kRoundRobin/kDwrr: per-VC queues keyed on the *outgoing* VC
+    /// label, all drawing on the shared `occupancy` pool bounded by
+    /// queue_cells, plus the active ring (one entry per non-empty VC
+    /// queue). Ring tickets are arena pointers — stable across inserts,
+    /// so the scheduler pays no table probe per served cell. A record
+    /// is erased only by remove_route, which first retires its ring
+    /// ticket and purges its resident cells, so no dangling pointer
+    /// survives the erase.
     sim::FlatMap<std::uint32_t, VcQueue> queues;
     std::deque<VcQueue*> order;
     std::size_t occupancy = 0;
     Link* link = nullptr;
     bool serving = false;
     sim::TimeWeightedStat depth;
+    AbrMeasure abr;
   };
 
   /// Packs (in_port, vpi, vci) into the 32-bit table label:
@@ -276,11 +395,22 @@ class Switch {
   /// One WRED trial against the band for `tagged` at `occupancy`.
   bool wred_decides_drop(std::size_t occupancy, bool tagged);
   void serve(std::size_t out_port);
+  /// ERICA arrival accounting for one offered cell (lazily closes the
+  /// measurement window when it has run its interval).
+  void abr_account(const VcEntry& entry, OutputPort& out);
+  /// The explicit rate this switch grants the ABR VC whose *forward*
+  /// data leaves via out_port under out-vc `label` (cells/s).
+  double compute_er(std::size_t out_port, std::uint32_t label) const;
+  /// Tightens the ER field of a backward RM cell in place.
+  void stamp_backward_rm(std::size_t in_port, const atm::CellHeader& h,
+                         WireCell& cell);
 
   sim::Simulator& sim_;
   SwitchConfig config_;
   sim::Time slot_;  // output cell slot, clock_ppm applied once
+  double port_cells_per_s_ = 0.0;  // nominal output rate, for ERICA
   sim::FlatMap<std::uint32_t, VcEntry> vcs_;
+  sim::FlatMap<std::uint32_t, atm::TrTcm> meters_;
   std::size_t route_count_ = 0;
   std::vector<OutputPort> outputs_;
   std::vector<atm::HecReceiver> hec_;  // one per input port
@@ -291,6 +421,7 @@ class Switch {
   sim::Counter forwarded_;
   sim::Counter dropped_;
   sim::Counter clp_dropped_;
+  sim::Counter vc_limit_drop_;
   sim::Counter unroutable_;
   sim::Counter hec_discard_;
   sim::Counter policed_drop_;
@@ -302,6 +433,12 @@ class Switch {
   sim::Counter wred_drop_;
   sim::Counter wred_drop_clp_;
   sim::Counter efci_marked_;
+  sim::Counter metered_;
+  sim::Counter meter_green_;
+  sim::Counter meter_yellow_;
+  sim::Counter meter_red_;
+  sim::Counter purged_close_;
+  sim::Counter er_stamped_;
 };
 
 }  // namespace hni::net

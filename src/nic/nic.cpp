@@ -1,5 +1,9 @@
 #include "nic/nic.hpp"
 
+#include <algorithm>
+
+#include "atm/rm.hpp"
+
 namespace hni::nic {
 
 Nic::Nic(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
@@ -17,18 +21,19 @@ Nic::Nic(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
 }
 
 namespace {
-// Backward resource-management cell (ABR-flavoured): payload[0] is the
-// RM protocol id, payload[1] carries the CI (congestion indication)
-// flag in bit 0.
-constexpr std::uint8_t kRmProtocolId = 1;
-constexpr std::uint8_t kRmCongestionFlag = 0x01;
-
+// Backward resource-management cell (ABR-flavoured), layout per
+// atm/rm.hpp: protocol id, flags (CI + BN), and an explicit-rate field
+// born unlimited — switches running ERICA tighten it in flight.
 atm::Cell make_rm_cell(atm::VcId vc, bool congestion) {
   atm::Cell c;
   c.header.vc = vc;
   c.header.pti = atm::Pti::kResourceMgmt;
-  c.payload[0] = kRmProtocolId;
-  c.payload[1] = congestion ? kRmCongestionFlag : 0;
+  c.payload[0] = atm::kRmProtocolId;
+  atm::rm_set_flags(c.payload.data(),
+                    static_cast<std::uint8_t>(
+                        atm::kRmFlagBackward |
+                        (congestion ? atm::kRmFlagCi : 0)));
+  atm::rm_set_explicit_rate(c.payload.data(), atm::kRmErUnlimited);
   return c;
 }
 }  // namespace
@@ -61,12 +66,36 @@ void Nic::on_rm(atm::VcId vc, const atm::Cell& cell) {
   ++rm_received_;
   const CongestionControlConfig& cc = config_.congestion;
   if (!cc.enabled) return;
-  if (cell.payload[0] != kRmProtocolId) return;
-  if ((cell.payload[1] & kRmCongestionFlag) == 0) return;
+  if (!atm::rm_is_protocol(cell.payload.data())) return;
   // Contracted VCs are not throttled: their PCR is an admission-time
   // commitment (CAC already sized the network for it); the elastic
   // best-effort traffic is what backs off.
   if (tx_->has_contract(vc)) return;
+
+  const std::uint32_t er = atm::rm_explicit_rate(cell.payload.data());
+  if (cc.explicit_rate && er != atm::kRmErUnlimited) {
+    // ERICA: jump the shaper straight to the tightest grant any switch
+    // on the path stamped — no blind decrease, no hunting. The grant is
+    // the path minimum already, so each RM cell is authoritative.
+    auto [st, inserted] = congestion_.try_emplace(atm::vc_label(vc));
+    const double line = config_.line.cells_per_second();
+    const double factor = std::clamp(static_cast<double>(er) / line,
+                                     cc.min_rate_factor, 1.0);
+    if (factor < 1.0) st->last_congestion = sim_->now();
+    if (factor < st->rate_factor) ++throttle_events_;
+    if (factor != st->rate_factor) {
+      st->rate_factor = factor;
+      tx_->set_rate_factor(vc, factor);
+      if (congestion_handler_) congestion_handler_(vc, factor);
+    }
+    if (factor < 1.0 && !st->recovery_armed) {
+      st->recovery_armed = true;
+      schedule_recovery(vc);
+    }
+    return;
+  }
+
+  if ((atm::rm_flags(cell.payload.data()) & atm::kRmFlagCi) == 0) return;
   auto [st, inserted] = congestion_.try_emplace(atm::vc_label(vc));
   st->last_congestion = sim_->now();
   const double next =

@@ -35,6 +35,12 @@ struct CongestionControlConfig {
   double min_rate_factor = 1.0 / 64;
   /// RM-free time on a throttled VC before the rate steps back up.
   sim::Time recovery_period = sim::milliseconds(1);
+  /// Converge the shaper to the explicit rate carried in backward RM
+  /// cells (the ERICA loop: each switch on the path stamps the min of
+  /// its grant, so the source lands on its max-min fair share directly)
+  /// instead of the blind multiplicative decrease. RM cells without an
+  /// ER stamp still apply the binary CI behaviour above.
+  bool explicit_rate = false;
 };
 
 struct NicConfig {

@@ -148,14 +148,22 @@ void TxPath::inject_cell(atm::Cell cell) {
 }
 
 void TxPath::apply_shaper(VcState& vs) {
-  if (vs.contract_pcr <= 0.0 && vs.rate_factor >= 1.0) {
-    vs.shaper.reset();  // no contract, no throttle: unshaped
+  if (vs.contract_pcr <= 0.0) {
+    // Best-effort VC: shaped only while throttled. At full recovery the
+    // shaper must be shed entirely — a rebuilt GCRA at ~line rate would
+    // keep pacing (and keep the shaper-wakeup machinery in the loop)
+    // forever after the congestion that installed it is gone.
+    if (vs.rate_factor >= 1.0) {
+      vs.shaper.reset();
+      return;
+    }
+    vs.shaper = atm::Gcra::for_pcr(
+        framer_.rate().cells_per_second() * vs.rate_factor,
+        vs.contract_cdvt);
     return;
   }
-  const double base = vs.contract_pcr > 0.0
-                          ? vs.contract_pcr
-                          : framer_.rate().cells_per_second();
-  vs.shaper = atm::Gcra::for_pcr(base * vs.rate_factor, vs.contract_cdvt);
+  vs.shaper = atm::Gcra::for_pcr(vs.contract_pcr * vs.rate_factor,
+                                 vs.contract_cdvt);
 }
 
 void TxPath::set_shaper(atm::VcId vc, double pcr_cells_per_second,
@@ -175,6 +183,11 @@ void TxPath::clear_shaper(atm::VcId vc) {
 
 void TxPath::set_rate_factor(atm::VcId vc, double factor) {
   VcState& vs = state_for(vc);
+  // Snap near-unity factors to exactly 1.0: explicit-rate feedback
+  // computes er/line_rate in floating point, and a factor of 0.999…
+  // would rebuild a shaper at ~line rate instead of shedding it —
+  // a stale GCRA throttling a fully recovered VC forever.
+  if (factor >= 1.0 - 1e-9) factor = 1.0;
   vs.rate_factor = std::clamp(factor, 1.0 / 1024, 1.0);
   apply_shaper(vs);
   // A loosened throttle may make a blocked VC eligible right now.

@@ -129,6 +129,14 @@ class TxPath {
     const VcState* vs = vcs_.find(atm::vc_label(vc)).value;
     return vs != nullptr ? vs->rate_factor : 1.0;
   }
+  /// Whether a GCRA shaper is currently installed on `vc` — true while
+  /// a contract or a sub-unity throttle is in force. A best-effort VC
+  /// recovered to full rate must report false (the shaper is shed, not
+  /// left pacing at ~line rate).
+  bool vc_shaped(atm::VcId vc) const {
+    const VcState* vs = vcs_.find(atm::vc_label(vc)).value;
+    return vs != nullptr && vs->shaper.has_value();
+  }
 
   // --- fault management -------------------------------------------------
   /// Pauses `vc` (remote defect, e.g. an RDI alarm): already-staged

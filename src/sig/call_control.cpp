@@ -59,6 +59,17 @@ std::uint32_t CallControl::place_call(std::uint16_t called,
                                       double pcr_cells_per_second,
                                       ConnectedFn on_connected,
                                       FailedFn on_failed) {
+  TrafficDescriptor traffic;
+  traffic.pcr_cells_per_second = pcr_cells_per_second;
+  return place_call(called, aal, traffic, std::move(on_connected),
+                    std::move(on_failed));
+}
+
+std::uint32_t CallControl::place_call(std::uint16_t called,
+                                      aal::AalType aal,
+                                      const TrafficDescriptor& traffic,
+                                      ConnectedFn on_connected,
+                                      FailedFn on_failed) {
   // Call references must be network-unique (the agent keys on them);
   // derive from the party address.
   const std::uint32_t ref =
@@ -69,7 +80,10 @@ std::uint32_t CallControl::place_call(std::uint16_t called,
   call.info.call_id = ref;
   call.info.peer = called;
   call.info.aal = aal;
-  call.info.pcr_cells_per_second = pcr_cells_per_second;
+  call.info.pcr_cells_per_second = traffic.pcr_cells_per_second;
+  call.info.scr_cells_per_second = traffic.scr_cells_per_second;
+  call.info.weight = traffic.weight;
+  call.info.abr = traffic.abr;
   call.on_connected = std::move(on_connected);
   call.on_failed = std::move(on_failed);
 
@@ -79,7 +93,10 @@ std::uint32_t CallControl::place_call(std::uint16_t called,
   m.calling_party = party_;
   m.called_party = called;
   m.aal = aal;
-  m.pcr_cells_per_second = pcr_cells_per_second;
+  m.pcr_cells_per_second = traffic.pcr_cells_per_second;
+  m.scr_cells_per_second = traffic.scr_cells_per_second;
+  m.weight = traffic.weight;
+  m.abr = traffic.abr;
   call.pending = m;
   calls_.emplace(ref, std::move(call));
 
@@ -337,6 +354,9 @@ void CallControl::handle_setup(const Message& m) {
   info.vc = m.assigned_vc;  // the network already allocated our leg
   info.aal = m.aal;
   info.pcr_cells_per_second = m.pcr_cells_per_second;
+  info.scr_cells_per_second = m.scr_cells_per_second;
+  info.weight = m.weight;
+  info.abr = m.abr;
 
   const bool accept = incoming_ && incoming_(info);
   if (!accept) {

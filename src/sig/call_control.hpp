@@ -141,6 +141,19 @@ class MessageTap {
   sim::Counter forwarded_;
 };
 
+/// The SETUP traffic descriptor. A PCR alone is a CBR-style contract
+/// (GCRA policing and shaping at the peak rate). Adding an SCR makes it
+/// a VBR contract — the network installs a two-rate trTCM meter
+/// (CIR = SCR, PIR = PCR) instead of the single-rate policer. `weight`
+/// sets the VC's DWRR share at switch output queues, and `abr` opts the
+/// VC into the ERICA explicit-rate loop.
+struct TrafficDescriptor {
+  double pcr_cells_per_second = 0.0;  // 0 = best effort
+  double scr_cells_per_second = 0.0;  // 0 = single-rate (no meter)
+  std::uint16_t weight = 1;
+  bool abr = false;
+};
+
 class CallControl {
  public:
   struct CallInfo {
@@ -149,6 +162,9 @@ class CallControl {
     atm::VcId vc{};               // network-assigned data VC
     aal::AalType aal = aal::AalType::kAal5;
     double pcr_cells_per_second = 0.0;
+    double scr_cells_per_second = 0.0;
+    std::uint16_t weight = 1;
+    bool abr = false;
   };
 
   using ConnectedFn = std::function<void(const CallInfo&)>;
@@ -168,6 +184,13 @@ class CallControl {
   /// with the assigned VC; `on_failed` on rejection/failure.
   std::uint32_t place_call(std::uint16_t called, aal::AalType aal,
                            double pcr_cells_per_second,
+                           ConnectedFn on_connected,
+                           FailedFn on_failed = {});
+
+  /// Full-descriptor overload: carries SCR, weight and the ABR flag
+  /// through SETUP (the pcr-only signature above delegates here).
+  std::uint32_t place_call(std::uint16_t called, aal::AalType aal,
+                           const TrafficDescriptor& traffic,
                            ConnectedFn on_connected,
                            FailedFn on_failed = {});
 

@@ -12,6 +12,9 @@ constexpr std::size_t kWireSize = 2 +     // magic
                                   2 + 2 + // calling, called
                                   1 +     // aal
                                   8 +     // pcr (micro-cells/s as u64)
+                                  8 +     // scr (micro-cells/s as u64)
+                                  2 +     // weight
+                                  1 +     // abr flag
                                   2 + 2 + // assigned vpi, vci
                                   1 +     // cause
                                   1;      // call state
@@ -51,8 +54,11 @@ aal::Bytes Message::encode() const {
   put_u16(b, calling_party);
   put_u16(b, called_party);
   b.push_back(static_cast<std::uint8_t>(aal));
-  // PCR carried as micro-cells/second so a double survives the wire.
+  // Rates carried as micro-cells/second so a double survives the wire.
   put_u64(b, static_cast<std::uint64_t>(pcr_cells_per_second * 1e6));
+  put_u64(b, static_cast<std::uint64_t>(scr_cells_per_second * 1e6));
+  put_u16(b, weight);
+  b.push_back(abr ? 1 : 0);
   put_u16(b, assigned_vc.vpi);
   put_u16(b, assigned_vc.vci);
   b.push_back(static_cast<std::uint8_t>(cause));
@@ -96,6 +102,22 @@ DecodeResult decode_checked(const aal::Bytes& bytes) {
   m.aal = static_cast<aal::AalType>(aal);
   m.pcr_cells_per_second = static_cast<double>(get_u64(p)) / 1e6;
   p += 8;
+  m.scr_cells_per_second = static_cast<double>(get_u64(p)) / 1e6;
+  p += 8;
+  // An SCR above the PCR is a contradiction in terms — the sustained
+  // rate bounds the peak from below, never above.
+  if (m.scr_cells_per_second > m.pcr_cells_per_second) {
+    r.error = Cause::kInvalidContents;
+    return r;
+  }
+  m.weight = get_u16(p);
+  p += 2;
+  const std::uint8_t abr = *p++;
+  if (abr > 1) {
+    r.error = Cause::kInvalidContents;
+    return r;
+  }
+  m.abr = abr != 0;
   m.assigned_vc.vpi = get_u16(p);
   p += 2;
   m.assigned_vc.vci = get_u16(p);

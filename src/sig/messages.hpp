@@ -21,7 +21,9 @@
 // carries its own Q.2931-style timers (T303/T308/T310/T316) and the
 // agent runs a periodic status audit, which is how the protocol earns
 // loss tolerance. Addresses are 16-bit party numbers instead of
-// NSAP/E.164, and the traffic descriptor carries only a PCR. The wire
+// NSAP/E.164, and the traffic descriptor is a PCR plus an optional SCR
+// (the VBR sustained rate that selects trTCM metering at the switch),
+// a scheduling weight, and an ABR flag. The wire
 // format is explicit little-endian serialization with a magic/length
 // guard; malformed frames are rejected with a diagnostic Cause, never
 // thrown on and never misparsed.
@@ -81,6 +83,15 @@ struct Message {
   std::uint16_t called_party = 0;
   aal::AalType aal = aal::AalType::kAal5;
   double pcr_cells_per_second = 0.0;  // 0 = best effort (no shaping/UPC)
+  /// Sustained cell rate. 0 = CBR-style single-rate contract (GCRA
+  /// policing at the PCR); > 0 selects a two-rate trTCM meter at the
+  /// switch (CIR = SCR, PIR = PCR). Must not exceed the PCR.
+  double scr_cells_per_second = 0.0;
+  /// DWRR scheduling weight at switch output queues (clamped >= 1).
+  std::uint16_t weight = 1;
+  /// ABR service class: the switch's ERICA loop measures this VC and
+  /// stamps explicit rates into its backward RM cells.
+  bool abr = false;
   atm::VcId assigned_vc{};        // filled by the network on CONNECT
   Cause cause = Cause::kNormal;   // meaningful in RELEASE*/STATUS
   CallState call_state = CallState::kNull;  // meaningful in STATUS

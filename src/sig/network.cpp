@@ -240,6 +240,9 @@ void SignalingNetwork::handle_setup(std::size_t from_port,
       connect.calling_party = call.callee_party;
       connect.aal = m.aal;
       connect.pcr_cells_per_second = call.pcr;
+      connect.scr_cells_per_second = call.scr;
+      connect.weight = call.weight;
+      connect.abr = call.abr;
       connect.assigned_vc = call.caller_vc;
       send_to_port(call.caller_port, connect);
     } else {
@@ -277,6 +280,9 @@ void SignalingNetwork::handle_setup(std::size_t from_port,
   call.caller_vc = {0, *caller_vci};
   call.callee_vc = {0, *callee_vci};
   call.pcr = m.pcr_cells_per_second;
+  call.scr = m.scr_cells_per_second;
+  call.weight = std::max<std::uint16_t>(m.weight, 1);
+  call.abr = m.abr;
   call.created = bed_.sim().now();
   cac_commit(call);
   calls_.emplace(m.call_id, call);
@@ -289,10 +295,20 @@ void SignalingNetwork::handle_setup(std::size_t from_port,
 
 void SignalingNetwork::program_routes(const AgentCall& call) {
   sw_.add_route(call.caller_port, call.caller_vc, call.callee_port,
-                call.callee_vc);
+                call.callee_vc, call.weight, call.abr);
   sw_.add_route(call.callee_port, call.callee_vc, call.caller_port,
-                call.caller_vc);
-  if (call.pcr > 0.0) {
+                call.caller_vc, call.weight, call.abr);
+  if (call.scr > 0.0 && call.pcr > 0.0) {
+    // VBR contract: two-rate trTCM meter (CIR = SCR, PIR = PCR) —
+    // sustained-rate excess is tagged CLP, peak-rate excess dropped.
+    atm::TrTcmConfig meter;
+    meter.cir_cells_per_second = call.scr;
+    meter.pir_cells_per_second = call.pcr;
+    meter.cbs_cells = config_.meter_cbs_cells;
+    meter.pbs_cells = config_.meter_pbs_cells;
+    sw_.add_meter(call.caller_port, call.caller_vc, meter);
+    sw_.add_meter(call.callee_port, call.callee_vc, meter);
+  } else if (call.pcr > 0.0) {
     const sim::Time cdvt = static_cast<sim::Time>(
         config_.police_cdvt_slots *
         static_cast<double>(sw_.config().port_rate.cell_slot()));

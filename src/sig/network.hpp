@@ -55,6 +55,11 @@ struct SignalingConfig {
   std::size_t max_vcs_per_port = 256;
   /// CDVT granted by installed policers, as a multiple of the cell slot.
   double police_cdvt_slots = 10.0;
+  /// Burst depths (in cells) of the trTCM meter installed for VBR calls
+  /// (SETUPs carrying an SCR alongside the PCR): committed and peak
+  /// bucket sizes respectively.
+  std::size_t meter_cbs_cells = 10;
+  std::size_t meter_pbs_cells = 10;
   /// Timer/retransmission policy handed to every attached endpoint.
   CallControlConfig endpoint{};
   /// Status-audit cadence; 0 disables the audit (no reclamation).
@@ -148,6 +153,9 @@ class SignalingNetwork {
     atm::VcId caller_vc{};
     atm::VcId callee_vc{};
     double pcr = 0.0;
+    double scr = 0.0;            // > 0 selects a trTCM meter over GCRA
+    std::uint16_t weight = 1;    // DWRR share at the output queues
+    bool abr = false;            // ERICA explicit-rate participant
     bool routed = false;
     bool cac_committed = false;  // pcr is counted in the CAC books
     sim::Time created = 0;      // for the audit's grace period

@@ -63,6 +63,10 @@ std::string Tracer::format(const TraceEvent& ev) const {
       out += seq + " WRED DROPPED port=" + std::to_string(ev.a) +
              (ev.b != 0 ? " (tagged)" : "");
       break;
+    case TraceEventId::kSwitchErStamp:
+      out += seq + " ER STAMPED port=" + std::to_string(ev.a) +
+             " er=" + std::to_string(ev.b);
+      break;
     case TraceEventId::kUser:
       out += "user event a=" + std::to_string(ev.a) +
              " b=" + std::to_string(ev.b);

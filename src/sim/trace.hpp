@@ -42,6 +42,7 @@ enum class TraceEventId : std::uint16_t {
   kSigCacRefusal,        // a = caller port, b = callee port, seq = call id
   kSwitchEfciMark,       // a = out port, b = vc label, seq
   kSwitchWredDrop,       // a = out port, b = 1 if CLP-tagged, seq
+  kSwitchErStamp,        // a = in port, b = granted ER (cells/s), seq
   kUser,                 // free for tests/tools; payload uninterpreted
 };
 
