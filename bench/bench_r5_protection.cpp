@@ -1,0 +1,358 @@
+// R5 — Robustness: automatic protection switching under trunk failure.
+//
+// The fabric-resilience plane assembled in this series — OAM F5
+// continuity checking at the endpoints, hop-by-hop AIS insertion at the
+// switch downstream of a failed trunk, RDI echo, and the signalling
+// agent's holdoff/reroute/wait-to-restore machinery — exists so a trunk
+// cut costs the fabric a restoration interval, not the outage.
+//
+// Scenario: a triangle fabric. Three CBR calls run sw0 -> sw1 over the
+// primary trunk t0; a standby path rides through sw2 (t1 + t2). The
+// primary trunk flaps on a fixed cycle (13 ms down in every 20 ms).
+// With protection ON the agent reroutes each call onto the standby path
+// one holdoff after the cut and reverts one wait-to-restore after the
+// repair; with protection OFF (the pre-series fabric) every outage is
+// eaten in full. Goodput over the flapping window is compared against a
+// failure-free run of the same length, and each outage's
+// time-to-restore — cut to first post-cut delivery at the sink — is
+// recorded.
+//
+// The exit code enforces the acceptance criteria:
+//   * protection ON:  goodput >= 80% of the failure-free run, and the
+//     worst time-to-restore stays under 5 ms (holdoff 50 us + reroute
+//     signalling + the CBR probe quantum);
+//   * protection OFF: goodput < 40% of the failure-free run (the
+//     ablation eats the 65% outage duty cycle);
+//   * nothing stranded afterwards: calls release cleanly and the full
+//     conservation audit (stations, hops, switches, agent books)
+//     balances.
+//
+//   bench_r5_protection                  full run (20 failure cycles)
+//   bench_r5_protection --smoke          4 cycles (CI-sized)
+//   bench_r5_protection [--smoke] --json OUT.json
+//                                        google-benchmark-style JSON
+//                                        for scripts/bench_compare.py
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/testbed.hpp"
+#include "net/traffic.hpp"
+#include "sig/network.hpp"
+
+using namespace hni;
+
+namespace {
+
+constexpr std::size_t kCalls = 3;
+constexpr std::size_t kPduBytes = 1500;
+constexpr double kRateBps = 20e6;  // per call; 60 Mb/s aggregate
+constexpr sim::Time kCyclePeriod = sim::milliseconds(20);
+constexpr sim::Time kDownTime = sim::milliseconds(13);
+constexpr sim::Time kWarmup = sim::milliseconds(10);
+// Cells already past the cut drain to the sink within this bound; a
+// delivery inside it is leftover flight, not restoration.
+constexpr sim::Time kInFlightGuard = sim::microseconds(100);
+constexpr double kRetainOn = 0.80;
+constexpr double kCollapseOff = 0.40;
+constexpr double kTtrBoundUs = 5000.0;
+
+struct Outcome {
+  bool protection = false;
+  double goodput_mbps = 0;
+  std::size_t delivered = 0;
+  std::uint64_t reroutes = 0;
+  std::uint64_t reverts = 0;
+  std::uint64_t defect_reports = 0;
+  std::uint64_t ais_inserted = 0;
+  double ttr_mean_us = 0;
+  double ttr_max_us = 0;
+  std::size_t outages = 0;
+  std::size_t stranded = 0;
+  bool books_ok = false;
+};
+
+Outcome run(bool protection, std::size_t cycles, bool flap) {
+  core::Testbed bed;
+  net::SwitchConfig swc{.ports = 8, .queue_cells = 512,
+                       .clp_threshold = 512};
+  auto& sw0 = bed.add_switch(swc);
+  auto& sw1 = bed.add_switch(swc);
+  auto& sw2 = bed.add_switch(swc);
+
+  sig::SignalingConfig cfg;
+  cfg.protection.enabled = protection;
+  // No status audits during the run: a 13 ms signalling outage must not
+  // let the reclaim sweep tear the calls down mid-measurement.
+  cfg.audit_period = 0;
+  sig::SignalingNetwork net(bed, {&sw0, &sw1, &sw2},
+                            /*agent_switch=*/0, /*agent_port=*/3, cfg);
+  const std::size_t t0 = net.add_trunk(0, 1, 1, 1);  // primary
+  net.add_trunk(0, 2, 2, 0);                         // sw0 <-> sw2
+  net.add_trunk(2, 1, 1, 2);                         // sw2 <-> sw1
+
+  core::StationConfig stc;
+  stc.nic.cc.enabled = true;
+  std::vector<core::Station*> srcs, sinks;
+  std::vector<sig::CallControl*> cc_src, cc_sink;
+  const std::size_t ep_ports[kCalls] = {0, 4, 5};
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    stc.name = "src" + std::to_string(i);
+    srcs.push_back(&bed.add_station(stc));
+    cc_src.push_back(&net.attach(*srcs[i], /*sw=*/0, ep_ports[i],
+                                 static_cast<std::uint16_t>(1 + i)));
+    stc.name = "sink" + std::to_string(i);
+    sinks.push_back(&bed.add_station(stc));
+    cc_sink.push_back(&net.attach(*sinks[i], /*sw=*/1, ep_ports[i],
+                                  static_cast<std::uint16_t>(101 + i)));
+    cc_sink[i]->set_incoming(
+        [](const sig::CallControl::CallInfo&) { return true; });
+  }
+
+  std::vector<std::optional<atm::VcId>> src_vc(kCalls);
+  std::vector<std::uint32_t> call_ids(kCalls, 0);
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    call_ids[i] = cc_src[i]->place_call(
+        static_cast<std::uint16_t>(101 + i), aal::AalType::kAal5, 0.0,
+        [&src_vc, i](const sig::CallControl::CallInfo& info) {
+          src_vc[i] = info.vc;
+        });
+  }
+  bed.run_for(kWarmup);
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    if (!src_vc[i]) {
+      std::fprintf(stderr, "R5: call %zu failed to connect\n", i);
+      std::exit(2);
+    }
+  }
+
+  // Per-outage restoration clock, fed by the sink deliveries.
+  std::uint64_t bytes = 0;
+  std::size_t delivered = 0;
+  bool awaiting_restore = false;
+  sim::Time outage_start = 0;
+  std::vector<double> ttr_us;
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    sinks[i]->host().set_rx_handler(
+        [&](aal::Bytes sdu, const host::RxInfo&) {
+          ++delivered;
+          bytes += sdu.size();
+          if (awaiting_restore &&
+              bed.now() > outage_start + kInFlightGuard) {
+            ttr_us.push_back(sim::to_seconds(bed.now() - outage_start) *
+                             1e6);
+            awaiting_restore = false;
+          }
+        });
+  }
+
+  std::vector<std::shared_ptr<net::SduSource>> gens;
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    net::SduSource::Config scfg;
+    scfg.mode = net::SduSource::Mode::kCbr;
+    scfg.sdu_bytes = kPduBytes;
+    scfg.interval = static_cast<sim::Time>(
+        kPduBytes * 8.0 / kRateBps * static_cast<double>(sim::kSecond));
+    scfg.seed = 0xC0 + i;
+    core::Station* st = srcs[i];
+    const atm::VcId vc = *src_vc[i];
+    gens.push_back(std::make_shared<net::SduSource>(
+        bed.sim(), scfg, [st, vc](aal::Bytes sdu) {
+          return st->host().send(vc, aal::AalType::kAal5, std::move(sdu));
+        }));
+    gens.back()->start();
+  }
+
+  // The flap schedule: a hard down/up square wave on the primary trunk.
+  const auto [ab, ba] = net.trunk_links(t0);
+  if (flap) {
+    for (std::size_t k = 0; k < cycles; ++k) {
+      const sim::Time cut = static_cast<sim::Time>(k) * kCyclePeriod;
+      bed.sim().after(cut, [&, ab = ab, ba = ba] {
+        ab->set_down(true);
+        ba->set_down(true);
+        outage_start = bed.now();
+        awaiting_restore = true;
+      });
+      bed.sim().after(cut + kDownTime, [ab = ab, ba = ba] {
+        ab->set_down(false);
+        ba->set_down(false);
+      });
+    }
+  }
+  const sim::Time window = static_cast<sim::Time>(cycles) * kCyclePeriod;
+  bed.run_for(window);
+  for (auto& g : gens) g->stop();
+
+  Outcome o;
+  o.protection = protection;
+  o.goodput_mbps =
+      static_cast<double>(bytes) * 8.0 / sim::to_seconds(window) / 1e6;
+  o.delivered = delivered;
+  o.reroutes = net.reroutes();
+  o.reverts = net.reverts();
+  o.ais_inserted = sw0.cells_ais_inserted() + sw1.cells_ais_inserted() +
+                   sw2.cells_ais_inserted();
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    o.defect_reports += cc_src[i]->defect_reports();
+    o.defect_reports += cc_sink[i]->defect_reports();
+  }
+  o.outages = ttr_us.size();
+  for (const double t : ttr_us) {
+    o.ttr_mean_us += t;
+    o.ttr_max_us = std::max(o.ttr_max_us, t);
+  }
+  if (!ttr_us.empty()) o.ttr_mean_us /= static_cast<double>(ttr_us.size());
+
+  // Epilogue: let the last cycle's repair settle, release every call,
+  // and demand a spotless audit — wire hops included, since the CC
+  // heartbeats stop with the data VCs.
+  bed.run_for(sim::milliseconds(10));
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    cc_src[i]->release(call_ids[i]);
+  }
+  bed.run_for(sim::milliseconds(20));
+  o.stranded = net.stranded_vcis() + net.stranded_routes();
+  auto auditor = bed.audit(/*include_hops=*/true);
+  net.audit_invariants(auditor);
+  o.books_ok = auditor.ok() && net.active_calls() == 0;
+  if (!auditor.ok()) std::fputs(auditor.report().c_str(), stderr);
+  return o;
+}
+
+void write_json(const char* path, double goodput_on, double retention_on,
+                double ttr_max_us) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "R5: cannot write %s\n", path);
+    std::exit(2);
+  }
+  std::fprintf(f, "{\n  \"context\": {\"executable\": "
+                  "\"bench_r5_protection\"},\n  \"benchmarks\": [\n");
+  std::fprintf(f,
+               "    {\"name\": \"r5_protection/goodput_on\", \"run_type\": "
+               "\"iteration\", \"items_per_second\": %.3f, "
+               "\"real_time\": %.1f, \"time_unit\": \"ns\"},\n",
+               goodput_on, 1e9 / goodput_on);
+  std::fprintf(f,
+               "    {\"name\": \"r5_protection/retention_on\", "
+               "\"run_type\": \"iteration\", \"higher_is_better\": true, "
+               "\"value\": %.4f, \"real_time\": %.4f, "
+               "\"time_unit\": \"ns\"},\n",
+               retention_on, retention_on);
+  std::fprintf(f,
+               "    {\"name\": \"r5_protection/time_to_restore_us\", "
+               "\"run_type\": \"iteration\", \"lower_is_better\": true, "
+               "\"value\": %.1f, \"real_time\": %.1f, "
+               "\"time_unit\": \"ns\"}\n",
+               ttr_max_us, ttr_max_us);
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  const std::size_t cycles = smoke ? 4 : 20;
+
+  std::printf("R5: protection switching — 3 CBR calls over a triangle "
+              "fabric, primary trunk\ncut 13 ms in every 20 ms cycle "
+              "(%zu cycles), protection ON vs OFF vs failure-free\n",
+              cycles);
+
+  const Outcome base = run(/*protection=*/true, cycles, /*flap=*/false);
+  const Outcome on = run(/*protection=*/true, cycles, /*flap=*/true);
+  const Outcome off = run(/*protection=*/false, cycles, /*flap=*/true);
+
+  core::Table t({"run", "goodput Mb/s", "retention", "PDUs", "reroutes",
+                 "reverts", "defect rpts", "AIS cells", "ttr mean us",
+                 "ttr max us", "stranded", "books"});
+  const auto row = [&](const char* name, const Outcome& o) {
+    t.add_row({name, core::Table::num(o.goodput_mbps, 1),
+               core::Table::num(o.goodput_mbps / base.goodput_mbps, 3),
+               core::Table::integer(o.delivered),
+               core::Table::integer(o.reroutes),
+               core::Table::integer(o.reverts),
+               core::Table::integer(o.defect_reports),
+               core::Table::integer(o.ais_inserted),
+               core::Table::num(o.ttr_mean_us, 0),
+               core::Table::num(o.ttr_max_us, 0),
+               core::Table::integer(o.stranded),
+               o.books_ok ? "ok" : "FAIL"});
+  };
+  row("no-fail", base);
+  row("prot on", on);
+  row("prot off", off);
+  t.print("R5: goodput retained across trunk-failure cycles");
+
+  if (json_path != nullptr) {
+    write_json(json_path, on.goodput_mbps,
+               on.goodput_mbps / base.goodput_mbps, on.ttr_max_us);
+  }
+
+  bool ok = true;
+  if (on.goodput_mbps < kRetainOn * base.goodput_mbps) {
+    std::fprintf(stderr,
+                 "R5: FAIL protection on: goodput %.1f below %.0f%% of "
+                 "failure-free %.1f\n",
+                 on.goodput_mbps, kRetainOn * 100, base.goodput_mbps);
+    ok = false;
+  }
+  if (on.outages == 0 || on.ttr_max_us > kTtrBoundUs) {
+    std::fprintf(stderr,
+                 "R5: FAIL protection on: time-to-restore unbounded "
+                 "(outages=%zu max=%.0f us, bound %.0f us)\n",
+                 on.outages, on.ttr_max_us, kTtrBoundUs);
+    ok = false;
+  }
+  if (off.goodput_mbps >= kCollapseOff * base.goodput_mbps) {
+    std::fprintf(stderr,
+                 "R5: FAIL protection off: goodput %.1f did not collapse "
+                 "below %.0f%% of failure-free %.1f\n",
+                 off.goodput_mbps, kCollapseOff * 100, base.goodput_mbps);
+    ok = false;
+  }
+  if (on.reroutes == 0 || on.reverts == 0) {
+    std::fprintf(stderr, "R5: FAIL protection on: no reroute/revert "
+                 "activity (reroutes=%llu reverts=%llu)\n",
+                 static_cast<unsigned long long>(on.reroutes),
+                 static_cast<unsigned long long>(on.reverts));
+    ok = false;
+  }
+  for (const Outcome* o : {&base, &on, &off}) {
+    if (o->stranded != 0 || !o->books_ok) {
+      std::fprintf(stderr, "R5: FAIL stranded resources or bad books "
+                   "(stranded=%zu books=%d)\n",
+                   o->stranded, o->books_ok ? 1 : 0);
+      ok = false;
+    }
+  }
+
+  std::printf(
+      "\nReading: with protection on, each cut costs one holdoff plus a "
+      "reroute handshake —\nthe agent moves the calls (contracted "
+      "first) onto the sw2 standby path with their\nendpoint VCIs "
+      "intact, then reverts one wait-to-restore after the repair. "
+      "Goodput\nholds near the failure-free line and restoration stays "
+      "bounded. With protection\noff the same fault chain still raises "
+      "AIS/RDI and the endpoints still report the\ndefect, but nobody "
+      "acts: every 13 ms outage is eaten in full and goodput tracks\n"
+      "the 35%% duty cycle of the surviving trunk.\n");
+  return ok ? 0 : 1;
+}

@@ -22,7 +22,11 @@
 # bench/baselines/BENCH_overload.json, and the R4 fairness bench, whose
 # exit code asserts Jain >= 0.95 for equal-weight ABR at 2x overload
 # and DWRR shares within 10% of their weights, with its Jain rows
-# gating (higher_is_better) against bench/baselines/BENCH_fairness.json.
+# gating (higher_is_better) against bench/baselines/BENCH_fairness.json,
+# and the R5 protection bench, whose exit code asserts that protection
+# switching retains >= 80% of failure-free goodput across trunk-failure
+# cycles with a bounded time-to-restore (the restore row gates
+# lower-is-better against bench/baselines/BENCH_protection.json).
 #
 # Refreshing the baseline after an intentional perf change:
 #   ./build/bench/bench_micro --benchmark_filter='BM_Simulator' \
@@ -50,7 +54,7 @@ mode="${1:-all}"
 if [[ "$mode" == "--bench-compare" ]]; then
   echo "== perf gate: event-kernel benchmarks vs committed baseline =="
   cmake -B build -S . > /dev/null
-  cmake --build build -j "$(nproc)" --target bench_micro bench_p1_kernel_scale bench_p2_vc_scale bench_r3_overload bench_r4_fairness
+  cmake --build build -j "$(nproc)" --target bench_micro bench_p1_kernel_scale bench_p2_vc_scale bench_r3_overload bench_r4_fairness bench_r5_protection
   ./build/bench/bench_micro --benchmark_filter='BM_Simulator' \
     --benchmark_repetitions=3 \
     --benchmark_out=build/BENCH_kernel.json --benchmark_out_format=json
@@ -66,6 +70,9 @@ if [[ "$mode" == "--bench-compare" ]]; then
   ./build/bench/bench_r4_fairness --smoke --json build/BENCH_fairness.json
   python3 scripts/bench_compare.py bench/baselines/BENCH_fairness.json \
     build/BENCH_fairness.json --threshold "${HNI_BENCH_THRESHOLD:-0.15}"
+  ./build/bench/bench_r5_protection --smoke --json build/BENCH_protection.json
+  python3 scripts/bench_compare.py bench/baselines/BENCH_protection.json \
+    build/BENCH_protection.json --threshold "${HNI_BENCH_THRESHOLD:-0.15}"
   echo "check.sh: perf gate passed"
   exit 0
 fi

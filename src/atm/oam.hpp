@@ -26,6 +26,7 @@ enum class OamFunction : std::uint8_t {
   kLoopbackResponse = 0x02,
   kAis = 0x03,  // alarm indication signal (downstream "path dead")
   kRdi = 0x04,  // remote defect indication (upstream echo of AIS)
+  kContinuityCheck = 0x05,  // periodic "I am alive" heartbeat (CC)
 };
 
 struct OamCell {

@@ -81,6 +81,16 @@ void InvariantAuditor::audit_station(Station& s) {
   // pending set can never outgrow the connections that exist.
   expect_le(s.nic().rdi_pending(), s.nic().open_vc_count(),
             "oam rdi-pending bound", who + "rdi_pending <= open VCs");
+
+  // Continuity-check books: every declared loss-of-continuity alarm was
+  // either cleared (by a later arrival, a superseding AIS, or stop_cc)
+  // or still stands; and CC monitoring is per open VC.
+  expect_eq(s.nic().cc_loss_declared(),
+            s.nic().cc_loss_cleared() + s.nic().cc_loss_standing(),
+            "oam cc alarm conservation",
+            who + "loc declared == cleared + standing");
+  expect_le(s.nic().cc_monitored(), s.nic().open_vc_count(),
+            "oam cc monitored bound", who + "cc monitored <= open VCs");
 }
 
 void InvariantAuditor::audit_hop(Station& tx, const net::Link& link,
@@ -117,12 +127,15 @@ void InvariantAuditor::audit_switch(const net::Switch& sw,
   const std::string who = name + ": ";
 
   // Receive stage: every cell that arrived was discarded by HEC, had no
-  // route, died at the policer, or was offered to the queue stage.
-  expect_eq(sw.cells_received(),
+  // route, died at the policer, or was offered to the queue stage —
+  // which additionally holds the AIS cells the switch itself originated
+  // for routes whose input link is down (they were never received).
+  expect_eq(sw.cells_received() + sw.cells_ais_inserted(),
             sw.cells_hec_discarded() + sw.cells_unroutable() +
                 sw.cells_policed_dropped() + sw.cells_queue_offered(),
             "switch receive conservation",
-            who + "received == hec + unroutable + policed + offered");
+            who + "received + ais_inserted == hec + unroutable + policed "
+                  "+ offered");
 
   // Queue stage: everything offered was forwarded, dropped by exactly
   // one discard mechanism, or is still resident in an output pool.
@@ -155,6 +168,57 @@ void InvariantAuditor::audit_switch(const net::Switch& sw,
   // accounted under.
   expect_le(sw.cells_purged_on_close(), sw.cells_dropped_overflow(),
             "switch purge bound", who + "purged_on_close <= overflow");
+}
+
+void InvariantAuditor::audit_ingress_hop(Station& tx, const net::Link& link,
+                                         const net::Switch& sw,
+                                         std::size_t port,
+                                         const std::string& sw_name) {
+  const std::string who =
+      tx.name() + "->" + sw_name + ".in" + std::to_string(port) + ": ";
+  expect_eq(tx.nic().tx().fifo().pops(), link.cells_in(),
+            "ingress-hop emission conservation",
+            who + "framer pops == link cells in");
+  expect_eq(link.cells_in() - link.cells_lost() - link.cells_dropped_down(),
+            sw.cells_received_on(port),
+            "ingress-hop delivery conservation",
+            who + "sent - lost - down_dropped == switch received on port");
+}
+
+void InvariantAuditor::audit_trunk_hop(const net::Switch& tx,
+                                       std::size_t tx_port,
+                                       const net::Link& link,
+                                       const net::Switch& rx,
+                                       std::size_t rx_port,
+                                       const std::string& tx_name,
+                                       const std::string& rx_name) {
+  const std::string who = tx_name + ".out" + std::to_string(tx_port) + "->" +
+                          rx_name + ".in" + std::to_string(rx_port) + ": ";
+  expect_eq(tx.cells_forwarded_on(tx_port), link.cells_in(),
+            "trunk-hop emission conservation",
+            who + "forwarded on port == link cells in");
+  expect_eq(link.cells_in() - link.cells_lost() - link.cells_dropped_down(),
+            rx.cells_received_on(rx_port),
+            "trunk-hop delivery conservation",
+            who + "sent - lost - down_dropped == received on port");
+}
+
+void InvariantAuditor::audit_egress_hop(const net::Switch& sw,
+                                        std::size_t port,
+                                        const net::Link& link, Station& rx,
+                                        const std::string& sw_name) {
+  const std::string who =
+      sw_name + ".out" + std::to_string(port) + "->" + rx.name() + ": ";
+  expect_eq(sw.cells_forwarded_on(port), link.cells_in(),
+            "egress-hop emission conservation",
+            who + "forwarded on port == link cells in");
+  // The receive count additionally includes alarm cells the RX PHY
+  // itself inserted while the link was down (same as audit_hop).
+  expect_eq(link.cells_in() - link.cells_lost() - link.cells_dropped_down()
+                + rx.nic().ais_inserted(),
+            rx.nic().rx().cells_received(),
+            "egress-hop delivery conservation",
+            who + "sent - lost - down_dropped + ais == received");
 }
 
 std::string InvariantAuditor::report() const {

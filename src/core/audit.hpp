@@ -61,6 +61,23 @@ class InvariantAuditor {
   /// runs this alongside the quiescent hop audit.
   void audit_switch(const net::Switch& sw, const std::string& name);
 
+  // Per-hop fabric audits (quiescent only, like audit_hop): every link
+  // of a multi-hop path balances against the per-port books of the
+  // switch on each side.
+  /// station TX -> link -> switch input port.
+  void audit_ingress_hop(Station& tx, const net::Link& link,
+                         const net::Switch& sw, std::size_t port,
+                         const std::string& sw_name);
+  /// switch output port -> trunk link -> switch input port.
+  void audit_trunk_hop(const net::Switch& tx, std::size_t tx_port,
+                       const net::Link& link, const net::Switch& rx,
+                       std::size_t rx_port, const std::string& tx_name,
+                       const std::string& rx_name);
+  /// switch output port -> link -> station RX.
+  void audit_egress_hop(const net::Switch& sw, std::size_t port,
+                        const net::Link& link, Station& rx,
+                        const std::string& sw_name);
+
   bool ok() const { return violations_.empty(); }
   std::size_t checks_run() const { return checks_; }
   const std::vector<Violation>& violations() const { return violations_; }

@@ -80,6 +80,15 @@ class Testbed {
                            net::LossModel loss = {},
                            sim::Time propagation = sim::microseconds(5));
 
+  /// Wires a full-duplex inter-switch trunk: a's output `port_a` feeds
+  /// b's input `port_b` and vice versa. Each switch registers the
+  /// incoming link as that port's loss-of-signal source, so a trunk
+  /// failure triggers downstream AIS insertion (Switch::set_input_link).
+  /// Returns {a->b, b->a}.
+  std::pair<net::Link*, net::Link*> connect_trunk(
+      net::Switch& a, std::size_t port_a, net::Switch& b, std::size_t port_b,
+      net::LossModel loss = {}, sim::Time propagation = sim::microseconds(5));
+
   /// Advances simulated time by `duration`.
   void run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
 
@@ -95,6 +104,31 @@ class Testbed {
     net::Link* link;
     Station* rx;
   };
+  // Recorded fabric wiring, one struct per simplex hop kind — the audit
+  // sweeps these to run per-hop conservation on every switch of a
+  // multi-hop path, not just the station-to-station case.
+  struct IngressHop {
+    Station* tx;
+    net::Link* link;
+    net::Switch* sw;
+    std::size_t port;
+  };
+  struct EgressHop {
+    net::Switch* sw;
+    std::size_t port;
+    net::Link* link;
+    Station* rx;
+  };
+  struct TrunkHop {
+    net::Switch* tx;
+    std::size_t tx_port;
+    net::Link* link;
+    net::Switch* rx;
+    std::size_t rx_port;
+  };
+
+  std::string switch_label(const net::Switch* sw) const;
+  void audit_path_conservation(InvariantAuditor& auditor) const;
 
   std::uint64_t next_seed() { return seed_counter_++; }
 
@@ -110,6 +144,9 @@ class Testbed {
   std::vector<std::unique_ptr<net::Link>> links_;
   std::vector<std::unique_ptr<net::Switch>> switches_;
   std::vector<Hop> hops_;
+  std::vector<IngressHop> ingress_hops_;
+  std::vector<EgressHop> egress_hops_;
+  std::vector<TrunkHop> trunk_hops_;
   std::uint64_t seed_counter_ = 0x5EED;
 };
 

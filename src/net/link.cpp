@@ -49,7 +49,13 @@ void Link::send(const atm::Cell& cell) {
 void Link::set_down(bool down) {
   if (down == down_) return;
   down_ = down;
-  if (down) flaps_.add();
+  transitions_.add();
+  if (down) {
+    flaps_.add();
+    down_since_ = sim_.now();
+  } else {
+    down_time_accum_ += sim_.now() - down_since_;
+  }
   if (tracer_) {
     tracer_->emit({sim_.now(),
                    down ? sim::TraceEventId::kLinkDown

@@ -113,6 +113,13 @@ class Link {
   std::uint64_t cells_dropped_down() const { return down_drop_.value(); }
   /// Up->down transitions seen.
   std::uint64_t flaps() const { return flaps_.value(); }
+  /// State transitions in either direction (down + up).
+  std::uint64_t transitions() const { return transitions_.value(); }
+  /// Total simulated time spent down, including the live interval when
+  /// the link is down right now.
+  sim::Time down_time_total() const {
+    return down_time_accum_ + (down_ ? sim_.now() - down_since_ : 0);
+  }
   sim::Time propagation_delay() const { return delay_; }
 
   /// Surfaces the link's books under `scope`.
@@ -124,6 +131,9 @@ class Link {
     scope.expose("cells_corrupted_payload", corrupted_payload_);
     scope.expose("cells_dropped_down", down_drop_);
     scope.expose("flaps", flaps_);
+    scope.expose("transitions", transitions_);
+    scope.gauge("down_time_total",
+                [this] { return static_cast<double>(down_time_total()); });
   }
 
  private:
@@ -141,6 +151,8 @@ class Link {
   double p_bad_to_good_ = 0.0;
   sim::Time last_delivery_ = 0;  // FIFO guard under CDV jitter
   bool down_ = false;
+  sim::Time down_since_ = 0;
+  sim::Time down_time_accum_ = 0;
   std::vector<StateObserver> observers_;
   sim::Counter in_;
   sim::Counter lost_;
@@ -149,6 +161,7 @@ class Link {
   sim::Counter corrupted_payload_;
   sim::Counter down_drop_;
   sim::Counter flaps_;
+  sim::Counter transitions_;
 };
 
 }  // namespace hni::net

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "atm/oam.hpp"
 #include "atm/rm.hpp"
 
 namespace hni::net {
 
 Switch::Switch(sim::Simulator& sim, SwitchConfig config)
     : sim_(sim), config_(config), outputs_(config.ports),
-      hec_(config.ports), wred_rng_(config.wred.seed) {
+      inputs_(config.ports), hec_(config.ports),
+      received_on_(config.ports, 0), forwarded_on_(config.ports, 0),
+      wred_rng_(config.wred.seed) {
   if (config_.ports == 0 || config_.queue_cells == 0) {
     throw std::invalid_argument("Switch: ports and queue must be nonzero");
   }
@@ -116,6 +119,78 @@ void Switch::attach_output(std::size_t out_port, Link& link) {
   outputs_.at(out_port).link = &link;
 }
 
+void Switch::set_input_link(std::size_t in_port, Link& link) {
+  InputPort& ip = inputs_.at(in_port);
+  ip.link = &link;
+  ip.down = link.is_down();
+  link.add_state_observer([this, in_port](bool down) {
+    InputPort& port = inputs_[in_port];
+    if (port.down == down) return;
+    port.down = down;
+    ++port.epoch;  // kills any timer armed for the previous state
+    if (down && config_.ais_period > 0) insert_ais(in_port, port.epoch);
+  });
+  if (ip.down && config_.ais_period > 0) insert_ais(in_port, ++ip.epoch);
+}
+
+void Switch::insert_ais(std::size_t in_port, std::uint64_t epoch) {
+  InputPort& ip = inputs_[in_port];
+  if (!ip.down || ip.epoch != epoch) return;
+  // Walk the routes entering on the dead port in sorted label order
+  // (deterministic however the table was populated) and originate one
+  // AIS per connection, already translated onto the outgoing VC — the
+  // next hop forwards it like any routed control cell, so the alarm
+  // propagates to the endpoint however many switches remain.
+  for_each_route([&](std::size_t port, atm::VcId in_vc, std::size_t,
+                     atm::VcId out_vc) {
+    if (port != in_port) return;
+    const VcEntry* entry = vcs_.find(route_label(port, in_vc)).value;
+    if (entry == nullptr) return;
+    atm::OamCell oam;
+    oam.function = atm::OamFunction::kAis;
+    oam.tag = static_cast<std::uint64_t>(in_port);  // defect location
+    const atm::Cell cell = oam.to_cell(out_vc);
+    WireCell wire;
+    wire.bytes = cell.serialize(atm::HeaderFormat::kUni);
+    wire.meta = cell.meta;
+    ais_inserted_.add();
+    if (tracer_) {
+      tracer_->emit({sim_.now(), sim::TraceEventId::kSwitchAisInsert,
+                     trace_source_, static_cast<std::uint32_t>(in_port),
+                     atm::vc_label(out_vc), 0});
+    }
+    inject_control(*entry, std::move(wire));
+  });
+  sim_.after(config_.ais_period,
+             [this, in_port, epoch] { insert_ais(in_port, epoch); });
+}
+
+void Switch::inject_control(const VcEntry& entry, WireCell wire) {
+  // Switch-originated control cells enter the books at the queue stage:
+  // they were never received on a port, so the receive-stage identity
+  // balances them through cells_ais_inserted instead.
+  queue_offered_.add();
+  OutputPort& out = outputs_[entry.out_port];
+  const std::size_t pool_limit =
+      config_.queue_cells + config_.control_reserve_cells;
+  if (out.occupancy >= pool_limit) {
+    dropped_.add();
+    return;
+  }
+  const std::size_t out_port = entry.out_port;
+  if (config_.scheduler == SwitchScheduler::kFifo) {
+    out.fifo.push_back(std::move(wire));
+  } else {
+    auto [vq, inserted] = out.queues.try_emplace(atm::vc_label(entry.out_vc));
+    vq->weight = entry.weight;
+    if (vq->cells.empty()) out.order.push_back(vq);
+    vq->cells.push_back(std::move(wire));
+  }
+  ++out.occupancy;
+  out.depth.set(sim_.now(), static_cast<double>(out.occupancy));
+  if (!out.serving) serve(out_port);
+}
+
 bool Switch::wred_decides_drop(std::size_t occupancy, bool tagged) {
   const WredConfig& w = config_.wred;
   const std::size_t lo = tagged ? w.clp1_min_cells : w.min_cells;
@@ -134,6 +209,7 @@ bool Switch::wred_decides_drop(std::size_t occupancy, bool tagged) {
 
 void Switch::receive(std::size_t in_port, const WireCell& wire) {
   received_.add();
+  ++received_on_[in_port];
   // Validate/correct the header before trusting the VCI.
   WireCell cell = wire;
   auto header = std::span<std::uint8_t, 4>(cell.bytes.data(), 4);
@@ -409,6 +485,7 @@ void Switch::serve(std::size_t out_port) {
   // the queue-stage books (offered == forwarded + drops + resident)
   // then balance at any instant, not only at quiescence.
   forwarded_.add();
+  ++forwarded_on_[out_port];
   sim_.after(slot_, [this, out_port, cell = std::move(cell)]() mutable {
     OutputPort& out = outputs_[out_port];
     if (out.link != nullptr) out.link->send_wire(std::move(cell));

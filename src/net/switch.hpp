@@ -129,6 +129,12 @@ struct SwitchConfig {
   /// a saturated pool instead of being tail-dropped by the very
   /// congestion it reports. 0 gives control cells no protection.
   std::size_t control_reserve_cells = 8;
+  /// While a registered input link (set_input_link) is down, the switch
+  /// inserts an AIS cell per affected route every ais_period — the
+  /// I.610 hop-by-hop alarm a failed trunk's downstream switch
+  /// originates so endpoints learn of a mid-path failure in cell time.
+  /// 0 disables insertion.
+  sim::Time ais_period = sim::microseconds(500);
   /// ERICA-style explicit-rate ABR loop (see AbrConfig).
   struct AbrConfig {
     bool enabled = false;
@@ -216,12 +222,31 @@ class Switch {
   /// Attaches the link leaving `out_port`.
   void attach_output(std::size_t out_port, Link& link);
 
+  /// Registers the link feeding `in_port` as this port's loss-of-signal
+  /// source: while it is down, the switch periodically inserts AIS on
+  /// the translated outgoing VC of every route entering on that port
+  /// (I.610 hop-by-hop alarm insertion at the switch just downstream of
+  /// the failure). Does not attach the link's sink — wire delivery
+  /// stays with the usual set_sink -> receive() lambda.
+  void set_input_link(std::size_t in_port, Link& link);
+
   /// Delivers a wire cell arriving on `in_port` (connect a Link's sink
   /// to this via a lambda).
   void receive(std::size_t in_port, const WireCell& wire);
 
   std::uint64_t cells_received() const { return received_.value(); }
   std::uint64_t cells_forwarded() const { return forwarded_.value(); }
+  /// Per-port splits of the two books above, for per-hop conservation
+  /// audits on multi-switch paths.
+  std::uint64_t cells_received_on(std::size_t in_port) const {
+    return received_on_.at(in_port);
+  }
+  std::uint64_t cells_forwarded_on(std::size_t out_port) const {
+    return forwarded_on_.at(out_port);
+  }
+  /// AIS cells this switch originated for routes whose input link is
+  /// down (they enter the books at the queue stage, not at receive).
+  std::uint64_t cells_ais_inserted() const { return ais_inserted_.value(); }
   std::uint64_t cells_dropped_overflow() const { return dropped_.value(); }
   std::uint64_t cells_dropped_clp() const { return clp_dropped_.value(); }
   /// Cells dropped at the per-VC residency cap (vc_queue_cells).
@@ -294,12 +319,19 @@ class Switch {
     scope.expose("cells_meter_red", meter_red_);
     scope.expose("cells_purged_on_close", purged_close_);
     scope.expose("rm_cells_er_stamped", er_stamped_);
+    scope.expose("cells_ais_inserted", ais_inserted_);
     for (std::size_t p = 0; p < config_.ports; ++p) {
       const sim::MetricScope port = scope.sub("port." + std::to_string(p));
       port.gauge("queue_depth_mean",
                  [this, p] { return mean_queue_depth(p); });
       port.gauge("queue_depth_max",
                  [this, p] { return max_queue_depth(p); });
+      port.gauge("cells_received", [this, p] {
+        return static_cast<double>(received_on_[p]);
+      });
+      port.gauge("cells_forwarded", [this, p] {
+        return static_cast<double>(forwarded_on_[p]);
+      });
     }
   }
 
@@ -384,6 +416,12 @@ class Switch {
     sim::TimeWeightedStat depth;
     AbrMeasure abr;
   };
+  /// Loss-of-signal state for one input port (set_input_link).
+  struct InputPort {
+    Link* link = nullptr;
+    bool down = false;
+    std::uint64_t epoch = 0;  // invalidates stale AIS timers on recovery
+  };
 
   /// Packs (in_port, vpi, vci) into the 32-bit table label:
   /// port(8) | vpi(8) | vci(16). The forwarding plane parses headers
@@ -404,6 +442,12 @@ class Switch {
   /// Tightens the ER field of a backward RM cell in place.
   void stamp_backward_rm(std::size_t in_port, const atm::CellHeader& h,
                          WireCell& cell);
+  /// One AIS insertion round for a down input port; re-arms itself on
+  /// ais_period while the port's epoch matches.
+  void insert_ais(std::size_t in_port, std::uint64_t epoch);
+  /// Enqueues a switch-originated control cell on entry's output queue
+  /// (queue stage directly: offered + reserved-headroom admission).
+  void inject_control(const VcEntry& entry, WireCell wire);
 
   sim::Simulator& sim_;
   SwitchConfig config_;
@@ -413,7 +457,10 @@ class Switch {
   sim::FlatMap<std::uint32_t, atm::TrTcm> meters_;
   std::size_t route_count_ = 0;
   std::vector<OutputPort> outputs_;
+  std::vector<InputPort> inputs_;
   std::vector<atm::HecReceiver> hec_;  // one per input port
+  std::vector<std::uint64_t> received_on_;   // per-input-port split
+  std::vector<std::uint64_t> forwarded_on_;  // per-output-port split
   sim::Rng wred_rng_;
   sim::Tracer* tracer_ = nullptr;
   std::uint16_t trace_source_ = 0;
@@ -439,6 +486,7 @@ class Switch {
   sim::Counter meter_red_;
   sim::Counter purged_close_;
   sim::Counter er_stamped_;
+  sim::Counter ais_inserted_;
 };
 
 }  // namespace hni::net

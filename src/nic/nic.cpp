@@ -18,6 +18,7 @@ Nic::Nic(sim::Simulator& sim, bus::Bus& bus, bus::HostMemory& memory,
   rx_->set_rm_handler(
       [this](atm::VcId vc, const atm::Cell& c) { on_rm(vc, c); });
   rx_->set_efci_observer([this](atm::VcId vc) { on_efci(vc); });
+  rx_->set_activity_observer([this](atm::VcId vc) { on_activity(vc); });
 }
 
 namespace {
@@ -138,7 +139,83 @@ void Nic::schedule_recovery(atm::VcId vc) {
   });
 }
 
+void Nic::notify_defect(atm::VcId vc, Defect defect, bool active) {
+  for (const auto& observer : defect_observers_) observer(vc, defect, active);
+}
+
+void Nic::trace_cc(atm::VcId vc, bool declared) {
+  if (tracer_ == nullptr) return;
+  tracer_->emit({sim_->now(), sim::TraceEventId::kOamCc, trace_source_,
+                 atm::vc_label(vc), declared ? 1u : 0u, 0});
+}
+
+void Nic::start_cc(atm::VcId vc) {
+  if (!config_.cc.enabled) return;
+  auto [st, inserted] = cc_.try_emplace(atm::vc_label(vc));
+  st->vc = vc;
+  st->last_arrival = sim_->now();
+  const std::uint64_t epoch = ++st->epoch;  // kills any stale timer
+  sim_->after(config_.cc.period, [this, vc, epoch] { cc_tick(vc, epoch); });
+}
+
+void Nic::stop_cc(atm::VcId vc) {
+  CcVc* st = cc_.find(atm::vc_label(vc)).value;
+  if (st == nullptr) return;
+  // A standing alarm dies with the monitoring, through the same books
+  // and observers a live clear would use — nothing stays declared on a
+  // connection that no longer exists.
+  if (st->loc) {
+    ++cc_cleared_;
+    trace_cc(vc, false);
+    notify_defect(vc, Defect::kLoc, false);
+  }
+  if (st->ais_standing) notify_defect(vc, Defect::kAis, false);
+  cc_.erase(atm::vc_label(vc));
+}
+
+void Nic::on_activity(atm::VcId vc) {
+  CcVc* st = cc_.find(atm::vc_label(vc)).value;
+  if (st == nullptr) return;
+  st->last_arrival = sim_->now();
+  if (st->loc) {
+    // Continuity proved again: clear the alarm on the first arrival.
+    st->loc = false;
+    ++cc_cleared_;
+    trace_cc(vc, false);
+    notify_defect(vc, Defect::kLoc, false);
+  }
+}
+
+void Nic::cc_tick(atm::VcId vc, std::uint64_t epoch) {
+  CcVc* st = cc_.find(atm::vc_label(vc)).value;
+  if (st == nullptr || st->epoch != epoch) return;
+  const sim::Time now = sim_->now();
+  // Source role: the heartbeat that keeps the far sink's LOC clock
+  // reset even when the application has nothing to say.
+  atm::OamCell oam;
+  oam.function = atm::OamFunction::kContinuityCheck;
+  ++cc_sent_;
+  tx_->inject_cell(oam.to_cell(vc));
+  // AIS hold expiry: indications stopped arriving, the alarm clears.
+  if (st->ais_standing && now >= st->ais_until) {
+    st->ais_standing = false;
+    notify_defect(vc, Defect::kAis, false);
+  }
+  // Sink role: declare LOC once the silence crosses the threshold —
+  // unless AIS stands, which already names the failure hop-by-hop.
+  const auto threshold = static_cast<sim::Time>(
+      static_cast<double>(config_.cc.period) * config_.cc.loss_multiplier);
+  if (!st->loc && !st->ais_standing && now - st->last_arrival > threshold) {
+    st->loc = true;
+    ++cc_declared_;
+    trace_cc(vc, true);
+    notify_defect(vc, Defect::kLoc, true);
+  }
+  sim_->after(config_.cc.period, [this, vc, epoch] { cc_tick(vc, epoch); });
+}
+
 void Nic::close_vc(atm::VcId vc) {
+  stop_cc(vc);
   rx_->close_vc(vc);
   open_vcs_.erase(std::remove(open_vcs_.begin(), open_vcs_.end(), vc),
                   open_vcs_.end());
@@ -207,6 +284,22 @@ void Nic::on_oam(atm::VcId vc, const atm::OamCell& oam) {
       rdi.end_to_end = oam.end_to_end;
       ++rdi_sent_;
       tx_->inject_cell(rdi.to_cell(vc));
+      // CC interplay: AIS names the failure already, so it suppresses
+      // (and supersedes) the sink's loss-of-continuity alarm while the
+      // indications keep arriving.
+      if (CcVc* st = cc_.find(atm::vc_label(vc)).value) {
+        st->ais_until = sim_->now() + config_.cc.ais_hold;
+        if (!st->ais_standing) {
+          st->ais_standing = true;
+          notify_defect(vc, Defect::kAis, true);
+        }
+        if (st->loc) {
+          st->loc = false;
+          ++cc_cleared_;
+          trace_cc(vc, false);
+          notify_defect(vc, Defect::kLoc, false);
+        }
+      }
       break;
     }
     case atm::OamFunction::kRdi: {
@@ -217,9 +310,17 @@ void Nic::on_oam(atm::VcId vc, const atm::OamCell& oam) {
       auto [deadline, first] = rdi_until_.try_emplace(atm::vc_label(vc));
       *deadline = sim_->now() + config_.rdi_hold;
       tx_->pause_vc(vc);
-      if (first) schedule_rdi_resume(vc);
+      if (first) {
+        schedule_rdi_resume(vc);
+        notify_defect(vc, Defect::kRdi, true);
+      }
       break;
     }
+    case atm::OamFunction::kContinuityCheck:
+      // The heartbeat itself carries no payload semantics: its arrival
+      // already reset the LOC clock via the activity observer.
+      ++cc_received_;
+      break;
   }
 }
 
@@ -264,6 +365,7 @@ void Nic::schedule_rdi_resume(atm::VcId vc) {
       // No RDI for a full hold interval: the defect cleared.
       rdi_until_.erase(atm::vc_label(vc));
       tx_->resume_vc(vc);
+      notify_defect(vc, Defect::kRdi, false);
     } else {
       schedule_rdi_resume(vc);  // hold was extended by a newer RDI
     }

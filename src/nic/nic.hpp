@@ -14,6 +14,7 @@
 #include "nic/rx_path.hpp"
 #include "nic/tx_path.hpp"
 #include "sim/flat_table.hpp"
+#include "sim/trace.hpp"
 
 namespace hni::nic {
 
@@ -43,6 +44,22 @@ struct CongestionControlConfig {
   bool explicit_rate = false;
 };
 
+/// OAM F5 continuity checking (I.610): while a VC is CC-activated, the
+/// source injects a periodic heartbeat cell and the sink declares
+/// loss-of-continuity (LOC) when *nothing* — data, OAM or RM — arrives
+/// for loss_multiplier periods. A standing AIS suppresses the LOC
+/// declaration: the defect is already alarmed hop-by-hop, and LOC would
+/// double-report the same failure to the protection plane.
+struct ContinuityCheckConfig {
+  bool enabled = false;
+  /// Heartbeat injection period per CC-activated VC.
+  sim::Time period = sim::microseconds(200);
+  /// Silence threshold, in periods, before LOC is declared.
+  double loss_multiplier = 3.5;
+  /// How long one received AIS cell suppresses LOC declaration.
+  sim::Time ais_hold = sim::milliseconds(2);
+};
+
 struct NicConfig {
   TxPathConfig tx{};
   RxPathConfig rx{};
@@ -59,6 +76,8 @@ struct NicConfig {
   sim::Time rdi_hold = sim::milliseconds(2);
   /// Closed-loop EFCI/RM congestion control (off by default).
   CongestionControlConfig congestion{};
+  /// Per-VC OAM continuity checking (off by default).
+  ContinuityCheckConfig cc{};
 
   /// Applies one engine clock to both sides (convenience for sweeps).
   NicConfig& with_clock(double hz) {
@@ -108,6 +127,53 @@ class Nic {
   /// Sends an OAM loopback request on `vc` (the far-end Nic answers
   /// automatically).
   void send_loopback(atm::VcId vc, std::uint64_t tag);
+
+  // --- continuity checking (OAM F5 CC) --------------------------------
+  /// Which defect a DefectObserver is reporting.
+  enum class Defect : std::uint8_t {
+    kLoc,  // loss of continuity (CC silence threshold crossed)
+    kAis,  // alarm indication signal standing on the VC
+    kRdi,  // remote defect indication standing on the VC
+  };
+  /// Fires on every defect edge (active = declared, !active = cleared)
+  /// of a CC-monitored VC — the signaling agent's protection trigger.
+  using DefectObserver = std::function<void(atm::VcId, Defect, bool)>;
+  void add_defect_observer(DefectObserver observer) {
+    defect_observers_.push_back(std::move(observer));
+  }
+  /// Activates CC on `vc` (no-op unless config().cc.enabled): starts
+  /// the heartbeat source and the sink-side LOC detector.
+  void start_cc(atm::VcId vc);
+  /// Deactivates CC on `vc`; a standing LOC is cleared (and counted in
+  /// cc_loss_cleared, so the declare/clear books keep balancing).
+  void stop_cc(atm::VcId vc);
+  std::uint64_t cc_cells_sent() const { return cc_sent_; }
+  std::uint64_t cc_cells_received() const { return cc_received_; }
+  std::uint64_t cc_loss_declared() const { return cc_declared_; }
+  std::uint64_t cc_loss_cleared() const { return cc_cleared_; }
+  /// VCs currently CC-activated; never exceeds the open VC count.
+  std::size_t cc_monitored() const { return cc_.size(); }
+  /// LOC alarms standing right now. Conservation (the auditor checks
+  /// it): declared == cleared + standing.
+  std::size_t cc_loss_standing() const {
+    std::size_t n = 0;
+    cc_.for_each([&n](std::uint32_t, const CcVc& st) {
+      if (st.loc) ++n;
+    });
+    return n;
+  }
+  /// Whether LOC currently stands on `vc`.
+  bool cc_loss(atm::VcId vc) const {
+    const CcVc* st = cc_.find(atm::vc_label(vc)).value;
+    return st != nullptr && st->loc;
+  }
+
+  /// Attaches a tracer: LOC declare/clear edges emit kOamCc events
+  /// tagged `name`.
+  void set_tracer(sim::Tracer* tracer, const std::string& name) {
+    tracer_ = tracer;
+    trace_source_ = tracer ? tracer->intern(name) : 0;
+  }
 
   std::uint64_t loopbacks_sent() const { return loopbacks_sent_; }
   std::uint64_t loopbacks_answered() const { return loopbacks_answered_; }
@@ -182,6 +248,13 @@ class Nic {
                [this] { return static_cast<double>(throttle_events_); });
     cong.gauge("recoveries",
                [this] { return static_cast<double>(recoveries_); });
+    oam.gauge("cc_sent", [this] { return static_cast<double>(cc_sent_); });
+    oam.gauge("cc_received",
+              [this] { return static_cast<double>(cc_received_); });
+    oam.gauge("cc_loss_declared",
+              [this] { return static_cast<double>(cc_declared_); });
+    oam.gauge("cc_loss_cleared",
+              [this] { return static_cast<double>(cc_cleared_); });
   }
 
  private:
@@ -208,7 +281,21 @@ class Nic {
     bool recovery_armed = false;      // a recovery timer is pending
   };
 
+  /// Per-VC continuity-check state: heartbeat source + LOC sink.
+  struct CcVc {
+    atm::VcId vc{};
+    sim::Time last_arrival = 0;  // any cell on the VC resets this
+    sim::Time ais_until = 0;     // AIS-hold deadline
+    bool ais_standing = false;
+    bool loc = false;            // loss-of-continuity declared
+    std::uint64_t epoch = 0;     // invalidates stale heartbeat timers
+  };
+
   void on_oam(atm::VcId vc, const atm::OamCell& oam);
+  void on_activity(atm::VcId vc);
+  void cc_tick(atm::VcId vc, std::uint64_t epoch);
+  void notify_defect(atm::VcId vc, Defect defect, bool active);
+  void trace_cc(atm::VcId vc, bool declared);
   void on_efci(atm::VcId vc);
   void on_rm(atm::VcId vc, const atm::Cell& cell);
   void schedule_recovery(atm::VcId vc);
@@ -237,6 +324,16 @@ class Nic {
   std::uint64_t ais_received_ = 0;
   std::uint64_t rdi_sent_ = 0;
   std::uint64_t rdi_received_ = 0;
+
+  // Continuity-check state, keyed on the packed VC label.
+  sim::FlatMap<std::uint32_t, CcVc> cc_;
+  std::vector<DefectObserver> defect_observers_;
+  std::uint64_t cc_sent_ = 0;
+  std::uint64_t cc_received_ = 0;
+  std::uint64_t cc_declared_ = 0;
+  std::uint64_t cc_cleared_ = 0;
+  sim::Tracer* tracer_ = nullptr;
+  std::uint16_t trace_source_ = 0;
 
   // Congestion-control state, keyed on the packed VC label.
   sim::FlatMap<std::uint32_t, CongestionVc> congestion_;

@@ -192,6 +192,10 @@ void RxPath::service() {
 
   VcState& state = *found.state;
 
+  // Any cell on a known VC proves the connection is alive — the
+  // continuity-check sink resets its loss-of-continuity clock on this.
+  if (activity_observer_) activity_observer_(cell->header.vc);
+
   // Resource-management cells: congestion feedback, neither OAM nor
   // reassembly. Charged like an OAM cell (same control-plane budget).
   if (cell->header.pti == atm::Pti::kResourceMgmt) {

@@ -157,6 +157,15 @@ class RxPath {
     efci_observer_ = std::move(observer);
   }
 
+  /// Fires once per cell the engine pulls for a *known* VC (user data,
+  /// OAM or RM alike), before any engine-time elapses — the liveness
+  /// signal the NIC's continuity-check sink feeds on. One branch when
+  /// unset.
+  using ActivityObserver = std::function<void(atm::VcId)>;
+  void set_activity_observer(ActivityObserver observer) {
+    activity_observer_ = std::move(observer);
+  }
+
   InterruptController& interrupts() { return interrupts_; }
   const InterruptController& interrupts() const { return interrupts_; }
   const proc::Engine& engine() const { return engine_; }
@@ -255,6 +264,7 @@ class RxPath {
   OamHandler oam_handler_;
   RmHandler rm_handler_;
   EfciObserver efci_observer_;
+  ActivityObserver activity_observer_;
   std::unique_ptr<Watchdog> watchdog_;
   bool engine_busy_ = false;
   bool wedged_ = false;

@@ -28,6 +28,7 @@ CallControl::CallControl(core::Station& station, std::uint16_t my_party,
     metrics_->expose("timer_expiries", timer_expiries_);
     metrics_->expose("calls_reclaimed", reclaimed_);
     metrics_->expose("malformed_frames", malformed_);
+    metrics_->expose("defect_reports", defect_reports_);
     metrics_->gauge("active_calls",
                     [this] { return static_cast<double>(calls_.size()); });
     tap_.register_metrics(metrics_->sub("tap"));
@@ -36,6 +37,30 @@ CallControl::CallControl(core::Station& station, std::uint16_t my_party,
   station_.host().set_vc_handler(
       kSignalingVc, [this](aal::Bytes sdu, const host::RxInfo&) {
         on_signaling_frame(std::move(sdu));
+      });
+  // Close the fault-management loop: a standing AIS or loss-of-
+  // continuity alarm on one of our data VCs is reported to the network
+  // as STATUS cause 27 (destination out of order), so the agent can run
+  // a protection sweep even when its own trunk observer missed the
+  // failure. RDI is the far end echoing *our* report — forwarding it
+  // too would double every alarm.
+  station_.nic().add_defect_observer(
+      [this](atm::VcId vc, nic::Nic::Defect defect, bool active) {
+        if (!active || defect == nic::Nic::Defect::kRdi) return;
+        for (const auto& [id, call] : calls_) {
+          if (!call.vc_open || call.info.vc != vc) continue;
+          defect_reports_.add();
+          trace(sim::TraceEventId::kSigDefectReport,
+                static_cast<std::uint32_t>(defect), vc.vci, id);
+          Message m;
+          m.type = MessageType::kStatus;
+          m.call_id = id;
+          m.calling_party = party_;
+          m.cause = Cause::kDestinationOutOfOrder;
+          m.call_state = state_of(id);
+          send(m);
+          return;
+        }
       });
 }
 
@@ -151,6 +176,9 @@ void CallControl::send(const Message& m) {
 
 void CallControl::open_data_vc(const CallInfo& info) {
   station_.nic().open_vc(info.vc, info.aal);
+  // No-op unless the NIC's CC config enables it: the call's data VC
+  // gets an OAM heartbeat and a sink-side loss-of-continuity detector.
+  station_.nic().start_cc(info.vc);
   if (info.pcr_cells_per_second > 0.0) {
     // Honour the traffic contract at the source: UPC polices it in the
     // network, so shape here and the call is loss-free by construction.

@@ -229,6 +229,9 @@ class CallControl {
   std::uint64_t calls_reclaimed() const { return reclaimed_.value(); }
   /// Signalling frames rejected by the decoder.
   std::uint64_t malformed_frames() const { return malformed_.value(); }
+  /// NIC-level defect alarms (AIS / loss of continuity on a data VC)
+  /// reported to the network as STATUS cause 27.
+  std::uint64_t defect_reports() const { return defect_reports_.value(); }
 
   /// Cross-checks this endpoint's call state against its NIC's VC
   /// table: the signalling VC plus one open VC per data call, no more.
@@ -292,6 +295,7 @@ class CallControl {
   sim::Counter timer_expiries_;
   sim::Counter reclaimed_;
   sim::Counter malformed_;
+  sim::Counter defect_reports_;
 };
 
 }  // namespace hni::sig

@@ -169,6 +169,8 @@ std::string_view to_string(Cause cause) {
       return "no route to destination";
     case Cause::kCallRejected:
       return "call rejected";
+    case Cause::kDestinationOutOfOrder:
+      return "destination out of order";
     case Cause::kNetworkOutOfVcs:
       return "no VC available";
     case Cause::kTemporaryFailure:

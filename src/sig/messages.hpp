@@ -58,6 +58,7 @@ enum class Cause : std::uint8_t {
   kUserBusy = 17,
   kNoRouteToDestination = 3,
   kCallRejected = 21,
+  kDestinationOutOfOrder = 27,     // endpoint defect report (AIS / LOC)
   kNetworkOutOfVcs = 35,
   kTemporaryFailure = 41,          // agent restart / stale call cleared
   kResourceUnavailable = 47,       // CAC: committed capacity exhausted

@@ -2,18 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <stdexcept>
+#include <tuple>
 
 namespace hni::sig {
 
-SignalingNetwork::SignalingNetwork(core::Testbed& bed, net::Switch& sw,
+SignalingNetwork::SignalingNetwork(core::Testbed& bed,
+                                   std::vector<net::Switch*> switches,
+                                   std::size_t agent_switch,
                                    std::size_t agent_port,
                                    SignalingConfig config)
     : bed_(bed),
-      sw_(sw),
+      switches_(std::move(switches)),
+      agent_sw_(agent_switch),
       agent_port_(agent_port),
       config_(config),
       tap_(bed.sim(), config.fault_seed) {
+  if (switches_.empty() || agent_sw_ >= switches_.size()) {
+    throw std::invalid_argument("SignalingNetwork: bad agent switch");
+  }
   core::StationConfig sc;
   sc.name = "call-agent";
   // The agent is a beefy dedicated server: give it headroom so call
@@ -21,8 +29,8 @@ SignalingNetwork::SignalingNetwork(core::Testbed& bed, net::Switch& sw,
   sc.host.cpu.clock_hz = 100e6;
   sc.host.cpu.cpi = 1.0;
   agent_ = &bed_.add_station(sc);
-  bed_.connect_to_switch(*agent_, sw_, agent_port_);
-  bed_.connect_from_switch(sw_, agent_port_, *agent_);
+  bed_.connect_to_switch(*agent_, *switches_[agent_sw_], agent_port_);
+  bed_.connect_from_switch(*switches_[agent_sw_], agent_port_, *agent_);
 
   tracer_ = &bed_.tracer();
   source_ = tracer_->intern("sig.agent");
@@ -39,45 +47,205 @@ SignalingNetwork::SignalingNetwork(core::Testbed& bed, net::Switch& sw,
   scope.expose("restarts_sent", restarts_sent_);
   scope.expose("restart_acks", restart_acks_);
   scope.expose("malformed_frames", malformed_);
+  scope.expose("reroutes", reroutes_);
+  scope.expose("reverts", reverts_);
+  scope.expose("reroutes_failed", reroutes_failed_);
+  scope.expose("sig_reroutes", sig_reroutes_);
   scope.gauge("active_calls",
               [this] { return static_cast<double>(calls_.size()); });
   scope.gauge("stranded_vcis",
               [this] { return static_cast<double>(stranded_vcis()); });
+  scope.gauge("calls_on_protection", [this] {
+    return static_cast<double>(calls_on_protection());
+  });
   tap_.register_metrics(scope.sub("tap"));
 }
+
+SignalingNetwork::SignalingNetwork(core::Testbed& bed, net::Switch& sw,
+                                   std::size_t agent_port,
+                                   SignalingConfig config)
+    : SignalingNetwork(bed, std::vector<net::Switch*>{&sw}, 0, agent_port,
+                       std::move(config)) {}
 
 void SignalingNetwork::trace(sim::TraceEventId id, std::uint32_t a,
                              std::uint32_t b, std::uint64_t seq) {
   if (tracer_) tracer_->emit({bed_.sim().now(), id, source_, a, b, seq});
 }
 
-CallControl& SignalingNetwork::attach(core::Station& station,
-                                      std::size_t port,
-                                      std::uint16_t party) {
-  if (port == agent_port_) {
+// --- topology ---------------------------------------------------------
+
+std::size_t SignalingNetwork::add_trunk(std::size_t sw_a, std::size_t port_a,
+                                        std::size_t sw_b, std::size_t port_b,
+                                        net::LossModel loss,
+                                        sim::Time propagation) {
+  if (sw_a >= switches_.size() || sw_b >= switches_.size() || sw_a == sw_b) {
+    throw std::invalid_argument("SignalingNetwork: bad trunk endpoints");
+  }
+  const auto [ab, ba] = bed_.connect_trunk(*switches_[sw_a], port_a,
+                                           *switches_[sw_b], port_b, loss,
+                                           propagation);
+  const std::size_t id = trunks_.size();
+  trunks_.push_back(Trunk{sw_a, port_a, sw_b, port_b, ab, ba});
+  const auto watch = [this, id](bool) { on_trunk_state(id); };
+  ab->add_state_observer(watch);
+  ba->add_state_observer(watch);
+  next_vci_[trunk_key(id)] = config_.first_data_vci;
+  return id;
+}
+
+void SignalingNetwork::trunk_exit(std::size_t trunk, std::size_t sw,
+                                  std::size_t& tx_port, std::size_t& peer_sw,
+                                  std::size_t& peer_port) const {
+  const Trunk& t = trunks_.at(trunk);
+  if (sw == t.sw_a) {
+    tx_port = t.port_a;
+    peer_sw = t.sw_b;
+    peer_port = t.port_b;
+  } else {
+    tx_port = t.port_b;
+    peer_sw = t.sw_a;
+    peer_port = t.port_a;
+  }
+}
+
+std::optional<std::vector<std::size_t>> SignalingNetwork::find_path(
+    std::size_t from_sw, std::size_t to_sw, bool avoid_down) const {
+  if (from_sw == to_sw) return std::vector<std::size_t>{};
+  const std::size_t n = switches_.size();
+  std::vector<bool> seen(n, false);
+  std::vector<std::size_t> via_trunk(n, 0), via_sw(n, 0);
+  std::deque<std::size_t> frontier{from_sw};
+  seen[from_sw] = true;
+  while (!frontier.empty()) {
+    const std::size_t s = frontier.front();
+    frontier.pop_front();
+    // Trunks scanned in id order: ties resolve to the lowest trunk id,
+    // so the chosen path is deterministic across runs and platforms.
+    for (std::size_t id = 0; id < trunks_.size(); ++id) {
+      const Trunk& t = trunks_[id];
+      if (avoid_down && t.down) continue;
+      std::size_t other;
+      if (t.sw_a == s) {
+        other = t.sw_b;
+      } else if (t.sw_b == s) {
+        other = t.sw_a;
+      } else {
+        continue;
+      }
+      if (seen[other]) continue;
+      seen[other] = true;
+      via_trunk[other] = id;
+      via_sw[other] = s;
+      if (other == to_sw) {
+        std::vector<std::size_t> path;
+        for (std::size_t at = to_sw; at != from_sw; at = via_sw[at]) {
+          path.push_back(via_trunk[at]);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(other);
+    }
+  }
+  return std::nullopt;
+}
+
+bool SignalingNetwork::path_has_down_trunk(
+    const std::vector<std::size_t>& path) const {
+  for (const std::size_t t : path) {
+    if (trunks_[t].down) return true;
+  }
+  return false;
+}
+
+bool SignalingNetwork::path_all_up(
+    const std::vector<std::size_t>& path) const {
+  return !path_has_down_trunk(path);
+}
+
+// --- attachment -------------------------------------------------------
+
+CallControl& SignalingNetwork::attach(core::Station& station, std::size_t sw,
+                                      std::size_t port, std::uint16_t party) {
+  if (sw >= switches_.size()) {
+    throw std::invalid_argument("SignalingNetwork: bad endpoint switch");
+  }
+  if (sw == agent_sw_ && port == agent_port_) {
     throw std::invalid_argument("SignalingNetwork: port taken by agent");
   }
-  bed_.connect_to_switch(station, sw_, port);
-  bed_.connect_from_switch(sw_, port, station);
+  const auto sig_path = find_path(sw, agent_sw_, /*avoid_down=*/true);
+  if (!sig_path) {
+    throw std::invalid_argument("SignalingNetwork: no trunk path to agent");
+  }
+  bed_.connect_to_switch(station, *switches_[sw], port);
+  bed_.connect_from_switch(*switches_[sw], port, station);
 
-  // Permanent signalling paths: endpoint <-> agent.
-  sw_.add_route(port, kSignalingVc, agent_port_, agent_rx_vc(port));
-  sw_.add_route(agent_port_, agent_tx_vc(port), port, kSignalingVc);
-  agent_->nic().open_vc(agent_rx_vc(port), aal::AalType::kAal5);
+  const std::size_t ep = endpoints_.size();
+  Endpoint e;
+  e.sw = sw;
+  e.port = port;
+  e.party = party;
+  e.sig_path = *sig_path;
+  e.sig_primary = *sig_path;
+  endpoints_.push_back(std::move(e));
+  program_sig_relay(ep);
+
+  agent_->nic().open_vc(agent_rx_vc(ep), aal::AalType::kAal5);
   agent_->host().set_vc_handler(
-      agent_rx_vc(port),
-      [this, port](aal::Bytes sdu, const host::RxInfo&) {
-        on_frame(port, std::move(sdu));
+      agent_rx_vc(ep), [this, ep](aal::Bytes sdu, const host::RxInfo&) {
+        on_frame(ep, std::move(sdu));
       });
 
-  endpoints_.push_back(Endpoint{port, party});
-  next_vci_[port] = config_.first_data_vci;
+  next_vci_[ep_key(ep)] = config_.first_data_vci;
   controls_.push_back(std::make_unique<CallControl>(
       station, party, config_.endpoint, tracer_,
       sim::MetricScope(bed_.metrics(),
                        "sig.endpoint." + std::to_string(party)),
       config_.fault_seed * 7919 + party));
   return *controls_.back();
+}
+
+void SignalingNetwork::program_sig_relay(std::size_t ep) {
+  Endpoint& e = endpoints_[ep];
+  e.sig_routes.clear();
+  const std::vector<atm::VcId> hops(e.sig_path.size(), sig_hop_vc(ep));
+  // Endpoint -> agent.
+  program_direction(e.sw, e.port, kSignalingVc, agent_port_,
+                    agent_rx_vc(ep), e.sig_path, hops, 1, false,
+                    e.sig_routes);
+  // Agent -> endpoint (same trunks, walked backwards).
+  std::vector<std::size_t> rev(e.sig_path.rbegin(), e.sig_path.rend());
+  program_direction(agent_sw_, agent_port_, agent_tx_vc(ep), e.port,
+                    kSignalingVc, rev, std::vector<atm::VcId>(rev.size(),
+                                                              sig_hop_vc(ep)),
+                    1, false, e.sig_routes);
+}
+
+void SignalingNetwork::remove_sig_relay(std::size_t ep) {
+  Endpoint& e = endpoints_[ep];
+  for (const RouteKey& rk : e.sig_routes) {
+    switches_[rk.sw]->remove_route(rk.in_port, rk.vc);
+  }
+  e.sig_routes.clear();
+}
+
+bool SignalingNetwork::reroute_sig(std::size_t ep, bool to_primary) {
+  Endpoint& e = endpoints_[ep];
+  std::vector<std::size_t> target;
+  if (to_primary) {
+    target = e.sig_primary;
+  } else {
+    const auto found = find_path(e.sw, agent_sw_, /*avoid_down=*/true);
+    if (!found) return false;  // isolated until a trunk recovers
+    target = *found;
+  }
+  if (target == e.sig_path) return true;
+  remove_sig_relay(ep);
+  e.sig_path = std::move(target);
+  program_sig_relay(ep);
+  e.sig_on_protection = e.sig_path != e.sig_primary;
+  sig_reroutes_.add();
+  return true;
 }
 
 const SignalingNetwork::Endpoint* SignalingNetwork::endpoint_by_party(
@@ -88,23 +256,30 @@ const SignalingNetwork::Endpoint* SignalingNetwork::endpoint_by_party(
   return nullptr;
 }
 
+std::size_t SignalingNetwork::endpoint_index(const Endpoint* e) const {
+  return static_cast<std::size_t>(e - endpoints_.data());
+}
+
+// --- VCI allocators ---------------------------------------------------
+
 std::optional<std::uint16_t> SignalingNetwork::allocate_vci(
-    std::size_t port) {
-  auto& free = free_vcis_[port];
+    std::uint32_t key) {
+  auto& free = free_vcis_[key];
   if (!free.empty()) {
     const std::uint16_t vci = free.back();
     free.pop_back();
     return vci;
   }
-  auto& next = next_vci_[port];
+  auto& next = next_vci_[key];
+  if (next == 0) next = config_.first_data_vci;
   if (next >= config_.first_data_vci + config_.max_vcs_per_port) {
     return std::nullopt;
   }
   return next++;
 }
 
-void SignalingNetwork::free_vci(std::size_t port, std::uint16_t vci) {
-  auto& free = free_vcis_[port];
+void SignalingNetwork::free_vci(std::uint32_t key, std::uint16_t vci) {
+  auto& free = free_vcis_[key];
   // Reclamation paths can race the normal handshake; freeing twice
   // would hand the same VCI to two calls.
   if (std::find(free.begin(), free.end(), vci) != free.end()) return;
@@ -113,63 +288,90 @@ void SignalingNetwork::free_vci(std::size_t port, std::uint16_t vci) {
 
 // --- admission control ------------------------------------------------
 
-bool SignalingNetwork::cac_admits(std::size_t caller_port,
-                                  std::size_t callee_port,
-                                  double pcr) const {
+std::vector<std::size_t> SignalingNetwork::path_cac_keys(
+    const AgentCall& call, const std::vector<std::size_t>& path) const {
+  std::vector<std::size_t> keys;
+  const Endpoint& caller = endpoints_[call.caller_ep];
+  const Endpoint& callee = endpoints_[call.callee_ep];
+  // Forward direction: every trunk exit port, then the callee's port.
+  std::size_t sw = caller.sw;
+  for (const std::size_t t : path) {
+    std::size_t tx, peer_sw, peer_port;
+    trunk_exit(t, sw, tx, peer_sw, peer_port);
+    keys.push_back(cac_key(sw, tx));
+    sw = peer_sw;
+  }
+  keys.push_back(cac_key(sw, callee.port));
+  // Reverse direction mirrors it.
+  sw = callee.sw;
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    std::size_t tx, peer_sw, peer_port;
+    trunk_exit(*it, sw, tx, peer_sw, peer_port);
+    keys.push_back(cac_key(sw, tx));
+    sw = peer_sw;
+  }
+  keys.push_back(cac_key(sw, caller.port));
+  return keys;
+}
+
+bool SignalingNetwork::cac_admits_keys(const std::vector<std::size_t>& keys,
+                                       double pcr) const {
   if (config_.cac_utilization <= 0.0 || pcr <= 0.0) return true;
-  const double limit =
-      config_.cac_utilization * sw_.config().port_rate.cells_per_second();
-  // Both legs must fit. A self-call (both legs on one port) commits
-  // that port twice, so the check mirrors the commit.
-  const double caller_need =
-      committed_pcr(caller_port) + (caller_port == callee_port ? 2 : 1) * pcr;
-  if (caller_need > limit) return false;
-  if (caller_port != callee_port &&
-      committed_pcr(callee_port) + pcr > limit) {
-    return false;
+  // A self-call (or a path revisiting a port) commits the same port
+  // more than once; the check must mirror the commit.
+  for (const std::size_t key : keys) {
+    const double need =
+        pcr * static_cast<double>(std::count(keys.begin(), keys.end(), key));
+    const double limit =
+        config_.cac_utilization *
+        switches_[key >> 8]->config().port_rate.cells_per_second();
+    const auto it = committed_pcr_.find(key);
+    const double committed = it != committed_pcr_.end() ? it->second : 0.0;
+    if (committed + need > limit) return false;
   }
   return true;
 }
 
-void SignalingNetwork::cac_commit(AgentCall& call) {
-  if (config_.cac_utilization <= 0.0 || call.pcr <= 0.0) return;
-  committed_pcr_[call.caller_port] += call.pcr;
-  committed_pcr_[call.callee_port] += call.pcr;
-  call.cac_committed = true;
-}
-
-void SignalingNetwork::cac_release(const AgentCall& call) {
-  if (!call.cac_committed) return;
-  for (const std::size_t port : {call.caller_port, call.callee_port}) {
-    auto it = committed_pcr_.find(port);
-    if (it == committed_pcr_.end()) continue;
-    it->second -= call.pcr;
-    if (it->second < 1e-9) it->second = 0.0;  // swallow float drift
+void SignalingNetwork::cac_apply(const std::vector<std::size_t>& keys,
+                                 double pcr) {
+  for (const std::size_t key : keys) {
+    auto& slot = committed_pcr_[key];
+    slot += pcr;
+    if (slot < 1e-9) slot = 0.0;  // swallow float drift on release
   }
 }
 
-void SignalingNetwork::send_to_port(std::size_t port, const Message& m) {
-  tap_.apply(m, [this, port](const Message& mm) {
-    agent_->host().send(agent_tx_vc(port), aal::AalType::kAal5, mm.encode());
+void SignalingNetwork::cac_release(AgentCall& call) {
+  if (!call.cac_committed) return;
+  cac_apply(call.cac_keys, -call.pcr);
+  call.cac_committed = false;
+}
+
+// --- messaging --------------------------------------------------------
+
+void SignalingNetwork::send_to_endpoint(std::size_t ep, const Message& m) {
+  tap_.apply(m, [this, ep](const Message& mm) {
+    agent_->host().send(agent_tx_vc(ep), aal::AalType::kAal5, mm.encode());
   });
 }
 
-void SignalingNetwork::refuse(std::size_t port, const Message& setup,
+void SignalingNetwork::refuse(std::size_t ep, const Message& setup,
                               Cause cause) {
   calls_refused_.add();
   Message m;
   m.type = MessageType::kRelease;
   m.call_id = setup.call_id;
   m.cause = cause;
-  send_to_port(port, m);
+  send_to_endpoint(ep, m);
 }
 
-void SignalingNetwork::on_frame(std::size_t from_port, aal::Bytes sdu) {
+void SignalingNetwork::on_frame(std::size_t from_ep, aal::Bytes sdu) {
   const DecodeResult r = decode_checked(sdu);
   if (!r.message) {
     malformed_.add();
     trace(sim::TraceEventId::kSigMalformed,
-          static_cast<std::uint32_t>(r.error), from_port, r.call_id_hint);
+          static_cast<std::uint32_t>(r.error),
+          static_cast<std::uint32_t>(from_ep), r.call_id_hint);
     if (r.error == Cause::kMessageTypeNonExistent) {
       Message st;
       st.type = MessageType::kStatus;
@@ -178,20 +380,20 @@ void SignalingNetwork::on_frame(std::size_t from_port, aal::Bytes sdu) {
       st.call_state = calls_.count(r.call_id_hint) != 0
                           ? CallState::kConnected
                           : CallState::kNull;
-      send_to_port(from_port, st);
+      send_to_endpoint(from_ep, st);
     }
     return;
   }
   const Message& m = *r.message;
   switch (m.type) {
     case MessageType::kSetup:
-      handle_setup(from_port, m);
+      handle_setup(from_ep, m);
       break;
     case MessageType::kConnect:
       handle_connect(m);
       break;
     case MessageType::kRelease:
-      handle_release(from_port, m);
+      handle_release(from_ep, m);
       break;
     case MessageType::kReleaseComplete:
       handle_release_complete(m);
@@ -207,28 +409,28 @@ void SignalingNetwork::on_frame(std::size_t from_port, aal::Bytes sdu) {
       st.call_id = m.call_id;
       st.call_state = calls_.count(m.call_id) != 0 ? CallState::kConnected
                                                    : CallState::kNull;
-      send_to_port(from_port, st);
+      send_to_endpoint(from_ep, st);
       break;
     }
     case MessageType::kRestart:
       break;  // only the network originates RESTART
     case MessageType::kRestartAck:
-      handle_restart_ack(from_port);
+      handle_restart_ack(from_ep);
       break;
   }
 }
 
-void SignalingNetwork::handle_setup(std::size_t from_port,
-                                    const Message& m) {
+void SignalingNetwork::handle_setup(std::size_t from_ep, const Message& m) {
   const Endpoint* callee = endpoint_by_party(m.called_party);
   if (callee == nullptr) {
-    refuse(from_port, m, Cause::kNoRouteToDestination);
+    refuse(from_ep, m, Cause::kNoRouteToDestination);
     return;
   }
+  const std::size_t callee_ep = endpoint_index(callee);
   auto it = calls_.find(m.call_id);
   if (it != calls_.end()) {
     // Endpoint retransmission (T303). Answer from the stored call —
-    // allocating again would leak the first pair of VCIs.
+    // allocating again would leak the first set of VCIs.
     duplicate_setups_.add();
     AgentCall& call = it->second;
     if (call.routed) {
@@ -244,60 +446,130 @@ void SignalingNetwork::handle_setup(std::size_t from_port,
       connect.weight = call.weight;
       connect.abr = call.abr;
       connect.assigned_vc = call.caller_vc;
-      send_to_port(call.caller_port, connect);
+      send_to_endpoint(call.caller_ep, connect);
     } else {
       // Still waiting on the callee: the SETUP we forwarded was lost.
       Message fwd = m;
       fwd.assigned_vc = call.callee_vc;
-      send_to_port(call.callee_port, fwd);
+      send_to_endpoint(call.callee_ep, fwd);
     }
-    return;
-  }
-  // Admission control precedes VC allocation, so a refusal leaves zero
-  // agent state: the endpoint can retry the same reference cleanly.
-  if (!cac_admits(from_port, callee->port, m.pcr_cells_per_second)) {
-    calls_refused_cac_.add();
-    trace(sim::TraceEventId::kSigCacRefusal,
-          static_cast<std::uint32_t>(from_port),
-          static_cast<std::uint32_t>(callee->port), m.call_id);
-    refuse(from_port, m, Cause::kResourceUnavailable);
-    return;
-  }
-  const auto caller_vci = allocate_vci(from_port);
-  const auto callee_vci = allocate_vci(callee->port);
-  if (!caller_vci || !callee_vci) {
-    if (caller_vci) free_vci(from_port, *caller_vci);
-    if (callee_vci) free_vci(callee->port, *callee_vci);
-    refuse(from_port, m, Cause::kNetworkOutOfVcs);
     return;
   }
 
   AgentCall call;
-  call.caller_port = from_port;
-  call.callee_port = callee->port;
+  call.caller_ep = from_ep;
+  call.callee_ep = callee_ep;
   call.caller_party = m.calling_party;
   call.callee_party = m.called_party;
-  call.caller_vc = {0, *caller_vci};
-  call.callee_vc = {0, *callee_vci};
   call.pcr = m.pcr_cells_per_second;
   call.scr = m.scr_cells_per_second;
   call.weight = std::max<std::uint16_t>(m.weight, 1);
   call.abr = m.abr;
   call.created = bed_.sim().now();
-  cac_commit(call);
-  calls_.emplace(m.call_id, call);
+
+  // Path first: without connectivity there is nothing to admit.
+  const auto path =
+      find_path(endpoints_[from_ep].sw, callee->sw, /*avoid_down=*/true);
+  if (!path) {
+    refuse(from_ep, m, Cause::kNoRouteToDestination);
+    return;
+  }
+  call.path = *path;
+  call.primary_path = *path;
+
+  // Admission control precedes VC allocation, so a refusal leaves zero
+  // agent state: the endpoint can retry the same reference cleanly.
+  const auto keys = path_cac_keys(call, call.path);
+  if (!cac_admits_keys(keys, call.pcr)) {
+    calls_refused_cac_.add();
+    trace(sim::TraceEventId::kSigCacRefusal,
+          static_cast<std::uint32_t>(from_ep),
+          static_cast<std::uint32_t>(callee_ep), m.call_id);
+    refuse(from_ep, m, Cause::kResourceUnavailable);
+    return;
+  }
+
+  const auto caller_vci = allocate_vci(ep_key(from_ep));
+  const auto callee_vci = allocate_vci(ep_key(callee_ep));
+  bool trunks_ok = caller_vci && callee_vci;
+  for (const std::size_t t : call.path) {
+    if (!trunks_ok) break;
+    const auto tv = allocate_vci(trunk_key(t));
+    if (!tv) {
+      trunks_ok = false;
+      break;
+    }
+    call.trunk_vcis.push_back(*tv);
+  }
+  if (!trunks_ok) {
+    if (caller_vci) free_vci(ep_key(from_ep), *caller_vci);
+    if (callee_vci) free_vci(ep_key(callee_ep), *callee_vci);
+    for (std::size_t i = 0; i < call.trunk_vcis.size(); ++i) {
+      free_vci(trunk_key(call.path[i]), call.trunk_vcis[i]);
+    }
+    refuse(from_ep, m, Cause::kNetworkOutOfVcs);
+    return;
+  }
+  call.caller_vc = {0, *caller_vci};
+  call.callee_vc = {0, *callee_vci};
+  if (config_.cac_utilization > 0.0 && call.pcr > 0.0) {
+    cac_apply(keys, call.pcr);
+    call.cac_keys = keys;
+    call.cac_committed = true;
+  }
+  calls_.emplace(m.call_id, std::move(call));
   ensure_audit_timer();
 
   Message fwd = m;
-  fwd.assigned_vc = call.callee_vc;
-  send_to_port(callee->port, fwd);
+  fwd.assigned_vc = calls_.at(m.call_id).callee_vc;
+  send_to_endpoint(callee_ep, fwd);
 }
 
-void SignalingNetwork::program_routes(const AgentCall& call) {
-  sw_.add_route(call.caller_port, call.caller_vc, call.callee_port,
-                call.callee_vc, call.weight, call.abr);
-  sw_.add_route(call.callee_port, call.callee_vc, call.caller_port,
-                call.caller_vc, call.weight, call.abr);
+// --- route programming ------------------------------------------------
+
+void SignalingNetwork::program_direction(
+    std::size_t src_sw, std::size_t src_port, atm::VcId src_vc,
+    std::size_t dst_port, atm::VcId dst_vc,
+    const std::vector<std::size_t>& path,
+    const std::vector<atm::VcId>& hop_vcs, std::uint16_t weight, bool abr,
+    std::vector<RouteKey>& routes) {
+  std::size_t sw = src_sw;
+  std::size_t in_port = src_port;
+  atm::VcId in_vc = src_vc;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    std::size_t tx, peer_sw, peer_port;
+    trunk_exit(path[i], sw, tx, peer_sw, peer_port);
+    switches_[sw]->add_route(in_port, in_vc, tx, hop_vcs[i], weight, abr);
+    routes.push_back(RouteKey{sw, in_port, in_vc});
+    sw = peer_sw;
+    in_port = peer_port;
+    in_vc = hop_vcs[i];
+  }
+  switches_[sw]->add_route(in_port, in_vc, dst_port, dst_vc, weight, abr);
+  routes.push_back(RouteKey{sw, in_port, in_vc});
+}
+
+void SignalingNetwork::program_routes(AgentCall& call) {
+  const Endpoint& caller = endpoints_[call.caller_ep];
+  const Endpoint& callee = endpoints_[call.callee_ep];
+  call.routes.clear();
+  std::vector<atm::VcId> fwd_vcs;
+  fwd_vcs.reserve(call.trunk_vcis.size());
+  for (const std::uint16_t v : call.trunk_vcis) {
+    fwd_vcs.push_back(atm::VcId{0, v});
+  }
+  program_direction(caller.sw, caller.port, call.caller_vc, callee.port,
+                    call.callee_vc, call.path, fwd_vcs, call.weight,
+                    call.abr, call.routes);
+  const std::vector<std::size_t> rev_path(call.path.rbegin(),
+                                          call.path.rend());
+  const std::vector<atm::VcId> rev_vcs(fwd_vcs.rbegin(), fwd_vcs.rend());
+  program_direction(callee.sw, callee.port, call.callee_vc, caller.port,
+                    call.caller_vc, rev_path, rev_vcs, call.weight, call.abr,
+                    call.routes);
+  // UPC lives at the two ingress switches only: inside the fabric the
+  // stream is already conformant (and trunk hops must not re-police a
+  // contract the edge already enforced).
   if (call.scr > 0.0 && call.pcr > 0.0) {
     // VBR contract: two-rate trTCM meter (CIR = SCR, PIR = PCR) —
     // sustained-rate excess is tagged CLP, peak-rate excess dropped.
@@ -306,22 +578,26 @@ void SignalingNetwork::program_routes(const AgentCall& call) {
     meter.pir_cells_per_second = call.pcr;
     meter.cbs_cells = config_.meter_cbs_cells;
     meter.pbs_cells = config_.meter_pbs_cells;
-    sw_.add_meter(call.caller_port, call.caller_vc, meter);
-    sw_.add_meter(call.callee_port, call.callee_vc, meter);
+    switches_[caller.sw]->add_meter(caller.port, call.caller_vc, meter);
+    switches_[callee.sw]->add_meter(callee.port, call.callee_vc, meter);
   } else if (call.pcr > 0.0) {
-    const sim::Time cdvt = static_cast<sim::Time>(
-        config_.police_cdvt_slots *
-        static_cast<double>(sw_.config().port_rate.cell_slot()));
-    sw_.add_policer(call.caller_port, call.caller_vc, call.pcr, cdvt,
-                    net::Switch::PoliceAction::kDrop);
-    sw_.add_policer(call.callee_port, call.callee_vc, call.pcr, cdvt,
-                    net::Switch::PoliceAction::kDrop);
+    for (const Endpoint* e : {&caller, &callee}) {
+      const sim::Time cdvt = static_cast<sim::Time>(
+          config_.police_cdvt_slots *
+          static_cast<double>(
+              switches_[e->sw]->config().port_rate.cell_slot()));
+      switches_[e->sw]->add_policer(
+          e->port, e == &caller ? call.caller_vc : call.callee_vc, call.pcr,
+          cdvt, net::Switch::PoliceAction::kDrop);
+    }
   }
 }
 
-void SignalingNetwork::remove_routes(const AgentCall& call) {
-  sw_.remove_route(call.caller_port, call.caller_vc);
-  sw_.remove_route(call.callee_port, call.callee_vc);
+void SignalingNetwork::remove_routes(AgentCall& call) {
+  for (const RouteKey& rk : call.routes) {
+    switches_[rk.sw]->remove_route(rk.in_port, rk.vc);
+  }
+  call.routes.clear();
 }
 
 void SignalingNetwork::handle_connect(const Message& m) {
@@ -329,6 +605,19 @@ void SignalingNetwork::handle_connect(const Message& m) {
   if (it == calls_.end()) return;
   AgentCall& call = it->second;
   if (!call.routed) {
+    // A trunk on the admitted path may have died between SETUP and
+    // CONNECT; repath before programming rather than installing hops
+    // into a black hole.
+    if (path_has_down_trunk(call.path)) {
+      std::size_t trigger = 0;
+      for (const std::size_t t : call.path) {
+        if (trunks_[t].down) {
+          trigger = t;
+          break;
+        }
+      }
+      reroute_call(m.call_id, /*to_primary=*/false, trigger);
+    }
     program_routes(call);
     call.routed = true;
     call.strikes = 0;
@@ -338,10 +627,10 @@ void SignalingNetwork::handle_connect(const Message& m) {
   // one that was lost.
   Message fwd = m;
   fwd.assigned_vc = call.caller_vc;
-  send_to_port(call.caller_port, fwd);
+  send_to_endpoint(call.caller_ep, fwd);
 }
 
-void SignalingNetwork::handle_release(std::size_t from_port,
+void SignalingNetwork::handle_release(std::size_t from_ep,
                                       const Message& m) {
   auto it = calls_.find(m.call_id);
   if (it == calls_.end()) {
@@ -352,7 +641,7 @@ void SignalingNetwork::handle_release(std::size_t from_port,
     rc.call_id = m.call_id;
     rc.calling_party = m.calling_party;
     rc.cause = m.cause;
-    send_to_port(from_port, rc);
+    send_to_endpoint(from_ep, rc);
     return;
   }
   AgentCall& call = it->second;
@@ -361,32 +650,209 @@ void SignalingNetwork::handle_release(std::size_t from_port,
     call.routed = false;
   }
   // Relay to the peer leg; on its RELEASE COMPLETE we finish cleanup.
-  const std::size_t peer_port = from_port == call.caller_port
-                                    ? call.callee_port
-                                    : call.caller_port;
-  send_to_port(peer_port, m);
+  const std::size_t peer =
+      from_ep == call.caller_ep ? call.callee_ep : call.caller_ep;
+  send_to_endpoint(peer, m);
 }
 
 void SignalingNetwork::handle_release_complete(const Message& m) {
   auto it = calls_.find(m.call_id);
   if (it == calls_.end()) return;
-  AgentCall call = it->second;
+  AgentCall call = std::move(it->second);
   calls_.erase(it);
   cac_release(call);
-  free_vci(call.caller_port, call.caller_vc.vci);
-  free_vci(call.callee_port, call.callee_vc.vci);
+  free_vci(ep_key(call.caller_ep), call.caller_vc.vci);
+  free_vci(ep_key(call.callee_ep), call.callee_vc.vci);
+  for (std::size_t i = 0; i < call.path.size(); ++i) {
+    free_vci(trunk_key(call.path[i]), call.trunk_vcis[i]);
+  }
   // Forward the completion to the release initiator: it is the leg that
   // has not answered with RELEASE COMPLETE itself. The initiator's
   // address rode in the message.
-  const std::size_t to_port = m.calling_party == call.caller_party
-                                  ? call.callee_port
-                                  : call.caller_port;
-  send_to_port(to_port, m);
+  const std::size_t to_ep = m.calling_party == call.caller_party
+                                ? call.callee_ep
+                                : call.caller_ep;
+  send_to_endpoint(to_ep, m);
+}
+
+// --- protection switching ---------------------------------------------
+
+void SignalingNetwork::on_trunk_state(std::size_t trunk) {
+  Trunk& t = trunks_[trunk];
+  const bool down = t.ab->is_down() || t.ba->is_down();
+  if (down == t.down) return;
+  t.down = down;
+  ++t.epoch;
+  ++fabric_epoch_;
+  if (!config_.protection.enabled) return;
+  const std::uint64_t epoch = t.epoch;
+  if (down) {
+    bed_.sim().after(config_.protection.holdoff, [this, trunk, epoch] {
+      if (trunks_[trunk].epoch == epoch && trunks_[trunk].down) {
+        protect_sweep();
+      }
+    });
+  } else {
+    bed_.sim().after(config_.protection.revert_delay, [this, trunk, epoch] {
+      if (trunks_[trunk].epoch == epoch && !trunks_[trunk].down) {
+        revert_sweep();
+      }
+    });
+  }
+}
+
+bool SignalingNetwork::reroute_call(std::uint32_t call_id, bool to_primary,
+                                    std::size_t trigger) {
+  AgentCall& call = calls_.at(call_id);
+  const Endpoint& caller = endpoints_[call.caller_ep];
+  const Endpoint& callee = endpoints_[call.callee_ep];
+  std::vector<std::size_t> target;
+  if (to_primary) {
+    target = call.primary_path;
+  } else {
+    const auto found =
+        find_path(caller.sw, callee.sw, /*avoid_down=*/true);
+    if (!found) {
+      reroutes_failed_.add();
+      call.reroute_failed_epoch = fabric_epoch_;
+      return false;
+    }
+    target = *found;
+  }
+  if (target == call.path) return true;
+
+  // New trunk VCIs first — bail with nothing disturbed on exhaustion.
+  std::vector<std::uint16_t> new_vcis;
+  new_vcis.reserve(target.size());
+  for (const std::size_t t : target) {
+    const auto v = allocate_vci(trunk_key(t));
+    if (!v) {
+      for (std::size_t i = 0; i < new_vcis.size(); ++i) {
+        free_vci(trunk_key(target[i]), new_vcis[i]);
+      }
+      reroutes_failed_.add();
+      call.reroute_failed_epoch = fabric_epoch_;
+      return false;
+    }
+    new_vcis.push_back(*v);
+  }
+  // CAC on the new path: release our own commitment, test, recommit
+  // whichever path wins.
+  if (call.cac_committed) {
+    const auto new_keys = path_cac_keys(call, target);
+    cac_apply(call.cac_keys, -call.pcr);
+    if (!cac_admits_keys(new_keys, call.pcr)) {
+      cac_apply(call.cac_keys, call.pcr);
+      for (std::size_t i = 0; i < new_vcis.size(); ++i) {
+        free_vci(trunk_key(target[i]), new_vcis[i]);
+      }
+      reroutes_failed_.add();
+      call.reroute_failed_epoch = fabric_epoch_;
+      return false;
+    }
+    cac_apply(new_keys, call.pcr);
+    call.cac_keys = new_keys;
+  }
+  if (call.routed) remove_routes(call);
+  for (std::size_t i = 0; i < call.path.size(); ++i) {
+    free_vci(trunk_key(call.path[i]), call.trunk_vcis[i]);
+  }
+  call.path = std::move(target);
+  call.trunk_vcis = std::move(new_vcis);
+  if (call.routed) program_routes(call);
+  call.on_protection = call.path != call.primary_path;
+  if (to_primary) {
+    reverts_.add();
+  } else {
+    reroutes_.add();
+  }
+  trace(sim::TraceEventId::kSigReroute, to_primary ? 0 : 1,
+        static_cast<std::uint32_t>(trigger), call_id);
+  return true;
+}
+
+void SignalingNetwork::protect_sweep() {
+  // Signalling relays first: control reachability is what lets the rest
+  // of the protocol (release, audit, defect reports) keep working.
+  for (std::size_t ep = 0; ep < endpoints_.size(); ++ep) {
+    if (path_has_down_trunk(endpoints_[ep].sig_path)) {
+      reroute_sig(ep, /*to_primary=*/false);
+    }
+  }
+  // Contracted calls first (largest committed rate first), then best
+  // effort; call id breaks ties so the order is deterministic.
+  std::vector<std::uint32_t> ids;
+  for (const auto& [id, call] : calls_) {
+    if (!call.routed || !path_has_down_trunk(call.path)) continue;
+    if (call.reroute_failed_epoch == fabric_epoch_) continue;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end(), [this](std::uint32_t a, std::uint32_t b) {
+    const AgentCall& ca = calls_.at(a);
+    const AgentCall& cb = calls_.at(b);
+    return std::make_tuple(!ca.cac_committed, -ca.pcr, a) <
+           std::make_tuple(!cb.cac_committed, -cb.pcr, b);
+  });
+  for (const std::uint32_t id : ids) {
+    std::size_t trigger = 0;
+    for (const std::size_t t : calls_.at(id).path) {
+      if (trunks_[t].down) {
+        trigger = t;
+        break;
+      }
+    }
+    reroute_call(id, /*to_primary=*/false, trigger);
+  }
+}
+
+void SignalingNetwork::revert_sweep() {
+  for (std::size_t ep = 0; ep < endpoints_.size(); ++ep) {
+    if (endpoints_[ep].sig_on_protection &&
+        path_all_up(endpoints_[ep].sig_primary)) {
+      reroute_sig(ep, /*to_primary=*/true);
+    }
+  }
+  std::vector<std::uint32_t> ids;
+  for (const auto& [id, call] : calls_) {
+    if (call.on_protection && path_all_up(call.primary_path)) {
+      ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint32_t id : ids) {
+    const std::size_t trigger =
+        calls_.at(id).primary_path.empty() ? 0 : calls_.at(id).primary_path[0];
+    reroute_call(id, /*to_primary=*/true, trigger);
+  }
+}
+
+std::size_t SignalingNetwork::calls_on_protection() const {
+  std::size_t n = 0;
+  for (const auto& [id, call] : calls_) {
+    if (call.on_protection) ++n;
+  }
+  return n;
 }
 
 // --- status audit -----------------------------------------------------
 
 void SignalingNetwork::handle_status(const Message& m) {
+  if (m.cause == Cause::kDestinationOutOfOrder) {
+    // Endpoint defect report (NIC-level AIS / loss of continuity): run
+    // the protection sweep even if our own trunk observer somehow
+    // missed the failure. Not an audit reply — don't touch strikes.
+    // The sweep waits out the holdoff (a transient the trunk observer
+    // is already sitting on must not be escalated by the endpoint's
+    // report), and concurrent reports share one pending sweep.
+    if (config_.protection.enabled && !defect_sweep_pending_) {
+      defect_sweep_pending_ = true;
+      bed_.sim().after(config_.protection.holdoff, [this] {
+        defect_sweep_pending_ = false;
+        protect_sweep();
+      });
+    }
+    return;
+  }
   auto it = calls_.find(m.call_id);
   if (it == calls_.end()) return;
   AgentCall& call = it->second;
@@ -444,8 +910,8 @@ void SignalingNetwork::audit_tick() {
     Message enq;
     enq.type = MessageType::kStatusEnquiry;
     enq.call_id = id;
-    send_to_port(call.caller_port, enq);
-    send_to_port(call.callee_port, enq);
+    send_to_endpoint(call.caller_ep, enq);
+    send_to_endpoint(call.callee_ep, enq);
   }
   for (const std::uint32_t id : to_reclaim) {
     reclaim_call(id, Cause::kRecoveryOnTimerExpiry);
@@ -457,22 +923,25 @@ void SignalingNetwork::audit_tick() {
 void SignalingNetwork::reclaim_call(std::uint32_t call_id, Cause cause) {
   auto it = calls_.find(call_id);
   if (it == calls_.end()) return;
-  AgentCall call = it->second;
+  AgentCall call = std::move(it->second);
   calls_.erase(it);
   cac_release(call);
   if (call.routed) {
+    routes_reclaimed_.add(call.routes.size());
     remove_routes(call);
-    routes_reclaimed_.add(2);
   }
-  free_vci(call.caller_port, call.caller_vc.vci);
-  free_vci(call.callee_port, call.callee_vc.vci);
-  vcis_reclaimed_.add(2);
+  free_vci(ep_key(call.caller_ep), call.caller_vc.vci);
+  free_vci(ep_key(call.callee_ep), call.callee_vc.vci);
+  for (std::size_t i = 0; i < call.path.size(); ++i) {
+    free_vci(trunk_key(call.path[i]), call.trunk_vcis[i]);
+  }
+  vcis_reclaimed_.add(2 + call.path.size());
   calls_reclaimed_.add();
   trace(sim::TraceEventId::kSigVcReclaimed,
-        static_cast<std::uint32_t>(call.caller_port), call.caller_vc.vci,
+        static_cast<std::uint32_t>(call.caller_ep), call.caller_vc.vci,
         call_id);
   trace(sim::TraceEventId::kSigVcReclaimed,
-        static_cast<std::uint32_t>(call.callee_port), call.callee_vc.vci,
+        static_cast<std::uint32_t>(call.callee_ep), call.callee_vc.vci,
         call_id);
   // Tell both endpoints to clear whatever they still hold. RELEASE for
   // an unknown call is harmless (confirmed and forgotten).
@@ -480,15 +949,15 @@ void SignalingNetwork::reclaim_call(std::uint32_t call_id, Cause cause) {
   rel.type = MessageType::kRelease;
   rel.call_id = call_id;
   rel.cause = cause;
-  send_to_port(call.caller_port, rel);
-  send_to_port(call.callee_port, rel);
+  send_to_endpoint(call.caller_ep, rel);
+  send_to_endpoint(call.callee_ep, rel);
 }
 
-bool SignalingNetwork::owns_route(std::size_t in_port, atm::VcId vc) const {
+bool SignalingNetwork::route_owned(std::size_t sw, std::size_t in_port,
+                                   atm::VcId vc) const {
   for (const auto& [id, call] : calls_) {
-    if ((call.caller_port == in_port && call.caller_vc == vc) ||
-        (call.callee_port == in_port && call.callee_vc == vc)) {
-      return true;
+    for (const RouteKey& rk : call.routes) {
+      if (rk.sw == sw && rk.in_port == in_port && rk.vc == vc) return true;
     }
   }
   return false;
@@ -499,17 +968,21 @@ void SignalingNetwork::reconcile_routes() {
   // the call table died but the fabric kept forwarding). Collect, sort
   // for determinism, remove. VCIs are not freed here — the allocator
   // state is reconciled by the call-table paths, not the fabric sweep.
-  std::vector<std::pair<std::size_t, std::uint16_t>> stale;
-  sw_.for_each_route([this, &stale](std::size_t in_port, atm::VcId vc,
-                                    std::size_t, atm::VcId) {
-    if (in_port == agent_port_) return;
-    if (vc.vpi != 0 || vc.vci < config_.first_data_vci) return;
-    if (owns_route(in_port, vc)) return;
-    stale.emplace_back(in_port, vc.vci);
-  });
+  // Signalling relays (endpoint and trunk hops alike) sit below
+  // first_data_vci and are never touched.
+  std::vector<std::tuple<std::size_t, std::size_t, std::uint16_t>> stale;
+  for (std::size_t si = 0; si < switches_.size(); ++si) {
+    switches_[si]->for_each_route(
+        [this, si, &stale](std::size_t in_port, atm::VcId vc, std::size_t,
+                           atm::VcId) {
+          if (vc.vpi != 0 || vc.vci < config_.first_data_vci) return;
+          if (route_owned(si, in_port, vc)) return;
+          stale.emplace_back(si, in_port, vc.vci);
+        });
+  }
   std::sort(stale.begin(), stale.end());
-  for (const auto& [port, vci] : stale) {
-    sw_.remove_route(port, atm::VcId{0, vci});
+  for (const auto& [si, port, vci] : stale) {
+    switches_[si]->remove_route(port, atm::VcId{0, vci});
     routes_reclaimed_.add();
   }
 }
@@ -518,33 +991,33 @@ void SignalingNetwork::reconcile_routes() {
 
 void SignalingNetwork::crash_restart() {
   // The agent process dies and restarts: volatile state (call table,
-  // VCI allocators, pending audits) is gone. Routes in the fabric and
-  // endpoint call state survived and must be reconciled.
+  // VCI allocators, pending audits) is gone. Routes in the fabric,
+  // provisioned signalling relays and endpoint call state survived and
+  // must be reconciled.
   calls_.clear();
   free_vcis_.clear();
   // The CAC books are volatile too: with no calls there is no committed
   // capacity, and re-admission rebuilds them from live SETUPs.
   committed_pcr_.clear();
-  for (const auto& e : endpoints_) {
-    next_vci_[e.port] = config_.first_data_vci;
+  for (std::size_t ep = 0; ep < endpoints_.size(); ++ep) {
+    next_vci_[ep_key(ep)] = config_.first_data_vci;
+  }
+  for (std::size_t t = 0; t < trunks_.size(); ++t) {
+    next_vci_[trunk_key(t)] = config_.first_data_vci;
   }
   ++restart_instance_;
   reconcile_routes();
-  std::vector<std::size_t> ports;
-  ports.reserve(endpoints_.size());
-  for (const auto& e : endpoints_) ports.push_back(e.port);
-  std::sort(ports.begin(), ports.end());
-  for (const std::size_t port : ports) {
-    RestartState& rs = restarts_[port];
+  for (std::size_t ep = 0; ep < endpoints_.size(); ++ep) {
+    RestartState& rs = restarts_[ep];
     bed_.sim().cancel(rs.timer);
     rs.pending = true;
     rs.attempts = 0;
-    send_restart(port);
+    send_restart(ep);
   }
 }
 
-void SignalingNetwork::send_restart(std::size_t port) {
-  RestartState& rs = restarts_[port];
+void SignalingNetwork::send_restart(std::size_t ep) {
+  RestartState& rs = restarts_[ep];
   if (!rs.pending) return;
   if (rs.attempts > config_.t316_retries) {
     // Endpoint unreachable; give up (the audit keeps the fabric clean).
@@ -553,22 +1026,22 @@ void SignalingNetwork::send_restart(std::size_t port) {
   }
   ++rs.attempts;
   restarts_sent_.add();
-  trace(sim::TraceEventId::kSigRestart, static_cast<std::uint32_t>(port),
+  trace(sim::TraceEventId::kSigRestart, static_cast<std::uint32_t>(ep),
         rs.attempts, restart_instance_);
   Message m;
   m.type = MessageType::kRestart;
   m.call_id = restart_instance_;
-  send_to_port(port, m);
-  rs.timer = bed_.sim().after(config_.t316, [this, port] {
-    auto it = restarts_.find(port);
+  send_to_endpoint(ep, m);
+  rs.timer = bed_.sim().after(config_.t316, [this, ep] {
+    auto it = restarts_.find(ep);
     if (it == restarts_.end() || !it->second.pending) return;
-    trace(sim::TraceEventId::kSigTimerExpiry, 316, 0, port);
-    send_restart(port);
+    trace(sim::TraceEventId::kSigTimerExpiry, 316, 0, ep);
+    send_restart(ep);
   });
 }
 
-void SignalingNetwork::handle_restart_ack(std::size_t from_port) {
-  auto it = restarts_.find(from_port);
+void SignalingNetwork::handle_restart_ack(std::size_t from_ep) {
+  auto it = restarts_.find(from_ep);
   if (it == restarts_.end() || !it->second.pending) return;
   it->second.pending = false;
   bed_.sim().cancel(it->second.timer);
@@ -579,86 +1052,143 @@ void SignalingNetwork::handle_restart_ack(std::size_t from_port) {
 
 std::size_t SignalingNetwork::stranded_vcis() const {
   std::size_t stranded = 0;
-  for (const auto& e : endpoints_) {
-    const auto nit = next_vci_.find(e.port);
+  const auto count_key = [this, &stranded](std::uint32_t key,
+                                           const auto& owned) {
+    const auto nit = next_vci_.find(key);
     const std::uint16_t next =
         nit == next_vci_.end() ? config_.first_data_vci : nit->second;
-    const auto fit = free_vcis_.find(e.port);
+    const auto fit = free_vcis_.find(key);
     for (std::uint16_t vci = config_.first_data_vci; vci < next; ++vci) {
       if (fit != free_vcis_.end() &&
           std::find(fit->second.begin(), fit->second.end(), vci) !=
               fit->second.end()) {
         continue;
       }
-      if (owns_route(e.port, atm::VcId{0, vci})) continue;
+      if (owned(vci)) continue;
       ++stranded;
     }
+  };
+  for (std::size_t ep = 0; ep < endpoints_.size(); ++ep) {
+    count_key(ep_key(ep), [this, ep](std::uint16_t vci) {
+      for (const auto& [id, call] : calls_) {
+        if (call.caller_ep == ep && call.caller_vc.vci == vci) return true;
+        if (call.callee_ep == ep && call.callee_vc.vci == vci) return true;
+      }
+      return false;
+    });
+  }
+  for (std::size_t t = 0; t < trunks_.size(); ++t) {
+    count_key(trunk_key(t), [this, t](std::uint16_t vci) {
+      for (const auto& [id, call] : calls_) {
+        for (std::size_t i = 0; i < call.path.size(); ++i) {
+          if (call.path[i] == t && call.trunk_vcis[i] == vci) return true;
+        }
+      }
+      return false;
+    });
   }
   return stranded;
 }
 
 std::size_t SignalingNetwork::stranded_routes() const {
   std::size_t stale = 0;
-  sw_.for_each_route([this, &stale](std::size_t in_port, atm::VcId vc,
-                                    std::size_t, atm::VcId) {
-    if (in_port == agent_port_) return;
-    if (vc.vpi != 0 || vc.vci < config_.first_data_vci) return;
-    if (!owns_route(in_port, vc)) ++stale;
-  });
+  for (std::size_t si = 0; si < switches_.size(); ++si) {
+    switches_[si]->for_each_route([this, si, &stale](std::size_t in_port,
+                                                     atm::VcId vc,
+                                                     std::size_t, atm::VcId) {
+      if (vc.vpi != 0 || vc.vci < config_.first_data_vci) return;
+      if (!route_owned(si, in_port, vc)) ++stale;
+    });
+  }
   return stale;
 }
 
 void SignalingNetwork::audit_invariants(core::InvariantAuditor& auditor) {
   // Every allocated VCI is owned by exactly one active call or sits on
-  // the free list.
-  for (const auto& e : endpoints_) {
-    const auto nit = next_vci_.find(e.port);
+  // the free list — per endpoint leg and per trunk alike.
+  for (std::size_t ep = 0; ep < endpoints_.size(); ++ep) {
+    const auto nit = next_vci_.find(ep_key(ep));
     const std::uint64_t allocated =
-        nit == next_vci_.end()
+        nit == next_vci_.end() || nit->second == 0
             ? 0
             : static_cast<std::uint64_t>(nit->second - config_.first_data_vci);
-    const auto fit = free_vcis_.find(e.port);
+    const auto fit = free_vcis_.find(ep_key(ep));
     const std::uint64_t free_count =
         fit == free_vcis_.end() ? 0 : fit->second.size();
     std::uint64_t legs = 0;
     for (const auto& [id, call] : calls_) {
-      if (call.caller_port == e.port) ++legs;
-      if (call.callee_port == e.port) ++legs;
+      if (call.caller_ep == ep) ++legs;
+      if (call.callee_ep == ep) ++legs;
     }
     auditor.expect_eq(allocated, free_count + legs, "sig vci conservation",
-                      "port " + std::to_string(e.port) +
+                      "endpoint " + std::to_string(ep) +
                           ": allocated == free + active call legs");
   }
-  // The switch carries exactly two data routes per routed call.
-  std::uint64_t routed = 0;
+  for (std::size_t t = 0; t < trunks_.size(); ++t) {
+    const auto nit = next_vci_.find(trunk_key(t));
+    const std::uint64_t allocated =
+        nit == next_vci_.end() || nit->second == 0
+            ? 0
+            : static_cast<std::uint64_t>(nit->second - config_.first_data_vci);
+    const auto fit = free_vcis_.find(trunk_key(t));
+    const std::uint64_t free_count =
+        fit == free_vcis_.end() ? 0 : fit->second.size();
+    std::uint64_t hops = 0;
+    for (const auto& [id, call] : calls_) {
+      hops += std::count(call.path.begin(), call.path.end(), t);
+    }
+    auditor.expect_eq(allocated, free_count + hops,
+                      "sig trunk vci conservation",
+                      "trunk " + std::to_string(t) +
+                          ": allocated == free + path hops");
+  }
+  // The fabric carries exactly the data routes of the routed calls:
+  // 2 x (path hops + 1) per call, every one owned.
+  std::uint64_t expected_routes = 0;
   for (const auto& [id, call] : calls_) {
-    if (call.routed) ++routed;
+    expected_routes += call.routes.size();
   }
   std::uint64_t data_routes = 0;
-  sw_.for_each_route([this, &data_routes](std::size_t in_port, atm::VcId vc,
-                                          std::size_t, atm::VcId) {
-    if (in_port == agent_port_) return;
-    if (vc.vpi != 0 || vc.vci < config_.first_data_vci) return;
-    ++data_routes;
-  });
-  auditor.expect_eq(data_routes, 2 * routed, "sig route ownership",
-                    "switch data routes == 2 x routed calls");
-  // CAC books balance: the committed capacity per port equals the sum
-  // of the PCRs of the admitted calls with a leg there — nothing leaks
-  // when calls release, reclaim or the agent restarts. Compared at
-  // whole-cells/s granularity to shrug off float summation order.
-  for (const auto& e : endpoints_) {
-    double expected = 0.0;
-    for (const auto& [id, call] : calls_) {
-      if (!call.cac_committed) continue;
-      if (call.caller_port == e.port) expected += call.pcr;
-      if (call.callee_port == e.port) expected += call.pcr;
+  for (std::size_t si = 0; si < switches_.size(); ++si) {
+    switches_[si]->for_each_route(
+        [this, &data_routes](std::size_t, atm::VcId vc, std::size_t,
+                             atm::VcId) {
+          if (vc.vpi != 0 || vc.vci < config_.first_data_vci) return;
+          ++data_routes;
+        });
+  }
+  auditor.expect_eq(data_routes, expected_routes, "sig route ownership",
+                    "fabric data routes == hops of routed calls");
+  // CAC books balance per output port: the committed capacity equals
+  // the PCR-weighted occurrences of that port across admitted calls'
+  // paths — nothing leaks on release, reclaim, reroute, reversion or
+  // agent restart. Compared at whole-cells/s granularity to shrug off
+  // float summation order.
+  std::unordered_map<std::size_t, double> expected;
+  for (const auto& [id, call] : calls_) {
+    if (!call.cac_committed) continue;
+    for (const std::size_t key : call.cac_keys) {
+      expected[key] += call.pcr;
     }
+  }
+  std::vector<std::size_t> keys;
+  for (const auto& [key, v] : committed_pcr_) keys.push_back(key);
+  for (const auto& [key, v] : expected) {
+    if (committed_pcr_.find(key) == committed_pcr_.end()) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (const std::size_t key : keys) {
+    const auto cit = committed_pcr_.find(key);
+    const auto eit = expected.find(key);
     auditor.expect_eq(
-        static_cast<std::uint64_t>(std::llround(committed_pcr(e.port))),
-        static_cast<std::uint64_t>(std::llround(expected)),
+        static_cast<std::uint64_t>(
+            std::llround(cit != committed_pcr_.end() ? cit->second : 0.0)),
+        static_cast<std::uint64_t>(
+            std::llround(eit != expected.end() ? eit->second : 0.0)),
         "sig cac books",
-        "port " + std::to_string(e.port) +
+        "switch " + std::to_string(key >> 8) + " port " +
+            std::to_string(key & 0xFF) +
             ": committed PCR == sum of admitted call legs");
   }
   // Each endpoint's NIC table matches its call-control state.

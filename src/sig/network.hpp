@@ -1,46 +1,69 @@
-// Network-side signalling: the call agent and topology provisioning.
+// Network-side signalling: the call agent, topology provisioning, and
+// automatic protection switching over a multi-switch fabric.
 //
-// A SignalingNetwork owns a dedicated agent station on one port of an
-// ATM switch. Every endpoint's signalling VC (0/5) is provisioned as a
-// permanent path to the agent; the agent terminates the protocol:
+// A SignalingNetwork owns a dedicated agent station on one port of one
+// switch of the fabric. Every endpoint's signalling VC (0/5) is
+// provisioned as a permanent relay path to the agent — across trunks
+// when the endpoint lives on another switch; the agent terminates the
+// protocol:
 //
-//   SETUP   : resolve the called party -> its port, allocate one VCI
-//             per leg, forward SETUP (with the callee's VC) to the
-//             callee; a *duplicate* SETUP (endpoint retransmission)
-//             re-answers from the stored call instead of allocating
-//             a second pair of VCIs;
-//   CONNECT : program the switch's duplex route between the legs,
-//             install UPC policers when the call carries a traffic
-//             contract, forward CONNECT (with the caller's VC) to the
-//             caller — idempotently on duplicates;
-//   RELEASE : tear the routes down, relay to the peer; RELEASE for an
+//   SETUP   : resolve the called party -> its attachment point, compute
+//             a trunk path between the two edge switches, allocate one
+//             VCI per endpoint leg and one per trunk hop, forward SETUP
+//             (with the callee's VC) to the callee; a *duplicate* SETUP
+//             (endpoint retransmission) re-answers from the stored call
+//             instead of allocating a second set of VCIs;
+//   CONNECT : program the duplex route hop by hop at every switch on
+//             the path, install UPC policers/meters at the two ingress
+//             switches when the call carries a traffic contract,
+//             forward CONNECT (with the caller's VC) to the caller —
+//             idempotently on duplicates;
+//   RELEASE : tear every hop down, relay to the peer; RELEASE for an
 //             unknown call is confirmed directly (the endpoint is
 //             retransmitting after completion);
-//   RELEASE COMPLETE: free the VCIs, finish the call.
+//   RELEASE COMPLETE: free the leg and trunk VCIs, finish the call.
 //
 // On top of the handshake the agent runs the robustness machinery:
 //
 //   * a periodic *status audit* that reconciles its call table against
-//     endpoint state (STATUS ENQUIRY / STATUS) and against the switch's
-//     route table, reclaiming half-open calls, stranded VCIs and stale
-//     routes after `audit_strikes` suspect rounds;
+//     endpoint state (STATUS ENQUIRY / STATUS) and against every
+//     switch's route table, reclaiming half-open calls, stranded VCIs
+//     and stale routes after `audit_strikes` suspect rounds;
 //   * RESTART/RESTART-ACK with a T316 retransmit timer: after
 //     crash_restart() wipes the agent's volatile state, endpoints are
-//     told to clear everything and the fabric is swept of orphan
-//     routes.
+//     told to clear everything and the whole fabric is swept of orphan
+//     routes;
+//   * automatic protection switching: the agent watches every trunk's
+//     links. When a trunk fails (and after `protection.holdoff`, so a
+//     flap does not thrash the fabric), each affected call is rerouted
+//     onto an alternate trunk path — CAC-checked on the new path,
+//     contracted calls first, old hops torn down, endpoint-facing VCIs
+//     untouched so neither endpoint renegotiates. Signalling relay
+//     paths are rerouted the same way (before the calls, so control
+//     reachability recovers first). When the failed trunk returns, and
+//     stays up for `protection.revert_delay`, protected calls revert to
+//     their primary path. Endpoints also *report* defects: a NIC-level
+//     AIS/loss-of-continuity alarm on a data VC arrives as STATUS with
+//     cause 27 (destination out of order) and triggers the same sweep,
+//     closing the loop even when the agent's own trunk observer lost.
 //
 // Everything — agent processing time, signalling transport, route
 // programming — happens through the same simulated substrate as user
-// data, so call-setup latency is an emergent, measurable quantity.
+// data, so call-setup and failure-restoration latency are emergent,
+// measurable quantities.
 //
-// The per-port signalling relay uses well-known VCIs:
-//   endpoint at port p -> agent:   (p, 0/5)        -> (agent, 0/64+p)
-//   agent -> endpoint at port p:   (agent, 0/32+p) -> (p, 0/5)
+// The per-endpoint signalling relay uses well-known VCIs (k = endpoint
+// attach index):
+//   endpoint k -> agent:   (ep port, 0/5) -> ... -> (agent, 0/64+k)
+//   agent -> endpoint k:   (agent, 0/32+k) -> ... -> (ep port, 0/5)
+// with 0/128+k on any intermediate trunk hop. All of these sit below
+// `first_data_vci`, so the data-route sweeps never touch them.
 
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -51,7 +74,7 @@
 namespace hni::sig {
 
 struct SignalingConfig {
-  std::uint16_t first_data_vci = 1000;  // allocated upward per port
+  std::uint16_t first_data_vci = 1000;  // allocated upward per port/trunk
   std::size_t max_vcs_per_port = 256;
   /// CDVT granted by installed policers, as a multiple of the cell slot.
   double police_cdvt_slots = 10.0;
@@ -70,34 +93,74 @@ struct SignalingConfig {
   sim::Time t316 = sim::milliseconds(1);
   unsigned t316_retries = 16;
   /// Connection admission control: fraction of each output port's line
-  /// rate the agent will commit to contracted (PCR > 0) calls. A SETUP
-  /// whose PCR would push either leg's committed capacity past
-  /// `cac_utilization * port_rate` is refused with
+  /// rate the agent will commit to contracted (PCR > 0) calls, applied
+  /// to *every* output port along the call's path (trunk hops
+  /// included). A SETUP whose PCR would push any hop's committed
+  /// capacity past `cac_utilization * port_rate` is refused with
   /// Cause::kResourceUnavailable. 0 disables admission control
   /// (every call is admitted, the pre-CAC behaviour).
   double cac_utilization = 0.0;
+  /// Automatic protection switching policy.
+  struct ProtectionConfig {
+    bool enabled = false;
+    /// Wait after a trunk-down edge before rerouting (flap damping).
+    sim::Time holdoff = sim::microseconds(50);
+    /// How long a recovered trunk must stay up before protected calls
+    /// revert to their primary path (wait-to-restore).
+    sim::Time revert_delay = sim::milliseconds(2);
+  } protection{};
   /// Seed stream for the message taps (fault injection).
   std::uint64_t fault_seed = 0x51C;
 };
 
 class SignalingNetwork {
  public:
-  /// `agent_port` must be a free port on `sw`; the network creates and
-  /// wires its agent station there.
+  /// Multi-switch fabric: `switches` are the fabric nodes (indexed by
+  /// position), the agent station is created on `agent_port` of
+  /// `switches[agent_switch]`. Wire trunks with add_trunk() *before*
+  /// attaching endpoints on other switches.
+  SignalingNetwork(core::Testbed& bed, std::vector<net::Switch*> switches,
+                   std::size_t agent_switch, std::size_t agent_port,
+                   SignalingConfig config = {});
+
+  /// Single-switch convenience (the historical topology).
   SignalingNetwork(core::Testbed& bed, net::Switch& sw,
                    std::size_t agent_port, SignalingConfig config = {});
 
-  /// Wires `station` to switch port `port` (duplex) and registers it
+  /// Wires a duplex inter-switch trunk between `switches[sw_a]` port
+  /// `port_a` and `switches[sw_b]` port `port_b`, and registers it for
+  /// protection monitoring. Returns the trunk id.
+  std::size_t add_trunk(std::size_t sw_a, std::size_t port_a,
+                        std::size_t sw_b, std::size_t port_b,
+                        net::LossModel loss = {},
+                        sim::Time propagation = sim::microseconds(5));
+
+  /// Both simplex links of trunk `id` ({a->b, b->a}) — the fault
+  /// injection surface for trunk-failure scenarios.
+  std::pair<net::Link*, net::Link*> trunk_links(std::size_t id) {
+    return {trunks_.at(id).ab, trunks_.at(id).ba};
+  }
+  bool trunk_down(std::size_t id) const { return trunks_.at(id).down; }
+  std::size_t trunk_count() const { return trunks_.size(); }
+
+  /// Wires `station` to port `port` of `switches[sw]` (duplex),
+  /// provisions its signalling relay to the agent, and registers it
   /// under address `party`. Returns the endpoint's call control.
+  CallControl& attach(core::Station& station, std::size_t sw,
+                      std::size_t port, std::uint16_t party);
+
+  /// Single-switch convenience: attaches to switch 0.
   CallControl& attach(core::Station& station, std::size_t port,
-                      std::uint16_t party);
+                      std::uint16_t party) {
+    return attach(station, 0, port, party);
+  }
 
   core::Station& agent() { return *agent_; }
 
   /// Simulates an agent process crash-and-restart: all volatile call
-  /// state (call table, VCI allocators) is lost. Recovery sweeps the
-  /// switch of orphan routes and sends RESTART to every endpoint,
-  /// retransmitting on T316 until each acknowledges.
+  /// state (call table, VCI allocators, CAC books) is lost. Recovery
+  /// sweeps every switch of orphan routes and sends RESTART to every
+  /// endpoint, retransmitting on T316 until each acknowledges.
   void crash_restart();
 
   /// The agent's outgoing-message fault tap (chaos injection point for
@@ -110,10 +173,15 @@ class SignalingNetwork {
   std::uint64_t calls_refused_cac() const {
     return calls_refused_cac_.value();
   }
-  /// PCR (cells/s) currently committed to admitted calls on `port`.
-  double committed_pcr(std::size_t port) const {
-    const auto it = committed_pcr_.find(port);
+  /// PCR (cells/s) currently committed to admitted calls on output
+  /// `port` of switch `sw`.
+  double committed_pcr(std::size_t sw, std::size_t port) const {
+    const auto it = committed_pcr_.find(cac_key(sw, port));
     return it != committed_pcr_.end() ? it->second : 0.0;
+  }
+  /// Single-switch convenience (switch 0).
+  double committed_pcr(std::size_t port) const {
+    return committed_pcr(0, port);
   }
   std::size_t active_calls() const { return calls_.size(); }
   std::uint64_t duplicate_setups() const { return duplicate_setups_.value(); }
@@ -127,27 +195,62 @@ class SignalingNetwork {
   std::uint64_t restarts_sent() const { return restarts_sent_.value(); }
   std::uint64_t restart_acks() const { return restart_acks_.value(); }
   std::uint64_t malformed_frames() const { return malformed_.value(); }
+  /// Protection books: calls moved off a failed trunk path, calls moved
+  /// back to their primary path, and reroute attempts that found no
+  /// admissible alternate (no path, no VCIs, or CAC refusal).
+  std::uint64_t reroutes() const { return reroutes_.value(); }
+  std::uint64_t reverts() const { return reverts_.value(); }
+  std::uint64_t reroutes_failed() const { return reroutes_failed_.value(); }
+  /// Signalling relay paths moved by protection (either direction).
+  std::uint64_t sig_reroutes() const { return sig_reroutes_.value(); }
+  /// Calls currently riding an alternate (non-primary) path.
+  std::size_t calls_on_protection() const;
 
   /// VCIs currently allocated but owned by no active call — the leak
-  /// the audit exists to drive to zero.
+  /// the audit exists to drive to zero. Counts endpoint-leg and
+  /// trunk-hop allocators alike.
   std::size_t stranded_vcis() const;
-  /// Data routes in the switch owned by no active call.
+  /// Data routes anywhere in the fabric owned by no active call.
   std::size_t stranded_routes() const;
 
   /// Registers the signalling plane's conservation identities:
-  /// every allocated VCI is owned by exactly one active call or on the
-  /// free list; the switch carries exactly two data routes per routed
-  /// call; each endpoint's NIC table matches its call state.
+  /// every allocated VCI (endpoint leg or trunk hop) is owned by
+  /// exactly one active call or on its free list; every switch carries
+  /// exactly the data routes of the calls routed through it; the CAC
+  /// books balance per output port; each endpoint's NIC table matches
+  /// its call state.
   void audit_invariants(core::InvariantAuditor& auditor);
 
  private:
+  /// One hop of programmed fabric state: (switch, input port, VC).
+  struct RouteKey {
+    std::size_t sw = 0;
+    std::size_t in_port = 0;
+    atm::VcId vc{};
+  };
   struct Endpoint {
+    std::size_t sw = 0;
     std::size_t port = 0;
     std::uint16_t party = 0;
+    // Signalling relay state (provisioned, survives crash_restart).
+    std::vector<std::size_t> sig_path;     // trunk ids, endpoint -> agent
+    std::vector<std::size_t> sig_primary;  // as provisioned at attach
+    std::vector<RouteKey> sig_routes;
+    bool sig_on_protection = false;
+  };
+  struct Trunk {
+    std::size_t sw_a = 0;
+    std::size_t port_a = 0;
+    std::size_t sw_b = 0;
+    std::size_t port_b = 0;
+    net::Link* ab = nullptr;
+    net::Link* ba = nullptr;
+    bool down = false;
+    std::uint64_t epoch = 0;  // invalidates holdoff/revert timers
   };
   struct AgentCall {
-    std::size_t caller_port = 0;
-    std::size_t callee_port = 0;
+    std::size_t caller_ep = 0;  // endpoint indices, not ports
+    std::size_t callee_ep = 0;
     std::uint16_t caller_party = 0;
     std::uint16_t callee_party = 0;
     atm::VcId caller_vc{};
@@ -161,6 +264,19 @@ class SignalingNetwork {
     sim::Time created = 0;      // for the audit's grace period
     unsigned strikes = 0;       // consecutive suspect audit rounds
     unsigned enquiries_outstanding = 0;
+    // Path state: trunk ids caller -> callee, one allocated VCI per
+    // trunk hop (shared by both directions — the two directions enter
+    // different switches, so the (in_port, VCI) keys never collide).
+    std::vector<std::size_t> path;
+    std::vector<std::uint16_t> trunk_vcis;
+    std::vector<std::size_t> primary_path;  // as admitted at SETUP
+    bool on_protection = false;
+    std::vector<RouteKey> routes;        // hops programmed (when routed)
+    std::vector<std::size_t> cac_keys;   // output ports committed
+    // Reroute attempts are retried only after the fabric changes again:
+    // with no trunk transition since the last refusal, the answer
+    // cannot have improved, and every extra sweep would double-count.
+    std::uint64_t reroute_failed_epoch = ~0ull;
   };
   struct RestartState {
     bool pending = false;
@@ -168,42 +284,96 @@ class SignalingNetwork {
     sim::EventHandle timer;
   };
 
-  atm::VcId agent_tx_vc(std::size_t port) const {
-    return {0, static_cast<std::uint16_t>(32 + port)};
+  static std::size_t cac_key(std::size_t sw, std::size_t port) {
+    return (sw << 8) | port;
   }
-  atm::VcId agent_rx_vc(std::size_t port) const {
-    return {0, static_cast<std::uint16_t>(64 + port)};
+  /// VCI-allocator keys: endpoint legs by attach index, trunks by id.
+  static std::uint32_t ep_key(std::size_t ep) {
+    return (1u << 24) | static_cast<std::uint32_t>(ep);
+  }
+  static std::uint32_t trunk_key(std::size_t trunk) {
+    return (2u << 24) | static_cast<std::uint32_t>(trunk);
+  }
+  atm::VcId agent_tx_vc(std::size_t ep) const {
+    return {0, static_cast<std::uint16_t>(32 + ep)};
+  }
+  atm::VcId agent_rx_vc(std::size_t ep) const {
+    return {0, static_cast<std::uint16_t>(64 + ep)};
+  }
+  atm::VcId sig_hop_vc(std::size_t ep) const {
+    return {0, static_cast<std::uint16_t>(128 + ep)};
   }
 
-  void on_frame(std::size_t from_port, aal::Bytes sdu);
-  void handle_setup(std::size_t from_port, const Message& m);
+  void on_frame(std::size_t ep, aal::Bytes sdu);
+  void handle_setup(std::size_t from_ep, const Message& m);
   void handle_connect(const Message& m);
-  void handle_release(std::size_t from_port, const Message& m);
+  void handle_release(std::size_t from_ep, const Message& m);
   void handle_release_complete(const Message& m);
   void handle_status(const Message& m);
-  void handle_restart_ack(std::size_t from_port);
-  void send_to_port(std::size_t port, const Message& m);
-  void refuse(std::size_t port, const Message& setup, Cause cause);
-  std::optional<std::uint16_t> allocate_vci(std::size_t port);
-  void free_vci(std::size_t port, std::uint16_t vci);
-  bool cac_admits(std::size_t caller_port, std::size_t callee_port,
-                  double pcr) const;
-  void cac_commit(AgentCall& call);
-  void cac_release(const AgentCall& call);
-  void program_routes(const AgentCall& call);
-  void remove_routes(const AgentCall& call);
+  void handle_restart_ack(std::size_t from_ep);
+  void send_to_endpoint(std::size_t ep, const Message& m);
+  void refuse(std::size_t ep, const Message& setup, Cause cause);
+  std::optional<std::uint16_t> allocate_vci(std::uint32_t key);
+  void free_vci(std::uint32_t key, std::uint16_t vci);
+  /// Shortest trunk path between two switches (BFS, lowest trunk id
+  /// first — deterministic); empty path when src == dst, nullopt when
+  /// unreachable. With `avoid_down`, failed trunks are not edges.
+  std::optional<std::vector<std::size_t>> find_path(std::size_t from_sw,
+                                                    std::size_t to_sw,
+                                                    bool avoid_down) const;
+  /// The trunk's exit port on `sw` and the far side it leads to.
+  void trunk_exit(std::size_t trunk, std::size_t sw, std::size_t& tx_port,
+                  std::size_t& peer_sw, std::size_t& peer_port) const;
+  /// Programs one simplex direction hop by hop; appends each programmed
+  /// (switch, in_port, vc) to `routes`.
+  void program_direction(std::size_t src_sw, std::size_t src_port,
+                         atm::VcId src_vc, std::size_t dst_port,
+                         atm::VcId dst_vc,
+                         const std::vector<std::size_t>& path,
+                         const std::vector<atm::VcId>& hop_vcs,
+                         std::uint16_t weight, bool abr,
+                         std::vector<RouteKey>& routes);
+  /// Every output port (as a CAC key) the call occupies on `path`,
+  /// both directions.
+  std::vector<std::size_t> path_cac_keys(
+      const AgentCall& call, const std::vector<std::size_t>& path) const;
+  bool cac_admits_keys(const std::vector<std::size_t>& keys,
+                       double pcr) const;
+  void cac_apply(const std::vector<std::size_t>& keys, double pcr);
+  void cac_release(AgentCall& call);
+  void program_routes(AgentCall& call);
+  void remove_routes(AgentCall& call);
+  /// Moves the call onto `to_primary ? primary : freshly-computed`
+  /// path: CAC re-checked, trunk VCIs reallocated, hops reprogrammed,
+  /// endpoint-facing VCIs untouched. `trigger` is the trunk that
+  /// caused the move (trace only).
+  bool reroute_call(std::uint32_t call_id, bool to_primary,
+                    std::size_t trigger);
+  void program_sig_relay(std::size_t ep);
+  void remove_sig_relay(std::size_t ep);
+  bool reroute_sig(std::size_t ep, bool to_primary);
+  bool path_has_down_trunk(const std::vector<std::size_t>& path) const;
+  bool path_all_up(const std::vector<std::size_t>& path) const;
+  void on_trunk_state(std::size_t trunk);
+  /// Reroutes every signalling relay and routed call whose current
+  /// path crosses a failed trunk (contracted calls first).
+  void protect_sweep();
+  /// Reverts protected relays/calls whose primary path is whole again.
+  void revert_sweep();
   const Endpoint* endpoint_by_party(std::uint16_t party) const;
-  bool owns_route(std::size_t in_port, atm::VcId vc) const;
+  std::size_t endpoint_index(const Endpoint* e) const;
+  bool route_owned(std::size_t sw, std::size_t in_port, atm::VcId vc) const;
   void audit_tick();
   void ensure_audit_timer();
   void reclaim_call(std::uint32_t call_id, Cause cause);
   void reconcile_routes();
-  void send_restart(std::size_t port);
+  void send_restart(std::size_t ep);
   void trace(sim::TraceEventId id, std::uint32_t a, std::uint32_t b,
              std::uint64_t seq);
 
   core::Testbed& bed_;
-  net::Switch& sw_;
+  std::vector<net::Switch*> switches_;
+  std::size_t agent_sw_;
   std::size_t agent_port_;
   SignalingConfig config_;
   core::Station* agent_ = nullptr;
@@ -211,15 +381,18 @@ class SignalingNetwork {
   std::uint16_t source_ = 0;
   MessageTap tap_;
   std::vector<Endpoint> endpoints_;
+  std::vector<Trunk> trunks_;
   std::vector<std::unique_ptr<CallControl>> controls_;
   std::unordered_map<std::uint32_t, AgentCall> calls_;
-  std::unordered_map<std::size_t, std::vector<std::uint16_t>> free_vcis_;
-  std::unordered_map<std::size_t, std::uint16_t> next_vci_;
-  // CAC books: PCR committed per output port to admitted calls.
+  std::unordered_map<std::uint32_t, std::vector<std::uint16_t>> free_vcis_;
+  std::unordered_map<std::uint32_t, std::uint16_t> next_vci_;
+  // CAC books: PCR committed per (switch, output port) to admitted calls.
   std::unordered_map<std::size_t, double> committed_pcr_;
   std::unordered_map<std::size_t, RestartState> restarts_;
   bool audit_armed_ = false;
   std::uint32_t restart_instance_ = 0;
+  std::uint64_t fabric_epoch_ = 0;  // bumped on every trunk transition
+  bool defect_sweep_pending_ = false;
   sim::Counter calls_routed_;
   sim::Counter calls_refused_;
   sim::Counter calls_refused_cac_;
@@ -232,6 +405,10 @@ class SignalingNetwork {
   sim::Counter restarts_sent_;
   sim::Counter restart_acks_;
   sim::Counter malformed_;
+  sim::Counter reroutes_;
+  sim::Counter reverts_;
+  sim::Counter reroutes_failed_;
+  sim::Counter sig_reroutes_;
 };
 
 }  // namespace hni::sig

@@ -67,6 +67,24 @@ std::string Tracer::format(const TraceEvent& ev) const {
       out += seq + " ER STAMPED port=" + std::to_string(ev.a) +
              " er=" + std::to_string(ev.b);
       break;
+    case TraceEventId::kOamCc:
+      out += std::string("CC LOSS ") + (ev.b != 0 ? "DECLARED" : "CLEARED") +
+             " vc_label=" + std::to_string(ev.a);
+      break;
+    case TraceEventId::kSwitchAisInsert:
+      out += "AIS INSERTED in_port=" + std::to_string(ev.a) +
+             " out_vc_label=" + std::to_string(ev.b);
+      break;
+    case TraceEventId::kSigReroute:
+      out += std::string("sig ") + (ev.a != 0 ? "REROUTE" : "REVERT") +
+             " trunk=" + std::to_string(ev.b) +
+             " call=" + std::to_string(ev.seq);
+      break;
+    case TraceEventId::kSigDefectReport:
+      out += std::string("sig DEFECT ") + (ev.a != 0 ? "AIS" : "LOC") +
+             " vci=" + std::to_string(ev.b) +
+             " call=" + std::to_string(ev.seq);
+      break;
     case TraceEventId::kUser:
       out += "user event a=" + std::to_string(ev.a) +
              " b=" + std::to_string(ev.b);

@@ -43,6 +43,10 @@ enum class TraceEventId : std::uint16_t {
   kSwitchEfciMark,       // a = out port, b = vc label, seq
   kSwitchWredDrop,       // a = out port, b = 1 if CLP-tagged, seq
   kSwitchErStamp,        // a = in port, b = granted ER (cells/s), seq
+  kOamCc,                // a = vc label, b = 1 declare / 0 clear (CC loss)
+  kSwitchAisInsert,      // a = in port, b = out vc label, seq
+  kSigReroute,           // a = 1 reroute / 0 revert, b = trunk id, seq = call
+  kSigDefectReport,      // a = defect (0 LOC/1 AIS), b = vci, seq = call id
   kUser,                 // free for tests/tools; payload uninterpreted
 };
 

@@ -30,6 +30,7 @@
 #include "core/scenario.hpp"
 #include "core/testbed.hpp"
 #include "net/traffic.hpp"
+#include "sig/network.hpp"
 
 #ifndef HNI_GOLDEN_DIR
 #error "HNI_GOLDEN_DIR must point at tests/golden"
@@ -99,7 +100,98 @@ struct ScenarioOutput {
   std::uint64_t kernel_events = 0;
 };
 
+// Scenario 3: a protected multi-switch fabric riding out a trunk flap.
+// Exercises the whole resilience event vocabulary — OAM continuity
+// heartbeats, switch AIS insertion, endpoint defect reports, the
+// protection reroute and the wait-to-restore revert — so any
+// nondeterminism in those paths lands in the digest.
+ScenarioOutput run_tandem_protection() {
+  core::Testbed bed;
+  std::vector<sim::TraceEvent> trace;
+  bed.tracer().collect_into(trace);
+
+  net::SwitchConfig swc{.ports = 4, .queue_cells = 512,
+                        .clp_threshold = 512};
+  net::Switch& sw0 = bed.add_switch(swc);
+  net::Switch& sw1 = bed.add_switch(swc);
+  net::Switch& sw2 = bed.add_switch(swc);
+  sig::SignalingConfig cfg;
+  cfg.protection.enabled = true;
+  sig::SignalingNetwork net(bed, {&sw0, &sw1, &sw2},
+                            /*agent_switch=*/0, /*agent_port=*/3, cfg);
+  const std::size_t t0 = net.add_trunk(0, 1, 1, 1);  // primary
+  net.add_trunk(0, 2, 2, 0);
+  net.add_trunk(2, 1, 1, 2);
+
+  core::StationConfig sc;
+  sc.nic.cc.enabled = true;
+  sc.name = "tx";
+  core::Station& a = bed.add_station(sc);
+  sc.name = "rx";
+  core::Station& b = bed.add_station(sc);
+  sig::CallControl& cca = net.attach(a, /*sw=*/0, /*port=*/0, /*party=*/1);
+  sig::CallControl& ccb = net.attach(b, /*sw=*/1, /*port=*/0, /*party=*/2);
+  ccb.set_incoming([](const sig::CallControl::CallInfo&) { return true; });
+
+  std::optional<atm::VcId> vc;
+  cca.place_call(2, aal::AalType::kAal5, 0.0,
+                 [&vc](const sig::CallControl::CallInfo& i) { vc = i.vc; });
+  bed.run_for(sim::milliseconds(2));
+
+  std::uint64_t received = 0;
+  std::uint64_t pattern_failures = 0;
+  b.host().set_rx_handler([&](aal::Bytes sdu, const host::RxInfo&) {
+    ++received;
+    if (!aal::verify_pattern(sdu)) ++pattern_failures;
+  });
+  net::SduSource::Config traffic;
+  traffic.mode = net::SduSource::Mode::kCbr;
+  traffic.sdu_bytes = 1500;
+  traffic.interval = sim::microseconds(200);
+  traffic.seed = 13;
+  net::SduSource source(bed.sim(), traffic, [&](aal::Bytes sdu) {
+    return a.host().send(*vc, aal::AalType::kAal5, std::move(sdu));
+  });
+  a.host().set_tx_ready([&source] { source.notify_ready(); });
+  source.start();
+
+  // One full failure/recovery cycle on the primary trunk: the flap is
+  // longer than the holdoff (reroute fires) and the recovery outlasts
+  // the wait-to-restore (revert fires).
+  const auto [ab, ba] = net.trunk_links(t0);
+  bed.sim().after(sim::milliseconds(3), [ab, ba] {
+    ab->set_down(true);
+    ba->set_down(true);
+  });
+  bed.sim().after(sim::milliseconds(6), [ab, ba] {
+    ab->set_down(false);
+    ba->set_down(false);
+  });
+  bed.run_for(sim::milliseconds(12));
+
+  Digest d;
+  fold_trace(d, trace);
+  d.fold_string(bed.metrics().to_json());
+  d.fold(bed.sim().events_fired());
+  d.fold(static_cast<std::uint64_t>(bed.now()));
+  d.fold(received);
+  d.fold(pattern_failures);
+  d.fold(net.reroutes());
+  d.fold(net.reverts());
+  d.fold(net.stranded_vcis());
+  d.fold(net.stranded_routes());
+
+  ScenarioOutput out;
+  out.digest = d.hex();
+  out.trace_events = trace.size();
+  out.kernel_events = bed.sim().events_fired();
+  return out;
+}
+
 ScenarioOutput run_canonical(const char* name) {
+  if (std::string(name) == "tandem-protection") {
+    return run_tandem_protection();
+  }
   core::Testbed bed;
   std::vector<sim::TraceEvent> trace;
   bed.tracer().collect_into(trace);
@@ -218,6 +310,10 @@ TEST(GoldenDeterminism, P2pLossyPoisson) {
 }
 
 TEST(GoldenDeterminism, P2pCleanCbr) { check_scenario("p2p-clean-cbr"); }
+
+TEST(GoldenDeterminism, TandemProtection) {
+  check_scenario("tandem-protection");
+}
 
 }  // namespace
 }  // namespace hni
