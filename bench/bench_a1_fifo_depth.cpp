@@ -7,12 +7,15 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
 
 using namespace hni;
 
-int main() {
+int main(int argc, char** argv) {
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
+  double goodput_64 = 0.0, dropped_24 = 0.0;
   std::printf(
       "A1: cell loss vs RX FIFO depth. Poisson 9180-byte PDUs at ~60%% "
       "mean load (STS-12c),\nrx engine at 28 MHz: *within* a PDU the "
@@ -35,8 +38,10 @@ int main() {
     cfg.station.host.cpu.cpi = 1.0;
     cfg.station.host.max_inflight_tx = 64;
     cfg.warmup = sim::milliseconds(2);
-    cfg.measure = sim::milliseconds(40);
+    cfg.measure = sim::milliseconds(cli.smoke ? 10 : 40);
     const auto r = core::run_p2p(cfg);
+    if (depth == 64) goodput_64 = r.goodput_bps;
+    if (depth == 24) dropped_24 = static_cast<double>(r.cells_fifo_dropped);
     t.add_row({core::Table::integer(depth),
                core::Table::num(r.rx_fifo_mean, 1),
                core::Table::num(r.rx_fifo_max, 0),
@@ -52,5 +57,10 @@ int main() {
               "absorption, not\nsustained-rate headroom — under a "
               "sustained deficit (bench F3's upper rows) no finite "
               "FIFO\nhelps.\n");
+
+  hni::bench::JsonEmitter json("bench_a1_fifo_depth");
+  json.rate("a1_fifo/goodput_bytes_per_s_depth64", goodput_64 / 8.0);
+  json.cost("a1_fifo/cells_dropped_depth24", dropped_24);
+  json.write_or_die(cli.json);
   return 0;
 }

@@ -7,13 +7,22 @@
 // 622 Mb/s".
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
 
 using namespace hni;
 
-int main() {
+int main(int argc, char** argv) {
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
+  // Smoke brackets the engine-bound/line-bound crossover (~31 MHz).
+  const std::vector<double> clocks =
+      cli.smoke ? std::vector<double>{12.5, 29.0, 33.0, 66.0}
+                : std::vector<double>{12.5, 16.0, 20.0, 25.0, 29.0,
+                                      33.0, 40.0, 50.0, 66.0};
+  double goodput_66 = 0.0;
   std::printf("A2: engine clock sweep at STS-12c (greedy 9180-byte AAL5 "
               "PDUs)\n");
 
@@ -25,7 +34,7 @@ int main() {
     const double cells = static_cast<double>(aal::aal5_cell_count(9180));
     ceiling = atm::sts12c().payload_bps * (9180.0 * 8.0) / (cells * 424.0);
   }
-  for (double mhz : {12.5, 16.0, 20.0, 25.0, 29.0, 33.0, 40.0, 50.0, 66.0}) {
+  for (double mhz : clocks) {
     core::P2pConfig cfg;
     cfg.traffic.mode = net::SduSource::Mode::kGreedy;
     cfg.traffic.sdu_bytes = 9180;
@@ -37,6 +46,7 @@ int main() {
     cfg.warmup = sim::milliseconds(1);
     cfg.measure = sim::milliseconds(8);
     const auto r = core::run_p2p(cfg);
+    if (mhz == 66.0) goodput_66 = r.goodput_bps;
     t.add_row({core::Table::num(mhz, 1),
                core::Table::num(r.goodput_bps / 1e6, 1),
                core::Table::percent(r.tx_line_util),
@@ -54,5 +64,9 @@ int main() {
               "i.e. around 31 MHz\n— one 25 MHz 80960CA is enough for "
               "STS-3c but STS-12c needs the faster grade or more\n"
               "hardware assist.\n");
+
+  hni::bench::JsonEmitter json("bench_a2_clock_sweep");
+  json.rate("a2_clock/goodput_bytes_per_s_66MHz", goodput_66 / 8.0);
+  json.write_or_die(cli.json);
   return 0;
 }

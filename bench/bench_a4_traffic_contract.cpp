@@ -18,14 +18,17 @@
 #include <cstdio>
 #include <functional>
 
+#include "bench_util.hpp"
 #include "core/report.hpp"
 #include "core/testbed.hpp"
 
 using namespace hni;
 
-void contract_experiment() {
+// Returns the shaped sender's delivered goodput (bytes/s).
+double contract_experiment() {
   core::Table t({"sender", "policer drops", "PDUs delivered", "PDUs sent",
                  "goodput Mb/s"});
+  double shaped_bytes_per_s = 0.0;
   for (bool shaped : {false, true}) {
     core::Testbed bed;
     auto& a = bed.add_station({});
@@ -60,6 +63,10 @@ void contract_experiment() {
     pump();
     const sim::Time window = sim::milliseconds(200);
     bed.run_for(window);
+    if (shaped) {
+      shaped_bytes_per_s =
+          static_cast<double>(got_bytes) / sim::to_seconds(window);
+    }
 
     t.add_row({shaped ? "shaped to contract (GCRA at TX)" : "unshaped greedy",
                core::Table::integer(sw.cells_policed_dropped()),
@@ -69,10 +76,13 @@ void contract_experiment() {
                                 1)});
   }
   t.print("A4a: a VC policed to 1/4 STS-3c (~33.8 Mb/s contract)");
+  return shaped_bytes_per_s;
 }
 
-void hol_experiment() {
+// Returns the interleaved (own-VC) request latency in microseconds.
+double hol_experiment() {
   core::Table t({"layout", "request latency", "bulk completion"});
+  double interleaved_req_us = 0.0;
   for (bool own_vc : {false, true}) {
     core::Testbed bed;
     auto& a = bed.add_station({});
@@ -92,6 +102,7 @@ void hol_experiment() {
     a.host().send(bulk, aal::AalType::kAal5, aal::make_pattern(65535, 1));
     a.host().send(req, aal::AalType::kAal5, aal::make_pattern(100, 2));
     bed.run_for(sim::milliseconds(50));
+    if (own_vc) interleaved_req_us = sim::to_microseconds(req_done);
 
     t.add_row({own_vc ? "request on its own VC (interleaved)"
                       : "request behind bulk on one VC (FIFO)",
@@ -99,12 +110,15 @@ void hol_experiment() {
   }
   t.print("A4b: head-of-line blocking — 100-byte request behind a 64 kB "
           "transfer (STS-3c)");
+  return interleaved_req_us;
 }
 
-int main() {
+int main(int argc, char** argv) {
+  // Two fixed experiments at 200/50 ms windows; --smoke is a no-op.
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
   std::printf("A4: traffic contracts and per-VC scheduling\n");
-  contract_experiment();
-  hol_experiment();
+  const double shaped_bytes_per_s = contract_experiment();
+  const double interleaved_req_us = hol_experiment();
   std::printf(
       "\nReading: (a) UPC makes unshaped greedy traffic useless — nearly "
       "every PDU is damaged by\npoliced drops — while GCRA shaping at the "
@@ -112,5 +126,10 @@ int main() {
       "contracted rate. (b) Cell-level interleaving across VCs removes "
       "head-of-line\nblocking entirely; within one VC ATM requires FIFO "
       "order and the request pays the full bulk\nserialization delay.\n");
+
+  hni::bench::JsonEmitter json("bench_a4_traffic_contract");
+  json.rate("a4_contract/shaped_goodput_bytes_per_s", shaped_bytes_per_s);
+  json.cost("a4_contract/interleaved_request_us", interleaved_req_us);
+  json.write_or_die(cli.json);
   return 0;
 }

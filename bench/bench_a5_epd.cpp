@@ -17,6 +17,8 @@
 // identity balanced (the "books" column).
 
 #include <cstdio>
+#include "bench_util.hpp"
+
 #include <memory>
 
 #include "core/report.hpp"
@@ -118,13 +120,15 @@ Outcome run(const Policy& p, sim::Time window) {
   return out;
 }
 
-int main() {
+int main(int argc, char** argv) {
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
+  double epd_sized_mbps = 0.0, taildrop_damaged = 0.0;
   std::printf("A5: frame-aware discard under 1.55x overload of an STS-3c "
               "port (Poisson 9180-byte PDUs,\n6 us upstream CDV jitter, "
               "200 ms window; AAL5 goodput ceiling at this PDU size: "
               "135.1 Mb/s)\n");
 
-  const sim::Time window = sim::milliseconds(200);
+  const sim::Time window = sim::milliseconds(cli.smoke ? 50 : 200);
   core::Table t({"policy", "queue", "PDUs intact", "PDUs damaged",
                  "EPD-discarded PDUs", "PPD cells", "WRED cells",
                  "overflow cells", "goodput Mb/s", "books"});
@@ -140,6 +144,12 @@ int main() {
   for (const auto& cfg : cfgs) {
     const Outcome o = run(cfg, window);
     books_ok = books_ok && o.books_ok;
+    if (std::string(cfg.name) == "EPD sized (thr 512)") {
+      epd_sized_mbps = o.goodput_mbps;
+    }
+    if (std::string(cfg.name) == "tail drop") {
+      taildrop_damaged = static_cast<double>(o.errored);
+    }
     t.add_row({cfg.name, core::Table::integer(cfg.queue),
                core::Table::integer(o.delivered),
                core::Table::integer(o.errored),
@@ -162,6 +172,10 @@ int main() {
       "but still beats tail drop. The full per-VC plane (round-robin + "
       "WRED) keeps\nEPD's frame-goodput while removing FIFO's "
       "head-of-line capture between the two VCs.\n");
+  hni::bench::JsonEmitter json("bench_a5_epd");
+  json.rate("a5_epd/sized_goodput_bytes_per_s", epd_sized_mbps * 1e6 / 8.0);
+  json.cost("a5_epd/taildrop_damaged_pdus", taildrop_damaged);
+  json.write_or_die(cli.json);
   if (!books_ok) {
     std::fprintf(stderr, "A5: FAIL queue-stage conservation violated\n");
     return 1;

@@ -9,12 +9,15 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
 
 using namespace hni;
 
-int main() {
+int main(int argc, char** argv) {
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
+  double uncoalesced_cpu = 0.0, latency_2ms_us = 0.0;
   std::printf("A6: interrupt coalescing window sweep (greedy 512-byte "
               "PDUs at STS-3c,\n~20 MIPS receive host)\n");
 
@@ -29,8 +32,10 @@ int main() {
     cfg.station.nic.rx.interrupt_coalesce = window;
     cfg.station.nic.with_clock(50e6);
     cfg.warmup = sim::milliseconds(2);
-    cfg.measure = sim::milliseconds(30);
+    cfg.measure = sim::milliseconds(cli.smoke ? 10 : 30);
     const auto r = core::run_p2p(cfg);
+    if (window == sim::Time{0}) uncoalesced_cpu = r.rx_host_cpu_util;
+    if (window == sim::milliseconds(2)) latency_2ms_us = r.latency_mean_us;
 
     const double pdus_per_s =
         static_cast<double>(r.sdus_received) / sim::to_seconds(cfg.measure);
@@ -54,5 +59,10 @@ int main() {
       "roughly linearly while adding up to the window's worth of "
       "delivery latency — the\nfamiliar throughput/latency dial, here "
       "with exact numbers.\n");
+
+  hni::bench::JsonEmitter json("bench_a6_interrupt_coalescing");
+  json.score("a6_coalesce/uncoalesced_host_cpu", uncoalesced_cpu);
+  json.cost("a6_coalesce/latency_us_2ms_window", latency_2ms_us);
+  json.write_or_die(cli.json);
   return 0;
 }

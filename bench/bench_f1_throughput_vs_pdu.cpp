@@ -7,23 +7,32 @@
 // the quantity of interest.
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
 
 using namespace hni;
 
-int main() {
+int main(int argc, char** argv) {
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
   std::printf("F1: goodput vs CS-PDU size (greedy source, AAL5)\n");
+
+  // Smoke keeps the knee's endpoints and the headline 9180 point.
+  const std::vector<std::size_t> sdus =
+      cli.smoke ? std::vector<std::size_t>{40, 512, 9180, 65535}
+                : std::vector<std::size_t>{40,   128,  256,   512,  1024,
+                                           2048, 4096, 9180,  16384,
+                                           32768, 65535};
+  double headline_bps = 0.0;  // 9180 B @ STS-12c (the second line pass)
 
   for (const auto& [line_name, line] :
        {std::pair{"STS-3c", atm::sts3c()},
         std::pair{"STS-12c", atm::sts12c()}}) {
     core::Table t({"SDU bytes", "cells", "goodput Mb/s", "ceiling Mb/s",
                    "efficiency", "latency us (mean)"});
-    for (std::size_t sdu :
-         {40u, 128u, 256u, 512u, 1024u, 2048u, 4096u, 9180u, 16384u,
-          32768u, 65535u}) {
+    for (std::size_t sdu : sdus) {
       core::P2pConfig cfg;
       cfg.traffic.mode = net::SduSource::Mode::kGreedy;
       cfg.traffic.sdu_bytes = sdu;
@@ -36,8 +45,9 @@ int main() {
       cfg.warmup = sim::milliseconds(2);
       // Long window: at 65535-byte PDUs a 10 ms window holds only ~2-3
       // deliveries and quantization dominates.
-      cfg.measure = sim::milliseconds(60);
+      cfg.measure = sim::milliseconds(cli.smoke ? 20 : 60);
       const auto r = core::run_p2p(cfg);
+      if (sdu == 9180) headline_bps = r.goodput_bps;
 
       const double cells = static_cast<double>(aal::aal5_cell_count(sdu));
       const double ceiling =
@@ -52,5 +62,9 @@ int main() {
     }
     t.print(std::string("F1 @ ") + line_name);
   }
+
+  hni::bench::JsonEmitter json("bench_f1_throughput_vs_pdu");
+  json.rate("f1_goodput/sts12c_9180_bytes_per_s", headline_bps / 8.0);
+  json.write_or_die(cli.json);
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "aal/aal5.hpp"
 #include "atm/phy.hpp"
 #include "bus/turbochannel.hpp"
@@ -15,7 +16,10 @@
 
 using namespace hni;
 
-int main() {
+int main(int argc, char** argv) {
+  // Pure arithmetic over the bus model; --smoke is a documented no-op.
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
+  double wr64 = 0.0;  // effective write bandwidth at the 64-word burst
   sim::Simulator sim;
   std::printf("F2: TURBOchannel (32-bit, 25 MHz, 100 MB/s peak) effective "
               "bandwidth vs burst length\n");
@@ -36,6 +40,7 @@ int main() {
     const double rd =
         bytes / sim::to_seconds(bus.transfer_time(bytes,
                                                   bus::Direction::kRead));
+    if (burst == 64) wr64 = wr;
     t.add_row({core::Table::integer(burst), core::Table::num(wr / 1e6, 1),
                core::Table::num(rd / 1e6, 1),
                core::Table::percent(wr / cfg.peak_bytes_per_second()),
@@ -64,5 +69,10 @@ int main() {
       bus.transfer_time(9180, bus::Direction::kWrite) /
           static_cast<sim::Time>(aal::aal5_cell_count(9180)));
   p.print("F2b: per-cell bus cost by transfer discipline");
+
+  hni::bench::JsonEmitter json("bench_f2_bus_burst");
+  json.rate("f2_bus/write_bytes_per_s_burst64", wr64);
+  json.cost("f2_bus/pio_cell_us", sim::to_microseconds(pio));
+  json.write_or_die(cli.json);
   return 0;
 }

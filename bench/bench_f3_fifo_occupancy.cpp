@@ -7,19 +7,28 @@
 // sizing (bench A1) builds directly on this.
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
 
 using namespace hni;
 
-int main() {
+int main(int argc, char** argv) {
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
+  // Smoke keeps both loss-onset sides plus the crossover neighborhood.
+  const std::vector<double> clocks =
+      cli.smoke ? std::vector<double>{15.0, 28.0, 33.0, 50.0}
+                : std::vector<double>{15.0, 20.0, 25.0, 28.0,
+                                      31.0, 33.0, 40.0, 50.0};
+  double headline_bps = 0.0;  // goodput once line-bound (50 MHz)
   std::printf("F3: RX FIFO behaviour under pressure (STS-12c arrivals, "
               "64-cell FIFO, AAL5 9180-byte PDUs)\n");
 
   core::Table t({"rx engine MHz", "service/slot ratio", "fifo mean",
                  "fifo max", "cells dropped", "goodput Mb/s"});
-  for (double mhz : {15.0, 20.0, 25.0, 28.0, 31.0, 33.0, 40.0, 50.0}) {
+  for (double mhz : clocks) {
     core::P2pConfig cfg;
     cfg.traffic.mode = net::SduSource::Mode::kGreedy;
     cfg.traffic.sdu_bytes = 9180;
@@ -32,6 +41,7 @@ int main() {
     cfg.warmup = sim::milliseconds(1);
     cfg.measure = sim::milliseconds(8);
     const auto r = core::run_p2p(cfg);
+    if (mhz == 50.0) headline_bps = r.goodput_bps;
 
     // Middle-cell service time vs the 707.8 ns slot.
     sim::Simulator s;
@@ -54,5 +64,9 @@ int main() {
               "above it, occupancy pins at the\ncapacity and the excess "
               "arrival rate is shed as cell loss — the architecture "
               "degrades by\nwhole PDUs, not by host livelock.\n");
+
+  hni::bench::JsonEmitter json("bench_f3_fifo_occupancy");
+  json.rate("f3_fifo/goodput_bytes_per_s_50MHz", headline_bps / 8.0);
+  json.write_or_die(cli.json);
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "core/report.hpp"
 #include "core/testbed.hpp"
 
@@ -63,7 +64,10 @@ Breakdown measure(std::size_t sdu_bytes, atm::LineRate line) {
   return out;
 }
 
-int main() {
+int main(int argc, char** argv) {
+  // Single-PDU measurements; cheap already, --smoke is a no-op.
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
+  double total_9180_us = 0.0;  // last assignment lands on STS-12c
   std::printf("F4: unloaded end-to-end latency breakdown (AAL5)\n");
   for (const auto& [name, line] : {std::pair{"STS-3c", atm::sts3c()},
                                    std::pair{"STS-12c", atm::sts12c()}}) {
@@ -71,6 +75,7 @@ int main() {
                    "last->host mem", "mem->app", "total"});
     for (std::size_t sdu : {40u, 512u, 1500u, 9180u, 65535u}) {
       const Breakdown b = measure(sdu, line);
+      if (sdu == 9180) total_9180_us = sim::to_microseconds(b.total);
       t.add_row({core::Table::integer(sdu),
                  sim::format_time(b.send_to_first_cell),
                  sim::format_time(b.wire),
@@ -85,5 +90,9 @@ int main() {
               "serialization — with the whole-PDU staging DMA visible as "
               "the send->first-cell\nterm growing linearly in the PDU "
               "size.\n");
+
+  hni::bench::JsonEmitter json("bench_f4_latency_breakdown");
+  json.cost("f4_latency/sts12c_9180_total_us", total_9180_us);
+  json.write_or_die(cli.json);
   return 0;
 }

@@ -11,9 +11,11 @@
 // hash. (Bench P2 sweeps the table itself to millions of entries.)
 
 #include <cstdio>
+#include <vector>
 
 #include "aal/aal5.hpp"
 #include "atm/phy.hpp"
+#include "bench_util.hpp"
 #include "core/report.hpp"
 #include "nic/rx_path.hpp"
 
@@ -77,16 +79,26 @@ Result run(std::size_t n_vcs, bool cam) {
   return r;
 }
 
-int main() {
+int main(int argc, char** argv) {
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
+  // Smoke keeps the flat region, the load-factor-1 knee and the tail.
+  const std::vector<std::size_t> counts =
+      cli.smoke ? std::vector<std::size_t>{1, 64, 1024}
+                : std::vector<std::size_t>{1, 4, 16, 64, 128, 256,
+                                           512, 1024, 2048};
+  double cam_1024 = 0.0, hash_1024 = 0.0;
   std::printf("F5: RX lookup cost vs concurrent VCs (64-bucket hash, "
               "33 MHz engine, STS-3c arrivals)\n");
 
   core::Table t({"active VCs", "CAM instr/cell", "hash instr/cell",
                  "hash/CAM", "CAM drops", "hash drops"});
-  for (std::size_t n : {1u, 4u, 16u, 64u, 128u, 256u, 512u, 1024u,
-                        2048u}) {
+  for (std::size_t n : counts) {
     const Result cam = run(n, true);
     const Result hash = run(n, false);
+    if (n == 1024) {
+      cam_1024 = cam.instr_per_cell;
+      hash_1024 = hash.instr_per_cell;
+    }
     t.add_row({core::Table::integer(n),
                core::Table::num(cam.instr_per_cell, 1),
                core::Table::num(hash.instr_per_cell, 1),
@@ -101,5 +113,10 @@ int main() {
               "entry (load factor > 1), eating the engine's slack and "
               "eventually\ncausing FIFO loss — the scaling argument for "
               "the CAM in the receive datapath.\n");
+
+  hni::bench::JsonEmitter json("bench_f5_vc_scaling");
+  json.cost("f5_vc_scaling/cam_instr_per_cell_1024vc", cam_1024);
+  json.cost("f5_vc_scaling/hash_instr_per_cell_1024vc", hash_1024);
+  json.write_or_die(cli.json);
   return 0;
 }

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "aal/aal34.hpp"
 #include "aal/aal5.hpp"
@@ -206,4 +208,36 @@ static void BM_CellSerializeRoundtrip(benchmark::State& state) {
 }
 BENCHMARK(BM_CellSerializeRoundtrip);
 
-BENCHMARK_MAIN();
+// A main that speaks the fleet's flag dialect on top of
+// google-benchmark's own. --smoke maps to the kernel-row subset at one
+// repetition; --json PATH maps to --benchmark_out in JSON format. Any
+// native --benchmark_* flag passes straight through (fleet.py relies on
+// this for the --bench-compare 3-repetition run).
+int main(int argc, char** argv) {
+  std::vector<std::string> mapped;
+  mapped.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      mapped.emplace_back("--benchmark_filter=BM_Simulator");
+      mapped.emplace_back("--benchmark_repetitions=1");
+      mapped.emplace_back("--benchmark_min_time=0.05");
+    } else if (arg == "--json" && i + 1 < argc) {
+      mapped.emplace_back(std::string("--benchmark_out=") + argv[++i]);
+      mapped.emplace_back("--benchmark_out_format=json");
+    } else {
+      mapped.emplace_back(arg);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(mapped.size());
+  for (std::string& s : mapped) args.push_back(s.data());
+  int mapped_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&mapped_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(mapped_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

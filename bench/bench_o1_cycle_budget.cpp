@@ -13,6 +13,8 @@
 // determinism the diffable-telemetry workflow rests on.
 
 #include <cstdio>
+#include "bench_util.hpp"
+
 #include <string>
 #include <vector>
 
@@ -80,7 +82,9 @@ RunOutput run_once(bool crc_offload) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Three deterministic fixed-size runs; --smoke is a documented no-op.
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
   std::printf("O1: observed cycle budget and per-VC telemetry\n");
   const RunOutput first = run_once(/*crc_offload=*/true);
   std::fputs(first.tx_table.c_str(), stdout);
@@ -104,5 +108,9 @@ int main() {
                     first.json == second.json;
   std::printf("\nself-check (two same-seed runs byte-identical): %s\n",
               same ? "PASS" : "FAIL");
+
+  hni::bench::JsonEmitter json("bench_o1_cycle_budget");
+  json.score("o1_cycle_budget/deterministic", same ? 1.0 : 0.0);
+  json.write_or_die(cli.json);
   return same ? 0 : 1;
 }

@@ -20,6 +20,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include "bench_util.hpp"
+
 #include <cstring>
 #include <memory>
 #include <vector>
@@ -123,7 +125,9 @@ Result run(std::size_t pairs, std::size_t vcs_per_pair, sim::Time sim_span) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
+  const bool smoke = cli.smoke;
+  double last_events_per_s = 0.0;
   std::printf("P1: event-kernel scale — station pairs at STS-12c, greedy "
               "AAL5 across 256 VCs/pair\n");
 
@@ -147,6 +151,7 @@ int main(int argc, char** argv) {
   for (const Row& row : rows) {
     const Result r = run(row.pairs, row.vcs_per_pair, row.span);
     all_ok = all_ok && r.audit_ok;
+    last_events_per_s = static_cast<double>(r.events) / r.wall_s;
     t.add_row({core::Table::integer(r.pairs), core::Table::integer(r.vcs),
                core::Table::num(r.sim_ms, 0), core::Table::num(r.wall_s, 2),
                core::Table::integer(r.events),
@@ -166,5 +171,10 @@ int main(int argc, char** argv) {
               "stay\nroughly flat — the kernel's heap is logarithmic in "
               "thousands of pending timers and\nthe per-event constant "
               "is allocation-free.\n");
+
+  hni::bench::JsonEmitter json("bench_p1_kernel_scale");
+  json.rate("p1_kernel/wallclock_events_per_s", last_events_per_s);
+  json.score("p1_kernel/audits_clean", all_ok ? 1.0 : 0.0);
+  json.write_or_die(cli.json);
   return all_ok ? 0 : 1;
 }

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/report.hpp"
 #include "net/switch.hpp"
 #include "sim/simulator.hpp"
@@ -155,49 +156,11 @@ Result run(std::size_t vcs, std::size_t cells_per_port) {
   return r;
 }
 
-void write_json(const char* path, const std::vector<Result>& results) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "P2: cannot write %s\n", path);
-    std::exit(2);
-  }
-  std::fprintf(f, "{\n  \"context\": {\"executable\": "
-                  "\"bench_p2_vc_scale\"},\n  \"benchmarks\": [\n");
-  bool first = true;
-  for (const Result& r : results) {
-    if (!first) std::fprintf(f, ",\n");
-    first = false;
-    // Higher-is-better throughput row...
-    std::fprintf(f,
-                 "    {\"name\": \"p2_vc_scale/%zu\", \"run_type\": "
-                 "\"iteration\", \"items_per_second\": %.1f, "
-                 "\"real_time\": %.1f, \"time_unit\": \"ns\"},\n",
-                 r.vcs, r.events_per_s, r.wall_s * 1e9);
-    // ...and a lower-is-better memory row (bench_compare.py inverts
-    // the comparison when it sees lower_is_better).
-    std::fprintf(f,
-                 "    {\"name\": \"p2_vc_scale/%zu/bytes_per_vc\", "
-                 "\"run_type\": \"iteration\", \"lower_is_better\": true, "
-                 "\"value\": %.2f, \"real_time\": %.2f, "
-                 "\"time_unit\": \"ns\"}",
-                 r.vcs, r.bytes_per_vc, r.bytes_per_vc);
-  }
-  std::fprintf(f, "\n  ]\n}\n");
-  std::fclose(f);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  const char* json_path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    }
-  }
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
+  const bool smoke = cli.smoke;
 
   std::printf("P2: VC-state scale — 4-port switch, routed+policed VCs, "
               "paced cells across a bounded %zu-flow hot set\n",
@@ -246,7 +209,13 @@ int main(int argc, char** argv) {
   t.print("P2: data-plane cost vs connection count (events/s is "
           "wall-clock)");
 
-  if (json_path != nullptr) write_json(json_path, results);
+  hni::bench::JsonEmitter json("bench_p2_vc_scale");
+  for (const Result& r : results) {
+    json.rate("p2_vc_scale/" + std::to_string(r.vcs), r.events_per_s);
+    json.cost("p2_vc_scale/" + std::to_string(r.vcs) + "/bytes_per_vc",
+              r.bytes_per_vc);
+  }
+  json.write_or_die(cli.json);
 
   // Acceptance: flat lookup cost and bounded footprint, enforced so a
   // regression fails the build rather than restyling a table.

@@ -10,6 +10,9 @@
 // datapath and its accounting identical.
 
 #include <cstdio>
+#include <vector>
+#include "bench_util.hpp"
+
 #include <string>
 
 #include "core/audit.hpp"
@@ -147,7 +150,14 @@ Run run_once(std::size_t faults, std::uint64_t seed, bool recovery) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
+  // Smoke keeps the clean baseline, one mid storm and the worst storm.
+  const std::vector<std::size_t> intensities =
+      cli.smoke ? std::vector<std::size_t>{0, 16, 64}
+                : std::vector<std::size_t>{0, 8, 16, 32, 64};
+  double goodput_on_64 = 0.0;
+  bool audits_ok = true;
   std::printf(
       "R1: goodput vs fault intensity, recovery on vs off. One seeded "
       "chaos schedule per\nintensity (identical storm for both "
@@ -160,9 +170,11 @@ int main() {
   core::Table t({"faults", "goodput on", "goodput off", "degraded",
                  "retries", "gave up", "wd resets", "aborted", "rdi",
                  "audit on/off"});
-  for (std::size_t faults : {0u, 8u, 16u, 32u, 64u}) {
+  for (std::size_t faults : intensities) {
     const Run on = run_once(faults, 5000 + faults, true);
     const Run off = run_once(faults, 5000 + faults, false);
+    if (faults == 64) goodput_on_64 = on.goodput_mbps;
+    audits_ok = audits_ok && on.audit_ok && off.audit_ok;
     const double degraded =
         on.goodput_mbps > 0.0
             ? 1.0 - off.goodput_mbps / on.goodput_mbps
@@ -192,5 +204,11 @@ int main() {
       "permanent and goodput collapses with intensity. The auditor "
       "passes in every\ncell: recovery changes how much arrives, "
       "never where the books stand.\n");
-  return 0;
+
+  hni::bench::JsonEmitter json("bench_r1_fault_recovery");
+  json.rate("r1_fault_recovery/goodput_on_bytes_per_s_f64",
+            goodput_on_64 * 1e6 / 8.0);
+  json.score("r1_fault_recovery/audits_clean", audits_ok ? 1.0 : 0.0);
+  json.write_or_die(cli.json);
+  return audits_ok ? 0 : 1;
 }

@@ -17,6 +17,8 @@
 // too gentle for the comparison to mean anything.
 
 #include <cstdio>
+#include "bench_util.hpp"
+
 #include <cstring>
 #include <functional>
 #include <string>
@@ -131,11 +133,14 @@ Run run_once(double loss, int calls, std::uint64_t seed, bool recovery) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
+  const bool smoke = cli.smoke;
   const int calls = smoke ? 40 : 200;
   const std::vector<double> losses =
       smoke ? std::vector<double>{0.0, 0.02}
             : std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.10};
+  double worst_success = 1.0;
+  double max_setup_us = 0.0;
 
   std::printf(
       "R2: call success and stranded control-plane state vs signalling "
@@ -157,6 +162,10 @@ int main(int argc, char** argv) {
         9000 + static_cast<std::uint64_t>(loss * 1000.0);
     const Run on = run_once(loss, calls, seed, /*recovery=*/true);
     const Run off = run_once(loss, calls, seed, /*recovery=*/false);
+    if (loss >= 0.01 && on.success < worst_success) {
+      worst_success = on.success;
+    }
+    if (on.mean_setup_us > max_setup_us) max_setup_us = on.mean_setup_us;
 
     t.add_row({core::Table::percent(loss, 0),
                core::Table::percent(on.success, 1),
@@ -215,5 +224,11 @@ int main(int argc, char** argv) {
       "routes. The ablation leaks\nhalf-open state it can never clean "
       "up.\n%s\n",
       acceptance_ok ? "ACCEPTANCE: ok" : "ACCEPTANCE: FAILED");
+
+  hni::bench::JsonEmitter json("bench_r2_signaling_faults");
+  json.score("r2_signaling/worst_success_with_recovery", worst_success);
+  json.cost("r2_signaling/max_mean_setup_us", max_setup_us);
+  json.score("r2_signaling/acceptance", acceptance_ok ? 1.0 : 0.0);
+  json.write_or_die(cli.json);
   return acceptance_ok ? 0 : 1;
 }

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/report.hpp"
 #include "core/testbed.hpp"
 #include "net/traffic.hpp"
@@ -270,45 +271,11 @@ CacOutcome run_cac() {
   return o;
 }
 
-void write_json(const char* path, double g1, double g4) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "R3: cannot write %s\n", path);
-    std::exit(2);
-  }
-  std::fprintf(f, "{\n  \"context\": {\"executable\": "
-                  "\"bench_r3_overload\"},\n  \"benchmarks\": [\n");
-  std::fprintf(f,
-               "    {\"name\": \"r3_overload/goodput_1x\", \"run_type\": "
-               "\"iteration\", \"items_per_second\": %.3f, "
-               "\"real_time\": %.1f, \"time_unit\": \"ns\"},\n",
-               g1, 1e9 / g1);
-  std::fprintf(f,
-               "    {\"name\": \"r3_overload/goodput_4x\", \"run_type\": "
-               "\"iteration\", \"items_per_second\": %.3f, "
-               "\"real_time\": %.1f, \"time_unit\": \"ns\"},\n",
-               g4, 1e9 / g4);
-  std::fprintf(f,
-               "    {\"name\": \"r3_overload/retention_4x\", \"run_type\": "
-               "\"iteration\", \"items_per_second\": %.4f, "
-               "\"real_time\": %.1f, \"time_unit\": \"ns\"}\n",
-               g4 / g1, 1e9);
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  const char* json_path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    }
-  }
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
+  const bool smoke = cli.smoke;
 
   std::printf("R3: graceful degradation — 6 sources (CBR/VBR/UBR mix) "
               "into one STS-3c port,\noffered load sweep with the "
@@ -358,7 +325,11 @@ int main(int argc, char** argv) {
               cac.retried_call_connected ? "connected" : "STRANDED",
               cac.stranded, cac.books_ok ? "ok" : "FAIL");
 
-  if (json_path != nullptr) write_json(json_path, g_on[0], g_on[1]);
+  hni::bench::JsonEmitter json("bench_r3_overload");
+  json.rate("r3_overload/goodput_1x", g_on[0]);
+  json.rate("r3_overload/goodput_4x", g_on[1]);
+  json.rate("r3_overload/retention_4x", g_on[1] / g_on[0]);
+  json.write_or_die(cli.json);
 
   // Acceptance, enforced by exit code.
   bool ok = true;

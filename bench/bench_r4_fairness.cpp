@@ -51,6 +51,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/report.hpp"
 #include "core/testbed.hpp"
 #include "net/switch.hpp"
@@ -295,34 +296,6 @@ Outcome run(const Scenario& sc, sim::Time window) {
   return o;
 }
 
-void write_json(const char* path, double jain_abr, double jain_weighted,
-                double mix_mbps) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "R4: cannot write %s\n", path);
-    std::exit(2);
-  }
-  std::fprintf(f, "{\n  \"context\": {\"executable\": "
-                  "\"bench_r4_fairness\"},\n  \"benchmarks\": [\n");
-  std::fprintf(f,
-               "    {\"name\": \"r4_fairness/jain_abr_2x\", \"run_type\": "
-               "\"iteration\", \"higher_is_better\": true, "
-               "\"value\": %.4f, \"time_unit\": \"ns\"},\n",
-               jain_abr);
-  std::fprintf(f,
-               "    {\"name\": \"r4_fairness/jain_weighted_dwrr\", "
-               "\"run_type\": \"iteration\", \"higher_is_better\": true, "
-               "\"value\": %.4f, \"time_unit\": \"ns\"},\n",
-               jain_weighted);
-  std::fprintf(f,
-               "    {\"name\": \"r4_fairness/goodput_mix_2x\", "
-               "\"run_type\": \"iteration\", \"items_per_second\": %.3f, "
-               "\"real_time\": %.1f, \"time_unit\": \"ns\"}\n",
-               mix_mbps, 1e9 / mix_mbps);
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-}
-
 std::string per_flow(const Outcome& o) {
   std::string s;
   for (std::size_t i = 0; i < o.goodput_bps.size(); ++i) {
@@ -335,15 +308,8 @@ std::string per_flow(const Outcome& o) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  const char* json_path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    }
-  }
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
+  const bool smoke = cli.smoke;
 
   std::printf("R4: fairness — DWRR weights, trTCM metering and the ERICA "
               "explicit-rate loop\nsharing one STS-3c port under "
@@ -432,9 +398,11 @@ int main(int argc, char** argv) {
               mixed.goodput_bps[0] / 1e6, cbr_contract_bps / 1e6,
               100 * mixed.goodput_bps[0] / cbr_contract_bps);
 
-  if (json_path != nullptr) {
-    write_json(json_path, abr.jain, dwrr.jain_weighted, mixed.total_mbps);
-  }
+  hni::bench::JsonEmitter json("bench_r4_fairness");
+  json.score("r4_fairness/jain_abr_2x", abr.jain);
+  json.score("r4_fairness/jain_weighted_dwrr", dwrr.jain_weighted);
+  json.rate("r4_fairness/goodput_mix_2x", mixed.total_mbps);
+  json.write_or_die(cli.json);
 
   // Acceptance, enforced by exit code.
   bool ok = true;

@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/report.hpp"
 #include "core/testbed.hpp"
 #include "net/traffic.hpp"
@@ -227,48 +228,11 @@ Outcome run(bool protection, std::size_t cycles, bool flap) {
   return o;
 }
 
-void write_json(const char* path, double goodput_on, double retention_on,
-                double ttr_max_us) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "R5: cannot write %s\n", path);
-    std::exit(2);
-  }
-  std::fprintf(f, "{\n  \"context\": {\"executable\": "
-                  "\"bench_r5_protection\"},\n  \"benchmarks\": [\n");
-  std::fprintf(f,
-               "    {\"name\": \"r5_protection/goodput_on\", \"run_type\": "
-               "\"iteration\", \"items_per_second\": %.3f, "
-               "\"real_time\": %.1f, \"time_unit\": \"ns\"},\n",
-               goodput_on, 1e9 / goodput_on);
-  std::fprintf(f,
-               "    {\"name\": \"r5_protection/retention_on\", "
-               "\"run_type\": \"iteration\", \"higher_is_better\": true, "
-               "\"value\": %.4f, \"real_time\": %.4f, "
-               "\"time_unit\": \"ns\"},\n",
-               retention_on, retention_on);
-  std::fprintf(f,
-               "    {\"name\": \"r5_protection/time_to_restore_us\", "
-               "\"run_type\": \"iteration\", \"lower_is_better\": true, "
-               "\"value\": %.1f, \"real_time\": %.1f, "
-               "\"time_unit\": \"ns\"}\n",
-               ttr_max_us, ttr_max_us);
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  const char* json_path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    }
-  }
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
+  const bool smoke = cli.smoke;
   const std::size_t cycles = smoke ? 4 : 20;
 
   std::printf("R5: protection switching — 3 CBR calls over a triangle "
@@ -301,10 +265,12 @@ int main(int argc, char** argv) {
   row("prot off", off);
   t.print("R5: goodput retained across trunk-failure cycles");
 
-  if (json_path != nullptr) {
-    write_json(json_path, on.goodput_mbps,
-               on.goodput_mbps / base.goodput_mbps, on.ttr_max_us);
-  }
+  hni::bench::JsonEmitter json("bench_r5_protection");
+  json.rate("r5_protection/goodput_on", on.goodput_mbps);
+  json.score("r5_protection/retention_on",
+             on.goodput_mbps / base.goodput_mbps);
+  json.cost("r5_protection/time_to_restore_us", on.ttr_max_us);
+  json.write_or_die(cli.json);
 
   bool ok = true;
   if (on.goodput_mbps < kRetainOn * base.goodput_mbps) {

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "aal/aal5.hpp"
+#include "bench_util.hpp"
 #include "atm/phy.hpp"
 #include "core/report.hpp"
 #include "proc/engine.hpp"
@@ -16,7 +17,10 @@
 
 using namespace hni;
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke accepted for fleet uniformity; the budget tables are pure
+  // arithmetic and already CI-sized.
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
   sim::Simulator sim;
   proc::Engine engine(sim, {"tx-80960", 25e6, 1.0});
   const proc::FirmwareProfile fw{};
@@ -56,6 +60,7 @@ int main() {
   core::Table amort(
       {"SDU bytes", "cells", "instr/cell (amortized)", "time/cell",
        "sustainable at", "line-bound at STS-3c", "line-bound at STS-12c"});
+  double headline_mbps = 0.0, headline_instr = 0.0;
   for (std::size_t sdu : {40u, 256u, 1500u, 9180u, 65535u}) {
     const std::size_t cells = aal::aal5_cell_count(sdu);
     const double per_cell =
@@ -70,7 +75,16 @@ int main() {
                    core::Table::num(mbps, 0) + " Mb/s payload",
                    t <= atm::sts3c().cell_slot() ? "yes" : "NO",
                    t <= atm::sts12c().cell_slot() ? "yes" : "NO"});
+    if (sdu == 9180u) {
+      headline_mbps = mbps;
+      headline_instr = per_cell;
+    }
   }
   amort.print("T1b: amortized TX budget vs PDU size (AAL5)");
+
+  hni::bench::JsonEmitter json("bench_t1_tx_budget");
+  json.rate("t1_tx_budget/aal5_9180_sustainable_mbps", headline_mbps);
+  json.cost("t1_tx_budget/aal5_9180_instr_per_cell", headline_instr);
+  json.write_or_die(cli.json);
   return 0;
 }

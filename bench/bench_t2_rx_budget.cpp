@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "atm/phy.hpp"
 #include "core/report.hpp"
 #include "proc/engine.hpp"
@@ -15,7 +16,9 @@
 
 using namespace hni;
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke accepted for fleet uniformity; pure arithmetic tables.
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
   sim::Simulator sim;
   proc::Engine engine(sim, {"rx-80960", 25e6, 1.0});
   const sim::Time slot3 = atm::sts3c().cell_slot();
@@ -84,5 +87,10 @@ int main() {
                    static_cast<double>(engine.cost(tx)) /
                    static_cast<double>(slot12))});
   sum.print("T2b: the RX/TX asymmetry");
+
+  hni::bench::JsonEmitter json("bench_t2_rx_budget");
+  json.cost("t2_rx_budget/aal5_mid_cell_instr_rx", static_cast<double>(rx));
+  json.cost("t2_rx_budget/aal5_mid_cell_instr_tx", static_cast<double>(tx));
+  json.write_or_die(cli.json);
   return 0;
 }

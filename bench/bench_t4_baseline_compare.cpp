@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <functional>
 
+#include "bench_util.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
 #include "host/sw_sar.hpp"
@@ -112,7 +113,9 @@ Row run_sw_sar() {
   return row;
 }
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke accepted for fleet uniformity; three short fixed runs.
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
   std::printf("T4: architecture comparison — greedy 9180-byte AAL5 PDUs "
               "at STS-3c,\n    identical R3000-class host CPU (~20 MIPS)\n");
 

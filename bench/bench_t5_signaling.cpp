@@ -11,12 +11,16 @@
 #include <cstdio>
 #include <functional>
 
+#include "bench_util.hpp"
 #include "core/report.hpp"
 #include "sig/network.hpp"
 
 using namespace hni;
 
-int main() {
+int main(int argc, char** argv) {
+  const hni::bench::Cli cli = hni::bench::parse_cli(argc, argv);
+  const int kCalls = cli.smoke ? 60 : 200;
+  double calls_per_s = 0.0, setup_mean_us = 0.0;
   std::printf("T5: signalled call performance (STS-3c plant, agent on a "
               "dedicated switch port)\n");
 
@@ -54,7 +58,7 @@ int main() {
                         cc_a.release(info.call_id);
                       });
     };
-    one_call(200);
+    one_call(kCalls);
     bed.run_for(sim::seconds(2));
 
     core::Table t({"phase", "count", "mean us", "min us", "max us"});
@@ -68,11 +72,14 @@ int main() {
                core::Table::num(teardown_us.mean(), 1),
                core::Table::num(teardown_us.min(), 1),
                core::Table::num(teardown_us.max(), 1)});
-    t.print("T5a: control-plane latency (200 sequential calls)");
+    t.print("T5a: control-plane latency (" + std::to_string(kCalls) +
+            " sequential calls)");
     const double per_call_s =
         (setup_us.mean() + teardown_us.mean()) / 1e6;
+    calls_per_s = 1.0 / per_call_s;
+    setup_mean_us = setup_us.mean();
     std::printf("    -> back-to-back call rate: %.0f calls/s per "
-                "caller\n", 1.0 / per_call_s);
+                "caller\n", calls_per_s);
   }
 
   // --- VC exhaustion ---------------------------------------------------
@@ -115,5 +122,10 @@ int main() {
       "hundred-microsecond range — the control plane rides the\nsame "
       "fast path as data. Admission control refuses exactly the calls "
       "the VCI pool cannot\nhold and recycles identifiers on release.\n");
+
+  hni::bench::JsonEmitter json("bench_t5_signaling");
+  json.rate("t5_signaling/calls_per_s", calls_per_s);
+  json.cost("t5_signaling/setup_mean_us", setup_mean_us);
+  json.write_or_die(cli.json);
   return 0;
 }

@@ -75,13 +75,13 @@ def rate_of(bench):
     return 1e9 / rt if rt > 0 else 0.0
 
 
-def main():
+def main(argv=None):
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
     ap.add_argument("candidate")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="max tolerated fractional regression (default 0.15)")
-    args = ap.parse_args()
+    args = ap.parse_args(argv)
 
     base = load_rates(args.baseline)
     cand = load_rates(args.candidate)

@@ -6,27 +6,20 @@
 #
 # Usage: scripts/check.sh [--plain-only|--sanitize-only|--bench-compare]
 #
-# --bench-compare is the perf-regression gate: it builds the plain tree,
-# re-runs the event-kernel microbenchmarks, and compares them against
-# the committed baseline (bench/baselines/BENCH_kernel.json) with
-# scripts/bench_compare.py. A >15% throughput drop fails. The threshold
-# is overridable via HNI_BENCH_THRESHOLD (CI runners are not the
-# baseline machine, so CI uses a looser bound to catch only structural
-# regressions, not host lottery). Also smoke-runs the P1 scale bench,
-# whose exit code asserts the invariant audit at 2048-VC scale, the
-# P2 VC-scale bench, comparing its events/s and bytes/VC against
-# bench/baselines/BENCH_vcscale.json (bytes/VC gates lower-is-better),
-# and the R3 overload bench, whose exit code asserts graceful
-# degradation (goodput at 4x >= 85% of 1x with the overload plane on,
-# collapse with it off) and whose goodput/retention rows gate against
-# bench/baselines/BENCH_overload.json, and the R4 fairness bench, whose
-# exit code asserts Jain >= 0.95 for equal-weight ABR at 2x overload
-# and DWRR shares within 10% of their weights, with its Jain rows
-# gating (higher_is_better) against bench/baselines/BENCH_fairness.json,
-# and the R5 protection bench, whose exit code asserts that protection
-# switching retains >= 80% of failure-free goodput across trunk-failure
-# cycles with a bounded time-to-restore (the restore row gates
-# lower-is-better against bench/baselines/BENCH_protection.json).
+# --bench-compare is the perf-regression gate, now driven end-to-end by
+# scripts/fleet.py: it builds the plain tree, runs the whole scenario
+# matrix (bench_fleet builtins + bench/scenarios/*.scn) and every
+# legacy bench_* binary in --smoke mode in parallel, and then gates the
+# kernel / vcscale / overload / fairness / protection rows against the
+# committed baselines in bench/baselines/ with scripts/bench_compare.py
+# semantics. A >15% throughput drop fails; the threshold is overridable
+# via HNI_BENCH_THRESHOLD (CI runners are not the baseline machine, so
+# CI uses a looser bound to catch only structural regressions, not host
+# lottery). Each legacy binary's --smoke exit code still asserts its
+# own acceptance (P1's invariant audit at scale, R3's graceful
+# degradation, R4's fairness floors, R5's protection retention), and
+# every scenario's acceptance block gates goodput/delivery/latency/
+# fairness/audit per scenario.
 #
 # Refreshing the baseline after an intentional perf change:
 #   ./build/bench/bench_micro --benchmark_filter='BM_Simulator' \
@@ -52,27 +45,14 @@ run_suite() {
 mode="${1:-all}"
 
 if [[ "$mode" == "--bench-compare" ]]; then
-  echo "== perf gate: event-kernel benchmarks vs committed baseline =="
+  echo "== perf gate: fleet smoke matrix + committed baselines =="
   cmake -B build -S . > /dev/null
-  cmake --build build -j "$(nproc)" --target bench_micro bench_p1_kernel_scale bench_p2_vc_scale bench_r3_overload bench_r4_fairness bench_r5_protection
-  ./build/bench/bench_micro --benchmark_filter='BM_Simulator' \
-    --benchmark_repetitions=3 \
-    --benchmark_out=build/BENCH_kernel.json --benchmark_out_format=json
-  python3 scripts/bench_compare.py bench/baselines/BENCH_kernel.json \
-    build/BENCH_kernel.json --threshold "${HNI_BENCH_THRESHOLD:-0.15}"
-  ./build/bench/bench_p1_kernel_scale --smoke
-  ./build/bench/bench_p2_vc_scale --smoke --json build/BENCH_vcscale.json
-  python3 scripts/bench_compare.py bench/baselines/BENCH_vcscale.json \
-    build/BENCH_vcscale.json --threshold "${HNI_BENCH_THRESHOLD:-0.15}"
-  ./build/bench/bench_r3_overload --smoke --json build/BENCH_overload.json
-  python3 scripts/bench_compare.py bench/baselines/BENCH_overload.json \
-    build/BENCH_overload.json --threshold "${HNI_BENCH_THRESHOLD:-0.15}"
-  ./build/bench/bench_r4_fairness --smoke --json build/BENCH_fairness.json
-  python3 scripts/bench_compare.py bench/baselines/BENCH_fairness.json \
-    build/BENCH_fairness.json --threshold "${HNI_BENCH_THRESHOLD:-0.15}"
-  ./build/bench/bench_r5_protection --smoke --json build/BENCH_protection.json
-  python3 scripts/bench_compare.py bench/baselines/BENCH_protection.json \
-    build/BENCH_protection.json --threshold "${HNI_BENCH_THRESHOLD:-0.15}"
+  cmake --build build -j "$(nproc)"
+  # fleet.py runs every scenario and every legacy bench in parallel,
+  # then gates the kernel/vcscale/overload/fairness/protection rows
+  # against bench/baselines/ with bench_compare.py (threshold from
+  # HNI_BENCH_THRESHOLD, same default 0.15 as before).
+  python3 scripts/fleet.py --smoke --bench-compare --no-trajectory
   echo "check.sh: perf gate passed"
   exit 0
 fi

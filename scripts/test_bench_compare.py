@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_compare.py — the perf-regression gate.
+
+Run directly (``python3 scripts/test_bench_compare.py``) or via ctest,
+which registers this file as the ``bench_compare_py`` test.
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402
+
+
+def doc(rows):
+    return {"benchmarks": rows}
+
+
+def rate_row(name, items_per_second):
+    return {"name": name, "run_name": name, "run_type": "iteration",
+            "real_time": 1.0, "items_per_second": items_per_second}
+
+
+def cost_row(name, value):
+    return {"name": name, "run_name": name, "run_type": "iteration",
+            "real_time": 1.0, "lower_is_better": True, "value": value}
+
+
+def score_row(name, value):
+    return {"name": name, "run_name": name, "run_type": "iteration",
+            "real_time": 1.0, "higher_is_better": True, "value": value}
+
+
+class CompareTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w") as f:
+            if isinstance(payload, str):
+                f.write(payload)
+            else:
+                json.dump(payload, f)
+        return path
+
+    def run_gate(self, baseline, candidate, threshold=0.15):
+        argv = [baseline, candidate, "--threshold", str(threshold)]
+        with contextlib.redirect_stdout(io.StringIO()), \
+                contextlib.redirect_stderr(io.StringIO()):
+            return bench_compare.main(argv)
+
+    def test_identical_runs_pass(self):
+        rows = doc([rate_row("kernel/events", 5e6)])
+        self.assertEqual(
+            self.run_gate(self.write("b.json", rows),
+                          self.write("c.json", rows)), 0)
+
+    def test_small_dip_within_threshold_passes(self):
+        base = self.write("b.json", doc([rate_row("kernel/events", 100.0)]))
+        cand = self.write("c.json", doc([rate_row("kernel/events", 90.0)]))
+        self.assertEqual(self.run_gate(base, cand, threshold=0.15), 0)
+
+    def test_regression_beyond_threshold_fails(self):
+        base = self.write("b.json", doc([rate_row("kernel/events", 100.0)]))
+        cand = self.write("c.json", doc([rate_row("kernel/events", 80.0)]))
+        self.assertEqual(self.run_gate(base, cand, threshold=0.15), 1)
+
+    def test_threshold_is_a_closed_bound(self):
+        # Exactly at (1 - threshold) passes; just below fails.
+        base = self.write("b.json", doc([rate_row("r", 100.0)]))
+        at = self.write("at.json", doc([rate_row("r", 85.0)]))
+        below = self.write("below.json", doc([rate_row("r", 84.9)]))
+        self.assertEqual(self.run_gate(base, at, threshold=0.15), 0)
+        self.assertEqual(self.run_gate(base, below, threshold=0.15), 1)
+
+    def test_lower_is_better_gates_growth(self):
+        base = self.write("b.json", doc([cost_row("p2/bytes_per_vc", 100.0)]))
+        ok = self.write("ok.json", doc([cost_row("p2/bytes_per_vc", 110.0)]))
+        bad = self.write("bad.json", doc([cost_row("p2/bytes_per_vc", 130.0)]))
+        self.assertEqual(self.run_gate(base, ok, threshold=0.15), 0)
+        self.assertEqual(self.run_gate(base, bad, threshold=0.15), 1)
+
+    def test_lower_is_better_improvement_passes(self):
+        base = self.write("b.json", doc([cost_row("c", 100.0)]))
+        cand = self.write("c.json", doc([cost_row("c", 50.0)]))
+        self.assertEqual(self.run_gate(base, cand), 0)
+
+    def test_higher_is_better_score_compares_directly(self):
+        base = self.write("b.json", doc([score_row("r4/jain", 0.99)]))
+        ok = self.write("ok.json", doc([score_row("r4/jain", 0.95)]))
+        bad = self.write("bad.json", doc([score_row("r4/jain", 0.50)]))
+        self.assertEqual(self.run_gate(base, ok, threshold=0.15), 0)
+        self.assertEqual(self.run_gate(base, bad, threshold=0.15), 1)
+
+    def test_missing_benchmark_fails(self):
+        base = self.write("b.json", doc([rate_row("a", 1.0),
+                                         rate_row("b", 1.0)]))
+        cand = self.write("c.json", doc([rate_row("a", 1.0)]))
+        self.assertEqual(self.run_gate(base, cand), 1)
+
+    def test_renamed_benchmark_fails(self):
+        base = self.write("b.json", doc([rate_row("kernel/events", 1.0)]))
+        cand = self.write("c.json", doc([rate_row("kernel/event", 1.0)]))
+        self.assertEqual(self.run_gate(base, cand), 1)
+
+    def test_extra_candidate_rows_are_ignored(self):
+        base = self.write("b.json", doc([rate_row("a", 1.0)]))
+        cand = self.write("c.json", doc([rate_row("a", 1.0),
+                                         rate_row("new", 9.0)]))
+        self.assertEqual(self.run_gate(base, cand), 0)
+
+    def test_aggregate_median_preferred_over_raw(self):
+        # Three noisy repetitions plus a median aggregate: the gate must
+        # read the median (150), not the best raw repetition (300).
+        rows = [rate_row("k", 100.0), rate_row("k", 300.0),
+                rate_row("k", 140.0),
+                {"name": "k_median", "run_name": "k",
+                 "run_type": "aggregate", "aggregate_name": "median",
+                 "real_time": 1.0, "items_per_second": 150.0}]
+        base = self.write("b.json", doc(rows))
+        cand = self.write("c.json", doc([rate_row("k", 140.0)]))
+        # 140/150 = 0.93: passes at 15%, fails at 5%.
+        self.assertEqual(self.run_gate(base, cand, threshold=0.15), 0)
+        self.assertEqual(self.run_gate(base, cand, threshold=0.05), 1)
+
+    def test_empty_baseline_is_usage_error(self):
+        base = self.write("b.json", doc([]))
+        cand = self.write("c.json", doc([rate_row("a", 1.0)]))
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_gate(base, cand)
+        self.assertEqual(ctx.exception.code, 2)
+
+    def test_malformed_json_is_usage_error(self):
+        base = self.write("b.json", "{not json")
+        cand = self.write("c.json", doc([rate_row("a", 1.0)]))
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_gate(base, cand)
+        self.assertEqual(ctx.exception.code, 2)
+
+    def test_missing_file_is_usage_error(self):
+        cand = self.write("c.json", doc([rate_row("a", 1.0)]))
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_gate(os.path.join(self.dir.name, "absent.json"), cand)
+        self.assertEqual(ctx.exception.code, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,809 @@
+#include "sig/fleet.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "atm/phy.hpp"
+#include "core/testbed.hpp"
+#include "net/traffic.hpp"
+#include "sig/network.hpp"
+
+namespace hni::sig {
+
+namespace {
+
+using core::ScenarioResult;
+using core::ScenarioSpec;
+using core::TrafficSpec;
+
+constexpr std::uint16_t kSinkParty = 200;
+constexpr double kPayloadBitsPerCell = 48.0 * 8.0;
+
+double mbps_to_cells(double mbps) {
+  return mbps * 1e6 / kPayloadBitsPerCell;
+}
+
+net::SduSource::Config source_config(const ScenarioSpec& spec,
+                                     const TrafficSpec& t, std::size_t i) {
+  net::SduSource::Config cfg;
+  cfg.sdu_bytes = t.sdu_bytes;
+  cfg.seed = spec.seed * 1009 + i;
+  const double bits = static_cast<double>(t.sdu_bytes) * 8.0;
+  const sim::Time gap = static_cast<sim::Time>(
+      bits / (t.rate_mbps * 1e6) * static_cast<double>(sim::kSecond));
+  switch (t.kind) {
+    case TrafficSpec::Kind::kCbr:
+      cfg.mode = net::SduSource::Mode::kCbr;
+      // A tiny per-flow detune keeps synchronized CBR periods from
+      // phase-locking against shared thresholds (same trick as R4).
+      cfg.interval = static_cast<sim::Time>(
+          static_cast<double>(gap) * (1.0 + 0.0137 * static_cast<double>(i)));
+      break;
+    case TrafficSpec::Kind::kPoisson:
+      cfg.mode = net::SduSource::Mode::kPoisson;
+      cfg.interval = gap;
+      break;
+    case TrafficSpec::Kind::kOnOff:
+      cfg.mode = net::SduSource::Mode::kOnOff;  // 50% duty at 2x peak
+      cfg.interval = gap / 2;
+      cfg.mean_on = sim::milliseconds(2);
+      cfg.mean_off = sim::milliseconds(2);
+      break;
+    case TrafficSpec::Kind::kGreedy:
+      cfg.mode = net::SduSource::Mode::kGreedy;
+      break;
+  }
+  return cfg;
+}
+
+net::SwitchConfig switch_config(const ScenarioSpec& spec, std::size_t ports) {
+  net::SwitchConfig swc;
+  swc.ports = ports;
+  swc.port_rate = spec.sts12 ? atm::sts12c() : atm::sts3c();
+  swc.queue_cells = spec.queue_cells;
+  swc.clp_threshold =
+      spec.wred ? spec.queue_cells * 7 / 8 : spec.queue_cells;
+  swc.epd_threshold = spec.epd_threshold;
+  switch (spec.scheduler) {
+    case ScenarioSpec::Scheduler::kFifo:
+      swc.scheduler = net::SwitchScheduler::kFifo;
+      break;
+    case ScenarioSpec::Scheduler::kRoundRobin:
+      swc.scheduler = net::SwitchScheduler::kRoundRobin;
+      break;
+    case ScenarioSpec::Scheduler::kDwrr:
+      swc.scheduler = net::SwitchScheduler::kDwrr;
+      break;
+  }
+  if (spec.per_vc_books) {
+    // Per-VC accounting as R4 sized it: gate fresh frames on the VC's
+    // own queue, cap residency, keep the shared pool above the sum of
+    // caps so only the per-VC books bind.
+    swc.vc_epd_cells = spec.queue_cells / 8;
+    swc.vc_queue_cells = spec.queue_cells / 4;
+    swc.epd_threshold = 0;
+    swc.clp_threshold = spec.queue_cells;
+  }
+  if (spec.wred && !spec.per_vc_books) {
+    swc.wred.enabled = true;
+    swc.wred.min_cells = spec.queue_cells * 6 / 10;
+    swc.wred.max_cells = spec.queue_cells;
+    swc.wred.max_p = 0.05;
+    swc.wred.clp1_min_cells = spec.queue_cells / 4;
+    swc.wred.clp1_max_cells = spec.queue_cells / 2;
+    swc.wred.clp1_max_p = 1.0;
+  }
+  if (spec.efci_rm || spec.abr_loop) {
+    swc.efci_threshold = spec.queue_cells / 5;
+  }
+  swc.abr.enabled = spec.abr_loop;
+  return swc;
+}
+
+// Everything one measurement window accumulates, shared by both the
+// p2p and the signalled topologies.
+struct Meas {
+  std::vector<std::uint64_t> bytes;       // per flow, cumulative
+  bool measuring = false;
+  double lat_sum_us = 0, lat_max_us = 0;
+  std::uint64_t lat_n = 0;
+
+  explicit Meas(std::size_t flows) : bytes(flows, 0) {}
+
+  void deliver(std::size_t flow, std::size_t size, double latency_us) {
+    if (flow >= bytes.size()) return;
+    bytes[flow] += size;
+    if (!measuring) return;
+    lat_sum_us += latency_us;
+    lat_max_us = std::max(lat_max_us, latency_us);
+    ++lat_n;
+  }
+};
+
+void finish_result(const ScenarioSpec& spec, ScenarioResult& r,
+                   const std::vector<std::uint64_t>& window_bytes,
+                   std::uint64_t offered_bytes, const Meas& meas,
+                   sim::Time window) {
+  const double secs = sim::to_seconds(window);
+  std::uint64_t total = 0;
+  std::vector<double> normalised;
+  for (std::size_t i = 0; i < window_bytes.size(); ++i) {
+    total += window_bytes[i];
+    const double mbps =
+        static_cast<double>(window_bytes[i]) * 8.0 / secs / 1e6;
+    r.per_flow_mbps.push_back(mbps);
+    normalised.push_back(mbps / spec.traffic[i].weight);
+  }
+  r.goodput_mbps = static_cast<double>(total) * 8.0 / secs / 1e6;
+  r.offered_mbps = static_cast<double>(offered_bytes) * 8.0 / secs / 1e6;
+  r.delivery_ratio = offered_bytes > 0
+                         ? static_cast<double>(total) /
+                               static_cast<double>(offered_bytes)
+                         : 0.0;
+  r.jain_weighted = core::jain_index(normalised);
+  if (meas.lat_n > 0) {
+    r.latency_mean_us = meas.lat_sum_us / static_cast<double>(meas.lat_n);
+    r.latency_max_us = meas.lat_max_us;
+  }
+}
+
+void fold_run(core::Digest& d, const std::vector<sim::TraceEvent>& trace,
+              core::Testbed& bed,
+              const std::vector<std::uint64_t>& window_bytes) {
+  d.fold(trace.size());
+  for (const sim::TraceEvent& ev : trace) {
+    d.fold(static_cast<std::uint64_t>(ev.when));
+    d.fold(static_cast<std::uint64_t>(ev.id) << 32 |
+           static_cast<std::uint64_t>(ev.source));
+    d.fold(static_cast<std::uint64_t>(ev.a) << 32 |
+           static_cast<std::uint64_t>(ev.b));
+    d.fold(ev.seq);
+  }
+  d.fold_string(bed.metrics().to_json());
+  for (const std::uint64_t b : window_bytes) d.fold(b);
+}
+
+/// Square-wave outage on a duplex link pair over the traffic window.
+void schedule_flaps(core::Testbed& bed, const ScenarioSpec& spec,
+                    net::Link* ab, net::Link* ba, sim::Time window) {
+  if (spec.fault.flap_period <= 0 || ab == nullptr) return;
+  for (sim::Time cut = 0; cut + spec.fault.flap_down <= window;
+       cut += spec.fault.flap_period) {
+    bed.sim().after(cut, [ab, ba] {
+      ab->set_down(true);
+      if (ba != nullptr) ba->set_down(true);
+    });
+    bed.sim().after(cut + spec.fault.flap_down, [ab, ba] {
+      ab->set_down(false);
+      if (ba != nullptr) ba->set_down(false);
+    });
+  }
+}
+
+ScenarioResult run_p2p(const ScenarioSpec& spec, bool smoke,
+                       bool want_digest) {
+  ScenarioResult r;
+  const std::size_t n = spec.traffic.size();
+  std::size_t greedy = 0;
+  for (const TrafficSpec& t : spec.traffic) {
+    if (t.kind == TrafficSpec::Kind::kGreedy) ++greedy;
+  }
+  if (greedy > 1) {
+    r.setup_error = "p2p supports at most one greedy source";
+    return r;
+  }
+
+  core::Testbed bed;
+  std::vector<sim::TraceEvent> trace;
+  if (want_digest) bed.tracer().collect_into(trace);
+
+  core::StationConfig stc;
+  if (spec.sts12) {
+    stc.nic.line = atm::sts12c();
+    stc.nic.with_clock(50e6);
+    stc.host.cpu.clock_hz = 400e6;
+    stc.host.cpu.cpi = 1.0;
+    stc.host.max_inflight_tx = 64;
+  }
+  stc.name = "fleet-tx";
+  core::Station& a = bed.add_station(stc);
+  stc.name = "fleet-rx";
+  core::Station& b = bed.add_station(stc);
+
+  net::LossModel loss;
+  loss.cell_loss_rate = spec.fault.cell_loss_rate;
+  loss.mean_burst_cells = spec.fault.loss_burst_cells;
+  const auto [ab, ba] = bed.connect(a, b, loss);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const atm::VcId vc{0, static_cast<std::uint16_t>(32 + i)};
+    a.nic().open_vc(vc, aal::AalType::kAal5);
+    b.nic().open_vc(vc, aal::AalType::kAal5);
+    if (spec.traffic[i].pcr_mbps > 0) {
+      a.nic().tx().set_shaper(vc, mbps_to_cells(spec.traffic[i].pcr_mbps),
+                              sim::microseconds(3));
+    }
+  }
+
+  Meas meas(n);
+  b.host().set_rx_handler([&](aal::Bytes sdu, const host::RxInfo& info) {
+    const std::size_t flow = static_cast<std::size_t>(info.vc.vci) - 32;
+    meas.deliver(flow, sdu.size(),
+                 sim::to_microseconds(info.handed_up_time -
+                                      info.first_cell_time));
+  });
+
+  std::vector<std::shared_ptr<net::SduSource>> gens;
+  for (std::size_t i = 0; i < n; ++i) {
+    const atm::VcId vc{0, static_cast<std::uint16_t>(32 + i)};
+    gens.push_back(std::make_shared<net::SduSource>(
+        bed.sim(), source_config(spec, spec.traffic[i], i),
+        [&a, vc](aal::Bytes sdu) {
+          return a.host().send(vc, aal::AalType::kAal5, std::move(sdu));
+        }));
+  }
+  a.host().set_tx_ready([&gens] {
+    for (auto& g : gens) g->notify_ready();
+  });
+  for (auto& g : gens) g->start();
+
+  const sim::Time window = spec.measure_window(smoke);
+  schedule_flaps(bed, spec, ab, ba, spec.warmup + window);
+
+  bed.run_for(spec.warmup);
+  const std::vector<std::uint64_t> bytes0 = meas.bytes;
+  std::uint64_t offered0 = 0;
+  for (const auto& g : gens) offered0 += g->bytes_offered();
+  meas.measuring = true;
+
+  bed.run_for(window);
+  std::vector<std::uint64_t> window_bytes = meas.bytes;
+  for (std::size_t i = 0; i < n; ++i) window_bytes[i] -= bytes0[i];
+  std::uint64_t offered = 0;
+  for (const auto& g : gens) offered += g->bytes_offered();
+  offered -= offered0;
+  meas.measuring = false;
+
+  for (auto& g : gens) g->stop();
+  bed.run_for(sim::milliseconds(10));  // drain in-flight cells
+
+  r.ran = true;
+  finish_result(spec, r, window_bytes, offered, meas, window);
+  auto auditor = bed.audit(/*include_hops=*/true);
+  r.audit_clean = auditor.ok();
+  if (!auditor.ok()) std::fputs(auditor.report().c_str(), stderr);
+  if (want_digest) {
+    core::Digest d;
+    fold_run(d, trace, bed, window_bytes);
+    r.digest = d.hex();
+  }
+  return r;
+}
+
+ScenarioResult run_switched(const ScenarioSpec& spec, bool smoke,
+                            bool want_digest) {
+  ScenarioResult r;
+  const std::size_t n = spec.traffic.size();
+  const std::size_t nsw = spec.topology == ScenarioSpec::Topology::kMux
+                              ? 1
+                              : spec.topology == ScenarioSpec::Topology::kLine
+                                    ? spec.switches
+                                    : 3;
+  if (spec.topology == ScenarioSpec::Topology::kLine && nsw < 2) {
+    r.setup_error = "line topology needs switches >= 2";
+    return r;
+  }
+
+  core::Testbed bed;
+  std::vector<sim::TraceEvent> trace;
+  if (want_digest) bed.tracer().collect_into(trace);
+
+  // Port plan: switch 0 carries the sources (0..n-1), the agent (n)
+  // and its trunk(s) (n+1, n+2); the sink lives on the far switch.
+  std::vector<net::Switch*> sws;
+  for (std::size_t s = 0; s < nsw; ++s) {
+    std::size_t ports;
+    if (s == 0) {
+      // sources 0..n-1, agent on n, then the sink (mux) or trunk(s).
+      ports = spec.topology == ScenarioSpec::Topology::kTriangle ? n + 3
+                                                                 : n + 2;
+    } else if (spec.topology == ScenarioSpec::Topology::kTriangle) {
+      ports = s == 1 ? 3 : 2;  // sw1: sink + 2 trunks; sw2: 2 trunks
+    } else {
+      ports = 2;  // line interior/end: trunk(s) + possibly the sink
+    }
+    sws.push_back(&bed.add_switch(switch_config(spec, ports)));
+  }
+
+  SignalingConfig cfg;
+  cfg.cac_utilization = spec.cac_utilization;
+  cfg.protection.enabled = spec.protection;
+  if (!spec.sig_audit) cfg.audit_period = 0;
+  if (spec.cac_utilization > 0) cfg.endpoint.setup_retry_limit = 6;
+  cfg.fault_seed = spec.seed * 31 + 7;
+  // Switch 0's port map: sources on 0..n-1; mux puts the sink on n and
+  // the agent on n+1, the trunked topologies put the agent on n and
+  // their trunk(s) on n+1 (and n+2).
+  const std::size_t agent_port =
+      spec.topology == ScenarioSpec::Topology::kMux ? n + 1 : n;
+  SignalingNetwork net(bed, sws, /*agent_switch=*/0, agent_port, cfg);
+
+  net::LossModel trunk_loss;
+  trunk_loss.cell_loss_rate = spec.fault.cell_loss_rate;
+  trunk_loss.mean_burst_cells = spec.fault.loss_burst_cells;
+  std::size_t flap_trunk = 0;
+  if (spec.topology == ScenarioSpec::Topology::kLine) {
+    for (std::size_t s = 0; s + 1 < nsw; ++s) {
+      const std::size_t tx_port = s == 0 ? n + 1 : 1;
+      const std::size_t t = net.add_trunk(s, tx_port, s + 1, 0, trunk_loss);
+      if (s == 0) flap_trunk = t;
+    }
+  } else if (spec.topology == ScenarioSpec::Topology::kTriangle) {
+    flap_trunk = net.add_trunk(0, n + 1, 1, 1, trunk_loss);  // primary
+    net.add_trunk(0, n + 2, 2, 0, trunk_loss);               // standby legs
+    net.add_trunk(2, 1, 1, 2, trunk_loss);
+  }
+
+  core::StationConfig stc;
+  stc.nic.congestion.enabled = spec.efci_rm || spec.abr_loop;
+  stc.nic.congestion.explicit_rate = spec.abr_loop;
+  stc.nic.cc.enabled = spec.protection;
+
+  std::vector<core::Station*> srcs;
+  std::vector<CallControl*> cc_src;
+  for (std::size_t i = 0; i < n; ++i) {
+    stc.name = "fleet-src" + std::to_string(i);
+    srcs.push_back(&bed.add_station(stc));
+    cc_src.push_back(&net.attach(*srcs[i], /*sw=*/0, /*port=*/i,
+                                 static_cast<std::uint16_t>(1 + i)));
+  }
+  stc.name = "fleet-sink";
+  core::Station& sink = bed.add_station(stc);
+  std::size_t sink_sw = 0, sink_port = n;  // mux: same switch as sources
+  if (spec.topology == ScenarioSpec::Topology::kLine) {
+    sink_sw = nsw - 1;
+    sink_port = 1;
+  } else if (spec.topology == ScenarioSpec::Topology::kTriangle) {
+    sink_sw = 1;
+    sink_port = 0;
+  }
+  CallControl& cc_sink = net.attach(sink, sink_sw, sink_port, kSinkParty);
+
+  // The sink accepts everything and maps each accepted call's VC back
+  // to the caller's flow index (party 1+i).
+  Meas meas(n);
+  std::unordered_map<std::uint16_t, std::size_t> vci_flow;
+  cc_sink.set_incoming(
+      [](const CallControl::CallInfo&) { return true; },
+      [&vci_flow](const CallControl::CallInfo& info) {
+        vci_flow[info.vc.vci] = static_cast<std::size_t>(info.peer) - 1;
+      });
+
+  if (spec.fault.sig_drop_rate > 0) {
+    net.agent_tap().set_drop_rate(spec.fault.sig_drop_rate);
+    cc_sink.tap().set_drop_rate(spec.fault.sig_drop_rate);
+    for (CallControl* cc : cc_src) {
+      cc->tap().set_drop_rate(spec.fault.sig_drop_rate);
+    }
+  }
+
+  // Place one call per flow. A failed attempt (chaos-dropped beyond the
+  // protocol timers) is re-placed, and a call the audit reclaims
+  // mid-run is re-established the same way — under signalling faults
+  // the *session*, not any single call, is the unit under test. Both
+  // loops are bounded so a dead network cannot spin forever.
+  std::vector<std::optional<atm::VcId>> src_vc(n);
+  std::vector<std::uint32_t> call_ids(n, 0);
+  std::vector<unsigned> attempts(n, 0);
+  bool tearing_down = false;
+  auto place = std::make_shared<std::function<void(std::size_t)>>();
+  *place = [&, place](std::size_t i) {
+    const TrafficSpec& t = spec.traffic[i];
+    TrafficDescriptor td;
+    td.pcr_cells_per_second = mbps_to_cells(t.pcr_mbps);
+    td.scr_cells_per_second = mbps_to_cells(t.scr_mbps);
+    td.weight = t.weight;
+    td.abr = t.abr;
+    call_ids[i] = cc_src[i]->place_call(
+        kSinkParty, aal::AalType::kAal5, td,
+        [&src_vc, i](const CallControl::CallInfo& info) {
+          src_vc[i] = info.vc;
+        },
+        [&, place, i](std::uint32_t, Cause) {
+          if (!tearing_down && ++attempts[i] < 64) (*place)(i);
+        });
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    cc_src[i]->set_released(
+        [&, place, i](const CallControl::CallInfo&, Cause) {
+          src_vc[i].reset();
+          if (!tearing_down && ++attempts[i] < 64) (*place)(i);
+        });
+    (*place)(i);
+  }
+
+  sim::Time grace = sim::milliseconds(10);
+  if (spec.fault.sig_drop_rate > 0) grace += sim::milliseconds(40);
+  if (spec.cac_utilization > 0) grace += sim::milliseconds(20);
+  bed.run_for(grace);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!src_vc[i]) {
+      r.setup_error = "call " + std::to_string(i) + " failed to connect";
+      return r;
+    }
+  }
+  r.calls_connected = n;
+
+  sink.host().set_rx_handler([&](aal::Bytes sdu, const host::RxInfo& info) {
+    const auto it = vci_flow.find(info.vc.vci);
+    if (it == vci_flow.end()) return;
+    meas.deliver(it->second, sdu.size(),
+                 sim::to_microseconds(info.handed_up_time -
+                                      info.first_cell_time));
+  });
+
+  std::vector<std::shared_ptr<net::SduSource>> gens;
+  for (std::size_t i = 0; i < n; ++i) {
+    core::Station* st = srcs[i];
+    // Send to whatever VC the flow's *current* call carries: after a
+    // chaos-reclaimed call re-establishes, traffic follows. Refusals
+    // while disconnected count as offered-load drops.
+    gens.push_back(std::make_shared<net::SduSource>(
+        bed.sim(), source_config(spec, spec.traffic[i], i),
+        [st, &src_vc, i](aal::Bytes sdu) {
+          if (!src_vc[i]) return false;
+          return st->host().send(*src_vc[i], aal::AalType::kAal5,
+                                 std::move(sdu));
+        }));
+    st->host().set_tx_ready([g = gens.back()] { g->notify_ready(); });
+    gens.back()->start();
+  }
+
+  const sim::Time window = spec.measure_window(smoke);
+  if (nsw > 1) {
+    const auto [ab, ba] = net.trunk_links(flap_trunk);
+    schedule_flaps(bed, spec, ab, ba, spec.warmup + window);
+  }
+
+  bed.run_for(spec.warmup);
+  const std::vector<std::uint64_t> bytes0 = meas.bytes;
+  std::uint64_t offered0 = 0;
+  for (const auto& g : gens) offered0 += g->bytes_offered();
+  meas.measuring = true;
+
+  bed.run_for(window);
+  std::vector<std::uint64_t> window_bytes = meas.bytes;
+  for (std::size_t i = 0; i < n; ++i) window_bytes[i] -= bytes0[i];
+  std::uint64_t offered = 0;
+  for (const auto& g : gens) offered += g->bytes_offered();
+  offered -= offered0;
+  meas.measuring = false;
+
+  for (auto& g : gens) g->stop();
+  bed.run_for(sim::milliseconds(10));  // drain switch queues
+  tearing_down = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (src_vc[i]) cc_src[i]->release(call_ids[i]);
+  }
+  bed.run_for(sim::milliseconds(25));  // release handshakes + audit sweep
+
+  r.ran = true;
+  finish_result(spec, r, window_bytes, offered, meas, window);
+  r.reroutes = net.reroutes();
+  r.stranded = net.stranded_vcis() + net.stranded_routes();
+  auto auditor = bed.audit(/*include_hops=*/true);
+  net.audit_invariants(auditor);
+  r.audit_clean = auditor.ok() && net.active_calls() == 0;
+  if (!auditor.ok()) std::fputs(auditor.report().c_str(), stderr);
+  if (want_digest) {
+    core::Digest d;
+    fold_run(d, trace, bed, window_bytes);
+    r.digest = d.hex();
+  }
+  return r;
+}
+
+ScenarioResult run_once(const ScenarioSpec& spec, bool smoke,
+                        bool want_digest) {
+  if (spec.traffic.empty()) {
+    ScenarioResult r;
+    r.setup_error = "no traffic sources";
+    return r;
+  }
+  if (spec.topology == ScenarioSpec::Topology::kP2p) {
+    return run_p2p(spec, smoke, want_digest);
+  }
+  return run_switched(spec, smoke, want_digest);
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, bool smoke) {
+  const bool want_digest =
+      spec.accept.determinism || !spec.accept.digest.empty();
+  ScenarioResult r = run_once(spec, smoke, want_digest);
+  if (spec.accept.determinism && r.ran) {
+    const ScenarioResult rerun = run_once(spec, smoke, /*want_digest=*/true);
+    r.digest_rerun = rerun.digest;
+  }
+  core::evaluate_acceptance(spec, r);
+  return r;
+}
+
+namespace {
+
+TrafficSpec source(TrafficSpec::Kind kind, double rate_mbps,
+                   std::size_t sdu_bytes, double pcr_mbps = 0,
+                   double scr_mbps = 0, std::uint16_t weight = 1,
+                   bool abr = false) {
+  TrafficSpec t;
+  t.kind = kind;
+  t.rate_mbps = rate_mbps;
+  t.sdu_bytes = sdu_bytes;
+  t.pcr_mbps = pcr_mbps;
+  t.scr_mbps = scr_mbps;
+  t.weight = weight;
+  t.abr = abr;
+  return t;
+}
+
+std::vector<ScenarioSpec> make_builtins() {
+  using K = TrafficSpec::Kind;
+  std::vector<ScenarioSpec> all;
+
+  {  // Clean CBR point-to-point: the sanity row every plane builds on.
+    ScenarioSpec s;
+    s.name = "p2p-cbr-clean";
+    s.plane = "baseline";
+    s.topology = ScenarioSpec::Topology::kP2p;
+    s.seed = 11;
+    s.measure = sim::milliseconds(20);
+    s.smoke_measure = sim::milliseconds(6);
+    s.traffic = {source(K::kCbr, 80, 1500)};
+    s.accept.min_goodput_mbps = 70;
+    s.accept.min_delivery_ratio = 0.95;
+    s.accept.max_latency_us = 500;
+    all.push_back(s);
+  }
+  {  // Greedy throughput ceiling at STS-12c.
+    ScenarioSpec s;
+    s.name = "p2p-greedy-sts12c";
+    s.plane = "throughput";
+    s.topology = ScenarioSpec::Topology::kP2p;
+    s.sts12 = true;
+    s.seed = 12;
+    s.measure = sim::milliseconds(10);
+    s.smoke_measure = sim::milliseconds(4);
+    s.traffic = {source(K::kGreedy, 0, 9180)};
+    s.accept.min_goodput_mbps = 300;
+    all.push_back(s);
+  }
+  {  // Correlated cell loss: AAL5 PDUs die whole, books still balance.
+    ScenarioSpec s;
+    s.name = "p2p-loss-burst";
+    s.plane = "fault-recovery";
+    s.topology = ScenarioSpec::Topology::kP2p;
+    s.seed = 13;
+    s.measure = sim::milliseconds(40);
+    s.smoke_measure = sim::milliseconds(12);
+    s.traffic = {source(K::kCbr, 60, 1500)};
+    s.fault.cell_loss_rate = 1e-3;
+    s.fault.loss_burst_cells = 8;
+    s.accept.min_delivery_ratio = 0.90;
+    s.accept.min_goodput_mbps = 45;
+    all.push_back(s);
+  }
+  {  // Link flaps: down 1 ms in every 10; AIS/RDI pause + resume.
+    ScenarioSpec s;
+    s.name = "p2p-linkflap-recovery";
+    s.plane = "fault-recovery";
+    s.topology = ScenarioSpec::Topology::kP2p;
+    s.seed = 14;
+    s.measure = sim::milliseconds(40);
+    s.smoke_measure = sim::milliseconds(20);
+    s.traffic = {source(K::kCbr, 40, 1500)};
+    s.fault.flap_period = sim::milliseconds(10);
+    s.fault.flap_down = sim::milliseconds(1);
+    s.accept.min_delivery_ratio = 0.60;
+    s.accept.min_goodput_mbps = 20;
+    all.push_back(s);
+  }
+  {  // Signalled calls under 5% signalling loss: timers carry setup.
+    ScenarioSpec s;
+    s.name = "mux-sig-loss";
+    s.plane = "signalling-fault";
+    s.topology = ScenarioSpec::Topology::kMux;
+    s.seed = 15;
+    s.measure = sim::milliseconds(20);
+    s.smoke_measure = sim::milliseconds(8);
+    s.traffic = {source(K::kPoisson, 20, 1500), source(K::kPoisson, 20, 1500),
+                 source(K::kPoisson, 20, 1500), source(K::kPoisson, 20, 1500)};
+    s.fault.sig_drop_rate = 0.05;
+    s.accept.min_delivery_ratio = 0.85;
+    s.accept.min_goodput_mbps = 50;
+    all.push_back(s);
+  }
+  {  // Heavy signalling chaos: 20% of every signalling message dies.
+    ScenarioSpec s;
+    s.name = "mux-sig-chaos";
+    s.plane = "signalling-fault";
+    s.topology = ScenarioSpec::Topology::kMux;
+    s.seed = 16;
+    s.measure = sim::milliseconds(20);
+    s.smoke_measure = sim::milliseconds(8);
+    s.traffic = {source(K::kPoisson, 20, 1500), source(K::kPoisson, 20, 1500)};
+    s.fault.sig_drop_rate = 0.20;
+    s.accept.min_delivery_ratio = 0.80;
+    all.push_back(s);
+  }
+  {  // CAC admission: three contracted CBR calls that all fit.
+    ScenarioSpec s;
+    s.name = "mux-cac-contracts";
+    s.plane = "signalling-fault";
+    s.topology = ScenarioSpec::Topology::kMux;
+    s.seed = 17;
+    s.measure = sim::milliseconds(20);
+    s.smoke_measure = sim::milliseconds(8);
+    s.cac_utilization = 0.9;
+    s.traffic = {source(K::kCbr, 30, 1500, /*pcr=*/36),
+                 source(K::kCbr, 30, 1500, /*pcr=*/36),
+                 source(K::kCbr, 30, 1500, /*pcr=*/36)};
+    s.accept.min_delivery_ratio = 0.90;
+    s.accept.min_goodput_mbps = 70;
+    all.push_back(s);
+  }
+  {  // 2x overload with the frame-aware discard plane on.
+    ScenarioSpec s;
+    s.name = "mux-overload-epd";
+    s.plane = "overload";
+    s.topology = ScenarioSpec::Topology::kMux;
+    s.seed = 18;
+    s.measure = sim::milliseconds(60);
+    s.smoke_measure = sim::milliseconds(20);
+    s.epd_threshold = 512;
+    s.wred = true;
+    s.scheduler = ScenarioSpec::Scheduler::kRoundRobin;
+    s.traffic = {source(K::kPoisson, 65, 9180), source(K::kPoisson, 65, 9180),
+                 source(K::kPoisson, 65, 9180), source(K::kPoisson, 65, 9180)};
+    s.accept.min_goodput_mbps = 95;
+    all.push_back(s);
+  }
+  {  // 2x overload with the closed EFCI/RM loop throttling sources.
+    ScenarioSpec s;
+    s.name = "mux-overload-closedloop";
+    s.plane = "overload";
+    s.topology = ScenarioSpec::Topology::kMux;
+    s.seed = 19;
+    s.measure = sim::milliseconds(60);
+    s.smoke_measure = sim::milliseconds(20);
+    s.epd_threshold = 512;
+    s.wred = true;
+    s.efci_rm = true;
+    s.scheduler = ScenarioSpec::Scheduler::kRoundRobin;
+    s.traffic = {source(K::kCbr, 45, 9180), source(K::kCbr, 45, 9180),
+                 source(K::kCbr, 45, 9180), source(K::kCbr, 45, 9180),
+                 source(K::kCbr, 45, 9180), source(K::kCbr, 45, 9180)};
+    s.accept.min_goodput_mbps = 95;
+    all.push_back(s);
+  }
+  {  // DWRR weighted shares: grants, not arrival order, set delivery.
+    ScenarioSpec s;
+    s.name = "mux-fairness-dwrr";
+    s.plane = "fairness";
+    s.topology = ScenarioSpec::Topology::kMux;
+    s.seed = 20;
+    s.measure = sim::milliseconds(100);
+    s.smoke_measure = sim::milliseconds(40);
+    s.queue_cells = 2048;
+    s.scheduler = ScenarioSpec::Scheduler::kDwrr;
+    s.per_vc_books = true;
+    s.traffic = {source(K::kCbr, 90, 9180, 0, 0, /*weight=*/1),
+                 source(K::kCbr, 90, 9180, 0, 0, /*weight=*/2),
+                 source(K::kCbr, 90, 9180, 0, 0, /*weight=*/4)};
+    s.accept.min_jain = 0.95;
+    all.push_back(s);
+  }
+  {  // ERICA explicit-rate ABR: four equal participants at 2x.
+    ScenarioSpec s;
+    s.name = "mux-fairness-abr";
+    s.plane = "fairness";
+    s.topology = ScenarioSpec::Topology::kMux;
+    s.seed = 21;
+    s.measure = sim::milliseconds(100);
+    s.smoke_measure = sim::milliseconds(40);
+    s.epd_threshold = 512;
+    s.wred = true;
+    s.abr_loop = true;
+    s.scheduler = ScenarioSpec::Scheduler::kDwrr;
+    s.traffic = {
+        source(K::kPoisson, 67, 9180, 0, 0, 1, /*abr=*/true),
+        source(K::kPoisson, 67, 9180, 0, 0, 1, /*abr=*/true),
+        source(K::kPoisson, 67, 9180, 0, 0, 1, /*abr=*/true),
+        source(K::kPoisson, 67, 9180, 0, 0, 1, /*abr=*/true)};
+    s.accept.min_jain = 0.95;
+    all.push_back(s);
+  }
+  {  // Three-switch line: multi-hop signalled routing + trunk loss.
+    ScenarioSpec s;
+    s.name = "line3-tandem-cbr";
+    s.plane = "fabric";
+    s.topology = ScenarioSpec::Topology::kLine;
+    s.switches = 3;
+    s.seed = 22;
+    s.measure = sim::milliseconds(20);
+    s.smoke_measure = sim::milliseconds(8);
+    s.traffic = {source(K::kCbr, 30, 1500), source(K::kCbr, 30, 1500)};
+    s.fault.cell_loss_rate = 1e-4;
+    s.accept.min_delivery_ratio = 0.90;
+    s.accept.max_latency_us = 2000;
+    all.push_back(s);
+  }
+  {  // Protection switching rides out a flapping primary trunk.
+    ScenarioSpec s;
+    s.name = "triangle-protection-flap";
+    s.plane = "protection";
+    s.topology = ScenarioSpec::Topology::kTriangle;
+    s.seed = 23;
+    s.measure = sim::milliseconds(80);
+    s.smoke_measure = sim::milliseconds(40);
+    s.protection = true;
+    s.sig_audit = false;  // a 13 ms outage must not trip the reclaimer
+    s.fault.flap_period = sim::milliseconds(20);
+    s.fault.flap_down = sim::milliseconds(13);
+    // PCR 2.5x the offered rate: a protected contract needs restoration
+    // headroom — after an outage the shaper can only drain the paused
+    // backlog at PCR, so a tight contract never catches back up.
+    s.traffic = {source(K::kCbr, 20, 1500, /*pcr=*/50),
+                 source(K::kCbr, 20, 1500, /*pcr=*/50),
+                 source(K::kCbr, 20, 1500, /*pcr=*/50)};
+    s.accept.min_delivery_ratio = 0.80;
+    all.push_back(s);
+  }
+  {  // Same spec + seed must digest identically, run to run.
+    ScenarioSpec s;
+    s.name = "determinism-p2p";
+    s.plane = "determinism";
+    s.topology = ScenarioSpec::Topology::kP2p;
+    s.seed = 24;
+    s.measure = sim::milliseconds(5);
+    s.smoke_measure = sim::milliseconds(5);
+    s.traffic = {source(K::kCbr, 30, 1500)};
+    s.accept.determinism = true;
+    all.push_back(s);
+  }
+  return all;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& builtin_scenarios() {
+  static const std::vector<ScenarioSpec> all = make_builtins();
+  return all;
+}
+
+bool find_scenario(const std::string& name, const std::string& scenario_dir,
+                   ScenarioSpec& out, std::string& error) {
+  for (const ScenarioSpec& s : builtin_scenarios()) {
+    if (s.name == name) {
+      out = s;
+      return true;
+    }
+  }
+  if (!scenario_dir.empty()) {
+    if (core::load_scenario_file(scenario_dir + "/" + name + ".scn", out,
+                                 error)) {
+      return true;
+    }
+  }
+  error = "unknown scenario '" + name + "'" +
+          (scenario_dir.empty() ? "" : " (also tried " + scenario_dir + "/" +
+                                           name + ".scn: " + error + ")");
+  return false;
+}
+
+}  // namespace hni::sig
